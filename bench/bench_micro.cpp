@@ -1,0 +1,155 @@
+// Substrate microbenchmarks (google-benchmark): the per-round primitives
+// that dominate simulation cost — bitset algebra, union-find, graph
+// generation, free-edge analysis, and full engine rounds.
+
+#include <benchmark/benchmark.h>
+
+#include "adversary/churn.hpp"
+#include "adversary/lb_adversary.hpp"
+#include "common/disjoint_set.hpp"
+#include "common/dynamic_bitset.hpp"
+#include "common/rng.hpp"
+#include "core/flooding.hpp"
+#include "core/single_source.hpp"
+#include "engine/broadcast_engine.hpp"
+#include "engine/unicast_engine.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "metrics/potential.hpp"
+
+namespace dyngossip {
+namespace {
+
+void BM_BitsetUnionCount(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  DynamicBitset a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.bernoulli(0.3)) a.set(i);
+    if (rng.bernoulli(0.3)) b.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.union_count(b));
+  }
+}
+BENCHMARK(BM_BitsetUnionCount)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BitsetSetTest(benchmark::State& state) {
+  DynamicBitset b(65536);
+  Rng rng(2);
+  for (auto _ : state) {
+    const std::size_t pos = rng.next_below(65536);
+    b.set(pos);
+    benchmark::DoNotOptimize(b.test(pos ^ 1));
+  }
+}
+BENCHMARK(BM_BitsetSetTest);
+
+void BM_DisjointSetUnions(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    DisjointSet dsu(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dsu.unite(rng.next_below(n), rng.next_below(n));
+    }
+    benchmark::DoNotOptimize(dsu.component_count());
+  }
+}
+BENCHMARK(BM_DisjointSetUnions)->Arg(256)->Arg(4096);
+
+void BM_ConnectedErdosRenyi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_erdos_renyi(n, 4.0 / static_cast<double>(n), rng));
+  }
+}
+BENCHMARK(BM_ConnectedErdosRenyi)->Arg(128)->Arg(512);
+
+void BM_ChurnRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ChurnConfig cc;
+  cc.n = n;
+  cc.target_edges = 4 * n;
+  cc.churn_per_round = n / 8;
+  cc.sigma = 3;
+  cc.seed = 5;
+  ChurnAdversary adversary(cc);
+  UnicastRoundView view;
+  Round r = 0;
+  for (auto _ : state) {
+    view.round = ++r;
+    benchmark::DoNotOptimize(adversary.unicast_round(view));
+  }
+}
+BENCHMARK(BM_ChurnRound)->Arg(128)->Arg(512);
+
+void BM_FreeGraphAnalysis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = n;
+  Rng rng(6);
+  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
+  const auto kprime = sample_kprime(n, k, 0.25, rng);
+  std::vector<TokenId> intents(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto t = static_cast<TokenId>(rng.next_below(k));
+    knowledge[v].set(t);
+    intents[v] = t;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_free_graph(intents, knowledge, kprime));
+  }
+}
+BENCHMARK(BM_FreeGraphAnalysis)->Arg(128)->Arg(512);
+
+void BM_BroadcastEngineRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = n;
+  Rng rng(7);
+  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
+  ChurnConfig cc;
+  cc.n = n;
+  cc.target_edges = 4 * n;
+  cc.churn_per_round = n / 8;
+  cc.seed = 8;
+  ChurnAdversary adversary(cc);
+  BroadcastEngine engine(PhaseFloodingNode::make_all(n, k, init), adversary, init, k);
+  for (auto _ : state) {
+    if (engine.all_complete()) {
+      state.SkipWithError("completed before timing window ended");
+      break;
+    }
+    benchmark::DoNotOptimize(engine.step());
+  }
+}
+BENCHMARK(BM_BroadcastEngineRound)->Arg(128)->Arg(256);
+
+void BM_UnicastEngineRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(4 * n);
+  ChurnConfig cc;
+  cc.n = n;
+  cc.target_edges = 4 * n;
+  cc.churn_per_round = n / 8;
+  cc.sigma = 3;
+  cc.seed = 9;
+  ChurnAdversary adversary(cc);
+  SingleSourceConfig cfg{n, k, 0};
+  UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
+                       SingleSourceNode::initial_knowledge(cfg), k);
+  for (auto _ : state) {
+    if (engine.all_complete()) {
+      state.SkipWithError("completed before timing window ended");
+      break;
+    }
+    benchmark::DoNotOptimize(engine.step());
+  }
+}
+BENCHMARK(BM_UnicastEngineRound)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace dyngossip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// competitive_budget — a walkthrough of adversary-competitive accounting
+// (Definition 1.3), the paper's main conceptual contribution.
+//
+// The same Single-Source-Unicast algorithm runs against adversaries of
+// increasing hostility.  For each run we print the ledger:
+//
+//     total messages  <=  M  +  α · TC(E)         (α = 1)
+//
+// where TC(E) is the number of edge insertions the adversary performed.
+// The residual M := total - TC stays within a constant of n² + nk no matter
+// how violently the topology changes — every extra message the algorithm is
+// forced to send is paid for by the adversary's own budget.
+//
+//   ./competitive_budget [--n=48] [--k=96] [--seed=9]
+
+#include <cstdio>
+#include <iostream>
+
+#include "adversary/churn.hpp"
+#include "adversary/request_cutter.hpp"
+#include "adversary/static_adversary.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "sim/bounds.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dyngossip;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  args.allow_only({"n", "k", "seed"},
+                  "competitive_budget [--n=48] [--k=96] [--seed=9]");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 48));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 96));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
+  const double paper_bound = bounds::single_source_messages(n, k);
+  const Round cap = static_cast<Round>(200u * n * k);
+
+  std::printf("Single-Source-Unicast, n=%zu, k=%u.  Paper bound n^2+nk = %.0f\n\n",
+              n, k, paper_bound);
+
+  TablePrinter table({"adversary", "completed", "total msgs", "TC(E)",
+                      "residual (M)", "M / (n^2+nk)", "rounds"});
+  auto report = [&](const char* name, const RunResult& r) {
+    table.add_row({name, r.completed ? "yes" : "no",
+                   TablePrinter::big(r.metrics.unicast.total()),
+                   TablePrinter::big(r.metrics.tc),
+                   TablePrinter::num(r.metrics.competitive_residual(1.0), 0),
+                   TablePrinter::num(r.metrics.competitive_residual(1.0) / paper_bound, 3),
+                   std::to_string(r.rounds)});
+  };
+
+  {
+    Rng g(seed);
+    StaticAdversary adversary(connected_erdos_renyi(n, 0.15, g));
+    report("static (no changes)", run_single_source(n, k, 0, adversary, cap));
+  }
+  {
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = 3 * n;
+    cc.churn_per_round = n / 16;
+    cc.sigma = 3;
+    cc.seed = seed + 1;
+    ChurnAdversary adversary(cc);
+    report("gentle churn", run_single_source(n, k, 0, adversary, cap));
+  }
+  {
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = 3 * n;
+    cc.churn_per_round = n;
+    cc.seed = seed + 2;
+    ChurnAdversary adversary(cc);
+    report("heavy churn", run_single_source(n, k, 0, adversary, cap));
+  }
+  {
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = 3 * n;
+    cc.fresh_graph_each_round = true;
+    cc.seed = seed + 3;
+    ChurnAdversary adversary(cc);
+    report("fresh graph each round", run_single_source(n, k, 0, adversary, cap));
+  }
+  {
+    RequestCutterConfig rc;
+    rc.n = n;
+    rc.target_edges = 3 * n;
+    rc.cut_probability = 0.8;
+    rc.seed = seed + 4;
+    RequestCutterAdversary adversary(rc);
+    report("request cutter p=0.8", run_single_source(n, k, 0, adversary, cap));
+  }
+  {
+    RequestCutterConfig rc;
+    rc.n = n;
+    rc.target_edges = 3 * n;
+    rc.cut_probability = 1.0;
+    rc.seed = seed + 5;
+    RequestCutterAdversary adversary(rc);
+    // Never completes: evaluate the ledger on a fixed horizon.
+    report("request cutter p=1.0",
+           run_single_source(n, k, 0, adversary, static_cast<Round>(100 * n)));
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading the ledger: total messages vary by orders of magnitude with\n"
+      "the adversary, but the residual M = total - TC(E) — what the\n"
+      "*algorithm* pays out of its own pocket — stays within a small\n"
+      "constant of n^2 + nk on every row (Theorem 3.1).  Even the p=1.0\n"
+      "cutter, which starves dissemination forever, cannot make the\n"
+      "algorithm overspend: each wasted request is matched by an insertion\n"
+      "the adversary had to pay for.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// p2p_churn_gossip — multi-source gossip in a churning peer-to-peer overlay.
+//
+// The motivating scenario of the paper's introduction: a P2P overlay where
+// connections come and go continuously (the oblivious churn adversary), and
+// every peer has updates (tokens) to disseminate to everyone (n-gossip).
+//
+// The example compares the two strategies the paper analyzes for this
+// regime:
+//   1. direct Multi-Source-Unicast (Theorem 3.5: O(n²s + nk) competitive —
+//      expensive when s = n);
+//   2. Algorithm 2's center funnel (Theorem 3.8: subquadratic amortized).
+//
+//   ./p2p_churn_gossip [--n=96] [--updates=2] [--seed=11]
+
+#include <cstdio>
+
+#include "adversary/churn.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "metrics/report.hpp"
+#include "sim/bounds.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dyngossip;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  args.allow_only({"n", "updates", "seed"},
+                  "p2p_churn_gossip [--n=96] [--updates=2] [--seed=11]");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 96));
+  const auto updates = static_cast<std::uint32_t>(args.get_int("updates", 2));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  // Every peer publishes `updates` tokens.
+  std::vector<TokenSpace::SourceSpec> specs;
+  for (std::size_t v = 0; v < n; ++v) {
+    specs.push_back({static_cast<NodeId>(v), updates});
+  }
+  const auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
+  const std::uint64_t k = space->total_tokens();
+
+  auto overlay = [&](std::uint64_t s) {
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = 4 * n;           // sparse overlay: average degree 8
+    cc.churn_per_round = n / 10;       // ~10% of peers rewire per round
+    cc.sigma = 3;                      // links live >= 3 rounds (TCP-ish)
+    cc.seed = s;
+    return cc;
+  };
+
+  std::printf("P2P overlay: %zu peers x %u updates = %llu tokens, avg degree 8, "
+              "%zu links rewired per round\n\n",
+              n, updates, static_cast<unsigned long long>(k), n / 10);
+
+  ChurnAdversary direct_net(overlay(seed));
+  const RunResult direct =
+      run_multi_source(n, space, direct_net, static_cast<Round>(400 * n * k));
+  std::printf("[direct multi-source gossip]\n%s\n",
+              run_summary(direct.metrics, k).c_str());
+
+  ChurnAdversary funnel_net(overlay(seed));  // identical network evolution
+  ObliviousMsOptions opts;
+  opts.seed = seed + 1;
+  opts.force_phase1 = true;
+  opts.f_override = std::max<std::size_t>(2, n / 8);  // super-peer count
+  const ObliviousMsResult funnel =
+      run_oblivious_multi_source(n, space, funnel_net, opts);
+  std::printf("[random-walk funnel through %zu super-peers (Algorithm 2)]\n%s\n",
+              funnel.num_centers, run_summary(funnel.total, k).c_str());
+  std::printf("phase 1: %u rounds, %llu walk messages; phase 2: %u rounds\n",
+              funnel.phase1_rounds,
+              static_cast<unsigned long long>(funnel.walk_real_steps),
+              funnel.phase2.rounds);
+
+  const double saving = 1.0 - static_cast<double>(funnel.total.unicast.total()) /
+                                  static_cast<double>(direct.metrics.unicast.total());
+  std::printf("\nFunnelling through super-peers saved %.1f%% of the messages\n"
+              "(the n^2*s completeness term collapses to n^2*f — Theorem 3.8).\n",
+              100.0 * saving);
+  return 0;
+}

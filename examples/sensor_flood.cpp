@@ -1,0 +1,73 @@
+// sensor_flood — local-broadcast dissemination in a dynamic sensor mesh.
+//
+// Wireless sensor networks communicate by local broadcast: one transmission
+// reaches all current radio neighbors and costs one message (one battery
+// drain) regardless of the neighbor count — exactly Definition 1.1's
+// local-broadcast accounting.  The paper shows this model is expensive in
+// dynamic networks: Ω(n²/log² n) amortized broadcasts per token against a
+// worst-case adversary (Theorem 2.3), with naive flooding's O(n²) nearly
+// matching.
+//
+// The example floods k sensor readings through (a) a benign drifting mesh
+// and (b) the worst-case Section-2 adversary, and reports the battery bill.
+//
+//   ./sensor_flood [--n=64] [--k=32] [--seed=3]
+
+#include <cstdio>
+
+#include "adversary/churn.hpp"
+#include "adversary/lb_adversary.hpp"
+#include "common/cli.hpp"
+#include "metrics/report.hpp"
+#include "sim/bounds.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dyngossip;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  args.allow_only({"n", "k", "seed"}, "sensor_flood [--n=64] [--k=32] [--seed=3]");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 64));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 32));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  // Each reading originates at one sensor.
+  Rng rng(seed);
+  std::vector<DynamicBitset> readings(n, DynamicBitset(k));
+  for (std::size_t t = 0; t < k; ++t) readings[rng.next_below(n)].set(t);
+
+  std::printf("Sensor mesh: %zu nodes, %zu readings to disseminate\n\n", n, k);
+
+  {
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = 3 * n;
+    cc.churn_per_round = n / 10;  // slow radio-connectivity drift
+    cc.sigma = 3;
+    cc.seed = seed + 1;
+    ChurnAdversary mesh(cc);
+    const RunResult r =
+        run_phase_flooding(n, k, readings, mesh, static_cast<Round>(10 * n * k));
+    std::printf("[benign drifting mesh]\n%s\n", run_summary(r.metrics, k).c_str());
+  }
+  {
+    LbAdversaryConfig lb;
+    lb.n = n;
+    lb.k = k;
+    lb.seed = seed + 2;
+    LowerBoundAdversary worst(lb, readings);
+    const RunResult r =
+        run_phase_flooding(n, k, readings, worst, static_cast<Round>(100 * n * k));
+    std::printf("[worst-case adaptive interference (Section 2)]\n%s\n",
+                run_summary(r.metrics, k).c_str());
+    std::printf("paper bounds: lower %.0f, naive upper %.0f broadcasts/reading\n",
+                bounds::broadcast_lb_amortized(n), bounds::broadcast_ub_amortized(n));
+  }
+
+  std::printf(
+      "\nTakeaway: against worst-case dynamics the per-reading broadcast cost\n"
+      "is forced into the Θ(n²/polylog) regime — no clever token-forwarding\n"
+      "protocol can save the batteries (Theorem 2.3).  Deploying unicast\n"
+      "links changes the economics: see competitive_budget.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "adversary/adversary.hpp"
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+Graph Adversary::broadcast_round(const BroadcastRoundView& view) {
+  return next_graph(view.round);
+}
+
+Graph Adversary::unicast_round(const UnicastRoundView& view) {
+  return next_graph(view.round);
+}
+
+Graph Adversary::next_graph(Round /*r*/) {
+  // Reaching here means a subclass neither overrode the round methods nor
+  // provided a generator — a wiring bug, not a runtime condition.
+  DG_CHECK(false && "adversary must implement next_graph or override round methods");
+  return Graph(0);
+}
+
+Graph ObliviousAdversary::broadcast_round(const BroadcastRoundView& view) {
+  return next_graph(view.round);
+}
+
+Graph ObliviousAdversary::unicast_round(const UnicastRoundView& view) {
+  return next_graph(view.round);
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,92 @@
+#include "adversary/churn.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+
+ChurnAdversary::ChurnAdversary(const ChurnConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), current_(cfg.n) {
+  DG_CHECK(cfg_.n >= 1);
+  DG_CHECK(cfg_.sigma >= 1);
+  if (cfg_.n >= 2 && cfg_.target_edges < cfg_.n - 1) cfg_.target_edges = cfg_.n - 1;
+  const std::size_t max_edges = cfg_.n * (cfg_.n - 1) / 2;
+  cfg_.target_edges = std::min(cfg_.target_edges, max_edges);
+}
+
+bool ChurnAdversary::add_random_edge(Round r) {
+  const std::size_t max_edges = cfg_.n * (cfg_.n - 1) / 2;
+  if (current_.num_edges() >= max_edges) return false;
+  // Rejection sampling; the graphs used in experiments are sparse, so a few
+  // tries suffice.  Guard against dense graphs with a bounded fallback scan.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto u = static_cast<NodeId>(rng_.next_below(cfg_.n));
+    auto v = static_cast<NodeId>(rng_.next_below(cfg_.n - 1));
+    if (v >= u) ++v;
+    if (current_.add_edge(u, v)) {
+      inserted_at_[edge_key(u, v)] = r;
+      return true;
+    }
+  }
+  for (NodeId u = 0; u < cfg_.n; ++u) {
+    for (NodeId v = u + 1; v < cfg_.n; ++v) {
+      if (current_.add_edge(u, v)) {
+        inserted_at_[edge_key(u, v)] = r;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Graph ChurnAdversary::next_graph(Round r) {
+  DG_CHECK(r == last_round_ + 1);
+  last_round_ = r;
+
+  if (cfg_.fresh_graph_each_round) {
+    current_ = random_connected_with_edges(cfg_.n, cfg_.target_edges, rng_);
+    return current_;
+  }
+
+  if (r == 1) {
+    current_ = random_connected_with_edges(cfg_.n, cfg_.target_edges, rng_);
+    inserted_at_.clear();
+    for (const EdgeKey key : current_.edges()) inserted_at_[key] = 1;
+    return current_;
+  }
+
+  // 1. Delete up to churn_per_round edges old enough to respect σ-stability.
+  //    An edge inserted at r0 must be present in rounds r0 .. r0+σ-1, so it
+  //    may first be absent in round r0+σ.
+  std::vector<EdgeKey> removable;
+  removable.reserve(current_.num_edges());
+  for (const EdgeKey key : current_.edges()) {
+    const Round r0 = inserted_at_.at(key);
+    if (r >= r0 + cfg_.sigma) removable.push_back(key);
+  }
+  std::sort(removable.begin(), removable.end());  // deterministic base order
+  rng_.shuffle(removable);
+  const std::size_t cuts = std::min(cfg_.churn_per_round, removable.size());
+  for (std::size_t i = 0; i < cuts; ++i) {
+    const auto [u, v] = edge_endpoints(removable[i]);
+    current_.remove_edge(u, v);
+    inserted_at_.erase(removable[i]);
+  }
+
+  // 2. Replenish toward the target edge count.
+  while (current_.num_edges() < cfg_.target_edges) {
+    if (!add_random_edge(r)) break;
+  }
+
+  // 3. Patch connectivity (these insertions are part of the adversary's
+  //    committed schedule and are charged to TC like any other).
+  for (const EdgeKey key : connect_components(current_, rng_)) {
+    inserted_at_[key] = r;
+  }
+  return current_;
+}
+
+}  // namespace dyngossip

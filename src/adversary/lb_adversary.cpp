@@ -1,0 +1,143 @@
+#include "adversary/lb_adversary.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/disjoint_set.hpp"
+#include "metrics/potential.hpp"
+
+namespace dyngossip {
+
+namespace {
+
+/// Direction test: can u's broadcast increase v's counted knowledge?
+/// The edge direction u->v is "useless" iff i_u is ⊥ or already in
+/// K_v ∪ K'_v; an edge is free iff both directions are useless.
+[[nodiscard]] inline bool direction_useless(TokenId iu, const DynamicBitset& kv,
+                                            const DynamicBitset& kpv) {
+  return iu == kNoToken || kv.test(iu) || kpv.test(iu);
+}
+
+}  // namespace
+
+FreeGraphAnalysis analyze_free_graph(std::span<const TokenId> intents,
+                                     const std::vector<DynamicBitset>& knowledge,
+                                     const std::vector<DynamicBitset>& kprime,
+                                     std::vector<EdgeKey>* all_free_edges) {
+  const std::size_t n = intents.size();
+  DG_CHECK(knowledge.size() == n && kprime.size() == n);
+  FreeGraphAnalysis out;
+  DisjointSet dsu(n);
+
+  std::vector<NodeId> silent;
+  std::vector<NodeId> broadcasters;
+  silent.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    (intents[v] == kNoToken ? silent : broadcasters).push_back(v);
+  }
+  out.broadcasters = broadcasters.size();
+
+  auto note_free = [&](NodeId a, NodeId b) {
+    if (dsu.unite(a, b)) out.forest.push_back(edge_key(a, b));
+    if (all_free_edges != nullptr) all_free_edges->push_back(edge_key(a, b));
+  };
+
+  // Every edge between two silent nodes is free: chain them (for the forest)
+  // or emit the full clique when all free edges were requested.
+  if (all_free_edges == nullptr) {
+    for (std::size_t i = 1; i < silent.size(); ++i) {
+      note_free(silent[i - 1], silent[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < silent.size(); ++i) {
+      for (std::size_t j = i + 1; j < silent.size(); ++j) {
+        note_free(silent[i], silent[j]);
+      }
+    }
+  }
+
+  // Edges incident to a broadcaster: test both directions.  Pairs of
+  // broadcasters are scanned once (u < v); broadcaster-silent pairs need
+  // only the broadcaster's direction.
+  for (const NodeId u : broadcasters) {
+    const TokenId iu = intents[u];
+    for (const NodeId v : silent) {
+      if (direction_useless(iu, knowledge[v], kprime[v])) note_free(u, v);
+    }
+    for (const NodeId v : broadcasters) {
+      if (v <= u) continue;
+      if (direction_useless(iu, knowledge[v], kprime[v]) &&
+          direction_useless(intents[v], knowledge[u], kprime[u])) {
+        note_free(u, v);
+      }
+    }
+  }
+
+  out.components = dsu.component_count();
+  out.labels.resize(n);
+  // Normalize labels to [0, components).
+  std::vector<std::size_t> remap(n, static_cast<std::size_t>(-1));
+  std::size_t next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t root = dsu.find(v);
+    if (remap[root] == static_cast<std::size_t>(-1)) remap[root] = next++;
+    out.labels[v] = remap[root];
+  }
+  DG_CHECK(next == out.components);
+  return out;
+}
+
+LowerBoundAdversary::LowerBoundAdversary(
+    const LbAdversaryConfig& cfg, const std::vector<DynamicBitset>& initial_knowledge)
+    : cfg_(cfg), rng_(cfg.seed) {
+  DG_CHECK(cfg_.n >= 2);
+  DG_CHECK(initial_knowledge.size() == cfg_.n);
+  const auto budget = static_cast<std::uint64_t>(
+      cfg_.phi_budget_fraction * static_cast<double>(cfg_.n) *
+      static_cast<double>(cfg_.k));
+  // Probabilistic-method sampling: retry until the potential budget holds.
+  constexpr int kMaxResamples = 256;
+  for (int attempt = 0; attempt < kMaxResamples; ++attempt) {
+    kprime_ = sample_kprime(cfg_.n, cfg_.k, cfg_.kprime_p, rng_);
+    phi0_ = potential(initial_knowledge, kprime_);
+    if (phi0_ <= budget) return;
+  }
+  DG_CHECK(false &&
+           "could not satisfy the Φ(0) budget — initial knowledge violates the "
+           "'at most k/2 tokens on average' precondition of Theorem 2.3");
+}
+
+Graph LowerBoundAdversary::broadcast_round(const BroadcastRoundView& view) {
+  DG_CHECK(view.knowledge != nullptr);
+  DG_CHECK(view.intents.size() == cfg_.n);
+
+  std::vector<EdgeKey> all_free;
+  FreeGraphAnalysis analysis =
+      analyze_free_graph(view.intents, *view.knowledge, kprime_,
+                         cfg_.full_free_graph ? &all_free : nullptr);
+
+  Graph g(cfg_.n, cfg_.full_free_graph ? all_free : analysis.forest);
+
+  // Connect the ℓ free components with ℓ-1 additional (non-free) edges:
+  // chain one representative per component.  Each such edge can raise Φ by
+  // at most 2, which is the whole point of the construction.
+  std::vector<NodeId> reps(analysis.components, kNoNode);
+  for (NodeId v = 0; v < cfg_.n; ++v) {
+    if (reps[analysis.labels[v]] == kNoNode) reps[analysis.labels[v]] = v;
+  }
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    g.add_edge(reps[i - 1], reps[i]);
+  }
+
+  max_components_ = std::max(max_components_, analysis.components);
+  if (cfg_.record_series) {
+    RoundRecord rec;
+    rec.broadcasters = static_cast<std::uint32_t>(analysis.broadcasters);
+    rec.components = static_cast<std::uint32_t>(analysis.components);
+    rec.phi_before = potential(*view.knowledge, kprime_);
+    series_.push_back(rec);
+  }
+  return g;
+}
+
+}  // namespace dyngossip

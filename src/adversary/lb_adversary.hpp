@@ -1,0 +1,114 @@
+// The Section-2 strongly adaptive lower-bound adversary.
+//
+// Construction (following Dutta et al. [26] / Haeupler-Kuhn [30] as adapted
+// in Section 2):
+//  - Before the run, sample K'_v ⊆ T with every token included independently
+//    with probability 1/4 (resampled until Φ(0) ≤ 0.8·nk, which a Chernoff
+//    argument makes overwhelmingly likely when nodes initially know at most
+//    k/2 tokens on average).
+//  - Each round, after every node commits its broadcast i_v(r), call edge
+//    {u,v} FREE iff i_u(r) ∈ {⊥} ∪ K_v(r-1) ∪ K'_v and symmetrically — i.e.
+//    communication over it cannot increase Φ(t) = Σ_v |K_v(t) ∪ K'_v|.
+//  - Return a graph containing free edges spanning the free-edge components
+//    plus the ℓ-1 extra (non-free) edges needed to connect ℓ components,
+//    so the potential can grow by at most 2(ℓ-1) per round.
+//
+// Lemma 2.1: with the sampled K', every round has ℓ = O(log n) free
+// components.  Lemma 2.2: if at most n/(c·log n) nodes broadcast, the free
+// graph is connected (ℓ = 1) and NO progress happens.  Hence any algorithm
+// needs Ω(nk/log n) rounds with Ω(n/log n) broadcasters, i.e. the amortized
+// message complexity is Ω(n²/log² n) (Theorem 2.3).
+//
+// Two graph modes: `full_free_graph` returns every free edge (the paper's
+// construction verbatim, Θ(n²) edges per round); the default returns a
+// spanning forest of the free components — identical potential dynamics
+// and component structure at O(n) edges per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "common/rng.hpp"
+
+namespace dyngossip {
+
+/// Free-edge structure of one round (also used standalone by the Figure-1
+/// bench and the Lemma 2.1/2.2 property tests).
+struct FreeGraphAnalysis {
+  /// Number of connected components of F(r), the graph of all free edges.
+  std::size_t components = 0;
+  /// A spanning forest of F(r) (|V| - components free edges).
+  std::vector<EdgeKey> forest;
+  /// Component label per node.
+  std::vector<std::size_t> labels;
+  /// Number of broadcasting nodes in the assignment analyzed.
+  std::size_t broadcasters = 0;
+};
+
+/// Computes the free-edge components for a token assignment (v, i_v), given
+/// knowledge sets K_v and the adversary's K'_v sets.  If `all_free_edges` is
+/// non-null it additionally receives every free edge (Θ(n²) worst case).
+[[nodiscard]] FreeGraphAnalysis analyze_free_graph(
+    std::span<const TokenId> intents, const std::vector<DynamicBitset>& knowledge,
+    const std::vector<DynamicBitset>& kprime,
+    std::vector<EdgeKey>* all_free_edges = nullptr);
+
+/// Lower-bound adversary parameters.
+struct LbAdversaryConfig {
+  std::size_t n = 0;                ///< nodes
+  std::size_t k = 0;                ///< tokens
+  double kprime_p = 0.25;           ///< per-token inclusion probability in K'_v
+  double phi_budget_fraction = 0.8; ///< required Φ(0) ≤ fraction·nk
+  std::uint64_t seed = 1;           ///< adversary randomness
+  bool full_free_graph = false;     ///< return all free edges (paper-verbatim)
+  bool record_series = false;       ///< keep per-round instrumentation
+};
+
+/// Strongly adaptive adversary realizing the Theorem 2.3 bound.
+class LowerBoundAdversary final : public Adversary {
+ public:
+  /// Per-round instrumentation record.
+  struct RoundRecord {
+    std::uint32_t broadcasters = 0;  ///< |{v : i_v(r) != ⊥}|
+    std::uint32_t components = 0;    ///< components of F(r)
+    std::uint64_t phi_before = 0;    ///< Φ(r-1)
+  };
+
+  /// Samples K' against the given initial knowledge (resampling until the
+  /// Φ(0) budget holds; aborts if the initial distribution makes that
+  /// impossible, i.e. the theorem's "at most k/2 tokens on average"
+  /// precondition is violated badly).
+  LowerBoundAdversary(const LbAdversaryConfig& cfg,
+                      const std::vector<DynamicBitset>& initial_knowledge);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return cfg_.n; }
+
+  [[nodiscard]] Graph broadcast_round(const BroadcastRoundView& view) override;
+
+  /// The sampled K'_v sets.
+  [[nodiscard]] const std::vector<DynamicBitset>& kprime() const noexcept {
+    return kprime_;
+  }
+
+  /// Φ(0) under the sampled K'.
+  [[nodiscard]] std::uint64_t initial_potential() const noexcept { return phi0_; }
+
+  /// Largest free-component count seen in any round.
+  [[nodiscard]] std::size_t max_components() const noexcept { return max_components_; }
+
+  /// Per-round records (empty unless record_series was set).
+  [[nodiscard]] const std::vector<RoundRecord>& series() const noexcept {
+    return series_;
+  }
+
+ private:
+  LbAdversaryConfig cfg_;
+  Rng rng_;
+  std::vector<DynamicBitset> kprime_;
+  std::uint64_t phi0_ = 0;
+  std::size_t max_components_ = 0;
+  std::vector<RoundRecord> series_;
+};
+
+}  // namespace dyngossip

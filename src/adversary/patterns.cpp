@@ -1,0 +1,44 @@
+#include "adversary/patterns.hpp"
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+
+RotatingStarAdversary::RotatingStarAdversary(std::size_t n, std::uint64_t seed)
+    : n_(n) {
+  DG_CHECK(n >= 2);
+  order_.resize(n);
+  for (NodeId v = 0; v < n; ++v) order_[v] = v;
+  Rng rng(seed);
+  rng.shuffle(order_);
+}
+
+NodeId RotatingStarAdversary::center_of(Round r) const {
+  DG_CHECK(r >= 1);
+  return order_[static_cast<std::size_t>(r - 1) % n_];
+}
+
+Graph RotatingStarAdversary::next_graph(Round r) {
+  return star_graph(n_, center_of(r));
+}
+
+PathShuffleAdversary::PathShuffleAdversary(std::size_t n, std::uint64_t seed)
+    : n_(n), seed_(seed) {
+  DG_CHECK(n >= 2);
+}
+
+Graph PathShuffleAdversary::next_graph(Round r) {
+  // Derive the round's permutation purely from (seed, r): the schedule is
+  // committed up front even though it is materialized lazily.
+  std::uint64_t sm = seed_ ^ (0x9e3779b97f4a7c15ull * r);
+  Rng rng(splitmix64(sm));
+  std::vector<NodeId> perm(n_);
+  for (NodeId v = 0; v < n_; ++v) perm[v] = v;
+  rng.shuffle(perm);
+  Graph g(n_);
+  for (std::size_t i = 1; i < n_; ++i) g.add_edge(perm[i - 1], perm[i]);
+  return g;
+}
+
+}  // namespace dyngossip

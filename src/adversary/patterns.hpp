@@ -1,0 +1,61 @@
+// Classic worst-case oblivious topology patterns.
+//
+// Two structured schedules that stress different aspects of the model than
+// random churn does:
+//
+//  RotatingStarAdversary — every round is a star whose center advances
+//    through a seeded permutation of the nodes.  Almost every edge is
+//    replaced every round (TC ≈ n per round, only 1-edge stable), the
+//    diameter is always 2, and every pair of nodes meets within n rounds.
+//    This is the canonical "maximum dynamism with good connectivity"
+//    pattern from the dynamic-network literature.
+//
+//  PathShuffleAdversary — every round is a Hamiltonian path over a fresh
+//    seeded permutation.  Maximum diameter (n-1) with minimum edges (n-1),
+//    also only 1-edge stable.  Tokens can only move one hop per round
+//    along the current path — the "thin" connectivity extreme.
+//
+// Both commit their entire schedule via the seed (oblivious, Section 1.3).
+#pragma once
+
+#include "adversary/adversary.hpp"
+#include "common/rng.hpp"
+
+namespace dyngossip {
+
+/// Star graph with a center that advances through a seeded permutation.
+class RotatingStarAdversary final : public ObliviousAdversary {
+ public:
+  /// n >= 2; `seed` fixes the center order (and hence the whole schedule).
+  RotatingStarAdversary(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return n_; }
+
+  /// Center of round r (exposed for tests).
+  [[nodiscard]] NodeId center_of(Round r) const;
+
+ protected:
+  [[nodiscard]] Graph next_graph(Round r) override;
+
+ private:
+  std::size_t n_;
+  std::vector<NodeId> order_;  ///< seeded permutation of the nodes
+};
+
+/// Fresh random Hamiltonian path every round.
+class PathShuffleAdversary final : public ObliviousAdversary {
+ public:
+  /// n >= 2; the per-round permutations derive deterministically from seed.
+  PathShuffleAdversary(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return n_; }
+
+ protected:
+  [[nodiscard]] Graph next_graph(Round r) override;
+
+ private:
+  std::size_t n_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dyngossip

@@ -1,0 +1,84 @@
+#include "adversary/request_cutter.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+
+RequestCutterAdversary::RequestCutterAdversary(const RequestCutterConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), current_(cfg.n) {
+  DG_CHECK(cfg_.n >= 1);
+  if (cfg_.n >= 2 && cfg_.target_edges < cfg_.n - 1) cfg_.target_edges = cfg_.n - 1;
+  const std::size_t max_edges = cfg_.n * (cfg_.n - 1) / 2;
+  cfg_.target_edges = std::min(cfg_.target_edges, max_edges);
+}
+
+Graph RequestCutterAdversary::unicast_round(const UnicastRoundView& view) {
+  DG_CHECK(view.round == last_round_ + 1);
+  last_round_ = view.round;
+
+  if (view.round == 1) {
+    current_ = random_connected_with_edges(cfg_.n, cfg_.target_edges, rng_);
+    return current_;
+  }
+
+  // Cut edges that carried a request last round, before the token response
+  // (which the algorithm sends this round) can traverse them.
+  DG_CHECK(view.prev_messages != nullptr);
+  std::vector<EdgeKey> victims;
+  for (const SentRecord& rec : *view.prev_messages) {
+    if (rec.msg.type != MsgType::kRequest) continue;
+    const EdgeKey key = edge_key(rec.from, rec.to);
+    if (current_.edges().count(key) > 0 && rng_.bernoulli(cfg_.cut_probability)) {
+      victims.push_back(key);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  for (const EdgeKey key : victims) {
+    const auto [u, v] = edge_endpoints(key);
+    if (current_.remove_edge(u, v)) ++cuts_;
+  }
+
+  // Replenish toward the target size with fresh random edges (the requester
+  // will classify these as "new" and spend more requests — the point).
+  // Victim edges are banned for this round: re-adding one would let the
+  // pending response through, which a strongly adaptive adversary never
+  // allows.
+  const std::unordered_set<EdgeKey> banned(victims.begin(), victims.end());
+  std::size_t guard = 0;
+  while (current_.num_edges() < cfg_.target_edges && guard < 64 * cfg_.target_edges) {
+    ++guard;
+    const auto u = static_cast<NodeId>(rng_.next_below(cfg_.n));
+    auto v = static_cast<NodeId>(rng_.next_below(cfg_.n - 1));
+    if (v >= u) ++v;
+    if (banned.count(edge_key(u, v)) > 0) continue;
+    current_.add_edge(u, v);
+  }
+  // Reconnect components without resurrecting a banned edge.
+  ComponentInfo info = connected_components(current_);
+  while (info.count > 1) {
+    std::vector<std::vector<NodeId>> members(info.count);
+    for (NodeId v = 0; v < cfg_.n; ++v) members[info.labels[v]].push_back(v);
+    for (std::size_t c = 1; c < info.count; ++c) {
+      // Try random member pairs; a banned pair is re-rolled (some non-banned
+      // pair always exists once components have >= 2 nodes total choices;
+      // bounded retries keep this safe even in tiny graphs).
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const NodeId a = rng_.pick(members[c - 1]);
+        const NodeId b = rng_.pick(members[c]);
+        if (attempt < 48 && banned.count(edge_key(a, b)) > 0) continue;
+        current_.add_edge(a, b);
+        break;
+      }
+    }
+    info = connected_components(current_);
+  }
+  return current_;
+}
+
+}  // namespace dyngossip

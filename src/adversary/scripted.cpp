@@ -1,0 +1,26 @@
+#include "adversary/scripted.hpp"
+
+#include "common/check.hpp"
+#include "graph/connectivity.hpp"
+
+namespace dyngossip {
+
+ScriptedAdversary::ScriptedAdversary(std::vector<Graph> script)
+    : script_(std::move(script)) {
+  DG_CHECK(!script_.empty());
+  const std::size_t n = script_.front().num_nodes();
+  for (const Graph& g : script_) {
+    DG_CHECK(g.num_nodes() == n);
+    DG_CHECK(is_connected(g));
+  }
+}
+
+Graph ScriptedAdversary::next_graph(Round r) {
+  DG_CHECK(r >= 1);
+  const std::size_t idx = static_cast<std::size_t>(r - 1) < script_.size()
+                              ? static_cast<std::size_t>(r - 1)
+                              : script_.size() - 1;
+  return script_[idx];
+}
+
+}  // namespace dyngossip

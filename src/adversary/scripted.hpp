@@ -1,0 +1,36 @@
+// Scripted adversary: an explicit, finite round-graph sequence.
+//
+// Unit tests use scripts to exercise precise topology changes (an edge
+// appearing for exactly two rounds, a request-carrying edge vanishing, a
+// re-inserted edge resetting its "new" classification...).  After the script
+// is exhausted the last graph repeats, so runs may extend past the scripted
+// prefix.
+#pragma once
+
+#include <vector>
+
+#include "adversary/adversary.hpp"
+
+namespace dyngossip {
+
+/// Plays back a fixed sequence of connected graphs; repeats the final graph.
+class ScriptedAdversary final : public ObliviousAdversary {
+ public:
+  /// Requires a non-empty script of connected graphs over a common node set.
+  explicit ScriptedAdversary(std::vector<Graph> script);
+
+  [[nodiscard]] std::size_t num_nodes() const override {
+    return script_.front().num_nodes();
+  }
+
+  /// Length of the scripted prefix.
+  [[nodiscard]] std::size_t script_length() const noexcept { return script_.size(); }
+
+ protected:
+  [[nodiscard]] Graph next_graph(Round r) override;
+
+ private:
+  std::vector<Graph> script_;
+};
+
+}  // namespace dyngossip

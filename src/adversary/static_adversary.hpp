@@ -1,0 +1,27 @@
+// Static adversary: the same connected graph every round.
+//
+// Dynamic networks subsume static ones; this adversary realizes the paper's
+// static reference points (the O(n²/k + n) amortized spanning-tree baseline
+// of Section 1, and the sanity bounds O(n+k) rounds for static k-gossip).
+#pragma once
+
+#include "adversary/adversary.hpp"
+
+namespace dyngossip {
+
+/// Presents a fixed connected graph in every round.
+class StaticAdversary final : public ObliviousAdversary {
+ public:
+  /// Requires a connected graph (checked).
+  explicit StaticAdversary(Graph g);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return graph_.num_nodes(); }
+
+ protected:
+  [[nodiscard]] Graph next_graph(Round r) override;
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace dyngossip

@@ -1,0 +1,33 @@
+// Lightweight contract checking.
+//
+// DG_CHECK is active in every build type (simulation correctness beats the
+// tiny branch cost); DG_DCHECK compiles away in NDEBUG builds and is used on
+// hot paths.  Failures print the condition and location and abort — a
+// violated invariant in a deterministic simulation is a programming error,
+// not a recoverable condition (C++ Core Guidelines E.12, I.6).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dyngossip::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "DG_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace dyngossip::detail
+
+#define DG_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) ::dyngossip::detail::check_failed(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define DG_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define DG_DCHECK(cond) DG_CHECK(cond)
+#endif

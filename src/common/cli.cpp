@@ -1,0 +1,84 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dyngossip {
+
+namespace {
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "cli error: %s\n", msg.c_str());
+  std::exit(2);
+}
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) die("expected --flag, got '" + arg + "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form when the next token is not a flag; else boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') die("flag --" + name + " expects an integer");
+  return v;
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') die("flag --" + name + " expects a number");
+  return v;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+void CliArgs::allow_only(const std::vector<std::string>& names,
+                         const std::string& usage) const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    bool ok = false;
+    for (const auto& n : names) {
+      if (n == key) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "unknown flag --%s\nusage: %s\n", key.c_str(), usage.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Flags take the form `--name=value` or `--name value`; bare `--name` is a
+// boolean true.  Unknown flags are an error (catches typos in sweep
+// scripts).  Deliberately tiny — the binaries only need a handful of numeric
+// knobs (n, k, seeds, --quick) and we avoid an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dyngossip {
+
+/// Parsed command line: typed access with defaults plus validation.
+class CliArgs {
+ public:
+  /// Parses argv.  Exits with a message on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if the flag was supplied.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Integer flag with default.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  /// Floating flag with default.
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+
+  /// String flag with default.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def) const;
+
+  /// Boolean flag (present without value, or =true/=false).
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Declares the set of accepted flags; any other supplied flag aborts with
+  /// a usage message.  Call once after construction.
+  void allow_only(const std::vector<std::string>& names, const std::string& usage) const;
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dyngossip

@@ -1,0 +1,45 @@
+#include "common/disjoint_set.hpp"
+
+#include <numeric>
+
+namespace dyngossip {
+
+DisjointSet::DisjointSet(std::size_t n) { reset(n); }
+
+void DisjointSet::reset(std::size_t n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  size_.assign(n, 1);
+  components_ = n;
+}
+
+std::size_t DisjointSet::find(std::size_t x) noexcept {
+  DG_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DisjointSet::unite(std::size_t a, std::size_t b) noexcept {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
+
+std::vector<std::size_t> DisjointSet::representatives() {
+  std::vector<std::size_t> reps;
+  reps.reserve(components_);
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    if (find(i) == i) reps.push_back(i);
+  }
+  return reps;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,122 @@
+// Runtime-sized bitset.
+//
+// Token-knowledge sets K_v(t) (Section 2) and missing-token bookkeeping of
+// the unicast algorithms are sets over a universe of k tokens with
+// k up to Θ(n²); a packed bitset keeps membership tests O(1) and whole-set
+// operations word-parallel, which is what makes the Section-2 free-edge
+// adversary (Θ(n²) edge classifications per round) tractable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+/// Fixed-universe dynamic bitset with word-parallel set algebra.
+class DynamicBitset {
+ public:
+  /// Empty set over an empty universe.
+  DynamicBitset() = default;
+
+  /// Set over universe [0, size), initially all false (or all true).
+  explicit DynamicBitset(std::size_t size, bool initially_set = false);
+
+  /// Universe size (number of addressable bits).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Grows the universe to `size` bits; new bits are false.  No-op if the
+  /// universe is already at least that large.
+  void resize(std::size_t size);
+
+  /// Membership test.
+  [[nodiscard]] bool test(std::size_t pos) const noexcept {
+    DG_DCHECK(pos < size_);
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  /// Inserts pos; returns true iff the bit was newly set.
+  bool set(std::size_t pos) noexcept {
+    DG_DCHECK(pos < size_);
+    const std::uint64_t mask = 1ull << (pos & 63);
+    std::uint64_t& w = words_[pos >> 6];
+    const bool fresh = (w & mask) == 0;
+    w |= mask;
+    count_ += fresh ? 1 : 0;
+    return fresh;
+  }
+
+  /// Removes pos; returns true iff the bit was previously set.
+  bool reset(std::size_t pos) noexcept {
+    DG_DCHECK(pos < size_);
+    const std::uint64_t mask = 1ull << (pos & 63);
+    std::uint64_t& w = words_[pos >> 6];
+    const bool was = (w & mask) != 0;
+    w &= ~mask;
+    count_ -= was ? 1 : 0;
+    return was;
+  }
+
+  /// Sets every bit in the universe.
+  void set_all() noexcept;
+
+  /// Clears every bit.
+  void reset_all() noexcept;
+
+  /// Number of set bits (cached; O(1)).
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// True iff no bit is set.
+  [[nodiscard]] bool none() const noexcept { return count_ == 0; }
+
+  /// True iff every bit in the universe is set.
+  [[nodiscard]] bool all() const noexcept { return count_ == size_; }
+
+  /// In-place union.  Requires equal universe sizes.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+
+  /// In-place intersection.  Requires equal universe sizes.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  /// In-place difference (this \ other).  Requires equal universe sizes.
+  DynamicBitset& subtract(const DynamicBitset& other);
+
+  /// |this ∪ other| without materializing the union.
+  [[nodiscard]] std::size_t union_count(const DynamicBitset& other) const;
+
+  /// |this ∩ other| without materializing the intersection.
+  [[nodiscard]] std::size_t intersect_count(const DynamicBitset& other) const;
+
+  /// True iff this set contains every element of `other`.
+  [[nodiscard]] bool contains_all(const DynamicBitset& other) const;
+
+  /// Index of the first unset bit, or size() if the set is full.
+  [[nodiscard]] std::size_t find_first_unset() const noexcept;
+
+  /// Index of the first set bit at position >= from, or size() if none.
+  [[nodiscard]] std::size_t find_next_set(std::size_t from) const noexcept;
+
+  /// All unset positions in increasing order (the "missing token" list of
+  /// Algorithm 1, line 7).
+  [[nodiscard]] std::vector<std::size_t> unset_positions() const;
+
+  /// All set positions in increasing order.
+  [[nodiscard]] std::vector<std::size_t> set_positions() const;
+
+  /// Structural equality (same universe, same members).
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  /// Zeroes bits beyond the universe in the last word.
+  void trim() noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dyngossip

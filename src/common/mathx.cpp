@@ -1,0 +1,24 @@
+#include "common/mathx.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+double log2_clamped(double x) noexcept {
+  if (x <= 2.0) return 1.0;
+  return std::log2(x);
+}
+
+double powd(double x, double e) noexcept {
+  DG_CHECK(x >= 0.0);
+  return std::pow(x, e);
+}
+
+std::uint64_t round_to_u64(double x) noexcept {
+  DG_CHECK(x >= 0.0);
+  return static_cast<std::uint64_t>(std::llround(x));
+}
+
+}  // namespace dyngossip

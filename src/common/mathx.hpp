@@ -1,0 +1,33 @@
+// Small numeric helpers shared across the library.
+//
+// The paper's bounds are stated in terms of n, k, s, log n and fractional
+// powers (e.g. f = n^{1/2} k^{1/4} log^{5/4} n); these helpers evaluate such
+// expressions consistently, with log meaning log base 2 clamped to >= 1 so
+// the formulas stay meaningful at the small n used in unit tests.
+#pragma once
+
+#include <cstdint>
+
+namespace dyngossip {
+
+/// log2(x) clamped below at 1.0 (the paper's asymptotic log n; clamping keeps
+/// bound formulas positive and monotone for the tiny n used in tests).
+[[nodiscard]] double log2_clamped(double x) noexcept;
+
+/// x^e for non-negative x (std::pow wrapper with a domain check).
+[[nodiscard]] double powd(double x, double e) noexcept;
+
+/// Ceiling division for unsigned integers.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Integer saturating cast of a non-negative double (rounds to nearest).
+[[nodiscard]] std::uint64_t round_to_u64(double x) noexcept;
+
+/// Clamps v into [lo, hi].
+[[nodiscard]] constexpr double clampd(double v, double lo, double hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,81 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Summary Summary::of(std::vector<double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  RunningStat rs;
+  for (double x : sample) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sample.front();
+  s.max = sample.back();
+  s.median = percentile_sorted(sample, 0.5);
+  s.p90 = percentile_sorted(sample, 0.9);
+  s.p99 = percentile_sorted(sample, 0.99);
+  return s;
+}
+
+std::string Summary::to_string(int precision) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f [%.*f, %.*f]", precision, mean,
+                precision, stddev, precision, min, precision, max);
+  return buf;
+}
+
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  DG_CHECK(x.size() == y.size());
+  DG_CHECK(x.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DG_CHECK(x[i] > 0.0 && y[i] > 0.0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  DG_CHECK(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,77 @@
+// Streaming and batch statistics used by the benchmark harness.
+//
+// Benches run each configuration over several seeds and report
+// mean/min/max (and occasionally percentiles) of the measured quantities —
+// total messages, TC(E), rounds, amortized cost.  RunningStat implements
+// Welford's numerically stable online mean/variance; Summary computes batch
+// order statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dyngossip {
+
+/// Welford online accumulator for mean / variance / extrema.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Arithmetic mean (0 if empty).
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 if fewer than two observations).
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation (+inf if empty).
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation (-inf if empty).
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 1.0 / 0.0 * 1.0;   // +inf
+  double max_ = -(1.0 / 0.0);      // -inf
+};
+
+/// Batch summary of a sample: mean, stddev, min, max, median, percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Computes the summary of a sample (copied and sorted internally).
+  [[nodiscard]] static Summary of(std::vector<double> sample);
+
+  /// "mean ± stddev [min, max]" rendering for tables.
+  [[nodiscard]] std::string to_string(int precision = 1) const;
+};
+
+/// Least-squares slope of log(y) against log(x): the empirical polynomial
+/// exponent of a measured growth curve.  Benches use this to check that a
+/// measured series grows like n^e for the predicted e (shape reproduction,
+/// not absolute constants).  Requires all inputs positive and sizes equal.
+[[nodiscard]] double loglog_slope(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace dyngossip

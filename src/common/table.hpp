@@ -1,0 +1,44 @@
+// Aligned plain-text table rendering.
+//
+// Every bench binary regenerates one of the paper's tables/series and prints
+// it in the same row structure; TablePrinter produces aligned monospace
+// output (and optional CSV) so EXPERIMENTS.md can quote results verbatim.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dyngossip {
+
+/// Column-aligned table builder.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Convenience: formats integers with thousands separators (1_234_567).
+  [[nodiscard]] static std::string big(std::uint64_t v);
+
+  /// Renders the aligned table to a stream.
+  void print(std::ostream& os) const;
+
+  /// Renders the table as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dyngossip

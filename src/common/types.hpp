@@ -1,0 +1,51 @@
+// Fundamental identifier types shared by every dyngossip subsystem.
+//
+// The paper's model (Section 1.3) gives every node a unique O(log n)-bit
+// identifier and labels tokens either with integers 1..k (single source) or
+// with pairs <source id, index> (multi source).  We use dense 0-based
+// indices for both nodes and tokens; the (source, index) labelling of the
+// multi-source algorithms is layered on top by core/tokens.hpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace dyngossip {
+
+/// Dense node identifier in [0, n).
+using NodeId = std::uint32_t;
+
+/// Dense global token identifier in [0, k).
+using TokenId = std::uint32_t;
+
+/// Round counter.  Round r spans (r-1, r]; the first communication round is 1.
+using Round = std::uint32_t;
+
+/// Sentinel "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel "no token" — the paper's ⊥ (a node that stays silent in the
+/// broadcast model, or an unassigned request slot in the unicast model).
+inline constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
+
+/// Sentinel "no round yet".
+inline constexpr Round kNoRound = std::numeric_limits<Round>::max();
+
+/// Packed undirected edge key with u < v, suitable for hashing and ordering.
+using EdgeKey = std::uint64_t;
+
+/// Builds the canonical key of the undirected edge {a, b}.  Requires a != b.
+[[nodiscard]] constexpr EdgeKey edge_key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (static_cast<EdgeKey>(lo) << 32) | static_cast<EdgeKey>(hi);
+}
+
+/// Recovers the (lo, hi) endpoints of an edge key.
+[[nodiscard]] constexpr std::pair<NodeId, NodeId> edge_endpoints(EdgeKey key) noexcept {
+  return {static_cast<NodeId>(key >> 32),
+          static_cast<NodeId>(key & 0xffffffffu)};
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,42 @@
+#include "core/flooding.hpp"
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+PhaseFloodingNode::PhaseFloodingNode(std::size_t n, std::size_t k,
+                                     DynamicBitset initial)
+    : n_(n), k_(k), known_(std::move(initial)) {
+  DG_CHECK(known_.size() == k_);
+  DG_CHECK(n_ >= 1);
+}
+
+TokenId PhaseFloodingNode::choose_broadcast(Round r) {
+  if (k_ == 0) return kNoToken;
+  // Phase i (0-based) spans rounds i*n+1 .. (i+1)*n and floods token i.
+  // Phases repeat after k*n rounds (a safety net; dissemination is already
+  // guaranteed complete by then, and the engine stops at completion).
+  const std::size_t phase = ((r - 1) / n_) % k_;
+  const auto t = static_cast<TokenId>(phase);
+  return known_.test(t) ? t : kNoToken;
+}
+
+void PhaseFloodingNode::on_receive(Round /*r*/, std::span<const TokenId> tokens) {
+  for (const TokenId t : tokens) {
+    DG_CHECK(t < k_);
+    known_.set(t);
+  }
+}
+
+std::vector<std::unique_ptr<BroadcastAlgorithm>> PhaseFloodingNode::make_all(
+    std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial) {
+  DG_CHECK(initial.size() == n);
+  std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes;
+  nodes.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<PhaseFloodingNode>(n, k, initial[v]));
+  }
+  return nodes;
+}
+
+}  // namespace dyngossip

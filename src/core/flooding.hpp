@@ -1,0 +1,43 @@
+// Naive phase flooding — the local-broadcast upper bound of Sections 1-2.
+//
+// Rounds are grouped into k phases of length n; in phase i every node that
+// knows token i locally broadcasts it.  In an always-connected dynamic
+// graph, while some node lacks token i at least one boundary edge delivers
+// it each round, so every phase completes and the whole dissemination
+// finishes within nk rounds against ANY adversary (including the strongly
+// adaptive one).  At most n broadcasts per round gives O(n²k) total, i.e.
+// the O(n²) amortized-messages-per-token upper bound that Theorem 2.3 shows
+// is tight up to log² n factors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/dynamic_bitset.hpp"
+#include "engine/broadcast_engine.hpp"
+
+namespace dyngossip {
+
+/// Per-node phase-flooding state machine.
+class PhaseFloodingNode final : public BroadcastAlgorithm {
+ public:
+  /// `initial` is K_v(0) over a k-token universe; `n` fixes phase length.
+  PhaseFloodingNode(std::size_t n, std::size_t k, DynamicBitset initial);
+
+  [[nodiscard]] TokenId choose_broadcast(Round r) override;
+  void on_receive(Round r, std::span<const TokenId> tokens) override;
+
+  /// Tokens currently known.
+  [[nodiscard]] const DynamicBitset& known() const noexcept { return known_; }
+
+  /// Builds n nodes from an initial knowledge assignment.
+  [[nodiscard]] static std::vector<std::unique_ptr<BroadcastAlgorithm>> make_all(
+      std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial);
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  DynamicBitset known_;
+};
+
+}  // namespace dyngossip

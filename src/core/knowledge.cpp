@@ -1,0 +1,62 @@
+#include "core/knowledge.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+const char* edge_class_name(EdgeClass c) noexcept {
+  switch (c) {
+    case EdgeClass::kNew:
+      return "new";
+    case EdgeClass::kIdle:
+      return "idle";
+    case EdgeClass::kContributive:
+      return "contributive";
+  }
+  return "?";
+}
+
+void EdgeClassifier::begin_round(Round r, std::span<const NodeId> neighbors) {
+  DG_CHECK(r > round_);
+  round_ = r;
+  // Drop state of edges that disappeared (a later re-insertion starts a
+  // fresh record, implementing the "last insertion" semantics).
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    if (!std::binary_search(neighbors.begin(), neighbors.end(), it->first)) {
+      it = edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const NodeId w : neighbors) {
+    edges_.try_emplace(w, EdgeState{r, false});
+  }
+}
+
+EdgeClass EdgeClassifier::classify(NodeId w, bool token_arriving_now) const {
+  const auto it = edges_.find(w);
+  DG_CHECK(it != edges_.end());
+  const EdgeState& st = it->second;
+  // "New in round r": inserted at the beginning of round r or r-1.
+  if (st.inserted + 1 >= round_) return EdgeClass::kNew;
+  if (st.contributed || token_arriving_now) return EdgeClass::kContributive;
+  return EdgeClass::kIdle;
+}
+
+void EdgeClassifier::note_learning_over(NodeId w) {
+  const auto it = edges_.find(w);
+  // The sender may already have vanished from our view only if delivery and
+  // removal raced; in this engine delivery happens at the end of the round
+  // the edge was present, so the edge must still be live.
+  DG_CHECK(it != edges_.end());
+  it->second.contributed = true;
+}
+
+Round EdgeClassifier::insertion_round(NodeId w) const {
+  const auto it = edges_.find(w);
+  return it == edges_.end() ? kNoRound : it->second.inserted;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,69 @@
+// Edge classification for the unicast algorithms (Section 3.1).
+//
+// Algorithm 1 prioritizes token requests over three classes of adjacent
+// edges, evaluated from the incomplete endpoint's perspective:
+//   new          — inserted at the beginning of round r or r-1;
+//   contributive — not new, and a new token is sent over it between its
+//                  last insertion and the end of round r (this includes a
+//                  token the node *knows* is arriving this round, because it
+//                  requested it last round and the edge survived);
+//   idle         — neither.
+// Priority: new > idle > contributive.  The idle-before-contributive order
+// is what forces the adversary of Lemma 3.2 to delete an idle edge per
+// bridge node in every futile round.
+//
+// EdgeClassifier tracks, per live incident edge, its last insertion round
+// and whether a learning has happened over it since — exactly the local
+// information the paper argues each node can maintain.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// The three classes of Section 3.1.
+enum class EdgeClass : std::uint8_t { kNew = 0, kIdle = 1, kContributive = 2 };
+
+/// Human-readable class name.
+[[nodiscard]] const char* edge_class_name(EdgeClass c) noexcept;
+
+/// Per-node incident-edge state machine.
+class EdgeClassifier {
+ public:
+  /// Ingests round r's (sorted) neighbor list: newly appeared neighbors get
+  /// a fresh insertion record (a re-inserted edge counts as new again, per
+  /// the "last insertion" wording); vanished neighbors are dropped.
+  void begin_round(Round r, std::span<const NodeId> neighbors);
+
+  /// Classification of the live edge to neighbor w in the current round.
+  /// `token_arriving_now` means the node knows a requested token arrives
+  /// over this edge this round (counts as a contribution "by the end of
+  /// round r").
+  [[nodiscard]] EdgeClass classify(NodeId w, bool token_arriving_now = false) const;
+
+  /// Records that a new token was learned over the edge to w (call on
+  /// first-time token receipt).
+  void note_learning_over(NodeId w);
+
+  /// True iff w is a live neighbor this round.
+  [[nodiscard]] bool is_neighbor(NodeId w) const { return edges_.count(w) > 0; }
+
+  /// Last insertion round of the live edge to w (kNoRound if absent).
+  [[nodiscard]] Round insertion_round(NodeId w) const;
+
+  /// Current round (the argument of the last begin_round).
+  [[nodiscard]] Round round() const noexcept { return round_; }
+
+ private:
+  struct EdgeState {
+    Round inserted = kNoRound;
+    bool contributed = false;
+  };
+  std::unordered_map<NodeId, EdgeState> edges_;
+  Round round_ = 0;
+};
+
+}  // namespace dyngossip

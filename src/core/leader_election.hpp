@@ -1,0 +1,65 @@
+// Leader election in dynamic networks under the adversary-competitive
+// measure — the Section-4 research direction ("we believe the adversary-
+// competitive model can be a useful alternative ... for various other
+// important problems such as leader election and agreement in dynamic
+// networks").
+//
+// Max-ID election: every node starts knowing only its own ID; all nodes
+// must converge on the globally maximum ID.  Two protocols:
+//
+//  Broadcast (eager windows) — a node locally broadcasts its current
+//    maximum for the n rounds following each adoption (its own ID counts as
+//    an adoption at time 0).  While some node lacks the global max, every
+//    holder is still inside its window, so in an always-connected graph at
+//    least one boundary edge delivers it each round: agreement within n
+//    rounds, at most n broadcasts per (node, adoption) pair.
+//
+//  Unicast (competitive) — maxima move only when something changed: on an
+//    edge insertion both endpoints send their maximum over the new edge
+//    (cost charged against the adversary's TC budget, Definition 1.3), and
+//    a node that adopts a larger maximum forwards it once to every current
+//    neighbor.  Silence is free: on a static graph after the initial flood,
+//    no further messages are sent.
+//
+// Both run against the same Adversary interface as the dissemination
+// algorithms; leader election is not token-forwarding, so it has its own
+// small engine here rather than reusing the token engines.  Intended for
+// oblivious adversaries (the Section-2 adversary's view is token-specific).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// Outcome of a leader-election run.
+struct LeaderElectionResult {
+  bool agreed = false;        ///< all nodes hold the global maximum
+  NodeId leader = kNoNode;    ///< the global maximum ID (n-1 for dense IDs)
+  Round rounds = 0;           ///< rounds executed until agreement (or cap)
+  std::uint64_t broadcasts = 0;       ///< broadcast messages (broadcast variant)
+  std::uint64_t unicast_messages = 0; ///< unicast messages (unicast variant)
+  std::uint64_t tc = 0;               ///< TC(E) over the run
+  std::uint64_t adoptions = 0;        ///< total max-adoption events
+
+  /// Definition 1.3's residual: total messages − α·TC(E), clamped at 0.
+  [[nodiscard]] double competitive_residual(double alpha) const noexcept {
+    const double total = static_cast<double>(broadcasts + unicast_messages);
+    const double res = total - alpha * static_cast<double>(tc);
+    return res < 0.0 ? 0.0 : res;
+  }
+};
+
+/// Eager-window local-broadcast election.  Runs until all nodes agree on
+/// the maximum (checked globally by the harness) or `max_rounds`.
+[[nodiscard]] LeaderElectionResult run_leader_election_broadcast(
+    std::size_t n, Adversary& adversary, Round max_rounds);
+
+/// Competitive unicast election (insertion exchanges + change forwarding).
+[[nodiscard]] LeaderElectionResult run_leader_election_unicast(
+    std::size_t n, Adversary& adversary, Round max_rounds);
+
+}  // namespace dyngossip

@@ -1,0 +1,167 @@
+#include "core/multi_source.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+MultiSourceNode::MultiSourceNode(NodeId self, const MultiSourceConfig& cfg,
+                                 const DynamicBitset& initial_tokens)
+    : self_(self), cfg_(cfg), tokens_(cfg.space->total_tokens()) {
+  DG_CHECK(cfg_.space != nullptr);
+  DG_CHECK(self < cfg_.n);
+  DG_CHECK(initial_tokens.size() == tokens_.size());
+  per_source_.resize(cfg_.space->num_sources());
+  for (auto& ps : per_source_) {
+    ps.informed = DynamicBitset(cfg_.n);
+    ps.announcers = DynamicBitset(cfg_.n);
+  }
+  // A source knows (and is complete w.r.t.) itself at time 0; other nodes
+  // discover sources through announcements.
+  const std::size_t own = cfg_.space->index_of_node(self);
+  if (own != kNotASource) per_source_[own].known = true;
+  for (const std::size_t t : initial_tokens.set_positions()) {
+    account_token(static_cast<TokenId>(t));
+  }
+}
+
+void MultiSourceNode::account_token(TokenId t) {
+  if (!tokens_.set(t)) return;
+  const std::size_t x = cfg_.space->source_of_token(t);
+  PerSource& ps = per_source_[x];
+  ++ps.held;
+  if (ps.held == cfg_.space->count_of(x)) ps.complete = true;
+}
+
+void MultiSourceNode::send(Round r, std::span<const NodeId> neighbors, Outbox& out) {
+  classifier_.begin_round(r, neighbors);
+  const std::size_t s = per_source_.size();
+
+  // Task 1 — completeness announcements: per edge, the minimum complete
+  // source this neighbor has not yet been informed about.
+  for (const NodeId w : neighbors) {
+    for (std::size_t x = 0; x < s; ++x) {
+      if (!per_source_[x].complete || per_source_[x].informed.test(w)) continue;
+      out.send(w, Message::completeness(cfg_.space->source_node(x),
+                                        cfg_.space->count_of(x)));
+      per_source_[x].informed.set(w);
+      break;  // one announcement per edge per round
+    }
+  }
+
+  // Task 2 — answer last round's requests over surviving edges.
+  for (const auto& [requester, token] : pending_answers_) {
+    if (std::binary_search(neighbors.begin(), neighbors.end(), requester)) {
+      const std::size_t x = cfg_.space->source_of_token(token);
+      out.send(requester, Message::token_msg(token, cfg_.space->source_node(x)));
+    }
+  }
+  pending_answers_.clear();
+
+  // Task 3 — requests for the minimum incomplete source with a known
+  // complete neighbor, exactly as in Algorithm 1.
+  std::size_t target = kNotASource;
+  for (std::size_t x = 0; x < s; ++x) {
+    if (!per_source_[x].complete && per_source_[x].announcers.count() > 0) {
+      target = x;
+      break;
+    }
+  }
+
+  // In-flight tokens: requested last round over edges that survived.
+  DynamicBitset in_flight(tokens_.size());
+  std::unordered_map<NodeId, TokenId> surviving;
+  for (const auto& [w, tok] : sent_requests_) {
+    if (std::binary_search(neighbors.begin(), neighbors.end(), w)) {
+      in_flight.set(tok);
+      surviving.emplace(w, tok);
+    }
+  }
+
+  std::unordered_map<NodeId, TokenId> new_requests;
+  if (target != kNotASource) {
+    const PerSource& ps = per_source_[target];
+    std::vector<TokenId> missing;
+    for (const TokenId t : cfg_.space->tokens_of(target)) {
+      if (!tokens_.test(t) && !in_flight.test(t)) missing.push_back(t);
+    }
+    std::vector<NodeId> by_class[3];
+    for (const NodeId w : neighbors) {
+      if (!ps.announcers.test(w)) continue;
+      const bool arriving = surviving.count(w) > 0;
+      const EdgeClass c = classifier_.classify(w, arriving);
+      by_class[static_cast<std::size_t>(c)].push_back(w);
+    }
+    std::size_t j = 0;
+    const EdgeClass priority[3] = {EdgeClass::kNew, EdgeClass::kIdle,
+                                   EdgeClass::kContributive};
+    for (const EdgeClass c : priority) {
+      for (const NodeId w : by_class[static_cast<std::size_t>(c)]) {
+        if (j >= missing.size()) break;
+        out.send(w, Message::request(missing[j], cfg_.space->source_node(target)));
+        new_requests.emplace(w, missing[j]);
+        ++requests_by_class_[static_cast<std::size_t>(c)];
+        ++j;
+      }
+    }
+  }
+  // Edges with an in-flight token stay tracked unless they got a fresh
+  // request this round.
+  for (const auto& [w, tok] : surviving) {
+    new_requests.try_emplace(w, tok);
+  }
+  sent_requests_ = std::move(new_requests);
+}
+
+void MultiSourceNode::on_receive(Round /*r*/, NodeId from, const Message& m) {
+  switch (m.type) {
+    case MsgType::kToken: {
+      DG_CHECK(m.token < tokens_.size());
+      if (!tokens_.test(m.token)) {
+        account_token(m.token);
+        classifier_.note_learning_over(from);
+      }
+      const auto it = sent_requests_.find(from);
+      if (it != sent_requests_.end() && it->second == m.token) {
+        sent_requests_.erase(it);
+      }
+      break;
+    }
+    case MsgType::kCompleteness: {
+      const std::size_t x = cfg_.space->index_of_node(m.source);
+      DG_CHECK(x != kNotASource);
+      DG_CHECK(m.aux == cfg_.space->count_of(x));
+      per_source_[x].known = true;
+      per_source_[x].announcers.set(from);
+      break;
+    }
+    case MsgType::kRequest: {
+      const std::size_t x = cfg_.space->source_of_token(m.token);
+      DG_CHECK(complete_wrt(x));  // requests only follow our announcement
+      pending_answers_.emplace_back(from, m.token);
+      break;
+    }
+    case MsgType::kControl:
+      DG_CHECK(false && "multi-source protocol has no control messages");
+      break;
+  }
+}
+
+std::vector<std::unique_ptr<UnicastAlgorithm>> MultiSourceNode::make_all(
+    const MultiSourceConfig& cfg) {
+  return make_all_with(cfg, cfg.space->initial_knowledge(cfg.n));
+}
+
+std::vector<std::unique_ptr<UnicastAlgorithm>> MultiSourceNode::make_all_with(
+    const MultiSourceConfig& cfg, const std::vector<DynamicBitset>& initial) {
+  DG_CHECK(initial.size() == cfg.n);
+  std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeId v = 0; v < cfg.n; ++v) {
+    nodes.push_back(std::make_unique<MultiSourceNode>(v, cfg, initial[v]));
+  }
+  return nodes;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,40 @@
+#include "core/random_flooding.hpp"
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+RandomFloodingNode::RandomFloodingNode(std::size_t k, DynamicBitset initial, Rng rng)
+    : k_(k), known_(std::move(initial)), rng_(rng) {
+  DG_CHECK(known_.size() == k_);
+  for (const std::size_t t : known_.set_positions()) {
+    held_.push_back(static_cast<TokenId>(t));
+  }
+}
+
+TokenId RandomFloodingNode::choose_broadcast(Round /*r*/) {
+  if (held_.empty()) return kNoToken;
+  return rng_.pick(held_);
+}
+
+void RandomFloodingNode::on_receive(Round /*r*/, std::span<const TokenId> tokens) {
+  for (const TokenId t : tokens) {
+    DG_CHECK(t < k_);
+    if (known_.set(t)) held_.push_back(t);
+  }
+}
+
+std::vector<std::unique_ptr<BroadcastAlgorithm>> RandomFloodingNode::make_all(
+    std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial,
+    std::uint64_t seed) {
+  DG_CHECK(initial.size() == n);
+  Rng master(seed);
+  std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes;
+  nodes.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<RandomFloodingNode>(k, initial[v], master.split()));
+  }
+  return nodes;
+}
+
+}  // namespace dyngossip

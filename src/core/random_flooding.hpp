@@ -1,0 +1,47 @@
+// Uniform-random token flooding.
+//
+// Each node broadcasts a uniformly random known token every round.  Unlike
+// phase flooding it has no deterministic round bound, but against benign
+// adversaries it completes quickly in practice, and against the Section-2
+// lower-bound adversary it is throttled to O(log n) learnings per round just
+// like every other token-forwarding algorithm — the lower-bound benches run
+// both algorithms to exhibit the algorithm-independence of Theorem 2.3.
+//
+// Note the adversary model: the strongly adaptive adversary sees this
+// round's random choice *before* fixing the graph (the engine collects
+// intents first), which is exactly the strength the Section-2 bound needs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/dynamic_bitset.hpp"
+#include "common/rng.hpp"
+#include "engine/broadcast_engine.hpp"
+
+namespace dyngossip {
+
+/// Per-node random-flooding state machine.
+class RandomFloodingNode final : public BroadcastAlgorithm {
+ public:
+  RandomFloodingNode(std::size_t k, DynamicBitset initial, Rng rng);
+
+  [[nodiscard]] TokenId choose_broadcast(Round r) override;
+  void on_receive(Round r, std::span<const TokenId> tokens) override;
+
+  /// Tokens currently known.
+  [[nodiscard]] const DynamicBitset& known() const noexcept { return known_; }
+
+  /// Builds n nodes; each gets an independent RNG stream derived from seed.
+  [[nodiscard]] static std::vector<std::unique_ptr<BroadcastAlgorithm>> make_all(
+      std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial,
+      std::uint64_t seed);
+
+ private:
+  std::size_t k_;
+  DynamicBitset known_;
+  std::vector<TokenId> held_;  ///< known tokens as a dense list for sampling
+  Rng rng_;
+};
+
+}  // namespace dyngossip

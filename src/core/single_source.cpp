@@ -1,0 +1,164 @@
+#include "core/single_source.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+SingleSourceNode::SingleSourceNode(NodeId self, const SingleSourceConfig& cfg)
+    : self_(self),
+      cfg_(cfg),
+      tokens_(cfg.k),
+      informed_(cfg.n),
+      known_complete_(cfg.n) {
+  DG_CHECK(self < cfg.n);
+  DG_CHECK(cfg.source < cfg.n);
+  if (self == cfg.source) tokens_.set_all();
+}
+
+void SingleSourceNode::send(Round r, std::span<const NodeId> neighbors, Outbox& out) {
+  classifier_.begin_round(r, neighbors);
+  current_neighbors_.assign(neighbors.begin(), neighbors.end());
+
+  if (complete()) {
+    // Answer last round's requests first (so the per-neighbor if/else of
+    // Algorithm 1 holds: a requester necessarily already knows our
+    // completeness, so it is never also an announcement target).
+    for (const auto& [requester, token] : pending_answers_) {
+      if (std::binary_search(neighbors.begin(), neighbors.end(), requester)) {
+        out.send(requester, Message::token_msg(token, cfg_.source));
+      }
+    }
+    pending_answers_.clear();
+    sent_requests_.clear();
+    for (const NodeId u : neighbors) {
+      if (!informed_.test(u)) {
+        out.send(u, Message::completeness(cfg_.source, cfg_.k));
+        informed_.set(u);
+      }
+    }
+    return;
+  }
+
+  // Incomplete nodes never receive requests (nobody believes them complete).
+  DG_CHECK(pending_answers_.empty());
+
+  // Tokens already in flight: requested last round over an edge that
+  // survived into this round.  The paper notes v can know these arrive by
+  // the end of round r; they are excluded from this round's requests and
+  // count as contributions for edge classification.
+  DynamicBitset in_flight(cfg_.k);
+  std::unordered_map<NodeId, TokenId> surviving;
+  for (const auto& [w, tok] : sent_requests_) {
+    if (std::binary_search(neighbors.begin(), neighbors.end(), w)) {
+      in_flight.set(tok);
+      surviving.emplace(w, tok);
+    }
+  }
+
+  // Missing-token list b_1 < b_2 < ... (Algorithm 1, line 7), minus in-flight.
+  std::vector<std::size_t> missing_raw = tokens_.unset_positions();
+  std::vector<TokenId> missing;
+  missing.reserve(missing_raw.size());
+  for (const std::size_t b : missing_raw) {
+    if (!in_flight.test(b)) missing.push_back(static_cast<TokenId>(b));
+  }
+
+  // Partition eligible edges (to known-complete neighbors) by class.
+  std::vector<NodeId> by_class[3];
+  for (const NodeId w : neighbors) {
+    if (!known_complete_.test(w)) continue;
+    const bool arriving = surviving.count(w) > 0;
+    const EdgeClass c = classifier_.classify(w, arriving);
+    by_class[static_cast<std::size_t>(c)].push_back(w);
+  }
+
+  // Assign one distinct request per edge in the configured class priority
+  // (Algorithm 1: new, then idle, then contributive).
+  sent_requests_.clear();
+  std::size_t j = 0;
+  static constexpr EdgeClass kOrders[3][3] = {
+      {EdgeClass::kNew, EdgeClass::kIdle, EdgeClass::kContributive},
+      {EdgeClass::kNew, EdgeClass::kContributive, EdgeClass::kIdle},
+      {EdgeClass::kIdle, EdgeClass::kContributive, EdgeClass::kNew},
+  };
+  const EdgeClass(&priority)[3] =
+      kOrders[static_cast<std::size_t>(cfg_.priority)];
+  for (const EdgeClass c : priority) {
+    for (const NodeId w : by_class[static_cast<std::size_t>(c)]) {
+      if (j >= missing.size()) break;
+      out.send(w, Message::request(missing[j], cfg_.source));
+      sent_requests_.emplace(w, missing[j]);
+      ++requests_by_class_[static_cast<std::size_t>(c)];
+      ++j;
+    }
+  }
+  // Edges with an in-flight token keep their pending entry so next round's
+  // in-flight computation (and classification) still sees them if no fresh
+  // request was assigned to that edge this round.
+  for (const auto& [w, tok] : surviving) {
+    sent_requests_.try_emplace(w, tok);
+  }
+}
+
+void SingleSourceNode::on_receive(Round /*r*/, NodeId from, const Message& m) {
+  switch (m.type) {
+    case MsgType::kToken: {
+      DG_CHECK(m.token < cfg_.k);
+      if (tokens_.set(m.token)) {
+        classifier_.note_learning_over(from);
+      }
+      // Arrived: no longer in flight from this neighbor.
+      const auto it = sent_requests_.find(from);
+      if (it != sent_requests_.end() && it->second == m.token) {
+        sent_requests_.erase(it);
+      }
+      break;
+    }
+    case MsgType::kCompleteness: {
+      DG_CHECK(m.source == cfg_.source);
+      DG_CHECK(m.aux == cfg_.k);
+      known_complete_.set(from);
+      break;
+    }
+    case MsgType::kRequest: {
+      // Only complete nodes are believed complete, and completeness is
+      // monotone, so we can always serve this next round.
+      DG_CHECK(complete());
+      DG_CHECK(m.token < cfg_.k);
+      pending_answers_.emplace_back(from, m.token);
+      break;
+    }
+    case MsgType::kControl:
+      DG_CHECK(false && "single-source protocol has no control messages");
+      break;
+  }
+}
+
+bool SingleSourceNode::is_bridge_node() const {
+  if (complete()) return false;
+  for (const NodeId w : current_neighbors_) {
+    if (known_complete_.test(w)) return true;
+  }
+  return false;
+}
+
+std::vector<std::unique_ptr<UnicastAlgorithm>> SingleSourceNode::make_all(
+    const SingleSourceConfig& cfg) {
+  std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeId v = 0; v < cfg.n; ++v) {
+    nodes.push_back(std::make_unique<SingleSourceNode>(v, cfg));
+  }
+  return nodes;
+}
+
+std::vector<DynamicBitset> SingleSourceNode::initial_knowledge(
+    const SingleSourceConfig& cfg) {
+  std::vector<DynamicBitset> knowledge(cfg.n, DynamicBitset(cfg.k));
+  knowledge[cfg.source].set_all();
+  return knowledge;
+}
+
+}  // namespace dyngossip

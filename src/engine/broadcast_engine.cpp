@@ -1,0 +1,83 @@
+#include "engine/broadcast_engine.hpp"
+
+#include "common/check.hpp"
+#include "graph/connectivity.hpp"
+
+namespace dyngossip {
+
+BroadcastEngine::BroadcastEngine(
+    std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes, Adversary& adversary,
+    std::vector<DynamicBitset> initial_knowledge, std::size_t k,
+    BroadcastEngineOptions opts)
+    : nodes_(std::move(nodes)),
+      adversary_(adversary),
+      knowledge_(std::move(initial_knowledge)),
+      k_(k),
+      tracker_(nodes_.size()),
+      log_(opts.record_learning_events) {
+  DG_CHECK(!nodes_.empty());
+  DG_CHECK(nodes_.size() == knowledge_.size());
+  DG_CHECK(adversary_.num_nodes() == nodes_.size());
+  for (const auto& kn : knowledge_) {
+    DG_CHECK(kn.size() == k_);
+    if (kn.all()) ++complete_nodes_;
+  }
+  intents_.resize(nodes_.size(), kNoToken);
+}
+
+Round BroadcastEngine::step() {
+  const Round r = ++round_;
+  const std::size_t n = nodes_.size();
+
+  // 1. Nodes commit broadcast intents (before seeing the round graph).
+  for (NodeId v = 0; v < n; ++v) {
+    const TokenId t = nodes_[v]->choose_broadcast(r);
+    // Token-forwarding constraint: only held tokens may be broadcast.
+    DG_CHECK(t == kNoToken || (t < k_ && knowledge_[v].test(t)));
+    intents_[v] = t;
+    if (t != kNoToken) ++metrics_.broadcasts;
+  }
+
+  // 2. The (possibly strongly adaptive) adversary fixes the round graph.
+  BroadcastRoundView view;
+  view.round = r;
+  view.intents = intents_;
+  view.knowledge = &knowledge_;
+  Graph g = adversary_.broadcast_round(view);
+  DG_CHECK(g.num_nodes() == n);
+  DG_CHECK(is_connected(g));
+  const GraphDiff diff = tracker_.advance(g, r);
+  metrics_.tc += diff.inserted.size();
+  metrics_.deletions += diff.removed.size();
+
+  // 3 + 4. Deliver broadcasts; record learnings before handing tokens to the
+  // algorithms so the mirror stays authoritative.
+  for (NodeId v = 0; v < n; ++v) {
+    inbox_scratch_.clear();
+    for (const NodeId u : g.neighbors(v)) {
+      if (intents_[u] != kNoToken) inbox_scratch_.push_back(intents_[u]);
+    }
+    if (inbox_scratch_.empty()) continue;
+    const bool was_complete = knowledge_[v].all();
+    for (const TokenId t : inbox_scratch_) {
+      if (knowledge_[v].set(t)) {
+        ++metrics_.learnings;
+        log_.add(v, t, r);
+      }
+    }
+    if (!was_complete && knowledge_[v].all()) ++complete_nodes_;
+    nodes_[v]->on_receive(r, inbox_scratch_);
+  }
+
+  metrics_.rounds = r;
+  if (hook_) hook_(r, g, metrics_);
+  return r;
+}
+
+RunMetrics BroadcastEngine::run(Round max_rounds) {
+  while (!all_complete() && round_ < max_rounds) step();
+  metrics_.completed = all_complete();
+  return metrics_;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,19 @@
+#include "engine/message.hpp"
+
+namespace dyngossip {
+
+const char* msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kToken:
+      return "token";
+    case MsgType::kCompleteness:
+      return "completeness";
+    case MsgType::kRequest:
+      return "request";
+    case MsgType::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+}  // namespace dyngossip

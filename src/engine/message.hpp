@@ -1,0 +1,90 @@
+// Wire-level message model.
+//
+// Section 1.3 allows each round-r message to carry a constant number of
+// tokens plus O(log n) additional bits.  Every payload the paper's
+// algorithms exchange fits one of four shapes:
+//   Token          — one token (+ its identifier): Algorithm 1 line 6,
+//                    Algorithm 2 walk steps, spanning-tree forwarding.
+//   Completeness   — "I am complete (w.r.t. source x)" announcement
+//                    (Algorithm 1 line 4, Multi-Source task 1).  Carries the
+//                    source id and its token count k_x (O(log n) bits).
+//   Request        — Request(i) for one missing token (Algorithm 1 line 12).
+//   Control        — O(log n)-bit protocol bits outside the paper's three
+//                    types (spanning-tree construction in the static
+//                    baseline, center announcements in Algorithm 2).
+//
+// Unicast message complexity counts each payload to each neighbor as one
+// message — exactly the accounting used in Theorems 3.1/3.5/3.8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// Payload discriminator (the paper's "three types" plus Control).
+enum class MsgType : std::uint8_t {
+  kToken = 0,         ///< one token (type 1 in Theorem 3.1's accounting)
+  kCompleteness = 1,  ///< completeness announcement (type 2)
+  kRequest = 2,       ///< token request (type 3)
+  kControl = 3,       ///< O(log n)-bit control payload (tree build, center ads)
+};
+
+/// Human-readable type name (tables/logs).
+[[nodiscard]] const char* msg_type_name(MsgType t) noexcept;
+
+/// Control payload subtypes (carried in Message::aux).
+enum class ControlKind : std::uint32_t {
+  kCenterAnnounce = 1,  ///< Algorithm 2: "I am a center"
+  kTreeJoin = 2,        ///< static baseline: BFS tree expansion
+  kTreeAccept = 3,      ///< static baseline: child -> parent accept
+};
+
+/// One unicast payload.  All fields are O(log n)-bit identifiers; the token
+/// body itself is abstract (the simulation never materializes token bytes).
+struct Message {
+  MsgType type = MsgType::kControl;
+  /// kToken: the token carried.  kRequest: the token requested.
+  TokenId token = kNoToken;
+  /// kToken/kCompleteness: the source node the token/completeness refers to
+  /// (multi-source setting); kNoNode in the single-source setting.
+  NodeId source = kNoNode;
+  /// kCompleteness: k_x, the number of tokens originated by `source`.
+  /// kControl: a ControlKind value (plus algorithm-specific payload bits).
+  std::uint32_t aux = 0;
+
+  /// Factory helpers keep call sites self-describing.
+  [[nodiscard]] static Message token_msg(TokenId t, NodeId src = kNoNode) {
+    return Message{MsgType::kToken, t, src, 0};
+  }
+  [[nodiscard]] static Message completeness(NodeId source, std::uint32_t k_x) {
+    return Message{MsgType::kCompleteness, kNoToken, source, k_x};
+  }
+  [[nodiscard]] static Message request(TokenId t, NodeId src = kNoNode) {
+    return Message{MsgType::kRequest, t, src, 0};
+  }
+  [[nodiscard]] static Message control(ControlKind kind, std::uint32_t payload = 0) {
+    return Message{MsgType::kControl, kNoToken, kNoNode,
+                   (static_cast<std::uint32_t>(kind) << 24) | (payload & 0xffffffu)};
+  }
+
+  /// Control accessors.
+  [[nodiscard]] ControlKind control_kind() const {
+    return static_cast<ControlKind>(aux >> 24);
+  }
+  [[nodiscard]] std::uint32_t control_payload() const { return aux & 0xffffffu; }
+};
+
+/// A delivered/sent message record: (from, to, payload).  The engines log
+/// each round's records; adaptive adversaries may inspect the previous
+/// round's log (execution history), matching the strongly adaptive model
+/// for the deterministic unicast algorithms.
+struct SentRecord {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Message msg;
+};
+
+}  // namespace dyngossip

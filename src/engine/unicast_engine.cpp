@@ -1,0 +1,120 @@
+#include "engine/unicast_engine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "graph/connectivity.hpp"
+
+namespace dyngossip {
+
+UnicastEngine::UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> nodes,
+                             Adversary& adversary,
+                             std::vector<DynamicBitset> initial_knowledge,
+                             std::size_t k, UnicastEngineOptions opts)
+    : nodes_(std::move(nodes)),
+      adversary_(adversary),
+      knowledge_(std::move(initial_knowledge)),
+      k_(k),
+      log_(opts.record_learning_events),
+      start_offset_(opts.start_round - 1),
+      round_(opts.start_round - 1),
+      max_payloads_per_edge_(opts.max_payloads_per_edge),
+      prev_graph_(0) {
+  DG_CHECK(!nodes_.empty());
+  DG_CHECK(nodes_.size() == knowledge_.size());
+  DG_CHECK(adversary_.num_nodes() == nodes_.size());
+  DG_CHECK(opts.start_round >= 1);
+  for (const auto& kn : knowledge_) {
+    DG_CHECK(kn.size() == k_);
+    if (kn.all()) ++complete_nodes_;
+  }
+  if (opts.tracker != nullptr) {
+    tracker_ = opts.tracker;
+    DG_CHECK(tracker_->num_nodes() == nodes_.size());
+    DG_CHECK(tracker_->rounds() == round_);
+  } else {
+    DG_CHECK(opts.start_round == 1);
+    owned_tracker_ = std::make_unique<DynamicGraphTracker>(nodes_.size());
+    tracker_ = owned_tracker_.get();
+  }
+  prev_graph_ = Graph(nodes_.size());  // G_{start-1} as seen by the adversary view
+}
+
+Round UnicastEngine::step() {
+  const Round r = ++round_;
+  const std::size_t n = nodes_.size();
+
+  // 1. Adversary fixes G_r with full visibility of state and history.
+  UnicastRoundView view;
+  view.round = r;
+  view.prev_graph = &prev_graph_;
+  view.prev_messages = &prev_messages_;
+  view.knowledge = &knowledge_;
+  Graph g = adversary_.unicast_round(view);
+  DG_CHECK(g.num_nodes() == n);
+  DG_CHECK(is_connected(g));
+  const GraphDiff diff = tracker_->advance(g, r);
+  metrics_.tc += diff.inserted.size();
+  metrics_.deletions += diff.removed.size();
+
+  // 2. Send step: each node sees its sorted neighbor IDs and queues
+  // per-neighbor payloads.
+  std::vector<SentRecord> traffic;
+  std::unordered_map<std::uint64_t, std::uint32_t> per_edge;  // directed-edge budget
+  for (NodeId v = 0; v < n; ++v) {
+    const std::vector<NodeId> neigh = g.sorted_neighbors(v);
+    Outbox out;
+    out.from_ = v;
+    nodes_[v]->send(r, neigh, out);
+    for (SentRecord& rec : out.records_) {
+      DG_CHECK(rec.to < n && rec.to != v);
+      DG_CHECK(std::binary_search(neigh.begin(), neigh.end(), rec.to));
+      // Token-forwarding: only held tokens may be shipped.
+      if (rec.msg.type == MsgType::kToken) {
+        DG_CHECK(rec.msg.token < k_ && knowledge_[v].test(rec.msg.token));
+      }
+      const std::uint64_t dir_key =
+          (static_cast<std::uint64_t>(v) << 32) | static_cast<std::uint64_t>(rec.to);
+      const std::uint32_t used = ++per_edge[dir_key];
+      DG_CHECK(used <= max_payloads_per_edge_);
+      metrics_.unicast.add(rec.msg.type);
+      traffic.push_back(rec);
+    }
+  }
+
+  // 3 + 4. End-of-round delivery; learnings recorded against the mirror
+  // before algorithms observe the payloads.
+  for (const SentRecord& rec : traffic) {
+    if (rec.msg.type == MsgType::kToken) {
+      const bool was_complete = knowledge_[rec.to].all();
+      if (knowledge_[rec.to].set(rec.msg.token)) {
+        ++metrics_.learnings;
+        log_.add(rec.to, rec.msg.token, r);
+        if (!was_complete && knowledge_[rec.to].all()) ++complete_nodes_;
+      } else {
+        ++metrics_.duplicate_token_deliveries;
+      }
+    }
+    nodes_[rec.to]->on_receive(r, rec.from, rec.msg);
+  }
+
+  metrics_.rounds = r - start_offset_;  // rounds executed by THIS engine/phase
+  if (hook_) hook_(r, g, metrics_);
+  prev_messages_ = std::move(traffic);
+  prev_graph_ = std::move(g);
+  return r;
+}
+
+RunMetrics UnicastEngine::run(Round max_rounds) {
+  return run_until([](const UnicastEngine& e) { return e.all_complete(); },
+                   max_rounds);
+}
+
+RunMetrics UnicastEngine::run_until(const StopPredicate& done, Round max_rounds) {
+  while (!done(*this) && round_ < max_rounds) step();
+  metrics_.completed = all_complete();
+  return metrics_;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,152 @@
+// Synchronous round engine for the unicast model (Section 3).
+//
+// Order of play per round r:
+//   1. the adversary fixes the connected graph G_r (adaptive adversaries see
+//      the full state and the previous round's traffic — for the paper's
+//      deterministic unicast algorithms this equals strong adaptivity);
+//   2. every node is told the IDs of its round-r neighbors (the model's
+//      known-neighborhood assumption) and emits per-neighbor messages;
+//   3. messages are delivered at the end of the round; each payload to each
+//      neighbor counts as one message (Definition 1.1, unicast mode);
+//   4. token learnings are recorded; duplicate token deliveries are counted
+//      separately (the paper's algorithms deliver each token to each node
+//      exactly once — a tested invariant).
+//
+// The engine enforces the model's bandwidth restriction: at most
+// `max_payloads_per_edge` payloads per directed edge per round (the paper
+// allows a constant number of tokens plus O(log n) bits; the Multi-Source
+// algorithm uses at most three payloads — announcement, token, request).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "common/dynamic_bitset.hpp"
+#include "common/types.hpp"
+#include "engine/message.hpp"
+#include "graph/dynamic_tracker.hpp"
+#include "metrics/accounting.hpp"
+#include "metrics/learning_log.hpp"
+
+namespace dyngossip {
+
+/// Outbox handed to a node during its send step; delivery is end-of-round.
+class Outbox {
+ public:
+  /// Queues one payload to a current neighbor.
+  void send(NodeId to, const Message& m) { records_.push_back({from_, to, m}); }
+
+ private:
+  friend class UnicastEngine;
+  NodeId from_ = kNoNode;
+  std::vector<SentRecord> records_;
+};
+
+/// Per-node algorithm interface for the unicast model.
+class UnicastAlgorithm {
+ public:
+  virtual ~UnicastAlgorithm() = default;
+
+  /// Round r send step.  `neighbors` is the sorted list of round-r neighbor
+  /// IDs (known at round start per the model).  Messages queued on `out` are
+  /// delivered to recipients at the end of the round.
+  virtual void send(Round r, std::span<const NodeId> neighbors, Outbox& out) = 0;
+
+  /// Delivery of one payload at the end of round r.
+  virtual void on_receive(Round r, NodeId from, const Message& m) = 0;
+};
+
+/// Engine options.
+struct UnicastEngineOptions {
+  /// First round number this engine executes (phase-2 engines of
+  /// Algorithm 2 continue a running execution).
+  Round start_round = 1;
+  /// Shared topology tracker for multi-phase executions; if null the engine
+  /// owns a fresh tracker (G_0 = ∅).
+  DynamicGraphTracker* tracker = nullptr;
+  /// Bandwidth cap: payloads per directed edge per round (model: O(1)).
+  std::uint32_t max_payloads_per_edge = 4;
+  /// Record individual learning events (O(nk) memory).
+  bool record_learning_events = false;
+};
+
+/// Drives n UnicastAlgorithm instances against an adversary.
+class UnicastEngine {
+ public:
+  /// Called after each round with (round, round graph, metrics so far).
+  using RoundHook = std::function<void(Round, const Graph&, const RunMetrics&)>;
+  /// Stop predicate for run_until.
+  using StopPredicate = std::function<bool(const UnicastEngine&)>;
+
+  /// `initial_knowledge[v]` is K_v(0) over a k-token universe.
+  UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> nodes,
+                Adversary& adversary, std::vector<DynamicBitset> initial_knowledge,
+                std::size_t k, UnicastEngineOptions opts = {});
+
+  /// Executes one round; returns its number.
+  Round step();
+
+  /// Runs until every node knows all k tokens or the round limit; returns
+  /// final metrics with the completed flag set.
+  RunMetrics run(Round max_rounds);
+
+  /// Runs until `done(*this)` or the round limit; completed flag reflects
+  /// all_complete() at exit.
+  RunMetrics run_until(const StopPredicate& done, Round max_rounds);
+
+  /// True iff every node knows all k tokens.
+  [[nodiscard]] bool all_complete() const noexcept {
+    return complete_nodes_ == knowledge_.size();
+  }
+
+  /// Authoritative knowledge of node v.
+  [[nodiscard]] const DynamicBitset& knowledge_of(NodeId v) const {
+    return knowledge_[v];
+  }
+
+  /// Metrics accumulated by this engine (phase-local for multi-phase runs).
+  [[nodiscard]] const RunMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Mutable metrics hook for simulators folding in algorithm-level stats
+  /// (e.g. Algorithm 2's virtual self-loop steps).
+  [[nodiscard]] RunMetrics& mutable_metrics() noexcept { return metrics_; }
+
+  /// Last executed round (start_round - 1 before the first step).
+  [[nodiscard]] Round round() const noexcept { return round_; }
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  /// The algorithm instance of node v (simulators downcast to read
+  /// algorithm-specific stats).
+  [[nodiscard]] UnicastAlgorithm& node(NodeId v) { return *nodes_[v]; }
+  [[nodiscard]] const UnicastAlgorithm& node(NodeId v) const { return *nodes_[v]; }
+
+  /// Learning log (counts always; events if enabled).
+  [[nodiscard]] const LearningLog& learning_log() const noexcept { return log_; }
+
+  /// Installs a per-round observer.
+  void set_round_hook(RoundHook hook) { hook_ = std::move(hook); }
+
+ private:
+  std::vector<std::unique_ptr<UnicastAlgorithm>> nodes_;
+  Adversary& adversary_;
+  std::vector<DynamicBitset> knowledge_;
+  std::size_t k_;
+  std::size_t complete_nodes_ = 0;
+  std::unique_ptr<DynamicGraphTracker> owned_tracker_;
+  DynamicGraphTracker* tracker_;
+  RunMetrics metrics_;
+  LearningLog log_;
+  Round start_offset_;
+  Round round_;
+  std::uint32_t max_payloads_per_edge_;
+  RoundHook hook_;
+  Graph prev_graph_;
+  std::vector<SentRecord> prev_messages_;
+};
+
+}  // namespace dyngossip

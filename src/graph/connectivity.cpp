@@ -1,0 +1,88 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/disjoint_set.hpp"
+
+namespace dyngossip {
+
+ComponentInfo connected_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  DisjointSet dsu(n);
+  for (const EdgeKey key : g.edges()) {
+    const auto [u, v] = edge_endpoints(key);
+    dsu.unite(u, v);
+  }
+  ComponentInfo info;
+  info.labels.assign(n, 0);
+  std::vector<std::size_t> root_to_label(n, std::numeric_limits<std::size_t>::max());
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t root = dsu.find(v);
+    if (root_to_label[root] == std::numeric_limits<std::size_t>::max()) {
+      root_to_label[root] = info.count++;
+      info.representatives.push_back(v);
+    }
+    info.labels[v] = root_to_label[root];
+  }
+  return info;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+std::vector<EdgeKey> connect_components(Graph& g, Rng& rng) {
+  std::vector<EdgeKey> added;
+  const ComponentInfo info = connected_components(g);
+  if (info.count <= 1) return added;
+
+  // Collect the members of each component, then join consecutive components
+  // in a random order through uniformly random member pairs.
+  std::vector<std::vector<NodeId>> members(info.count);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    members[info.labels[v]].push_back(v);
+  }
+  std::vector<std::size_t> order(info.count);
+  for (std::size_t i = 0; i < info.count; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < info.count; ++i) {
+    const NodeId a = rng.pick(members[order[i - 1]]);
+    const NodeId b = rng.pick(members[order[i]]);
+    const bool fresh = g.add_edge(a, b);
+    DG_CHECK(fresh);
+    added.push_back(edge_key(a, b));
+  }
+  return added;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId root) {
+  const std::size_t n = g.num_nodes();
+  DG_CHECK(root < n);
+  BfsTree tree;
+  tree.parent.assign(n, kNoNode);
+  tree.depth.assign(n, std::numeric_limits<std::uint32_t>::max());
+  tree.order.reserve(n);
+
+  std::queue<NodeId> frontier;
+  tree.parent[root] = root;
+  tree.depth[root] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    tree.order.push_back(v);
+    for (const NodeId w : g.sorted_neighbors(v)) {
+      if (tree.parent[w] == kNoNode) {
+        tree.parent[w] = v;
+        tree.depth[w] = tree.depth[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace dyngossip

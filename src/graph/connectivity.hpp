@@ -1,0 +1,53 @@
+// Connectivity queries and repairs on round graphs.
+//
+// The model requires every round graph G_r (r >= 1) to be connected; every
+// adversary uses these helpers to verify or restore that property, and the
+// Section-2 lower-bound adversary uses component counting on the free-edge
+// graph F(r).  The static baseline uses BFS trees for its spanning-tree
+// dissemination stage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace dyngossip {
+
+/// Component labelling of a graph.
+struct ComponentInfo {
+  /// labels[v] in [0, count) identifies v's component.
+  std::vector<std::size_t> labels;
+  /// Number of connected components.
+  std::size_t count = 0;
+  /// One representative node per component, indexed by label.
+  std::vector<NodeId> representatives;
+};
+
+/// Computes connected components (union-find based).
+[[nodiscard]] ComponentInfo connected_components(const Graph& g);
+
+/// True iff g is connected (vacuously true for n <= 1).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Adds the minimum number of edges (#components - 1) to make g connected.
+/// Components are joined in a chain over uniformly random representatives so
+/// repeated repairs do not bias the topology.  Returns the added edges.
+std::vector<EdgeKey> connect_components(Graph& g, Rng& rng);
+
+/// BFS spanning tree rooted at `root`.
+struct BfsTree {
+  /// parent[v]; parent[root] == root; kNoNode for unreachable nodes.
+  std::vector<NodeId> parent;
+  /// BFS depth; 0 for the root; unreachable nodes have kNoRound-like max.
+  std::vector<std::uint32_t> depth;
+  /// Nodes in BFS visit order (root first).
+  std::vector<NodeId> order;
+};
+
+/// Computes a BFS tree (deterministic: neighbors scanned in sorted order).
+[[nodiscard]] BfsTree bfs_tree(const Graph& g, NodeId root);
+
+}  // namespace dyngossip

@@ -1,0 +1,47 @@
+#include "graph/dynamic_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+DynamicGraphTracker::DynamicGraphTracker(std::size_t n) : n_(n) {}
+
+GraphDiff DynamicGraphTracker::advance(const Graph& g, Round r) {
+  DG_CHECK(g.num_nodes() == n_);
+  DG_CHECK(r == last_round_ + 1);
+  last_round_ = r;
+
+  GraphDiff diff;
+  // Removals: live edges absent from the new round.
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (g.edges().count(it->first) == 0) {
+      const Round lifetime = r - it->second;  // present in [it->second, r-1]
+      min_lifetime_ = (min_lifetime_ == kNoRound) ? lifetime
+                                                  : std::min(min_lifetime_, lifetime);
+      diff.removed.push_back(it->first);
+      it = live_.erase(it);
+      ++deletions_;
+    } else {
+      ++it;
+    }
+  }
+  // Insertions: new-round edges that were not live.
+  for (const EdgeKey key : g.edges()) {
+    if (live_.emplace(key, r).second) {
+      diff.inserted.push_back(key);
+      ++tc_;
+    }
+  }
+  std::sort(diff.inserted.begin(), diff.inserted.end());
+  std::sort(diff.removed.begin(), diff.removed.end());
+  return diff;
+}
+
+Round DynamicGraphTracker::insertion_round(EdgeKey key) const {
+  const auto it = live_.find(key);
+  return it == live_.end() ? kNoRound : it->second;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,71 @@
+// Dynamic-graph bookkeeping: edge diffs, TC(E), insertion ages.
+//
+// The paper's cost model (Definition 1.3) charges the adversary one unit per
+// *edge insertion*: TC(E) = Σ_r |E+_r| with E_0 = ∅, and observes that the
+// number of deletions is bounded by the number of insertions.  The tracker
+// consumes the round-graph sequence an adversary produces, computes the
+// per-round insertion/deletion sets, accumulates TC, and remembers each live
+// edge's most recent insertion round (needed both for σ-stability validation
+// and for the "new edge" classification of Algorithm 1).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace dyngossip {
+
+/// Per-round topology diff.
+struct GraphDiff {
+  /// E+_r: edges in round r but not round r-1.
+  std::vector<EdgeKey> inserted;
+  /// E-_r: edges in round r-1 but not round r.
+  std::vector<EdgeKey> removed;
+};
+
+/// Observes the sequence G_1, G_2, ... and accumulates the model's
+/// adversary-cost statistics.
+class DynamicGraphTracker {
+ public:
+  /// Tracker for an n-node network; the implicit predecessor graph is G_0=∅.
+  explicit DynamicGraphTracker(std::size_t n);
+
+  /// Ingests round r's graph (rounds must be consumed in order, from 1).
+  /// Returns the diff against the previous round.
+  GraphDiff advance(const Graph& g, Round r);
+
+  /// Σ_r |E+_r| so far — the adversary's topological-change budget TC(E).
+  [[nodiscard]] std::uint64_t topological_changes() const noexcept { return tc_; }
+
+  /// Σ_r |E-_r| so far (always <= topological_changes()).
+  [[nodiscard]] std::uint64_t deletions() const noexcept { return deletions_; }
+
+  /// Most recent insertion round of a currently live edge; kNoRound if the
+  /// edge is not currently present.
+  [[nodiscard]] Round insertion_round(EdgeKey key) const;
+
+  /// Shortest completed presence interval observed so far (in rounds); the
+  /// sequence is σ-edge stable iff this is >= σ.  Returns kNoRound when no
+  /// edge has been removed yet.
+  [[nodiscard]] Round min_completed_lifetime() const noexcept {
+    return min_lifetime_;
+  }
+
+  /// Number of rounds ingested.
+  [[nodiscard]] Round rounds() const noexcept { return last_round_; }
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  std::unordered_map<EdgeKey, Round> live_;  // edge -> last insertion round
+  std::uint64_t tc_ = 0;
+  std::uint64_t deletions_ = 0;
+  Round min_lifetime_ = kNoRound;
+  Round last_round_ = 0;
+};
+
+}  // namespace dyngossip

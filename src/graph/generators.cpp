@@ -1,0 +1,89 @@
+#include "graph/generators.hpp"
+
+#include "graph/connectivity.hpp"
+
+namespace dyngossip {
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g = path_graph(n);
+  if (n >= 3) g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph star_graph(std::size_t n, NodeId center) {
+  DG_CHECK(center < n || n == 0);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != center) g.add_edge(center, v);
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.next_below(v));
+    g.add_edge(parent, v);
+  }
+  return g;
+}
+
+Graph connected_erdos_renyi(std::size_t n, double p, Rng& rng) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  connect_components(g, rng);
+  return g;
+}
+
+Graph random_connected_with_edges(std::size_t n, std::size_t m, Rng& rng) {
+  Graph g = random_tree(n, rng);
+  if (n < 2) return g;
+  const std::size_t max_edges = n * (n - 1) / 2;
+  const std::size_t target = m > max_edges ? max_edges : m;
+  // Rejection-sample distinct non-tree edges until the target is reached.
+  std::size_t guard = 0;
+  while (g.num_edges() < target && guard < 64 * max_edges) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    auto v = static_cast<NodeId>(rng.next_below(n - 1));
+    if (v >= u) ++v;
+    g.add_edge(u, v);
+    ++guard;
+  }
+  return g;
+}
+
+Graph random_cycles_union(std::size_t n, std::size_t c, Rng& rng) {
+  Graph g(n);
+  if (n < 3) return path_graph(n);
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) perm[v] = v;
+  for (std::size_t i = 0; i < c; ++i) {
+    rng.shuffle(perm);
+    for (std::size_t j = 0; j < n; ++j) {
+      const NodeId a = perm[j];
+      const NodeId b = perm[(j + 1) % n];
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,46 @@
+// Graph generators.
+//
+// Adversary schedules are assembled from these primitives: deterministic
+// families (path, cycle, star, complete) for unit tests and worst-case
+// shapes, plus seeded random families (trees, connected Erdős–Rényi,
+// unions of Hamiltonian cycles) for the oblivious adversaries of
+// Sections 3.2.2 and the churn workloads.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace dyngossip {
+
+/// Path 0-1-2-...-(n-1).
+[[nodiscard]] Graph path_graph(std::size_t n);
+
+/// Cycle over 0..n-1 (requires n >= 3, or degenerates to path for n < 3).
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+
+/// Star with the given center adjacent to every other node.
+[[nodiscard]] Graph star_graph(std::size_t n, NodeId center = 0);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(std::size_t n);
+
+/// Uniform random recursive tree: node i >= 1 attaches to a uniform node < i.
+[[nodiscard]] Graph random_tree(std::size_t n, Rng& rng);
+
+/// Erdős–Rényi G(n, p) patched to be connected (a random spanning structure
+/// is added between components when the sample is disconnected).
+[[nodiscard]] Graph connected_erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Random connected graph with (approximately) m edges: a uniform random
+/// tree plus max(0, m - (n-1)) distinct random extra edges.
+[[nodiscard]] Graph random_connected_with_edges(std::size_t n, std::size_t m, Rng& rng);
+
+/// Union of c uniformly random Hamiltonian cycles: connected and close to
+/// 2c-regular.  The near-regular family is the natural workload for the
+/// random-walk phase of Algorithm 2 (whose analysis runs on the virtual
+/// n-regular multigraph).
+[[nodiscard]] Graph random_cycles_union(std::size_t n, std::size_t c, Rng& rng);
+
+}  // namespace dyngossip

@@ -1,0 +1,51 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace dyngossip {
+
+Graph::Graph(std::size_t n) : adjacency_(n) {}
+
+Graph::Graph(std::size_t n, const std::vector<EdgeKey>& edges) : adjacency_(n) {
+  edge_set_.reserve(edges.size() * 2);
+  for (const EdgeKey key : edges) {
+    const auto [u, v] = edge_endpoints(key);
+    add_edge(u, v);
+  }
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  DG_CHECK(u != v);
+  DG_CHECK(u < adjacency_.size() && v < adjacency_.size());
+  if (!edge_set_.insert(edge_key(u, v)).second) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  if (edge_set_.erase(edge_key(u, v)) == 0) return false;
+  auto drop = [](std::vector<NodeId>& list, NodeId x) {
+    const auto it = std::find(list.begin(), list.end(), x);
+    DG_CHECK(it != list.end());
+    *it = list.back();
+    list.pop_back();
+  };
+  drop(adjacency_[u], v);
+  drop(adjacency_[v], u);
+  return true;
+}
+
+std::vector<NodeId> Graph::sorted_neighbors(NodeId v) const {
+  std::vector<NodeId> out(adjacency_[v].begin(), adjacency_[v].end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EdgeKey> Graph::sorted_edges() const {
+  std::vector<EdgeKey> out(edge_set_.begin(), edge_set_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,76 @@
+// Round-graph representation.
+//
+// The dynamic network model (Section 1.3) is a sequence G_r = (V, E_r) of
+// undirected graphs over a fixed node set V.  A Graph object is one round's
+// topology: an edge set plus adjacency lists, supporting the operations the
+// engines and adversaries need — membership tests, degree queries, neighbor
+// iteration, and edge-set mutation while an adversary constructs the round.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// Undirected simple graph over nodes [0, n).
+class Graph {
+ public:
+  /// Empty graph (the model's G_0).
+  explicit Graph(std::size_t n = 0);
+
+  /// Graph with the given edges; duplicates are ignored.
+  Graph(std::size_t n, const std::vector<EdgeKey>& edges);
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+
+  /// Number of edges m_r.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edge_set_.size(); }
+
+  /// Adds the undirected edge {u, v}; returns true iff it was absent.
+  /// Requires u != v and both < n.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Removes the undirected edge {u, v}; returns true iff it was present.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Membership test.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return edge_set_.count(edge_key(u, v)) > 0;
+  }
+
+  /// Degree of v in this round.
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    DG_DCHECK(v < adjacency_.size());
+    return adjacency_[v].size();
+  }
+
+  /// Neighbors of v (unsorted; order is insertion order).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    DG_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  /// Neighbors of v sorted ascending (the unicast model hands each node the
+  /// IDs of its round-r neighbors; a canonical order keeps runs
+  /// deterministic).
+  [[nodiscard]] std::vector<NodeId> sorted_neighbors(NodeId v) const;
+
+  /// All edges as canonical keys (unordered).
+  [[nodiscard]] const std::unordered_set<EdgeKey>& edges() const noexcept {
+    return edge_set_;
+  }
+
+  /// All edges as a sorted vector (deterministic iteration for tests).
+  [[nodiscard]] std::vector<EdgeKey> sorted_edges() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::unordered_set<EdgeKey> edge_set_;
+};
+
+}  // namespace dyngossip

@@ -1,0 +1,30 @@
+#include "graph/stability.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+StabilityValidator::StabilityValidator(Round sigma) : sigma_(sigma) {
+  DG_CHECK(sigma >= 1);
+}
+
+void StabilityValidator::observe(const Graph& g, Round r) {
+  DG_CHECK(r == last_round_ + 1);
+  last_round_ = r;
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (g.edges().count(it->first) == 0) {
+      const Round lifetime = r - it->second;
+      min_lifetime_ = (min_lifetime_ == kNoRound) ? lifetime
+                                                  : std::min(min_lifetime_, lifetime);
+      if (lifetime < sigma_) ++violations_;
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const EdgeKey key : g.edges()) live_.emplace(key, r);
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,5 @@
+#include "metrics/accounting.hpp"
+
+// Header-only arithmetic; this translation unit exists so the module has a
+// stable home for future out-of-line additions and for build-system symmetry.
+namespace dyngossip {}

@@ -1,0 +1,13 @@
+#include "metrics/learning_log.hpp"
+
+namespace dyngossip {
+
+std::vector<std::uint64_t> LearningLog::per_round(Round rounds) const {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(rounds) + 1, 0);
+  for (const LearningEvent& e : events_) {
+    if (e.round <= rounds) ++counts[e.round];
+  }
+  return counts;
+}
+
+}  // namespace dyngossip

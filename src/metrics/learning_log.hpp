@@ -1,0 +1,59 @@
+// Token-learning event log (Definition 1.4).
+//
+// A token learning is the event ⟨v, τ, r⟩ that node v receives token τ for
+// the first time in round r.  If each of k tokens starts at exactly one
+// node, exactly k(n−1) learnings occur in any solving execution — a useful
+// end-to-end invariant.  Recording full events is optional (O(nk) memory);
+// counting is always on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// One learning event ⟨node, token, round⟩.
+struct LearningEvent {
+  NodeId node = kNoNode;
+  TokenId token = kNoToken;
+  Round round = 0;
+};
+
+/// Counts (and optionally records) learning events.
+class LearningLog {
+ public:
+  /// If record_events, every event is stored for post-hoc analysis.
+  explicit LearningLog(bool record_events = false)
+      : record_events_(record_events) {}
+
+  /// Registers the event ⟨v, τ, r⟩.
+  void add(NodeId v, TokenId t, Round r) {
+    ++count_;
+    last_round_ = r;
+    if (record_events_) events_.push_back({v, t, r});
+  }
+
+  /// Total learnings so far.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Round of the most recent learning (0 if none).
+  [[nodiscard]] Round last_learning_round() const noexcept { return last_round_; }
+
+  /// Recorded events (empty unless recording was enabled).
+  [[nodiscard]] const std::vector<LearningEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Per-round learning counts up to `rounds` (from recorded events).
+  [[nodiscard]] std::vector<std::uint64_t> per_round(Round rounds) const;
+
+ private:
+  bool record_events_;
+  std::uint64_t count_ = 0;
+  Round last_round_ = 0;
+  std::vector<LearningEvent> events_;
+};
+
+}  // namespace dyngossip

@@ -1,0 +1,29 @@
+#include "metrics/potential.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dyngossip {
+
+std::uint64_t potential(const std::vector<DynamicBitset>& knowledge,
+                        const std::vector<DynamicBitset>& kprime) {
+  DG_CHECK(knowledge.size() == kprime.size());
+  std::uint64_t phi = 0;
+  for (std::size_t v = 0; v < knowledge.size(); ++v) {
+    phi += knowledge[v].union_count(kprime[v]);
+  }
+  return phi;
+}
+
+std::vector<DynamicBitset> sample_kprime(std::size_t n, std::size_t k, double p,
+                                         Rng& rng) {
+  std::vector<DynamicBitset> kprime(n, DynamicBitset(k));
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t t = 0; t < k; ++t) {
+      if (rng.bernoulli(p)) kprime[v].set(t);
+    }
+  }
+  return kprime;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,28 @@
+// The Section-2 potential function Φ(t) = Σ_v |K_v(t) ∪ K'_v|.
+//
+// The lower-bound proof charges algorithm progress against Φ: the K'_v sets
+// (each token included independently with probability 1/4) are "free"
+// knowledge whose delivery does not count, the adversary keeps Φ(0) ≤ 0.8nk,
+// and the problem is solved only when Φ = nk, so at least 0.2nk potential
+// must be earned at O(log n) per round.  These helpers compute Φ and the
+// per-round increase for instrumentation and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dynamic_bitset.hpp"
+#include "common/rng.hpp"
+
+namespace dyngossip {
+
+/// Φ = Σ_v |knowledge[v] ∪ kprime[v]| (sizes must agree).
+[[nodiscard]] std::uint64_t potential(const std::vector<DynamicBitset>& knowledge,
+                                      const std::vector<DynamicBitset>& kprime);
+
+/// Samples the adversary's K'_v sets: each of k tokens joins each set
+/// independently with probability `p` (the proof uses p = 1/4).
+[[nodiscard]] std::vector<DynamicBitset> sample_kprime(std::size_t n, std::size_t k,
+                                                       double p, Rng& rng);
+
+}  // namespace dyngossip

@@ -1,0 +1,40 @@
+#include "metrics/report.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace dyngossip {
+
+std::string message_breakdown(const MessageCounts& counts) {
+  std::ostringstream os;
+  os << "total=" << TablePrinter::big(counts.total())
+     << " (token=" << TablePrinter::big(counts.token)
+     << " completeness=" << TablePrinter::big(counts.completeness)
+     << " request=" << TablePrinter::big(counts.request)
+     << " control=" << TablePrinter::big(counts.control) << ")";
+  return os.str();
+}
+
+std::string run_summary(const RunMetrics& metrics, std::uint64_t k) {
+  std::ostringstream os;
+  os << "rounds=" << metrics.rounds
+     << (metrics.completed ? " (completed)" : " (NOT completed)") << "\n";
+  if (metrics.broadcasts > 0) {
+    os << "local broadcasts: " << TablePrinter::big(metrics.broadcasts) << "\n";
+  }
+  if (metrics.unicast.total() > 0) {
+    os << "unicast messages: " << message_breakdown(metrics.unicast) << "\n";
+  }
+  os << "TC(E)=" << TablePrinter::big(metrics.tc)
+     << " deletions=" << TablePrinter::big(metrics.deletions) << "\n";
+  os << "learnings=" << TablePrinter::big(metrics.learnings)
+     << " duplicates=" << TablePrinter::big(metrics.duplicate_token_deliveries)
+     << "\n";
+  os << "amortized messages/token=" << TablePrinter::num(metrics.amortized(k), 1)
+     << "  1-competitive residual="
+     << TablePrinter::num(metrics.competitive_residual(1.0), 1) << "\n";
+  return os.str();
+}
+
+}  // namespace dyngossip

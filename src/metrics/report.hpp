@@ -1,0 +1,17 @@
+// Rendering helpers turning RunMetrics into human-readable breakdowns.
+#pragma once
+
+#include <string>
+
+#include "metrics/accounting.hpp"
+
+namespace dyngossip {
+
+/// One-line per-type breakdown, e.g.
+/// "total=12_345 (token=9_000 completeness=2_000 request=1_300 control=45)".
+[[nodiscard]] std::string message_breakdown(const MessageCounts& counts);
+
+/// Multi-line run summary (messages, TC, rounds, learnings, completion).
+[[nodiscard]] std::string run_summary(const RunMetrics& metrics, std::uint64_t k);
+
+}  // namespace dyngossip

@@ -1,0 +1,47 @@
+#include "metrics/series.hpp"
+
+#include <algorithm>
+
+namespace dyngossip {
+
+namespace {
+
+template <typename Field>
+std::vector<std::uint64_t> increments(const std::vector<RoundSample>& samples,
+                                      Field field) {
+  std::vector<std::uint64_t> out;
+  out.reserve(samples.size());
+  std::uint64_t prev = 0;
+  for (const RoundSample& s : samples) {
+    const std::uint64_t cur = field(s);
+    out.push_back(cur - prev);
+    prev = cur;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> SeriesRecorder::per_round_learnings() const {
+  return increments(samples_, [](const RoundSample& s) { return s.learnings; });
+}
+
+std::vector<std::uint64_t> SeriesRecorder::per_round_messages() const {
+  return increments(samples_, [](const RoundSample& s) { return s.messages; });
+}
+
+std::uint64_t SeriesRecorder::max_learning_burst() const {
+  const auto deltas = per_round_learnings();
+  const auto it = std::max_element(deltas.begin(), deltas.end());
+  return it == deltas.end() ? 0 : *it;
+}
+
+void SeriesRecorder::write_csv(std::ostream& os) const {
+  os << "round,messages,learnings,tc,edges\n";
+  for (const RoundSample& s : samples_) {
+    os << s.round << ',' << s.messages << ',' << s.learnings << ',' << s.tc << ','
+       << s.edges << '\n';
+  }
+}
+
+}  // namespace dyngossip

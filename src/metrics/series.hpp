@@ -1,0 +1,62 @@
+// Per-round time-series recording.
+//
+// Attachable to either engine's round hook, the recorder samples the
+// cumulative metrics after every round and exports the increments as CSV —
+// the raw material for learning-curve and message-rate figures (e.g. the
+// per-round throttling the Section-2 adversary induces, or the phase-1 /
+// phase-2 hand-off of Algorithm 2).
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "metrics/accounting.hpp"
+
+namespace dyngossip {
+
+/// One row of the series: cumulative counters as of the end of `round`.
+struct RoundSample {
+  Round round = 0;
+  std::uint64_t messages = 0;   ///< cumulative total messages
+  std::uint64_t learnings = 0;  ///< cumulative token learnings
+  std::uint64_t tc = 0;         ///< cumulative TC(E)
+  std::size_t edges = 0;        ///< |E_r| of the round graph
+};
+
+/// Collects RoundSamples through an engine round hook.
+class SeriesRecorder {
+ public:
+  /// The hook to install: engine.set_round_hook(recorder.hook()).
+  /// The recorder must outlive the engine run.
+  [[nodiscard]] auto hook() {
+    return [this](Round r, const Graph& g, const RunMetrics& m) {
+      samples_.push_back({r, m.total_messages(), m.learnings, m.tc, g.num_edges()});
+    };
+  }
+
+  /// All samples recorded so far (one per executed round).
+  [[nodiscard]] const std::vector<RoundSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Per-round increments of a cumulative field between consecutive samples
+  /// (the first increment is measured against zero).
+  [[nodiscard]] std::vector<std::uint64_t> per_round_learnings() const;
+  [[nodiscard]] std::vector<std::uint64_t> per_round_messages() const;
+
+  /// Largest single-round learning burst (0 if empty).
+  [[nodiscard]] std::uint64_t max_learning_burst() const;
+
+  /// Writes "round,messages,learnings,tc,edges" CSV (cumulative values).
+  void write_csv(std::ostream& os) const;
+
+  /// Drops all samples (reuse across phases/runs).
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::vector<RoundSample> samples_;
+};
+
+}  // namespace dyngossip

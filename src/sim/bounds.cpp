@@ -1,0 +1,84 @@
+#include "sim/bounds.hpp"
+
+#include <algorithm>
+
+#include "common/mathx.hpp"
+
+namespace dyngossip::bounds {
+
+namespace {
+[[nodiscard]] double logn(std::size_t n) {
+  return log2_clamped(static_cast<double>(n));
+}
+}  // namespace
+
+double centers_f(std::size_t n, std::size_t k) {
+  const auto nd = static_cast<double>(n);
+  const auto kd = static_cast<double>(k);
+  const double f = powd(nd, 0.5) * powd(kd, 0.25) * powd(logn(n), 1.25);
+  return clampd(f, 1.0, nd);
+}
+
+double degree_threshold_gamma(std::size_t n, std::size_t k) {
+  return static_cast<double>(n) * logn(n) / centers_f(n, k);
+}
+
+double source_threshold(std::size_t n) {
+  return powd(static_cast<double>(n), 2.0 / 3.0) * powd(logn(n), 5.0 / 3.0);
+}
+
+double phase1_round_bound(std::size_t n, std::size_t k) {
+  return powd(static_cast<double>(k), 0.25) * powd(static_cast<double>(n), 2.5) *
+         powd(logn(n), 2.25);
+}
+
+double walk_length_L(std::size_t n, std::size_t k) {
+  const double f = centers_f(n, k);
+  return powd(static_cast<double>(n), 4.0) * powd(logn(n), 5.0) / (f * f * f);
+}
+
+double thm38_total_messages(std::size_t n, std::size_t k) {
+  return powd(static_cast<double>(n), 2.5) * powd(static_cast<double>(k), 0.25) *
+         powd(logn(n), 1.25);
+}
+
+double table1_amortized(std::size_t n, std::size_t k) {
+  return powd(static_cast<double>(n), 2.5) * powd(logn(n), 1.25) /
+         powd(static_cast<double>(k), 0.75);
+}
+
+double single_source_messages(std::size_t n, std::size_t k) {
+  const auto nd = static_cast<double>(n);
+  return nd * nd + nd * static_cast<double>(k);
+}
+
+double multi_source_messages(std::size_t n, std::size_t k, std::size_t s) {
+  const auto nd = static_cast<double>(n);
+  return nd * nd * static_cast<double>(s) + nd * static_cast<double>(k);
+}
+
+double stable_round_bound(std::size_t n, std::size_t k) {
+  return static_cast<double>(n) * static_cast<double>(k);
+}
+
+double broadcast_lb_amortized(std::size_t n) {
+  const auto nd = static_cast<double>(n);
+  const double l = logn(n);
+  return nd * nd / (l * l);
+}
+
+double broadcast_ub_amortized(std::size_t n) {
+  const auto nd = static_cast<double>(n);
+  return nd * nd;
+}
+
+double static_amortized(std::size_t n, std::size_t k) {
+  const auto nd = static_cast<double>(n);
+  return nd * nd / std::max(1.0, static_cast<double>(k)) + nd;
+}
+
+double sparse_broadcaster_threshold(std::size_t n, double c) {
+  return static_cast<double>(n) / (c * logn(n));
+}
+
+}  // namespace dyngossip::bounds

@@ -1,0 +1,56 @@
+// The paper's closed-form bounds and parameter formulas.
+//
+// Benches compare measured quantities against these predictions (shape, not
+// constants), and Algorithm 2 derives its center count f and degree
+// threshold γ from them.  All logs are base-2 and clamped at 1 (mathx).
+#pragma once
+
+#include <cstdint>
+
+namespace dyngossip::bounds {
+
+/// f = n^{1/2} k^{1/4} log^{5/4} n — Algorithm 2's expected center count
+/// (clamped to [1, n]).
+[[nodiscard]] double centers_f(std::size_t n, std::size_t k);
+
+/// γ = n log n / f = n^{1/2} (k log n)^{-1/4} — the high-degree threshold.
+[[nodiscard]] double degree_threshold_gamma(std::size_t n, std::size_t k);
+
+/// s-threshold n^{2/3} log^{5/3} n below which Algorithm 2 skips phase 1.
+[[nodiscard]] double source_threshold(std::size_t n);
+
+/// ℓ = k^{1/4} n^{5/2} log^{9/4} n — Algorithm 2's phase-1 round bound.
+[[nodiscard]] double phase1_round_bound(std::size_t n, std::size_t k);
+
+/// L = n^4 log^5 n / f^3 — per-token walk length needed to hit a center whp.
+[[nodiscard]] double walk_length_L(std::size_t n, std::size_t k);
+
+/// Theorem 3.8 total messages: n^{5/2} k^{1/4} log^{5/4} n.
+[[nodiscard]] double thm38_total_messages(std::size_t n, std::size_t k);
+
+/// Table 1 amortized bound: n^{5/2} log^{5/4} n / k^{3/4}.
+[[nodiscard]] double table1_amortized(std::size_t n, std::size_t k);
+
+/// Theorem 3.1: the 1-adversary-competitive total n² + nk (single source).
+[[nodiscard]] double single_source_messages(std::size_t n, std::size_t k);
+
+/// Theorem 3.5: the 1-adversary-competitive total n²s + nk (multi source).
+[[nodiscard]] double multi_source_messages(std::size_t n, std::size_t k,
+                                           std::size_t s);
+
+/// Theorems 3.4/3.6: the O(nk) round bound on 3-edge-stable graphs.
+[[nodiscard]] double stable_round_bound(std::size_t n, std::size_t k);
+
+/// Theorem 2.3: the amortized local-broadcast lower bound n² / log² n.
+[[nodiscard]] double broadcast_lb_amortized(std::size_t n);
+
+/// Flooding upper bound: n² amortized local broadcasts per token.
+[[nodiscard]] double broadcast_ub_amortized(std::size_t n);
+
+/// Static baseline amortized bound: n²/k + n.
+[[nodiscard]] double static_amortized(std::size_t n, std::size_t k);
+
+/// Lemma 2.2's broadcaster sparsity threshold n / (c log n).
+[[nodiscard]] double sparse_broadcaster_threshold(std::size_t n, double c);
+
+}  // namespace dyngossip::bounds

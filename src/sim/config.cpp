@@ -1,0 +1,21 @@
+#include "sim/config.hpp"
+
+namespace dyngossip {
+
+RunMetrics merge_metrics(const RunMetrics& a, const RunMetrics& b) {
+  RunMetrics m;
+  m.unicast = a.unicast;
+  m.unicast += b.unicast;
+  m.broadcasts = a.broadcasts + b.broadcasts;
+  m.tc = a.tc + b.tc;
+  m.deletions = a.deletions + b.deletions;
+  m.learnings = a.learnings + b.learnings;
+  m.duplicate_token_deliveries =
+      a.duplicate_token_deliveries + b.duplicate_token_deliveries;
+  m.virtual_steps = a.virtual_steps + b.virtual_steps;
+  m.rounds = a.rounds + b.rounds;
+  m.completed = b.completed;  // completion is decided by the final phase
+  return m;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,34 @@
+#include "sim/sweep.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dyngossip {
+
+Summary sweep_seeds(std::size_t trials, std::uint64_t base_seed,
+                    const std::function<double(std::uint64_t)>& measure) {
+  DG_CHECK(trials >= 1);
+  std::vector<double> samples;
+  samples.reserve(trials);
+  std::uint64_t sm = base_seed;
+  for (std::size_t i = 0; i < trials; ++i) {
+    samples.push_back(measure(splitmix64(sm)));
+  }
+  return Summary::of(std::move(samples));
+}
+
+std::vector<std::size_t> geometric_grid(std::size_t lo, std::size_t hi,
+                                        double factor) {
+  DG_CHECK(lo >= 1 && factor > 1.0);
+  std::vector<std::size_t> grid;
+  double x = static_cast<double>(lo);
+  while (static_cast<std::size_t>(x) <= hi) {
+    const auto v = static_cast<std::size_t>(x);
+    if (grid.empty() || grid.back() != v) grid.push_back(v);
+    x *= factor;
+  }
+  if (grid.empty() || grid.back() != hi) grid.push_back(hi);
+  return grid;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,22 @@
+// Sweep utilities shared by the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dyngossip {
+
+/// Runs `measure(seed)` for `trials` derived seeds and summarizes the
+/// samples.  Seeds are SplitMix64-derived from base_seed so adjacent bench
+/// rows never share streams.
+[[nodiscard]] Summary sweep_seeds(std::size_t trials, std::uint64_t base_seed,
+                                  const std::function<double(std::uint64_t)>& measure);
+
+/// Geometric size grid {lo, lo*factor, ...} clamped at hi (factor > 1).
+[[nodiscard]] std::vector<std::size_t> geometric_grid(std::size_t lo, std::size_t hi,
+                                                      double factor);
+
+}  // namespace dyngossip

@@ -1,0 +1,91 @@
+// Tests for the adaptive request-cutting adversary.
+#include "adversary/request_cutter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "sim/bounds.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(RequestCutter, AlwaysConnectedUnderFullCutting) {
+  RequestCutterConfig cfg;
+  cfg.n = 16;
+  cfg.target_edges = 40;
+  cfg.cut_probability = 1.0;
+  cfg.seed = 5;
+  RequestCutterAdversary adversary(cfg);
+
+  // Feed synthetic request traffic referencing live edges.
+  UnicastRoundView view;
+  std::vector<SentRecord> traffic;
+  Graph prev(16);
+  for (Round r = 1; r <= 100; ++r) {
+    view.round = r;
+    view.prev_messages = &traffic;
+    view.prev_graph = &prev;
+    const Graph g = adversary.unicast_round(view);
+    EXPECT_TRUE(is_connected(g)) << "round " << r;
+    traffic.clear();
+    for (const EdgeKey key : g.sorted_edges()) {
+      const auto [u, v] = edge_endpoints(key);
+      traffic.push_back({u, v, Message::request(0)});
+      if (traffic.size() >= 10) break;
+    }
+    prev = g;
+  }
+  EXPECT_GT(adversary.cuts(), 500u);  // it really cuts
+}
+
+TEST(RequestCutter, FullCuttingStallsSingleSourceForever) {
+  constexpr std::size_t n = 12;
+  constexpr std::uint32_t k = 8;
+  RequestCutterConfig cfg;
+  cfg.n = n;
+  cfg.target_edges = 30;
+  cfg.cut_probability = 1.0;
+  cfg.seed = 7;
+  RequestCutterAdversary adversary(cfg);
+  const RunResult r = run_single_source(n, k, 0, adversary, /*max_rounds=*/600);
+  // Every response edge is cut before delivery: no node ever completes...
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.metrics.learnings, 0u);
+  // ...yet the competitive accounting stays within the Theorem 3.1 budget:
+  // messages - TC <= c (n^2 + nk).
+  EXPECT_LE(r.metrics.competitive_residual(1.0),
+            4.0 * bounds::single_source_messages(n, k));
+  EXPECT_GT(r.metrics.tc, 500u);  // the adversary pays for its sabotage
+}
+
+TEST(RequestCutter, PartialCuttingEventuallyCompletes) {
+  constexpr std::size_t n = 12;
+  constexpr std::uint32_t k = 8;
+  RequestCutterConfig cfg;
+  cfg.n = n;
+  cfg.target_edges = 30;
+  cfg.cut_probability = 0.5;
+  cfg.seed = 8;
+  RequestCutterAdversary adversary(cfg);
+  const RunResult r = run_single_source(n, k, 0, adversary, /*max_rounds=*/20'000);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.metrics.learnings, static_cast<std::uint64_t>(n - 1) * k);
+  EXPECT_LE(r.metrics.competitive_residual(1.0),
+            4.0 * bounds::single_source_messages(n, k));
+}
+
+TEST(RequestCutter, ZeroProbabilityIsBenignChurn) {
+  RequestCutterConfig cfg;
+  cfg.n = 10;
+  cfg.target_edges = 20;
+  cfg.cut_probability = 0.0;
+  cfg.seed = 9;
+  RequestCutterAdversary adversary(cfg);
+  const RunResult r = run_single_source(10, 4, 0, adversary, 2'000);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(adversary.cuts(), 0u);
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,64 @@
+// Tests for the static and scripted adversaries.
+#include <gtest/gtest.h>
+
+#include "adversary/scripted.hpp"
+#include "adversary/static_adversary.hpp"
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(StaticAdversary, SameGraphEveryRound) {
+  StaticAdversary adversary(cycle_graph(5));
+  BroadcastRoundView bv;
+  UnicastRoundView uv;
+  for (Round r = 1; r <= 5; ++r) {
+    bv.round = uv.round = r;
+    const Graph g1 = adversary.broadcast_round(bv);
+    const Graph g2 = adversary.unicast_round(uv);
+    EXPECT_EQ(g1.sorted_edges(), cycle_graph(5).sorted_edges());
+    EXPECT_EQ(g2.sorted_edges(), cycle_graph(5).sorted_edges());
+  }
+  EXPECT_EQ(adversary.num_nodes(), 5u);
+}
+
+TEST(StaticAdversaryDeath, DisconnectedGraphRejected) {
+  Graph g(4);
+  g.add_edge(0, 1);  // {2,3} isolated
+  EXPECT_DEATH(StaticAdversary{std::move(g)}, "DG_CHECK");
+}
+
+TEST(ScriptedAdversary, PlaysScriptThenRepeatsLast) {
+  std::vector<Graph> script{path_graph(4), cycle_graph(4)};
+  ScriptedAdversary adversary(std::move(script));
+  EXPECT_EQ(adversary.script_length(), 2u);
+  UnicastRoundView v;
+  v.round = 1;
+  EXPECT_EQ(adversary.unicast_round(v).sorted_edges(), path_graph(4).sorted_edges());
+  v.round = 2;
+  EXPECT_EQ(adversary.unicast_round(v).sorted_edges(), cycle_graph(4).sorted_edges());
+  v.round = 7;  // past the script: repeats the last graph
+  EXPECT_EQ(adversary.unicast_round(v).sorted_edges(), cycle_graph(4).sorted_edges());
+}
+
+TEST(ScriptedAdversaryDeath, EmptyScriptRejected) {
+  EXPECT_DEATH(ScriptedAdversary{std::vector<Graph>{}}, "DG_CHECK");
+}
+
+TEST(ScriptedAdversaryDeath, MixedNodeCountsRejected) {
+  std::vector<Graph> script;
+  script.push_back(path_graph(4));
+  script.push_back(path_graph(5));
+  EXPECT_DEATH(ScriptedAdversary{std::move(script)}, "DG_CHECK");
+}
+
+TEST(ScriptedAdversaryDeath, DisconnectedRoundRejected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  std::vector<Graph> script;
+  script.push_back(std::move(g));
+  EXPECT_DEATH(ScriptedAdversary{std::move(script)}, "DG_CHECK");
+}
+
+}  // namespace
+}  // namespace dyngossip

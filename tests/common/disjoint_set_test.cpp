@@ -1,0 +1,86 @@
+// Tests for the union-find substrate.
+#include "common/disjoint_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(DisjointSet, StartsAsSingletons) {
+  DisjointSet dsu(5);
+  EXPECT_EQ(dsu.size(), 5u);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.find(i), i);
+    EXPECT_EQ(dsu.component_size(i), 1u);
+  }
+}
+
+TEST(DisjointSet, UniteMergesAndCounts) {
+  DisjointSet dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_EQ(dsu.component_count(), 3u);
+  EXPECT_FALSE(dsu.unite(1, 0));  // already merged
+  EXPECT_EQ(dsu.component_count(), 3u);
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(0, 3));
+  EXPECT_EQ(dsu.component_count(), 1u);
+  EXPECT_EQ(dsu.component_size(2), 4u);
+  EXPECT_TRUE(dsu.connected(1, 2));
+}
+
+TEST(DisjointSet, ChainUnion) {
+  constexpr std::size_t n = 10'000;
+  DisjointSet dsu(n);
+  for (std::size_t i = 1; i < n; ++i) dsu.unite(i - 1, i);
+  EXPECT_EQ(dsu.component_count(), 1u);
+  EXPECT_TRUE(dsu.connected(0, n - 1));
+  EXPECT_EQ(dsu.component_size(0), n);
+}
+
+TEST(DisjointSet, RepresentativesOnePerComponent) {
+  DisjointSet dsu(6);
+  dsu.unite(0, 1);
+  dsu.unite(2, 3);
+  const auto reps = dsu.representatives();
+  EXPECT_EQ(reps.size(), 4u);  // {0,1},{2,3},{4},{5}
+  // Representatives are roots, hence pairwise disconnected... and everything
+  // connects to exactly one representative.
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    for (std::size_t j = i + 1; j < reps.size(); ++j) {
+      EXPECT_FALSE(dsu.connected(reps[i], reps[j]));
+    }
+  }
+}
+
+TEST(DisjointSet, ResetRestoresSingletons) {
+  DisjointSet dsu(3);
+  dsu.unite(0, 1);
+  dsu.reset(5);
+  EXPECT_EQ(dsu.size(), 5u);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  EXPECT_FALSE(dsu.connected(0, 1));
+}
+
+TEST(DisjointSet, RandomizedTransitivity) {
+  Rng rng(99);
+  DisjointSet dsu(200);
+  for (int i = 0; i < 300; ++i) {
+    dsu.unite(rng.next_below(200), rng.next_below(200));
+  }
+  // connected() must be transitive: representative equality is an
+  // equivalence relation.
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t a = rng.next_below(200);
+    const std::size_t b = rng.next_below(200);
+    const std::size_t c = rng.next_below(200);
+    if (dsu.connected(a, b) && dsu.connected(b, c)) {
+      EXPECT_TRUE(dsu.connected(a, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,176 @@
+// Tests for DynamicBitset, including randomized differential tests against
+// std::set as the reference implementation.
+#include "common/dynamic_bitset.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(DynamicBitset, EmptyDefault) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_TRUE(b.all());  // vacuously
+}
+
+TEST(DynamicBitset, SetTestResetAndCountCaching) {
+  DynamicBitset b(100);
+  EXPECT_TRUE(b.none());
+  EXPECT_TRUE(b.set(5));
+  EXPECT_FALSE(b.set(5));  // second set reports not-fresh
+  EXPECT_TRUE(b.test(5));
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(b.set(99));
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_TRUE(b.reset(5));
+  EXPECT_FALSE(b.reset(5));
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_FALSE(b.test(5));
+}
+
+TEST(DynamicBitset, InitiallySetConstructorTrims) {
+  for (std::size_t size : {1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    DynamicBitset b(size, /*initially_set=*/true);
+    EXPECT_EQ(b.count(), size) << size;
+    EXPECT_TRUE(b.all()) << size;
+    EXPECT_EQ(b.find_first_unset(), size) << size;
+  }
+}
+
+TEST(DynamicBitset, SetAllResetAll) {
+  DynamicBitset b(70);
+  b.set_all();
+  EXPECT_TRUE(b.all());
+  EXPECT_EQ(b.count(), 70u);
+  b.reset_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitset, ResizeGrowsWithZeros) {
+  DynamicBitset b(10);
+  b.set(3);
+  b.resize(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_FALSE(b.test(150));
+  b.resize(50);  // shrink requests are no-ops
+  EXPECT_EQ(b.size(), 200u);
+}
+
+TEST(DynamicBitset, FindFirstUnset) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.find_first_unset(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) {
+    EXPECT_EQ(b.find_first_unset(), i);
+    b.set(i);
+  }
+  EXPECT_EQ(b.find_first_unset(), 130u);
+}
+
+TEST(DynamicBitset, FindNextSet) {
+  DynamicBitset b(200);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_next_set(0), 0u);
+  EXPECT_EQ(b.find_next_set(1), 63u);
+  EXPECT_EQ(b.find_next_set(64), 64u);
+  EXPECT_EQ(b.find_next_set(65), 199u);
+  EXPECT_EQ(b.find_next_set(200), 200u);
+}
+
+TEST(DynamicBitset, Positions) {
+  DynamicBitset b(100);
+  b.set(1);
+  b.set(64);
+  b.set(99);
+  const std::vector<std::size_t> set_want{1, 64, 99};
+  EXPECT_EQ(b.set_positions(), set_want);
+  const auto unset = b.unset_positions();
+  EXPECT_EQ(unset.size(), 97u);
+  EXPECT_EQ(unset.front(), 0u);
+  EXPECT_EQ(unset.back(), 98u);
+}
+
+TEST(DynamicBitset, Equality) {
+  DynamicBitset a(64), b(64), c(65);
+  a.set(10);
+  b.set(10);
+  EXPECT_TRUE(a == b);
+  b.set(11);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);  // different universes
+}
+
+class BitsetAlgebraTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetAlgebraTest, DifferentialAgainstStdSet) {
+  const std::size_t universe = GetParam();
+  Rng rng(1234 + universe);
+  DynamicBitset a(universe), b(universe);
+  std::set<std::size_t> ra, rb;
+  for (std::size_t i = 0; i < universe; ++i) {
+    if (rng.bernoulli(0.35)) {
+      a.set(i);
+      ra.insert(i);
+    }
+    if (rng.bernoulli(0.35)) {
+      b.set(i);
+      rb.insert(i);
+    }
+  }
+
+  // Counting queries.
+  std::set<std::size_t> runion = ra;
+  runion.insert(rb.begin(), rb.end());
+  std::set<std::size_t> rinter;
+  for (const auto x : ra) {
+    if (rb.count(x)) rinter.insert(x);
+  }
+  EXPECT_EQ(a.union_count(b), runion.size());
+  EXPECT_EQ(a.intersect_count(b), rinter.size());
+  EXPECT_EQ(a.contains_all(b),
+            std::includes(ra.begin(), ra.end(), rb.begin(), rb.end()));
+
+  // In-place union.
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), runion.size());
+  for (const auto x : runion) EXPECT_TRUE(u.test(x));
+
+  // In-place intersection.
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), rinter.size());
+  for (const auto x : rinter) EXPECT_TRUE(i.test(x));
+
+  // Difference.
+  DynamicBitset d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), ra.size() - rinter.size());
+  for (const auto x : ra) EXPECT_EQ(d.test(x), rb.count(x) == 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetAlgebraTest,
+                         ::testing::Values(1, 63, 64, 65, 130, 512, 1000));
+
+TEST(DynamicBitset, ContainsAllSelfAndEmpty) {
+  DynamicBitset a(50), e(50);
+  a.set(7);
+  EXPECT_TRUE(a.contains_all(a));
+  EXPECT_TRUE(a.contains_all(e));
+  EXPECT_FALSE(e.contains_all(a));
+}
+
+}  // namespace
+}  // namespace dyngossip

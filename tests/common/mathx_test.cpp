@@ -1,0 +1,43 @@
+// Tests for numeric helpers.
+#include "common/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyngossip {
+namespace {
+
+TEST(Mathx, Log2Clamped) {
+  EXPECT_DOUBLE_EQ(log2_clamped(0.5), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(log2_clamped(1.0), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(log2_clamped(2.0), 1.0);   // boundary
+  EXPECT_DOUBLE_EQ(log2_clamped(8.0), 3.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(1024.0), 10.0);
+}
+
+TEST(Mathx, Powd) {
+  EXPECT_DOUBLE_EQ(powd(4.0, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(powd(2.0, 10.0), 1024.0);
+  EXPECT_DOUBLE_EQ(powd(0.0, 2.0), 0.0);
+}
+
+TEST(Mathx, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(1, 7), 1u);
+  EXPECT_EQ(ceil_div(0, 7), 0u);
+}
+
+TEST(Mathx, RoundToU64) {
+  EXPECT_EQ(round_to_u64(0.4), 0u);
+  EXPECT_EQ(round_to_u64(0.6), 1u);
+  EXPECT_EQ(round_to_u64(1e6 + 0.5), 1000001u);
+}
+
+TEST(Mathx, Clampd) {
+  EXPECT_DOUBLE_EQ(clampd(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clampd(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clampd(11.0, 0.0, 10.0), 10.0);
+}
+
+}  // namespace
+}  // namespace dyngossip

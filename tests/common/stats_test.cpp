@@ -1,0 +1,75 @@
+// Tests for the statistics helpers.
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dyngossip {
+namespace {
+
+TEST(RunningStat, KnownSample) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, OrderStatistics) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(i);
+  const Summary s = Summary::of(sample);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(Summary, EmptySample) {
+  const Summary s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, ToStringFormat) {
+  const Summary s = Summary::of({1.0, 2.0, 3.0});
+  const std::string str = s.to_string(1);
+  EXPECT_NE(str.find("2.0"), std::string::npos);
+  EXPECT_NE(str.find("[1.0, 3.0]"), std::string::npos);
+}
+
+TEST(LogLogSlope, RecoversPolynomialExponent) {
+  std::vector<double> x, y2, y15;
+  for (double v : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    x.push_back(v);
+    y2.push_back(v * v);
+    y15.push_back(std::pow(v, 1.5) * 7.0);  // constant factors cancel
+  }
+  EXPECT_NEAR(loglog_slope(x, y2), 2.0, 1e-9);
+  EXPECT_NEAR(loglog_slope(x, y15), 1.5, 1e-9);
+}
+
+TEST(LogLogSlope, FlatSeries) {
+  const std::vector<double> x{1, 2, 4, 8};
+  const std::vector<double> y{5, 5, 5, 5};
+  EXPECT_NEAR(loglog_slope(x, y), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,52 @@
+// Tests for the table renderer.
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dyngossip {
+namespace {
+
+TEST(TablePrinter, AlignedOutputContainsCellsAndRule) {
+  TablePrinter t({"n", "messages"});
+  t.add_row({"16", "1234"});
+  t.add_row({"128", "99"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| n "), std::string::npos);
+  EXPECT_NE(out.find("messages"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+  EXPECT_NE(out.find("|----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(TablePrinter, BigAddsSeparators) {
+  EXPECT_EQ(TablePrinter::big(0), "0");
+  EXPECT_EQ(TablePrinter::big(999), "999");
+  EXPECT_EQ(TablePrinter::big(1000), "1_000");
+  EXPECT_EQ(TablePrinter::big(1234567), "1_234_567");
+  EXPECT_EQ(TablePrinter::big(12345678901ull), "12_345_678_901");
+}
+
+TEST(TablePrinterDeath, RowArityMismatchAborts) {
+  TablePrinter t({"only"});
+  EXPECT_DEATH(t.add_row({"a", "b"}), "DG_CHECK");
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,92 @@
+// Tests for the new/idle/contributive edge classification (Section 3.1).
+#include "core/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyngossip {
+namespace {
+
+TEST(EdgeClassifier, EdgeIsNewForExactlyTwoRounds) {
+  EdgeClassifier c;
+  const std::vector<NodeId> with{5};
+  c.begin_round(1, with);
+  EXPECT_EQ(c.classify(5), EdgeClass::kNew);  // inserted in round 1
+  c.begin_round(2, with);
+  EXPECT_EQ(c.classify(5), EdgeClass::kNew);  // inserted in round r-1
+  c.begin_round(3, with);
+  EXPECT_EQ(c.classify(5), EdgeClass::kIdle);  // no contribution yet
+}
+
+TEST(EdgeClassifier, LearningMakesContributive) {
+  EdgeClassifier c;
+  const std::vector<NodeId> with{2};
+  c.begin_round(1, with);
+  c.begin_round(2, with);
+  c.note_learning_over(2);  // token learned over the edge at end of round 2
+  c.begin_round(3, with);
+  EXPECT_EQ(c.classify(2), EdgeClass::kContributive);
+  c.begin_round(4, with);
+  EXPECT_EQ(c.classify(2), EdgeClass::kContributive);  // stays contributive
+}
+
+TEST(EdgeClassifier, InFlightTokenCountsAsContribution) {
+  EdgeClassifier c;
+  const std::vector<NodeId> with{2};
+  c.begin_round(1, with);
+  c.begin_round(2, with);
+  c.begin_round(3, with);
+  EXPECT_EQ(c.classify(2, /*token_arriving_now=*/false), EdgeClass::kIdle);
+  EXPECT_EQ(c.classify(2, /*token_arriving_now=*/true), EdgeClass::kContributive);
+}
+
+TEST(EdgeClassifier, ReinsertionResetsToNew) {
+  EdgeClassifier c;
+  const std::vector<NodeId> with{7};
+  const std::vector<NodeId> without{};
+  c.begin_round(1, with);
+  c.begin_round(2, with);
+  c.note_learning_over(7);
+  c.begin_round(3, with);
+  EXPECT_EQ(c.classify(7), EdgeClass::kContributive);
+  c.begin_round(4, without);  // edge removed
+  EXPECT_FALSE(c.is_neighbor(7));
+  c.begin_round(5, with);  // re-inserted: fresh record, contribution cleared
+  EXPECT_EQ(c.classify(7), EdgeClass::kNew);
+  c.begin_round(6, with);
+  c.begin_round(7, with);
+  EXPECT_EQ(c.classify(7), EdgeClass::kIdle);
+}
+
+TEST(EdgeClassifier, TracksMultipleNeighborsIndependently) {
+  EdgeClassifier c;
+  c.begin_round(1, std::vector<NodeId>{1, 2});
+  c.begin_round(2, std::vector<NodeId>{1, 2, 3});  // 3 inserted at round 2
+  c.note_learning_over(1);
+  c.begin_round(3, std::vector<NodeId>{1, 2, 3});
+  EXPECT_EQ(c.classify(1), EdgeClass::kContributive);
+  EXPECT_EQ(c.classify(2), EdgeClass::kIdle);
+  EXPECT_EQ(c.classify(3), EdgeClass::kNew);
+  EXPECT_EQ(c.insertion_round(3), 2u);
+  EXPECT_EQ(c.insertion_round(1), 1u);
+}
+
+TEST(EdgeClassifierDeath, ClassifyUnknownNeighborAborts) {
+  EdgeClassifier c;
+  c.begin_round(1, std::vector<NodeId>{1});
+  EXPECT_DEATH(c.classify(9), "DG_CHECK");
+}
+
+TEST(EdgeClassifierDeath, RoundsMustAdvance) {
+  EdgeClassifier c;
+  c.begin_round(2, std::vector<NodeId>{1});
+  EXPECT_DEATH(c.begin_round(2, std::vector<NodeId>{1}), "DG_CHECK");
+}
+
+TEST(EdgeClassifier, ClassNames) {
+  EXPECT_STREQ(edge_class_name(EdgeClass::kNew), "new");
+  EXPECT_STREQ(edge_class_name(EdgeClass::kIdle), "idle");
+  EXPECT_STREQ(edge_class_name(EdgeClass::kContributive), "contributive");
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,185 @@
+// Tests for Algorithm 2 (Oblivious-Multi-Source-Unicast): walk-phase node
+// behaviour and the two-phase orchestration.
+#include "core/oblivious_ms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/churn.hpp"
+#include "adversary/static_adversary.hpp"
+#include "graph/generators.hpp"
+#include "sim/bounds.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyngossip {
+namespace {
+
+TokenSpacePtr n_gossip_space(std::size_t n) {
+  std::vector<TokenSpace::SourceSpec> specs;
+  for (std::size_t v = 0; v < n; ++v) specs.push_back({static_cast<NodeId>(v), 1});
+  return std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
+}
+
+ChurnConfig walk_churn(std::size_t n, std::uint64_t seed) {
+  ChurnConfig cc;
+  cc.n = n;
+  cc.target_edges = 4 * n;
+  cc.churn_per_round = n / 8;
+  cc.sigma = 3;
+  cc.seed = seed;
+  return cc;
+}
+
+TEST(WalkNode, CenterAnnouncesOncePerNeighbor) {
+  WalkConfig cfg{8, 4, /*gamma=*/100.0, false};
+  WalkNode center(0, cfg, /*is_center=*/true, {}, Rng(1));
+  const std::vector<NodeId> neighbors{1, 2, 3};
+  Outbox out1, out2;
+  center.send(1, neighbors, out1);
+  center.send(2, neighbors, out2);
+  // First round: one announcement per neighbor; second round: silence.
+  // (Outbox contents are private; observe via a real engine below instead.)
+  EXPECT_TRUE(center.is_center());
+  EXPECT_TRUE(center.held().empty());
+}
+
+TEST(WalkNode, TokenStopsAtCenter) {
+  WalkConfig cfg{4, 2, /*gamma=*/100.0, false};
+  WalkNode center(0, cfg, true, {}, Rng(2));
+  center.on_receive(1, 1, Message::token_msg(0));
+  center.on_receive(2, 2, Message::token_msg(1));
+  EXPECT_EQ(center.held().size(), 2u);  // owned, never forwarded
+  Outbox out;
+  const std::vector<NodeId> neighbors{1, 2};
+  center.send(3, neighbors, out);
+  EXPECT_EQ(center.held().size(), 2u);
+}
+
+TEST(WalkNode, LowDegreeCongestionOneTokenPerEdge) {
+  // A node with 1 neighbor holding many tokens can move at most one token
+  // per round over that edge (walk congestion rule).
+  WalkConfig cfg{4, 8, /*gamma=*/100.0, /*pseudocode=*/true};  // move prob 1/d = 1
+  std::vector<TokenId> held{0, 1, 2, 3, 4, 5, 6, 7};
+  WalkNode node(1, cfg, false, held, Rng(3));
+  Outbox out;
+  const std::vector<NodeId> neighbors{0};
+  node.send(1, neighbors, out);
+  EXPECT_EQ(node.held().size(), 7u);  // exactly one token left
+  EXPECT_EQ(node.walk_steps(), 1u);
+  EXPECT_GE(node.passive_token_rounds(), 1u);
+}
+
+TEST(WalkNode, TextWalkProbabilityIsLazy) {
+  // With the text's d/n probability and d=1, n=1000, tokens mostly self-loop.
+  WalkConfig cfg{1000, 1, /*gamma=*/1e9, false};
+  WalkNode node(1, cfg, false, {0}, Rng(4));
+  Outbox out;
+  const std::vector<NodeId> neighbors{0};
+  std::uint64_t before = node.virtual_steps();
+  for (Round r = 1; r <= 100 && !node.held().empty(); ++r) {
+    node.send(r, neighbors, out);
+  }
+  EXPECT_GT(node.virtual_steps(), before + 50);  // overwhelmingly lazy
+}
+
+TEST(ObliviousMs, SkipsPhase1WhenFewSources) {
+  constexpr std::size_t n = 32;
+  // 2 sources << n^{2/3} log^{5/3} n: direct Multi-Source path.
+  const auto space = std::make_shared<TokenSpace>(
+      TokenSpace::contiguous({{0, 8}, {9, 8}}));
+  ChurnAdversary adversary(walk_churn(n, 31));
+  ObliviousMsOptions opts;
+  opts.seed = 5;
+  const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+  EXPECT_TRUE(r.skipped_phase1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.num_centers, 0u);
+  EXPECT_EQ(r.phase1.unicast.total(), 0u);
+  EXPECT_EQ(r.total.unicast.total(), r.phase2.unicast.total());
+}
+
+TEST(ObliviousMs, TwoPhaseRunCompletes) {
+  constexpr std::size_t n = 32;
+  const auto space = n_gossip_space(n);
+  ChurnAdversary adversary(walk_churn(n, 33));
+  ObliviousMsOptions opts;
+  opts.seed = 7;
+  opts.force_phase1 = true;
+  opts.f_override = 4;
+  const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+  EXPECT_FALSE(r.skipped_phase1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.num_centers, 1u);
+  EXPECT_GT(r.phase1_rounds, 0u);
+  EXPECT_GT(r.walk_real_steps, 0u);
+  // Learning conservation: every token starts at one node.
+  EXPECT_EQ(r.total.learnings, (n - 1) * space->total_tokens());
+  // Metric merging is exact.
+  EXPECT_EQ(r.total.unicast.total(),
+            r.phase1.unicast.total() + r.phase2.unicast.total());
+  EXPECT_EQ(r.total.tc, r.phase1.tc + r.phase2.tc);
+  EXPECT_EQ(r.total.rounds, r.phase1.rounds + r.phase2.rounds);
+}
+
+TEST(ObliviousMs, Phase1FunnelsAllTokensToCenters) {
+  constexpr std::size_t n = 24;
+  const auto space = n_gossip_space(n);
+  ChurnAdversary adversary(walk_churn(n, 35));
+  ObliviousMsOptions opts;
+  opts.seed = 9;
+  opts.force_phase1 = true;
+  opts.f_override = 3;
+  const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(r.phase1_capped);  // the walks really settled
+  // Walk steps are counted as token messages in phase 1.
+  EXPECT_EQ(r.phase1.unicast.token, r.walk_real_steps);
+}
+
+TEST(ObliviousMs, PseudocodeWalkVariantAlsoCompletes) {
+  constexpr std::size_t n = 24;
+  const auto space = n_gossip_space(n);
+  ChurnAdversary adversary(walk_churn(n, 37));
+  ObliviousMsOptions opts;
+  opts.seed = 11;
+  opts.force_phase1 = true;
+  opts.f_override = 3;
+  opts.pseudocode_walk_prob = true;  // the paper's line-8 "1/d(u)" variant
+  const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+  EXPECT_TRUE(r.completed);
+  // The 1/d variant moves far more aggressively: fewer virtual steps per
+  // real step than the lazy d/n walk.
+  EXPECT_GT(r.walk_real_steps, 0u);
+}
+
+TEST(ObliviousMs, WorksOnStaticRegularishGraphs) {
+  // The analysis model: near-regular graphs (union of random cycles).
+  constexpr std::size_t n = 36;
+  const auto space = n_gossip_space(n);
+  Rng g(13);
+  StaticAdversary adversary(random_cycles_union(n, 3, g));
+  ObliviousMsOptions opts;
+  opts.seed = 15;
+  opts.force_phase1 = true;
+  opts.f_override = 5;
+  const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.total.learnings, (n - 1) * space->total_tokens());
+}
+
+TEST(ObliviousMs, DefaultFormulaSaturatesCentersAtLaptopScale) {
+  // Documented behaviour (DESIGN.md): with the paper's f formula and small
+  // n, every node elects itself a center and phase 1 is a no-op.
+  constexpr std::size_t n = 24;
+  const auto space = n_gossip_space(n);
+  ChurnAdversary adversary(walk_churn(n, 39));
+  ObliviousMsOptions opts;
+  opts.seed = 17;
+  opts.force_phase1 = true;  // but f/n == 1 -> all centers, walks settle at once
+  const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.num_centers, n);
+  EXPECT_EQ(r.phase1_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,48 @@
+// Tests for the wire-level message model.
+#include "engine/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyngossip {
+namespace {
+
+TEST(Message, TokenFactory) {
+  const Message m = Message::token_msg(42, 7);
+  EXPECT_EQ(m.type, MsgType::kToken);
+  EXPECT_EQ(m.token, 42u);
+  EXPECT_EQ(m.source, 7u);
+}
+
+TEST(Message, CompletenessCarriesSourceAndCount) {
+  const Message m = Message::completeness(3, 128);
+  EXPECT_EQ(m.type, MsgType::kCompleteness);
+  EXPECT_EQ(m.source, 3u);
+  EXPECT_EQ(m.aux, 128u);
+}
+
+TEST(Message, RequestFactory) {
+  const Message m = Message::request(9);
+  EXPECT_EQ(m.type, MsgType::kRequest);
+  EXPECT_EQ(m.token, 9u);
+}
+
+TEST(Message, ControlKindPayloadPacking) {
+  const Message m = Message::control(ControlKind::kCenterAnnounce, 0xABCDEF);
+  EXPECT_EQ(m.type, MsgType::kControl);
+  EXPECT_EQ(m.control_kind(), ControlKind::kCenterAnnounce);
+  EXPECT_EQ(m.control_payload(), 0xABCDEFu);
+
+  const Message j = Message::control(ControlKind::kTreeJoin);
+  EXPECT_EQ(j.control_kind(), ControlKind::kTreeJoin);
+  EXPECT_EQ(j.control_payload(), 0u);
+}
+
+TEST(Message, TypeNames) {
+  EXPECT_STREQ(msg_type_name(MsgType::kToken), "token");
+  EXPECT_STREQ(msg_type_name(MsgType::kCompleteness), "completeness");
+  EXPECT_STREQ(msg_type_name(MsgType::kRequest), "request");
+  EXPECT_STREQ(msg_type_name(MsgType::kControl), "control");
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,89 @@
+// Tests for connectivity queries and repairs.
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(Connectivity, ComponentsOfDisconnectedGraph) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.count, 4u);  // {0,1},{2,3},{4},{5}
+  EXPECT_EQ(info.labels[0], info.labels[1]);
+  EXPECT_EQ(info.labels[2], info.labels[3]);
+  EXPECT_NE(info.labels[0], info.labels[2]);
+  EXPECT_NE(info.labels[4], info.labels[5]);
+  EXPECT_EQ(info.representatives.size(), 4u);
+}
+
+TEST(Connectivity, IsConnectedCases) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_FALSE(is_connected(Graph(2)));
+  EXPECT_TRUE(is_connected(path_graph(10)));
+  Graph g = path_graph(10);
+  g.remove_edge(4, 5);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Connectivity, ConnectComponentsAddsMinimumEdges) {
+  Rng rng(3);
+  Graph g(9);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  // components: {0,1},{2,3},{4,5},{6},{7},{8} -> 6 components
+  const auto added = connect_components(g, rng);
+  EXPECT_EQ(added.size(), 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, ConnectAlreadyConnectedIsNoop) {
+  Rng rng(4);
+  Graph g = cycle_graph(8);
+  const std::size_t before = g.num_edges();
+  EXPECT_TRUE(connect_components(g, rng).empty());
+  EXPECT_EQ(g.num_edges(), before);
+}
+
+TEST(Connectivity, BfsTreeOnPath) {
+  const Graph g = path_graph(5);
+  const BfsTree t = bfs_tree(g, 0);
+  EXPECT_EQ(t.parent[0], 0u);
+  EXPECT_EQ(t.parent[3], 2u);
+  EXPECT_EQ(t.depth[4], 4u);
+  EXPECT_EQ(t.order.front(), 0u);
+  EXPECT_EQ(t.order.size(), 5u);
+}
+
+TEST(Connectivity, BfsTreeOnStarFromLeaf) {
+  const Graph g = star_graph(6, 0);
+  const BfsTree t = bfs_tree(g, 5);
+  EXPECT_EQ(t.depth[5], 0u);
+  EXPECT_EQ(t.depth[0], 1u);
+  for (NodeId v = 1; v < 5; ++v) {
+    EXPECT_EQ(t.depth[v], 2u);
+    EXPECT_EQ(t.parent[v], 0u);
+  }
+}
+
+TEST(Connectivity, BfsTreeDepthsAreShortestPaths) {
+  Rng rng(5);
+  const Graph g = connected_erdos_renyi(40, 0.1, rng);
+  const BfsTree t = bfs_tree(g, 0);
+  // Every edge violates the BFS property by at most one level.
+  for (const EdgeKey key : g.edges()) {
+    const auto [u, v] = edge_endpoints(key);
+    const auto du = static_cast<int>(t.depth[u]);
+    const auto dv = static_cast<int>(t.depth[v]);
+    EXPECT_LE(std::abs(du - dv), 1);
+  }
+}
+
+}  // namespace
+}  // namespace dyngossip

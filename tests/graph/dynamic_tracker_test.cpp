@@ -1,0 +1,96 @@
+// Tests for TC(E) accounting and edge-age tracking (Definition 1.3).
+#include "graph/dynamic_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(DynamicTracker, FirstRoundCountsAllEdgesAsInsertions) {
+  DynamicGraphTracker tracker(4);
+  const Graph g = path_graph(4);
+  const GraphDiff diff = tracker.advance(g, 1);
+  EXPECT_EQ(diff.inserted.size(), 3u);  // E_0 = ∅
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_EQ(tracker.topological_changes(), 3u);
+  EXPECT_EQ(tracker.deletions(), 0u);
+}
+
+TEST(DynamicTracker, DiffsAcrossRounds) {
+  DynamicGraphTracker tracker(4);
+  Graph g1(4);
+  g1.add_edge(0, 1);
+  g1.add_edge(1, 2);
+  tracker.advance(g1, 1);
+
+  Graph g2(4);
+  g2.add_edge(1, 2);  // kept
+  g2.add_edge(2, 3);  // inserted
+  const GraphDiff diff = tracker.advance(g2, 2);
+  ASSERT_EQ(diff.inserted.size(), 1u);
+  EXPECT_EQ(diff.inserted[0], edge_key(2, 3));
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], edge_key(0, 1));
+  EXPECT_EQ(tracker.topological_changes(), 3u);
+  EXPECT_EQ(tracker.deletions(), 1u);
+}
+
+TEST(DynamicTracker, DeletionsNeverExceedInsertions) {
+  Rng rng(17);
+  DynamicGraphTracker tracker(16);
+  for (Round r = 1; r <= 50; ++r) {
+    const Graph g = connected_erdos_renyi(16, 0.15, rng);
+    tracker.advance(g, r);
+    EXPECT_LE(tracker.deletions(), tracker.topological_changes());
+  }
+}
+
+TEST(DynamicTracker, InsertionRoundAndReinsertion) {
+  DynamicGraphTracker tracker(3);
+  Graph with(3), without(3);
+  with.add_edge(0, 1);
+  with.add_edge(1, 2);
+  without.add_edge(1, 2);
+  without.add_edge(0, 2);
+
+  tracker.advance(with, 1);
+  EXPECT_EQ(tracker.insertion_round(edge_key(0, 1)), 1u);
+  tracker.advance(without, 2);
+  EXPECT_EQ(tracker.insertion_round(edge_key(0, 1)), kNoRound);  // removed
+  tracker.advance(with, 3);
+  EXPECT_EQ(tracker.insertion_round(edge_key(0, 1)), 3u);  // re-inserted fresh
+  // {0,1} was present exactly 1 round before removal.
+  EXPECT_EQ(tracker.min_completed_lifetime(), 1u);
+  // TC: r1 inserts 2, r2 inserts {0,2}, r3 re-inserts {0,1}.
+  EXPECT_EQ(tracker.topological_changes(), 4u);
+}
+
+TEST(DynamicTracker, MinLifetimeTracksShortestInterval) {
+  DynamicGraphTracker tracker(3);
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  tracker.advance(a, 1);
+  EXPECT_EQ(tracker.min_completed_lifetime(), kNoRound);  // nothing removed yet
+  tracker.advance(a, 2);
+  tracker.advance(b, 3);  // {1,2} lived rounds 1-2 => lifetime 2
+  EXPECT_EQ(tracker.min_completed_lifetime(), 2u);
+}
+
+TEST(DynamicTrackerDeath, RoundsMustBeConsecutive) {
+  DynamicGraphTracker tracker(3);
+  tracker.advance(path_graph(3), 1);
+  EXPECT_DEATH(tracker.advance(path_graph(3), 3), "DG_CHECK");
+}
+
+TEST(DynamicTrackerDeath, NodeCountMustMatch) {
+  DynamicGraphTracker tracker(3);
+  EXPECT_DEATH(tracker.advance(path_graph(4), 1), "DG_CHECK");
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,92 @@
+// Tests for the graph generators.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(Generators, PathGraph) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+}
+
+TEST(Generators, CycleGraph) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, StarGraph) {
+  const Graph g = star_graph(7, 3);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(3), 6u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, RandomTreeIsSpanningTree) {
+  Rng rng(5);
+  for (std::size_t n : {2u, 10u, 100u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, ConnectedErdosRenyiAlwaysConnected) {
+  Rng rng(6);
+  for (double p : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    const Graph g = connected_erdos_renyi(40, p, rng);
+    EXPECT_TRUE(is_connected(g)) << "p=" << p;
+  }
+  const Graph dense = connected_erdos_renyi(10, 1.0, rng);
+  EXPECT_EQ(dense.num_edges(), 45u);  // p=1 is complete
+}
+
+TEST(Generators, RandomConnectedWithEdgesHitsTarget) {
+  Rng rng(7);
+  for (std::size_t m : {31u, 64u, 200u}) {
+    const Graph g = random_connected_with_edges(32, m, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(g.num_edges(), m);
+  }
+  // Target above the complete-graph maximum clamps.
+  const Graph g = random_connected_with_edges(5, 100, rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(Generators, RandomCyclesUnionNearRegularConnected) {
+  Rng rng(8);
+  for (std::size_t c : {1u, 2u, 4u}) {
+    const Graph g = random_cycles_union(50, c, rng);
+    EXPECT_TRUE(is_connected(g));
+    for (NodeId v = 0; v < 50; ++v) {
+      EXPECT_GE(g.degree(v), 2u);
+      EXPECT_LE(g.degree(v), 2 * c);
+    }
+  }
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng a(11), b(11);
+  const Graph ga = connected_erdos_renyi(30, 0.2, a);
+  const Graph gb = connected_erdos_renyi(30, 0.2, b);
+  EXPECT_EQ(ga.sorted_edges(), gb.sorted_edges());
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,88 @@
+// Tests for the round-graph representation.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyngossip {
+namespace {
+
+TEST(EdgeKey, CanonicalAndRoundTrip) {
+  EXPECT_EQ(edge_key(3, 7), edge_key(7, 3));
+  const auto [lo, hi] = edge_endpoints(edge_key(9, 2));
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 9u);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(4);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Graph, AddRemoveMaintainsAdjacency) {
+  Graph g(5);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate (either orientation)
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(2, 1));
+
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, AdjacencySymmetry) {
+  Graph g(6);
+  g.add_edge(2, 4);
+  bool found24 = false, found42 = false;
+  for (const NodeId w : g.neighbors(2)) found24 |= (w == 4);
+  for (const NodeId w : g.neighbors(4)) found42 |= (w == 2);
+  EXPECT_TRUE(found24);
+  EXPECT_TRUE(found42);
+}
+
+TEST(Graph, SortedNeighbors) {
+  Graph g(5);
+  g.add_edge(3, 4);
+  g.add_edge(3, 0);
+  g.add_edge(3, 2);
+  const std::vector<NodeId> want{0, 2, 4};
+  EXPECT_EQ(g.sorted_neighbors(3), want);
+}
+
+TEST(Graph, ConstructFromEdgeList) {
+  const std::vector<EdgeKey> edges{edge_key(0, 1), edge_key(1, 2), edge_key(0, 1)};
+  Graph g(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);  // duplicate collapsed
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Graph, SortedEdgesDeterministic) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  g.add_edge(0, 1);
+  const auto edges = g.sorted_edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], edge_key(0, 1));
+  EXPECT_EQ(edges[1], edge_key(2, 3));
+}
+
+TEST(GraphDeath, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_DEATH(g.add_edge(1, 1), "DG_CHECK");
+}
+
+TEST(GraphDeath, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_DEATH(g.add_edge(0, 3), "DG_CHECK");
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,107 @@
+// Tests for the paper's closed-form bound formulas.
+#include "sim/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/mathx.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(Bounds, CentersFormulaAndClamp) {
+  // f = n^{1/2} k^{1/4} log^{5/4} n, clamped to [1, n].
+  const double f = bounds::centers_f(1 << 20, 16);
+  const double expect = powd(static_cast<double>(1 << 20), 0.5) * powd(16.0, 0.25) *
+                        powd(20.0, 1.25);
+  EXPECT_NEAR(f, expect, 1e-6);
+  // Small n: the polylog saturates the clamp.
+  EXPECT_DOUBLE_EQ(bounds::centers_f(32, 32), 32.0);
+  EXPECT_GE(bounds::centers_f(2, 1), 1.0);
+}
+
+TEST(Bounds, GammaTimesFEqualsNLogN) {
+  for (std::size_t n : {1u << 16, 1u << 20}) {
+    for (std::size_t k : {4u, 256u}) {
+      const double lhs = bounds::degree_threshold_gamma(n, k) * bounds::centers_f(n, k);
+      const double rhs = static_cast<double>(n) * log2_clamped(static_cast<double>(n));
+      EXPECT_NEAR(lhs / rhs, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Bounds, SourceThresholdGrowsSublinearly) {
+  // n^{2/3} log^{5/3} n < n once n^{1/3} outgrows log^{5/3} n (n >= 2^30).
+  const auto big = static_cast<std::size_t>(1) << 30;
+  EXPECT_LT(bounds::source_threshold(big), static_cast<double>(big));
+  EXPECT_GT(bounds::source_threshold(big), 0.0);
+  // At laptop scale the polylog dominates — the s <= threshold branch of
+  // Algorithm 2 (skip phase 1) is the common case there.
+  EXPECT_GT(bounds::source_threshold(1 << 10), static_cast<double>(1 << 10));
+}
+
+TEST(Bounds, Table1AmortizedDecreasesInK) {
+  constexpr std::size_t n = 1 << 16;
+  double prev = 1e300;
+  for (std::size_t k : {64u, 256u, 4096u, 65536u}) {
+    const double a = bounds::table1_amortized(n, k);
+    EXPECT_LT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Bounds, Table1ConsistentWithThm38) {
+  // amortized = total / k.
+  constexpr std::size_t n = 1 << 18;
+  constexpr std::size_t k = 1 << 10;
+  const double ratio = bounds::table1_amortized(n, k) /
+                       (bounds::thm38_total_messages(n, k) / static_cast<double>(k));
+  EXPECT_NEAR(ratio, 1.0, 1e-12);
+}
+
+TEST(Bounds, Table1RowShapes) {
+  // The paper's four rows: k = n^{2/3}polylog -> ~n^2; k = n^2 -> ~n polylog.
+  constexpr std::size_t n = 1 << 20;
+  const auto k_small = static_cast<std::size_t>(bounds::source_threshold(n));
+  const double row1 = bounds::table1_amortized(n, k_small);
+  const double row4 = bounds::table1_amortized(n, n * static_cast<std::size_t>(n));
+  const double n2 = static_cast<double>(n) * n;
+  EXPECT_NEAR(row1 / n2, 1.0, 0.5);  // within a constant of n^2
+  EXPECT_LT(row4, static_cast<double>(n) * 100);  // ~ n polylog
+}
+
+TEST(Bounds, CompetitiveTotalsAreMonotone) {
+  EXPECT_LT(bounds::single_source_messages(32, 10),
+            bounds::single_source_messages(64, 10));
+  EXPECT_LT(bounds::multi_source_messages(32, 10, 2),
+            bounds::multi_source_messages(32, 10, 4));
+  EXPECT_LT(bounds::stable_round_bound(8, 4), bounds::stable_round_bound(8, 8));
+}
+
+TEST(Bounds, BroadcastBoundsOrdering) {
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    EXPECT_LT(bounds::broadcast_lb_amortized(n), bounds::broadcast_ub_amortized(n));
+    EXPECT_GT(bounds::broadcast_lb_amortized(n), 0.0);
+  }
+}
+
+TEST(Bounds, StaticAmortizedShape) {
+  constexpr std::size_t n = 128;
+  // Decreasing in k, floored at ~n.
+  EXPECT_GT(bounds::static_amortized(n, 1), bounds::static_amortized(n, n));
+  EXPECT_GE(bounds::static_amortized(n, 1 << 20), static_cast<double>(n));
+  EXPECT_LE(bounds::static_amortized(n, 1 << 20), 1.5 * n);
+}
+
+TEST(Bounds, SparseBroadcasterThreshold) {
+  EXPECT_NEAR(bounds::sparse_broadcaster_threshold(128, 4.0), 128.0 / (4 * 7), 1e-9);
+}
+
+TEST(Bounds, WalkLengthAndPhase1Bound) {
+  constexpr std::size_t n = 1 << 20;
+  constexpr std::size_t k = 1 << 8;
+  EXPECT_GT(bounds::walk_length_L(n, k), static_cast<double>(n));  // L >> n
+  EXPECT_GT(bounds::phase1_round_bound(n, k), bounds::walk_length_L(n, k));
+}
+
+}  // namespace
+}  // namespace dyngossip

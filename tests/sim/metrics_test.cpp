@@ -1,0 +1,131 @@
+// Tests for accounting, learning log, potential, and report rendering.
+#include <gtest/gtest.h>
+
+#include "metrics/accounting.hpp"
+#include "metrics/learning_log.hpp"
+#include "metrics/potential.hpp"
+#include "metrics/report.hpp"
+#include "sim/config.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(MessageCounts, AddAndTotal) {
+  MessageCounts c;
+  c.add(MsgType::kToken);
+  c.add(MsgType::kToken);
+  c.add(MsgType::kCompleteness);
+  c.add(MsgType::kRequest);
+  c.add(MsgType::kControl);
+  EXPECT_EQ(c.token, 2u);
+  EXPECT_EQ(c.completeness, 1u);
+  EXPECT_EQ(c.request, 1u);
+  EXPECT_EQ(c.control, 1u);
+  EXPECT_EQ(c.total(), 5u);
+
+  MessageCounts d;
+  d.add(MsgType::kToken);
+  c += d;
+  EXPECT_EQ(c.token, 3u);
+  EXPECT_EQ(c.total(), 6u);
+}
+
+TEST(RunMetrics, AmortizedAndResidual) {
+  RunMetrics m;
+  m.unicast.token = 700;
+  m.unicast.request = 300;
+  m.tc = 400;
+  EXPECT_DOUBLE_EQ(m.amortized(10), 100.0);
+  EXPECT_DOUBLE_EQ(m.amortized(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.competitive_residual(1.0), 600.0);
+  EXPECT_DOUBLE_EQ(m.competitive_residual(2.0), 200.0);
+  EXPECT_DOUBLE_EQ(m.competitive_residual(10.0), 0.0);  // clamped at zero
+}
+
+TEST(RunMetrics, TotalMixesBroadcastAndUnicast) {
+  RunMetrics m;
+  m.broadcasts = 5;
+  m.unicast.control = 2;
+  EXPECT_EQ(m.total_messages(), 7u);
+}
+
+TEST(MergeMetrics, FieldwiseSum) {
+  RunMetrics a, b;
+  a.unicast.token = 10;
+  a.tc = 3;
+  a.rounds = 7;
+  a.learnings = 4;
+  a.completed = false;
+  b.unicast.request = 5;
+  b.tc = 2;
+  b.rounds = 9;
+  b.learnings = 6;
+  b.completed = true;
+  const RunMetrics m = merge_metrics(a, b);
+  EXPECT_EQ(m.unicast.token, 10u);
+  EXPECT_EQ(m.unicast.request, 5u);
+  EXPECT_EQ(m.tc, 5u);
+  EXPECT_EQ(m.rounds, 16u);
+  EXPECT_EQ(m.learnings, 10u);
+  EXPECT_TRUE(m.completed);  // the final phase decides
+}
+
+TEST(LearningLog, CountsAlwaysEventsOptionally) {
+  LearningLog counting(false);
+  counting.add(1, 2, 3);
+  counting.add(4, 5, 6);
+  EXPECT_EQ(counting.count(), 2u);
+  EXPECT_EQ(counting.last_learning_round(), 6u);
+  EXPECT_TRUE(counting.events().empty());
+
+  LearningLog recording(true);
+  recording.add(1, 2, 3);
+  recording.add(1, 3, 3);
+  recording.add(2, 2, 5);
+  ASSERT_EQ(recording.events().size(), 3u);
+  const auto per_round = recording.per_round(5);
+  EXPECT_EQ(per_round[3], 2u);
+  EXPECT_EQ(per_round[4], 0u);
+  EXPECT_EQ(per_round[5], 1u);
+}
+
+TEST(Potential, ComputesUnionSizes) {
+  std::vector<DynamicBitset> knowledge(2, DynamicBitset(4));
+  std::vector<DynamicBitset> kprime(2, DynamicBitset(4));
+  knowledge[0].set(0);
+  knowledge[0].set(1);
+  kprime[0].set(1);
+  kprime[0].set(2);  // |K_0 ∪ K'_0| = 3
+  kprime[1].set(3);  // |K_1 ∪ K'_1| = 1
+  EXPECT_EQ(potential(knowledge, kprime), 4u);
+}
+
+TEST(Potential, SampleKprimeExtremesAndRate) {
+  Rng rng(3);
+  const auto none = sample_kprime(4, 16, 0.0, rng);
+  const auto all = sample_kprime(4, 16, 1.0, rng);
+  for (const auto& s : none) EXPECT_EQ(s.count(), 0u);
+  for (const auto& s : all) EXPECT_EQ(s.count(), 16u);
+  const auto quarter = sample_kprime(64, 256, 0.25, rng);
+  std::uint64_t total = 0;
+  for (const auto& s : quarter) total += s.count();
+  EXPECT_NEAR(static_cast<double>(total) / (64.0 * 256.0), 0.25, 0.02);
+}
+
+TEST(Report, BreakdownAndSummaryRender) {
+  RunMetrics m;
+  m.unicast.token = 1234;
+  m.unicast.completeness = 56;
+  m.tc = 78;
+  m.rounds = 9;
+  m.completed = true;
+  const std::string breakdown = message_breakdown(m.unicast);
+  EXPECT_NE(breakdown.find("token=1_234"), std::string::npos);
+  const std::string summary = run_summary(m, 10);
+  EXPECT_NE(summary.find("rounds=9"), std::string::npos);
+  EXPECT_NE(summary.find("completed"), std::string::npos);
+  EXPECT_NE(summary.find("TC(E)=78"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,89 @@
+// Tests for the per-round series recorder.
+#include "metrics/series.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "adversary/static_adversary.hpp"
+#include "core/single_source.hpp"
+#include "engine/unicast_engine.hpp"
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(SeriesRecorder, RecordsOneSamplePerRound) {
+  constexpr std::size_t n = 6;
+  constexpr std::uint32_t k = 4;
+  StaticAdversary adversary(path_graph(n));
+  SingleSourceConfig cfg{n, k, 0};
+  UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
+                       SingleSourceNode::initial_knowledge(cfg), k);
+  SeriesRecorder recorder;
+  engine.set_round_hook(recorder.hook());
+  engine.run(10'000);
+  ASSERT_TRUE(engine.all_complete());
+  ASSERT_EQ(recorder.samples().size(), engine.metrics().rounds);
+  // Cumulative counters are monotone; rounds are 1..R.
+  for (std::size_t i = 0; i < recorder.samples().size(); ++i) {
+    const RoundSample& s = recorder.samples()[i];
+    EXPECT_EQ(s.round, i + 1);
+    EXPECT_EQ(s.edges, n - 1);  // static path
+    if (i > 0) {
+      EXPECT_GE(s.messages, recorder.samples()[i - 1].messages);
+      EXPECT_GE(s.learnings, recorder.samples()[i - 1].learnings);
+    }
+  }
+  // Final cumulative values match the engine's metrics.
+  EXPECT_EQ(recorder.samples().back().messages, engine.metrics().total_messages());
+  EXPECT_EQ(recorder.samples().back().learnings, engine.metrics().learnings);
+  EXPECT_EQ(recorder.samples().back().tc, engine.metrics().tc);
+}
+
+TEST(SeriesRecorder, IncrementsSumToTotals) {
+  constexpr std::size_t n = 8;
+  constexpr std::uint32_t k = 5;
+  StaticAdversary adversary(cycle_graph(n));
+  SingleSourceConfig cfg{n, k, 0};
+  UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
+                       SingleSourceNode::initial_knowledge(cfg), k);
+  SeriesRecorder recorder;
+  engine.set_round_hook(recorder.hook());
+  engine.run(10'000);
+  ASSERT_TRUE(engine.all_complete());
+
+  std::uint64_t learn_sum = 0;
+  for (const auto d : recorder.per_round_learnings()) learn_sum += d;
+  EXPECT_EQ(learn_sum, engine.metrics().learnings);
+  std::uint64_t msg_sum = 0;
+  for (const auto d : recorder.per_round_messages()) msg_sum += d;
+  EXPECT_EQ(msg_sum, engine.metrics().total_messages());
+  EXPECT_GE(recorder.max_learning_burst(), 1u);
+}
+
+TEST(SeriesRecorder, CsvShape) {
+  SeriesRecorder recorder;
+  auto hook = recorder.hook();
+  RunMetrics m;
+  m.unicast.token = 3;
+  m.learnings = 2;
+  m.tc = 5;
+  hook(1, path_graph(4), m);
+  std::ostringstream os;
+  recorder.write_csv(os);
+  EXPECT_EQ(os.str(), "round,messages,learnings,tc,edges\n1,3,2,5,3\n");
+}
+
+TEST(SeriesRecorder, ClearResets) {
+  SeriesRecorder recorder;
+  auto hook = recorder.hook();
+  hook(1, path_graph(3), RunMetrics{});
+  EXPECT_EQ(recorder.samples().size(), 1u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.samples().empty());
+  EXPECT_EQ(recorder.max_learning_burst(), 0u);
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,80 @@
+// End-to-end smoke tests for every top-level simulator entry point.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/churn.hpp"
+#include "adversary/static_adversary.hpp"
+#include "graph/generators.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(Simulator, SingleSourceSmoke) {
+  ChurnConfig cc;
+  cc.n = 10;
+  cc.target_edges = 20;
+  cc.churn_per_round = 2;
+  cc.sigma = 3;
+  cc.seed = 1;
+  ChurnAdversary adversary(cc);
+  const RunResult r = run_single_source(10, 6, 3, adversary, 50'000);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.rounds, r.metrics.rounds);
+}
+
+TEST(Simulator, MultiSourceSmoke) {
+  const auto space = std::make_shared<TokenSpace>(
+      TokenSpace::contiguous({{0, 3}, {5, 3}}));
+  StaticAdversary adversary(cycle_graph(8));
+  const RunResult r = run_multi_source(8, space, adversary, 50'000);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Simulator, SpanningTreeSmoke) {
+  const auto space = std::make_shared<TokenSpace>(TokenSpace::single_source(0, 4));
+  StaticAdversary adversary(complete_graph(6));
+  const RunResult r = run_spanning_tree(6, space, adversary, 10'000);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Simulator, FloodingSmoke) {
+  StaticAdversary adversary(path_graph(6));
+  std::vector<DynamicBitset> init(6, DynamicBitset(3));
+  init[0].set(0);
+  init[2].set(1);
+  init[5].set(2);
+  const RunResult phase = run_phase_flooding(6, 3, init, adversary, 1'000);
+  EXPECT_TRUE(phase.completed);
+  const RunResult rnd = run_random_flooding(6, 3, init, adversary, 10'000, 7);
+  EXPECT_TRUE(rnd.completed);
+}
+
+TEST(Simulator, ObliviousSmoke) {
+  std::vector<TokenSpace::SourceSpec> specs;
+  for (NodeId v = 0; v < 16; ++v) specs.push_back({v, 1});
+  const auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
+  ChurnConfig cc;
+  cc.n = 16;
+  cc.target_edges = 48;
+  cc.churn_per_round = 2;
+  cc.sigma = 3;
+  cc.seed = 2;
+  ChurnAdversary adversary(cc);
+  ObliviousMsOptions opts;
+  opts.seed = 3;
+  opts.force_phase1 = true;
+  opts.f_override = 3;
+  const ObliviousMsResult r = run_oblivious_multi_source(16, space, adversary, opts);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Simulator, IncompleteRunReportsHonestly) {
+  StaticAdversary adversary(path_graph(30));
+  const RunResult r = run_single_source(30, 50, 0, adversary, /*max_rounds=*/5);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rounds, 5u);
+}
+
+}  // namespace
+}  // namespace dyngossip

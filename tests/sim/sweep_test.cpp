@@ -1,0 +1,67 @@
+// Tests for the bench sweep utilities.
+#include "sim/sweep.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dyngossip {
+namespace {
+
+TEST(SweepSeeds, RunsExactlyTrialsTimesWithDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  const Summary s = sweep_seeds(5, 42, [&](std::uint64_t seed) {
+    seen.insert(seed);
+    return static_cast<double>(seen.size());
+  });
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(seen.size(), 5u);  // derived seeds never collide in practice
+}
+
+TEST(SweepSeeds, DeterministicForSameBaseSeed) {
+  auto measure = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 1000);
+  };
+  const Summary a = sweep_seeds(4, 7, measure);
+  const Summary b = sweep_seeds(4, 7, measure);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+}
+
+TEST(SweepSeeds, DifferentBaseSeedsDiffer) {
+  auto measure = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 100000);
+  };
+  const Summary a = sweep_seeds(4, 1, measure);
+  const Summary b = sweep_seeds(4, 2, measure);
+  EXPECT_NE(a.mean, b.mean);
+}
+
+TEST(GeometricGrid, CoversRangeAndEndsAtHi) {
+  const auto grid = geometric_grid(8, 64, 2.0);
+  const std::vector<std::size_t> want{8, 16, 32, 64};
+  EXPECT_EQ(grid, want);
+}
+
+TEST(GeometricGrid, AlwaysIncludesHi) {
+  const auto grid = geometric_grid(10, 100, 3.0);
+  EXPECT_EQ(grid.front(), 10u);
+  EXPECT_EQ(grid.back(), 100u);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(GeometricGrid, FractionalFactorDeduplicates) {
+  const auto grid = geometric_grid(4, 8, 1.1);
+  // strictly increasing despite rounding collisions
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(GeometricGrid, SingletonRange) {
+  const auto grid = geometric_grid(5, 5, 2.0);
+  const std::vector<std::size_t> want{5};
+  EXPECT_EQ(grid, want);
+}
+
+}  // namespace
+}  // namespace dyngossip
