@@ -1,225 +1,11 @@
-// Ablation benches for the design choices called out in DESIGN.md.
-//
-// A. Request-priority order (Algorithm 1).  The paper prioritizes
-//    new > idle > contributive; Lemmas 3.2/3.3 use exactly this order to
-//    bound futile rounds.  We compare the paper order against the reversed
-//    and new-last orders under churn and under the adaptive request cutter.
-//
-// B. Walk step probability (Algorithm 2, line 8).  The pseudocode says a
-//    low-degree node moves each token with probability 1/d(u); the text's
-//    analysis uses the lazy virtual-multigraph walk (probability d(u)/n).
-//    We measure both variants' phase-1 behaviour.
-//
-// C. Lower-bound adversary graph mode.  The paper's construction returns
-//    ALL free edges; our default returns a spanning forest of the free
-//    components (identical potential dynamics, O(n) edges per round).  We
-//    verify the substitution empirically: same throttle, same order of
-//    amortized cost.
-//
-// Usage: bench_ablations [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `ablations` scenario in the registry.
+// Run `dyngossip run ablations` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <memory>
-#include <iostream>
-
-#include "adversary/churn.hpp"
-#include "adversary/lb_adversary.hpp"
-#include "adversary/request_cutter.hpp"
-#include "common/cli.hpp"
-#include "common/table.hpp"
-#include "core/single_source.hpp"
-#include "engine/unicast_engine.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
-
-namespace {
-
-const char* priority_name(RequestPriority p) {
-  switch (p) {
-    case RequestPriority::kPaper:
-      return "paper (new>idle>contrib)";
-    case RequestPriority::kReversed:
-      return "reversed (new>contrib>idle)";
-    case RequestPriority::kNewLast:
-      return "new-last (idle>contrib>new)";
-  }
-  return "?";
-}
-
-}  // namespace
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_ablations [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const bool csv = args.get_bool("csv", false);
-
-  // ---------------- A. request-priority order ----------------------------
-  {
-    const std::size_t n = quick ? 24 : 48;
-    const auto k = static_cast<std::uint32_t>(2 * n);
-    std::printf("== Ablation A: request priority (n=%zu, k=%u) ==\n\n", n, k);
-    TablePrinter table({"priority", "adversary", "rounds", "requests",
-                        "requests over new", "over idle", "over contrib"});
-    for (const RequestPriority priority :
-         {RequestPriority::kPaper, RequestPriority::kReversed,
-          RequestPriority::kNewLast}) {
-      for (const bool cutter : {false, true}) {
-        RunningStat rounds, requests, over_new, over_idle, over_contrib;
-        for (std::size_t i = 0; i < seeds; ++i) {
-          const std::uint64_t seed = 23'000 + i;
-          std::unique_ptr<Adversary> adversary;
-          if (cutter) {
-            RequestCutterConfig rc;
-            rc.n = n;
-            rc.target_edges = 3 * n;
-            rc.cut_probability = 0.6;
-            rc.seed = seed;
-            adversary = std::make_unique<RequestCutterAdversary>(rc);
-          } else {
-            ChurnConfig cc;
-            cc.n = n;
-            cc.target_edges = 3 * n;
-            cc.churn_per_round = n / 6;
-            cc.seed = seed;
-            adversary = std::make_unique<ChurnAdversary>(cc);
-          }
-          SingleSourceConfig cfg{n, k, 0, priority};
-          UnicastEngine engine(SingleSourceNode::make_all(cfg), *adversary,
-                               SingleSourceNode::initial_knowledge(cfg), k);
-          const RunMetrics m = engine.run(static_cast<Round>(400 * n * k));
-          if (!m.completed) continue;
-          rounds.add(static_cast<double>(m.rounds));
-          requests.add(static_cast<double>(m.unicast.request));
-          std::uint64_t c0 = 0, c1 = 0, c2 = 0;
-          for (NodeId v = 0; v < n; ++v) {
-            const auto& node = static_cast<const SingleSourceNode&>(engine.node(v));
-            c0 += node.requests_over(EdgeClass::kNew);
-            c1 += node.requests_over(EdgeClass::kIdle);
-            c2 += node.requests_over(EdgeClass::kContributive);
-          }
-          over_new.add(static_cast<double>(c0));
-          over_idle.add(static_cast<double>(c1));
-          over_contrib.add(static_cast<double>(c2));
-        }
-        table.add_row({priority_name(priority), cutter ? "cutter p=0.6" : "churn",
-                       TablePrinter::num(rounds.mean(), 0),
-                       TablePrinter::num(requests.mean(), 0),
-                       TablePrinter::num(over_new.mean(), 0),
-                       TablePrinter::num(over_idle.mean(), 0),
-                       TablePrinter::num(over_contrib.mean(), 0)});
-      }
-    }
-    if (csv) {
-      table.print_csv(std::cout);
-    } else {
-      table.print(std::cout);
-    }
-    std::printf("\n");
-  }
-
-  // ---------------- B. walk-probability variant --------------------------
-  {
-    const std::size_t n = quick ? 32 : 64;
-    std::printf("== Ablation B: Algorithm 2 walk probability (n=%zu, n-gossip) ==\n\n",
-                n);
-    std::vector<TokenSpace::SourceSpec> specs;
-    for (std::size_t v = 0; v < n; ++v) specs.push_back({static_cast<NodeId>(v), 1});
-    const auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
-    TablePrinter table({"variant", "phase1 rounds", "walk msgs", "virtual steps",
-                        "total msgs", "completed"});
-    for (const bool pseudocode : {false, true}) {
-      RunningStat p1r, walk, virt, total;
-      std::size_t done = 0;
-      for (std::size_t i = 0; i < seeds; ++i) {
-        ChurnConfig cc;
-        cc.n = n;
-        cc.target_edges = 4 * n;
-        cc.churn_per_round = n / 8;
-        cc.sigma = 3;
-        cc.seed = 29'000 + i;
-        ChurnAdversary adversary(cc);
-        ObliviousMsOptions opts;
-        opts.seed = 31'000 + i;
-        opts.force_phase1 = true;
-        opts.f_override = std::max<std::size_t>(2, n / 8);
-        opts.pseudocode_walk_prob = pseudocode;
-        const ObliviousMsResult r =
-            run_oblivious_multi_source(n, space, adversary, opts);
-        if (!r.completed) continue;
-        ++done;
-        p1r.add(static_cast<double>(r.phase1_rounds));
-        walk.add(static_cast<double>(r.walk_real_steps));
-        virt.add(static_cast<double>(r.walk_virtual_steps));
-        total.add(static_cast<double>(r.total.unicast.total()));
-      }
-      table.add_row({pseudocode ? "pseudocode 1/d(u)" : "text d(u)/n (lazy)",
-                     TablePrinter::num(p1r.mean(), 0),
-                     TablePrinter::num(walk.mean(), 0),
-                     TablePrinter::num(virt.mean(), 0),
-                     TablePrinter::num(total.mean(), 0),
-                     std::to_string(done) + "/" + std::to_string(seeds)});
-    }
-    if (csv) {
-      table.print_csv(std::cout);
-    } else {
-      table.print(std::cout);
-    }
-    std::printf(
-        "\nThe lazy d/n walk (the analysis' virtual n-regular multigraph)\n"
-        "trades many virtual steps for few messages; the pseudocode's 1/d\n"
-        "variant walks aggressively — similar message totals here because\n"
-        "phase 1 ends at the realized hitting time either way.\n\n");
-  }
-
-  // ---------------- C. LB adversary graph mode ---------------------------
-  {
-    const std::size_t n = quick ? 24 : 32;
-    const std::size_t k = n / 2;
-    std::printf("== Ablation C: LB adversary — spanning forest vs all free edges"
-                " (n=%zu, k=%zu) ==\n\n", n, k);
-    TablePrinter table({"graph mode", "rounds", "broadcasts", "amortized",
-                        "learnings/round"});
-    for (const bool full : {false, true}) {
-      RunningStat rounds, broadcasts, amortized, rate;
-      for (std::size_t i = 0; i < seeds; ++i) {
-        Rng rng(37'000 + i);
-        std::vector<DynamicBitset> init(n, DynamicBitset(k));
-        for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
-        LbAdversaryConfig cfg;
-        cfg.n = n;
-        cfg.k = k;
-        cfg.seed = rng.next();
-        cfg.full_free_graph = full;
-        LowerBoundAdversary adversary(cfg, init);
-        const RunResult r = run_phase_flooding(n, k, init, adversary,
-                                               static_cast<Round>(100 * n * k));
-        if (!r.completed) continue;
-        rounds.add(static_cast<double>(r.rounds));
-        broadcasts.add(static_cast<double>(r.metrics.broadcasts));
-        amortized.add(r.amortized(k));
-        rate.add(static_cast<double>(r.metrics.learnings) /
-                 static_cast<double>(r.rounds));
-      }
-      table.add_row({full ? "all free edges (paper-verbatim)" : "spanning forest",
-                     TablePrinter::num(rounds.mean(), 0),
-                     TablePrinter::num(broadcasts.mean(), 0),
-                     TablePrinter::num(amortized.mean(), 0),
-                     TablePrinter::num(rate.mean(), 2)});
-    }
-    if (csv) {
-      table.print_csv(std::cout);
-    } else {
-      table.print(std::cout);
-    }
-    std::printf(
-        "\nBoth modes throttle learning identically in order of magnitude —\n"
-        "the forest substitution (DESIGN.md) preserves the potential-argument\n"
-        "dynamics while keeping round graphs O(n)-sized.\n");
-  }
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "ablations", argc, argv);
 }

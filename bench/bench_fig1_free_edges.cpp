@@ -1,100 +1,11 @@
-// Figure 1 (Section 2): the structure of the free-edge graph F(r).
-//
-// The figure illustrates Lemma 2.2: in a round with at most n/(c log n)
-// broadcasting nodes, the free edges connect every broadcaster in B to the
-// silent clique B̄, so F(r) is a single connected component (no token
-// learning is possible).  Lemma 2.1 complements it: for ANY assignment,
-// F(r) has O(log n) components.
-//
-// This bench regenerates the figure as a table: sweeping the number of
-// broadcasters β, it reports the distribution of component counts of F(r)
-// over random token assignments against freshly sampled K' sets
-// (p = 1/4, the construction's parameter).
-//
-// Usage: bench_fig1_free_edges [--quick] [--n=128] [--trials=200] [--csv]
+// Thin shim: this bench is now the `fig1_free_edges` scenario in the registry.
+// Run `dyngossip run fig1_free_edges` (or this binary with the legacy flags).
 
-#include <algorithm>
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/lb_adversary.hpp"
-#include "common/cli.hpp"
-#include "common/mathx.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "metrics/potential.hpp"
-#include "sim/bounds.hpp"
-
-using namespace dyngossip;
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "n", "k", "trials", "csv"},
-                  "bench_fig1_free_edges [--quick] [--n=128] [--trials=200]");
-  const bool quick = args.get_bool("quick", false);
-  const auto n = static_cast<std::size_t>(args.get_int("n", quick ? 64 : 128));
-  const auto k = static_cast<std::size_t>(args.get_int("k", n));
-  const auto trials =
-      static_cast<std::size_t>(args.get_int("trials", quick ? 50 : 200));
-
-  const double logn = log2_clamped(static_cast<double>(n));
-  const auto sparse_threshold =
-      static_cast<std::size_t>(bounds::sparse_broadcaster_threshold(n, 4.0));
-
-  std::printf("== Figure 1: free-edge graph structure (n=%zu, k=%zu, %zu trials) ==\n",
-              n, k, trials);
-  std::printf("   Lemma 2.2 sparsity threshold n/(4 log n) = %zu broadcasters\n\n",
-              sparse_threshold);
-
-  const std::vector<std::size_t> betas = [&] {
-    std::vector<std::size_t> b{1, std::max<std::size_t>(1, sparse_threshold / 2),
-                               sparse_threshold,
-                               static_cast<std::size_t>(n / logn),
-                               n / 4, n / 2, n};
-    std::sort(b.begin(), b.end());
-    b.erase(std::unique(b.begin(), b.end()), b.end());
-    return b;
-  }();
-
-  Rng rng(2024);
-  TablePrinter table({"broadcasters", "sparse?", "components mean", "components max",
-                      "P[connected]", "free edges in forest"});
-  for (const std::size_t beta : betas) {
-    RunningStat comps, forest;
-    std::size_t connected = 0;
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      // Fresh K' and a random sparse knowledge state for each trial.
-      const auto kprime = sample_kprime(n, k, 0.25, rng);
-      std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
-      std::vector<TokenId> intents(n, kNoToken);
-      for (const auto v : rng.sample_without_replacement(n, beta)) {
-        const auto t = static_cast<TokenId>(rng.next_below(k));
-        knowledge[v].set(t);  // token-forwarding: broadcasters hold the token
-        intents[v] = t;
-      }
-      const FreeGraphAnalysis a = analyze_free_graph(intents, knowledge, kprime);
-      comps.add(static_cast<double>(a.components));
-      forest.add(static_cast<double>(a.forest.size()));
-      connected += (a.components == 1);
-    }
-    table.add_row({std::to_string(beta),
-                   beta <= sparse_threshold ? "yes" : "no",
-                   TablePrinter::num(comps.mean(), 2),
-                   TablePrinter::num(comps.max(), 0),
-                   TablePrinter::num(static_cast<double>(connected) /
-                                         static_cast<double>(trials), 3),
-                   TablePrinter::num(forest.mean(), 1)});
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape (Figure 1 / Lemmas 2.1-2.2): below the sparsity\n"
-      "threshold the free graph is connected with probability 1 (no round\n"
-      "progress possible); above it components appear but stay O(log n)\n"
-      "(log2 n = %.1f here).\n",
-      logn);
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "fig1_free_edges", argc, argv);
 }

@@ -1,96 +1,11 @@
-// Theorem 2.3: the strongly adaptive adversary forces every token-forwarding
-// local-broadcast algorithm to spend Ω(n²/log² n) amortized messages.
-//
-// The bench runs naive phase flooding (which is guaranteed to finish in nk
-// rounds against ANY adversary) against the Section-2 adversary over an n
-// sweep and reports the amortized broadcast count per token, normalized by
-// the paper's lower bound n²/log² n and the naive upper bound n².  It also
-// reports the measured learning rate per round against the O(log n) throttle
-// and the empirical growth exponent of the amortized cost.
-//
-// Usage: bench_lb_broadcast [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `lb_broadcast` scenario in the registry.
+// Run `dyngossip run lb_broadcast` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/lb_adversary.hpp"
-#include "common/cli.hpp"
-#include "common/mathx.hpp"
-#include "common/table.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
-
-namespace {
-
-std::vector<DynamicBitset> one_per_token(std::size_t n, std::size_t k, Rng& rng) {
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
-  for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
-  return init;
-}
-
-}  // namespace
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_lb_broadcast [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{24, 32, 48}
-            : std::vector<std::size_t>{24, 32, 48, 64, 96};
-
-  std::printf("== Theorem 2.3: local-broadcast lower bound (phase flooding vs LB"
-              " adversary) ==\n\n");
-
-  TablePrinter table({"n", "k", "rounds", "amortized broadcasts", "LB n^2/log^2 n",
-                      "meas/LB", "UB n^2", "meas/UB", "learnings/round"});
-  std::vector<double> xs, ys;
-  for (const std::size_t n : sizes) {
-    const std::size_t k = n / 2;
-    RunningStat amortized, rounds, rate;
-    for (std::size_t i = 0; i < seeds; ++i) {
-      Rng rng(7'000 + 31 * n + i);
-      const auto init = one_per_token(n, k, rng);
-      LbAdversaryConfig cfg;
-      cfg.n = n;
-      cfg.k = k;
-      cfg.seed = rng.next();
-      LowerBoundAdversary adversary(cfg, init);
-      const RunResult r =
-          run_phase_flooding(n, k, init, adversary, static_cast<Round>(100 * n * k));
-      if (!r.completed) continue;
-      amortized.add(r.amortized(k));
-      rounds.add(static_cast<double>(r.rounds));
-      rate.add(static_cast<double>(r.metrics.learnings) /
-               static_cast<double>(r.rounds));
-    }
-    const double lb = bounds::broadcast_lb_amortized(n);
-    const double ub = bounds::broadcast_ub_amortized(n);
-    table.add_row({std::to_string(n), std::to_string(k),
-                   TablePrinter::num(rounds.mean(), 0),
-                   TablePrinter::num(amortized.mean(), 0), TablePrinter::num(lb, 0),
-                   TablePrinter::num(amortized.mean() / lb, 2),
-                   TablePrinter::num(ub, 0),
-                   TablePrinter::num(amortized.mean() / ub, 2),
-                   TablePrinter::num(rate.mean(), 2)});
-    xs.push_back(static_cast<double>(n));
-    ys.push_back(amortized.mean());
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nEmpirical growth exponent of amortized cost vs n: %.2f\n"
-      "Expected shape: exponent ~2 modulo log factors (between n^2/log^2 n and\n"
-      "n^2); meas/LB >= 1 everywhere; learning rate per round stays O(log n)\n"
-      "(log2 n ranges %.1f..%.1f over this sweep).\n",
-      loglog_slope(xs, ys), log2_clamped(static_cast<double>(sizes.front())),
-      log2_clamped(static_cast<double>(sizes.back())));
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "lb_broadcast", argc, argv);
 }

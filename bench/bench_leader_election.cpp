@@ -1,113 +1,11 @@
-// Section-4 extension bench: leader election under the adversary-
-// competitive measure.
-//
-// The paper proposes (Conclusion, §4) applying the adversary-competitive
-// lens to problems beyond token dissemination, naming leader election
-// explicitly.  This bench measures the two protocols of
-// core/leader_election.hpp across adversaries and sizes:
-//   broadcast (eager windows)  — agreement within n rounds, O(n·adoptions)
-//                                broadcasts, TC-independent;
-//   unicast (competitive)      — silence is free; every message beyond the
-//                                initial O(n²)-bounded flood is triggered
-//                                by (and charged to) an adversarial edge
-//                                insertion.
-//
-// Usage: bench_leader_election [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `leader_election` scenario in the registry.
+// Run `dyngossip run leader_election` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "adversary/churn.hpp"
-#include "adversary/patterns.hpp"
-#include "common/cli.hpp"
-#include "common/table.hpp"
-#include "core/leader_election.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_leader_election [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{32, 64} : std::vector<std::size_t>{32, 64, 128};
-
-  std::printf("== §4 extension: leader election, competitive accounting ==\n\n");
-
-  TablePrinter table({"n", "adversary", "bcast rounds", "bcast msgs",
-                      "uni rounds", "uni msgs", "TC(E)", "uni residual(α=1)",
-                      "residual/n^2"});
-  for (const std::size_t n : sizes) {
-    struct Case {
-      const char* name;
-      int kind;  // 0 churn, 1 fresh, 2 star, 3 path-shuffle
-    };
-    for (const Case& c : {Case{"churn", 0}, Case{"fresh-graph", 1},
-                          Case{"rotating-star", 2}, Case{"path-shuffle", 3}}) {
-      RunningStat brounds, bmsgs, urounds, umsgs, tc, residual;
-      for (std::size_t i = 0; i < seeds; ++i) {
-        const std::uint64_t seed = 41'000 + 3 * n + i;
-        auto make = [&]() -> std::unique_ptr<Adversary> {
-          switch (c.kind) {
-            case 0: {
-              ChurnConfig cc;
-              cc.n = n;
-              cc.target_edges = 3 * n;
-              cc.churn_per_round = n / 4;
-              cc.seed = seed;
-              return std::make_unique<ChurnAdversary>(cc);
-            }
-            case 1: {
-              ChurnConfig cc;
-              cc.n = n;
-              cc.target_edges = 3 * n;
-              cc.fresh_graph_each_round = true;
-              cc.seed = seed;
-              return std::make_unique<ChurnAdversary>(cc);
-            }
-            case 2:
-              return std::make_unique<RotatingStarAdversary>(n, seed);
-            default:
-              return std::make_unique<PathShuffleAdversary>(n, seed);
-          }
-        };
-        auto a1 = make();
-        const LeaderElectionResult b =
-            run_leader_election_broadcast(n, *a1, static_cast<Round>(50 * n));
-        auto a2 = make();
-        const LeaderElectionResult u =
-            run_leader_election_unicast(n, *a2, static_cast<Round>(50 * n));
-        if (!b.agreed || !u.agreed) continue;
-        brounds.add(static_cast<double>(b.rounds));
-        bmsgs.add(static_cast<double>(b.broadcasts));
-        urounds.add(static_cast<double>(u.rounds));
-        umsgs.add(static_cast<double>(u.unicast_messages));
-        tc.add(static_cast<double>(u.tc));
-        residual.add(u.competitive_residual(1.0));
-      }
-      table.add_row({std::to_string(n), c.name, TablePrinter::num(brounds.mean(), 0),
-                     TablePrinter::num(bmsgs.mean(), 0),
-                     TablePrinter::num(urounds.mean(), 0),
-                     TablePrinter::num(umsgs.mean(), 0),
-                     TablePrinter::num(tc.mean(), 0),
-                     TablePrinter::num(residual.mean(), 0),
-                     TablePrinter::num(residual.mean() /
-                                           (static_cast<double>(n) * n), 3)});
-    }
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: broadcast agreement within n rounds everywhere; the\n"
-      "unicast residual (messages - TC) stays a small multiple of n^2 even\n"
-      "when topology changes dominate (fresh-graph, rotating-star) — the\n"
-      "adversary-competitive behaviour §4 conjectures for this problem.\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "leader_election", argc, argv);
 }

@@ -1,143 +1,11 @@
-// Theorems 3.5 / 3.6: Multi-Source-Unicast.
-//
-// Part A (messages, Thm 3.5): with s sources the 1-adversary-competitive
-// total is O(n²s + nk); the dominant s-dependent term is the completeness
-// traffic (each node announces completeness w.r.t. each source to each
-// neighbor at most once).  The bench sweeps s at fixed n and k and reports
-// the per-type counts, the residual, and its normalization by n²s + nk —
-// plus the empirical growth exponent of the completeness traffic in s.
-//
-// Part B (time, Thm 3.6): rounds/(nk) under 3-edge-stable churn.
-//
-// Usage: bench_multi_source [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `multi_source` scenario in the registry.
+// Run `dyngossip run multi_source` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/churn.hpp"
-#include "common/cli.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
-
-namespace {
-
-TokenSpacePtr spread(std::size_t n, std::size_t s, std::uint32_t k_total) {
-  std::vector<TokenSpace::SourceSpec> specs;
-  const auto per = std::max<std::uint32_t>(1, k_total / static_cast<std::uint32_t>(s));
-  for (std::size_t i = 0; i < s; ++i) {
-    specs.push_back({static_cast<NodeId>(i * n / s), per});
-  }
-  return std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
-}
-
-}  // namespace
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_multi_source [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::size_t n = quick ? 32 : 64;
-  const auto k_total = static_cast<std::uint32_t>(4 * n);
-
-  std::printf("== Theorem 3.5: O(n^2 s + nk) competitive messages (n=%zu, k=%u) ==\n\n",
-              n, k_total);
-
-  TablePrinter msg_table({"s", "k", "tokens", "completeness", "requests", "TC(E)",
-                          "residual", "residual/(n^2 s+nk)", "rounds"});
-  std::vector<double> s_axis, completeness_axis;
-  const std::vector<std::size_t> source_counts =
-      quick ? std::vector<std::size_t>{2, 8, 32} : std::vector<std::size_t>{2, 4, 8, 16, 64};
-  for (const std::size_t s : source_counts) {
-    const auto space = spread(n, s, k_total);
-    const std::uint64_t k = space->total_tokens();
-    RunningStat tokens, completeness, requests, tc, residual, norm, rounds;
-    for (std::size_t i = 0; i < seeds; ++i) {
-      ChurnConfig cc;
-      cc.n = n;
-      cc.target_edges = 3 * n;
-      cc.churn_per_round = n / 8;
-      cc.sigma = 3;
-      cc.seed = 13'000 + 7 * s + i;
-      ChurnAdversary adversary(cc);
-      const RunResult r =
-          run_multi_source(n, space, adversary, static_cast<Round>(200 * n * k));
-      if (!r.completed) continue;
-      tokens.add(static_cast<double>(r.metrics.unicast.token));
-      completeness.add(static_cast<double>(r.metrics.unicast.completeness));
-      requests.add(static_cast<double>(r.metrics.unicast.request));
-      tc.add(static_cast<double>(r.metrics.tc));
-      const double res = r.metrics.competitive_residual(1.0);
-      residual.add(res);
-      norm.add(res / bounds::multi_source_messages(n, k, s));
-      rounds.add(static_cast<double>(r.rounds));
-    }
-    msg_table.add_row({std::to_string(s), std::to_string(k),
-                       TablePrinter::num(tokens.mean(), 0),
-                       TablePrinter::num(completeness.mean(), 0),
-                       TablePrinter::num(requests.mean(), 0),
-                       TablePrinter::num(tc.mean(), 0),
-                       TablePrinter::num(residual.mean(), 0),
-                       TablePrinter::num(norm.mean(), 3),
-                       TablePrinter::num(rounds.mean(), 0)});
-    s_axis.push_back(static_cast<double>(s));
-    completeness_axis.push_back(completeness.mean());
-  }
-  const bool csv = args.get_bool("csv", false);
-  if (csv) {
-    msg_table.print_csv(std::cout);
-  } else {
-    msg_table.print(std::cout);
-  }
-  std::printf("\nEmpirical exponent of completeness traffic vs s: %.2f "
-              "(paper: the n^2 s term is linear in s => ~1)\n\n",
-              loglog_slope(s_axis, completeness_axis));
-
-  std::printf("== Theorem 3.6: O(nk) rounds on 3-edge-stable graphs ==\n\n");
-  TablePrinter time_table({"n", "s", "k", "rounds", "rounds/nk", "completed"});
-  const std::vector<std::size_t> ns =
-      quick ? std::vector<std::size_t>{16, 32} : std::vector<std::size_t>{16, 32, 64};
-  for (const std::size_t nn : ns) {
-    const std::size_t s = std::max<std::size_t>(2, nn / 4);
-    const auto space = spread(nn, s, static_cast<std::uint32_t>(2 * nn));
-    const std::uint64_t k = space->total_tokens();
-    RunningStat rounds;
-    std::size_t done = 0;
-    for (std::size_t i = 0; i < seeds; ++i) {
-      ChurnConfig cc;
-      cc.n = nn;
-      cc.target_edges = 3 * nn;
-      cc.churn_per_round = std::max<std::size_t>(1, nn / 8);
-      cc.sigma = 3;
-      cc.seed = 15'000 + 5 * nn + i;
-      ChurnAdversary adversary(cc);
-      const RunResult r =
-          run_multi_source(nn, space, adversary, static_cast<Round>(200 * nn * k));
-      if (r.completed) {
-        ++done;
-        rounds.add(static_cast<double>(r.rounds));
-      }
-    }
-    time_table.add_row({std::to_string(nn), std::to_string(s), std::to_string(k),
-                        TablePrinter::num(rounds.mean(), 0),
-                        TablePrinter::num(rounds.mean() /
-                                              bounds::stable_round_bound(nn, k), 3),
-                        std::to_string(done) + "/" + std::to_string(seeds)});
-  }
-  if (csv) {
-    time_table.print_csv(std::cout);
-  } else {
-    time_table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: completeness grows ~linearly in s (the n^2 s term);\n"
-      "residual stays a small constant fraction of n^2 s + nk; rounds/nk\n"
-      "bounded by a constant (Theorem 3.6).\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "multi_source", argc, argv);
 }

@@ -1,109 +1,11 @@
-// Theorem 3.8: against an oblivious adversary, funnelling tokens through
-// f = n^{1/2} k^{1/4} polylog centers gives total message complexity
-// O(n^{5/2} k^{1/4} log^{5/4} n) — subquadratic amortized when direct
-// Multi-Source-Unicast would pay Θ(n²) per token (n-gossip).
-//
-// The bench runs n-gossip (one token per node, s = n sources) across an n
-// sweep, comparing direct Multi-Source against the two-phase funnel on the
-// SAME committed adversary schedule, reporting the phase split, the walk
-// statistics, and the total-message ratio.
-//
-// Usage: bench_oblivious [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `oblivious_funnel` scenario in the registry.
+// Run `dyngossip run oblivious_funnel` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/churn.hpp"
-#include "common/cli.hpp"
-#include "common/mathx.hpp"
-#include "common/table.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
-
-namespace {
-
-TokenSpacePtr n_gossip(std::size_t n) {
-  std::vector<TokenSpace::SourceSpec> specs;
-  for (std::size_t v = 0; v < n; ++v) specs.push_back({static_cast<NodeId>(v), 1});
-  return std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
-}
-
-ChurnConfig churn_for(std::size_t n, std::uint64_t seed) {
-  ChurnConfig cc;
-  cc.n = n;
-  cc.target_edges = 4 * n;
-  cc.churn_per_round = std::max<std::size_t>(1, n / 8);
-  cc.sigma = 3;
-  cc.seed = seed;
-  return cc;
-}
-
-}  // namespace
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_oblivious [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{32, 64} : std::vector<std::size_t>{32, 64, 96, 128};
-
-  std::printf("== Theorem 3.8: oblivious n-gossip — direct vs center funnel ==\n");
-  std::printf("   (same committed churn schedule for both algorithms)\n\n");
-
-  TablePrinter table({"n", "k=s", "f", "centers", "direct msgs", "funnel msgs",
-                      "funnel/direct", "phase1 msgs", "phase2 msgs", "walk steps",
-                      "phase1 rounds", "Thm3.8 bound"});
-  for (const std::size_t n : sizes) {
-    const auto space = n_gossip(n);
-    const std::uint64_t k = space->total_tokens();
-    const auto f = static_cast<std::size_t>(clampd(
-        powd(static_cast<double>(n), 0.5) * powd(static_cast<double>(k), 0.25), 2.0,
-        static_cast<double>(n) / 2.0));
-    RunningStat direct_msgs, funnel_msgs, p1, p2, walk, p1_rounds, centers;
-    for (std::size_t i = 0; i < seeds; ++i) {
-      const std::uint64_t seed = 17'000 + 23 * n + i;
-      ChurnAdversary direct_adv(churn_for(n, seed));
-      const RunResult direct = run_multi_source(
-          n, space, direct_adv, static_cast<Round>(400 * n * k));
-      ChurnAdversary funnel_adv(churn_for(n, seed));
-      ObliviousMsOptions opts;
-      opts.seed = seed ^ 0x9e3779b9u;
-      opts.force_phase1 = true;
-      opts.f_override = f;
-      const ObliviousMsResult funnel =
-          run_oblivious_multi_source(n, space, funnel_adv, opts);
-      if (!direct.completed || !funnel.completed) continue;
-      direct_msgs.add(static_cast<double>(direct.metrics.unicast.total()));
-      funnel_msgs.add(static_cast<double>(funnel.total.unicast.total()));
-      p1.add(static_cast<double>(funnel.phase1.unicast.total()));
-      p2.add(static_cast<double>(funnel.phase2.unicast.total()));
-      walk.add(static_cast<double>(funnel.walk_real_steps));
-      p1_rounds.add(static_cast<double>(funnel.phase1_rounds));
-      centers.add(static_cast<double>(funnel.num_centers));
-    }
-    table.add_row({std::to_string(n), std::to_string(k), std::to_string(f),
-                   TablePrinter::num(centers.mean(), 1),
-                   TablePrinter::num(direct_msgs.mean(), 0),
-                   TablePrinter::num(funnel_msgs.mean(), 0),
-                   TablePrinter::num(funnel_msgs.mean() / direct_msgs.mean(), 3),
-                   TablePrinter::num(p1.mean(), 0), TablePrinter::num(p2.mean(), 0),
-                   TablePrinter::num(walk.mean(), 0),
-                   TablePrinter::num(p1_rounds.mean(), 0),
-                   TablePrinter::num(bounds::thm38_total_messages(n, k), 0)});
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: funnel/direct < 1 and shrinking with n — collapsing\n"
-      "s = n sources to ~f centers removes the dominant n^2 s completeness\n"
-      "term; totals stay far below the worst-case Theorem 3.8 bound.\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "oblivious_funnel", argc, argv);
 }

@@ -1,130 +1,11 @@
-// Theorem 3.1: Single-Source-Unicast has 1-adversary-competitive message
-// complexity O(n² + nk).
-//
-// Three adversary regimes probe the bound:
-//   churn        — steady oblivious rewiring (the typical case);
-//   fresh        — a completely new random graph every round (TC ~ |E| per
-//                  round; the algorithm's free budget dominates);
-//   cutter(p)    — the adaptive request-cutter deleting request-carrying
-//                  edges with probability p (the worst case the competitive
-//                  accounting is designed for; p=1 never completes, so the
-//                  bound is checked on a fixed horizon).
-//
-// For every run the table reports the per-type message counts of the
-// Theorem 3.1 proof (tokens <= nk, completeness <= n², requests <= nk + del)
-// and the competitive residual total - TC(E), normalized by n² + nk.
-//
-// Usage: bench_single_source [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `single_source` scenario in the registry.
+// Run `dyngossip run single_source` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/churn.hpp"
-#include "adversary/request_cutter.hpp"
-#include "common/cli.hpp"
-#include "common/table.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
-
-namespace {
-
-struct Row {
-  RunningStat tokens, completeness, requests, tc, residual, norm, rounds;
-  std::size_t completed = 0;
-};
-
-void add_run(Row& row, const RunResult& r, std::size_t n, std::size_t k) {
-  row.tokens.add(static_cast<double>(r.metrics.unicast.token));
-  row.completeness.add(static_cast<double>(r.metrics.unicast.completeness));
-  row.requests.add(static_cast<double>(r.metrics.unicast.request));
-  row.tc.add(static_cast<double>(r.metrics.tc));
-  const double residual = r.metrics.competitive_residual(1.0);
-  row.residual.add(residual);
-  row.norm.add(residual / bounds::single_source_messages(n, k));
-  row.rounds.add(static_cast<double>(r.rounds));
-  row.completed += r.completed ? 1 : 0;
-}
-
-}  // namespace
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_single_source [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{24, 48} : std::vector<std::size_t>{24, 48, 96};
-
-  std::printf("== Theorem 3.1: 1-adversary-competitive messages, single source ==\n");
-  std::printf("   bound: total - TC(E) <= O(n^2 + nk); k = 2n throughout\n\n");
-
-  TablePrinter table({"adversary", "n", "k", "done", "tokens", "completeness",
-                      "requests", "TC(E)", "residual", "residual/(n^2+nk)",
-                      "rounds"});
-  for (const std::size_t n : sizes) {
-    const auto k = static_cast<std::uint32_t>(2 * n);
-    const Round cap = static_cast<Round>(quick ? 40 * n * k : 100 * n * k);
-
-    struct Case {
-      const char* name;
-      double cut_p;  // <0: churn, >=0: request cutter with this p
-      bool fresh;
-    };
-    const Case cases[] = {
-        {"churn", -1.0, false},
-        {"fresh-graph", -1.0, true},
-        {"cutter p=0.7", 0.7, false},
-        {"cutter p=1.0", 1.0, false},
-    };
-    for (const Case& c : cases) {
-      Row row;
-      for (std::size_t i = 0; i < seeds; ++i) {
-        const std::uint64_t seed = 9'000 + 13 * n + i;
-        if (c.cut_p < 0) {
-          ChurnConfig cc;
-          cc.n = n;
-          cc.target_edges = 3 * n;
-          cc.churn_per_round = n / 8;
-          cc.fresh_graph_each_round = c.fresh;
-          cc.seed = seed;
-          ChurnAdversary adversary(cc);
-          add_run(row, run_single_source(n, k, 0, adversary, cap), n, k);
-        } else {
-          RequestCutterConfig rc;
-          rc.n = n;
-          rc.target_edges = 3 * n;
-          rc.cut_probability = c.cut_p;
-          rc.seed = seed;
-          RequestCutterAdversary adversary(rc);
-          // p=1 never completes: evaluate the bound on a shorter horizon.
-          const Round horizon = c.cut_p >= 1.0 ? static_cast<Round>(50 * n) : cap;
-          add_run(row, run_single_source(n, k, 0, adversary, horizon), n, k);
-        }
-      }
-      table.add_row({c.name, std::to_string(n), std::to_string(k),
-                     std::to_string(row.completed) + "/" + std::to_string(seeds),
-                     TablePrinter::num(row.tokens.mean(), 0),
-                     TablePrinter::num(row.completeness.mean(), 0),
-                     TablePrinter::num(row.requests.mean(), 0),
-                     TablePrinter::num(row.tc.mean(), 0),
-                     TablePrinter::num(row.residual.mean(), 0),
-                     TablePrinter::num(row.norm.mean(), 3),
-                     TablePrinter::num(row.rounds.mean(), 0)});
-    }
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: residual/(n^2+nk) stays bounded by a small constant\n"
-      "across ALL adversaries and sizes — including the full request cutter,\n"
-      "where the algorithm never finishes but every wasted request is paid\n"
-      "for by the adversary's TC budget (Definition 1.3).\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "single_source", argc, argv);
 }

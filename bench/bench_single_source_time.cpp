@@ -1,74 +1,11 @@
-// Theorem 3.4: on 3-edge-stable dynamic graphs, Single-Source-Unicast
-// terminates within O(nk) rounds.
-//
-// Sweeps n and k under σ=3 churn and reports rounds/(nk); a σ=1 column
-// shows that even without the stability assumption the algorithm finishes
-// (the theorem's assumption buys the *bound*, not correctness).
-//
-// Usage: bench_single_source_time [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `single_source_time` scenario in the registry.
+// Run `dyngossip run single_source_time` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/churn.hpp"
-#include "common/cli.hpp"
-#include "common/table.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_single_source_time [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{16, 32} : std::vector<std::size_t>{16, 32, 64};
-
-  std::printf("== Theorem 3.4: O(nk) rounds on 3-edge-stable graphs ==\n\n");
-
-  TablePrinter table({"n", "k", "sigma", "rounds", "nk", "rounds/nk", "completed"});
-  for (const std::size_t n : sizes) {
-    for (const std::size_t kf : {1u, 2u, 4u}) {
-      const auto k = static_cast<std::uint32_t>(kf * n);
-      for (const Round sigma : {Round{3}, Round{1}}) {
-        RunningStat rounds;
-        std::size_t done = 0;
-        for (std::size_t i = 0; i < seeds; ++i) {
-          ChurnConfig cc;
-          cc.n = n;
-          cc.target_edges = 3 * n;
-          cc.churn_per_round = std::max<std::size_t>(1, n / 8);
-          cc.sigma = sigma;
-          cc.seed = 11'000 + 17 * n + 3 * kf + sigma + i;
-          ChurnAdversary adversary(cc);
-          const RunResult r =
-              run_single_source(n, k, 0, adversary, static_cast<Round>(100 * n * k));
-          if (r.completed) {
-            ++done;
-            rounds.add(static_cast<double>(r.rounds));
-          }
-        }
-        const double nk = bounds::stable_round_bound(n, k);
-        table.add_row({std::to_string(n), std::to_string(k), std::to_string(sigma),
-                       TablePrinter::num(rounds.mean(), 0), TablePrinter::num(nk, 0),
-                       TablePrinter::num(rounds.mean() / nk, 3),
-                       std::to_string(done) + "/" + std::to_string(seeds)});
-      }
-    }
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: rounds/nk bounded by a constant well below 1 for\n"
-      "sigma=3 (Theorem 3.4's regime), and the ratio does not blow up with n\n"
-      "or k.  sigma=1 rows show the bound degrades gracefully without the\n"
-      "stability assumption.\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "single_source_time", argc, argv);
 }

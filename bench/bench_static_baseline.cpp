@@ -1,64 +1,11 @@
-// Section 1's static reference point: spanning tree + token pipeline gives
-// O(n² + nk) total messages, i.e. O(n²/k + n) amortized — optimal Θ(n)
-// amortized once k = Ω(n).
-//
-// Sweeps k on dense static graphs, reporting measured amortized cost vs the
-// n²/k + n curve, and shows the crossover where the tree-construction cost
-// is fully amortized.  This is the baseline the dynamic lower bound of
-// Theorem 2.3 (Ω(n²/log²n) amortized, no matter k!) must be contrasted with.
-//
-// Usage: bench_static_baseline [--quick] [--csv]
+// Thin shim: this bench is now the `static_baseline` scenario in the registry.
+// Run `dyngossip run static_baseline` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/static_adversary.hpp"
-#include "common/cli.hpp"
-#include "common/table.hpp"
-#include "graph/generators.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-
-using namespace dyngossip;
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "csv"}, "bench_static_baseline [--quick] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const std::size_t n = quick ? 32 : 64;
-
-  std::printf("== Static baseline: spanning tree + pipeline (n=%zu, complete"
-              " graph) ==\n\n", n);
-
-  TablePrinter table({"k", "total msgs", "token msgs", "control msgs",
-                      "amortized", "n^2/k + n", "meas/bound", "rounds"});
-  const std::vector<std::uint32_t> ks =
-      quick ? std::vector<std::uint32_t>{1, 8, 32, 128}
-            : std::vector<std::uint32_t>{1, 4, 16, 64, 256, 1024};
-  for (const std::uint32_t k : ks) {
-    const auto space = std::make_shared<TokenSpace>(TokenSpace::single_source(0, k));
-    StaticAdversary adversary(complete_graph(n));
-    const RunResult r =
-        run_spanning_tree(n, space, adversary, static_cast<Round>(10 * (n + k) + 100));
-    if (!r.completed) continue;
-    const double bound = bounds::static_amortized(n, k);
-    table.add_row({std::to_string(k), TablePrinter::big(r.metrics.unicast.total()),
-                   TablePrinter::big(r.metrics.unicast.token),
-                   TablePrinter::big(r.metrics.unicast.control),
-                   TablePrinter::num(r.amortized(k), 1), TablePrinter::num(bound, 1),
-                   TablePrinter::num(r.amortized(k) / bound, 3),
-                   std::to_string(r.rounds)});
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: amortized cost tracks n^2/k + n — dominated by the\n"
-      "O(n^2) tree construction for small k, flattening to ~n (each token\n"
-      "crosses each of the n-1 tree edges exactly once) for k >= n.  The\n"
-      "contrast with the dynamic Ω(n^2/log^2 n) bound (bench_lb_broadcast)\n"
-      "is the paper's headline motivation.\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "static_baseline", argc, argv);
 }

@@ -1,130 +1,11 @@
-// Table 1 (Section 3.2.2): amortized message complexity of the oblivious
-// algorithm for the paper's four token-count regimes,
-//   k = Θ(n^{2/3} log^{5/3} n)  ->  O(n²)
-//   k = Θ(n)                    ->  O(n^{7/4} log^{5/4} n)
-//   k = Θ(n^{3/2})              ->  O(n^{11/8} log^{5/4} n)
-//   k = Θ(n²)                   ->  O(n log^{5/4} n)
-//
-// Shape reproduction notes (see DESIGN.md / EXPERIMENTS.md):
-//  - the k-smallest row takes Algorithm 2's s <= n^{2/3} log^{5/3} n branch
-//    (direct Multi-Source-Unicast), exactly as the paper's remark prescribes;
-//  - the other rows run the two-phase funnel; because the polylog factor in
-//    f = n^{1/2} k^{1/4} log^{5/4} n saturates f at n for laptop-scale n, the
-//    funnel uses f = n^{1/2} k^{1/4} (polylog dropped), which preserves the
-//    polynomial shape the table reports.
-//
-// Usage: bench_table1 [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `table1` scenario in the registry.
+// Run `dyngossip run table1` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/churn.hpp"
-#include "common/cli.hpp"
-#include "common/mathx.hpp"
-#include "common/table.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
-
-namespace {
-
-struct Regime {
-  const char* label;
-  const char* paper_bound;
-  double exponent;  // k = n^exponent
-  bool funnel;      // run the two-phase funnel (vs the small-s direct branch)
-};
-
-TokenSpacePtr make_space(std::size_t n, std::size_t k) {
-  // k <= n: k sources with one token each; k > n: n sources with k/n tokens.
-  std::vector<TokenSpace::SourceSpec> specs;
-  if (k <= n) {
-    for (std::size_t i = 0; i < k; ++i) {
-      specs.push_back({static_cast<NodeId>(i * n / k), 1});
-    }
-  } else {
-    const auto per = static_cast<std::uint32_t>(k / n);
-    const auto extra = static_cast<std::uint32_t>(k % n);
-    for (std::size_t v = 0; v < n; ++v) {
-      specs.push_back({static_cast<NodeId>(v),
-                       per + (v < extra ? 1u : 0u)});
-    }
-  }
-  return std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
-}
-
-}  // namespace
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_table1 [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{32, 48} : std::vector<std::size_t>{32, 48, 64};
-
-  const Regime regimes[] = {
-      {"k=n^(2/3)", "O(n^2)            ", 2.0 / 3.0, false},
-      {"k=n      ", "O(n^(7/4) polylog)", 1.0, true},
-      {"k=n^(3/2)", "O(n^(11/8) polylog)", 1.5, true},
-      {"k=n^2    ", "O(n polylog)      ", 2.0, true},
-  };
-
-  std::printf("== Table 1: amortized message complexity vs token count ==\n");
-  std::printf("   (oblivious churn adversary; mean over %zu seeds)\n\n", seeds);
-
-  TablePrinter table({"n", "regime", "k", "s", "centers", "measured amortized",
-                      "paper bound", "meas/bound", "paper row"});
-  for (const std::size_t n : sizes) {
-    for (const Regime& regime : regimes) {
-      const auto k = std::max<std::size_t>(
-          2, static_cast<std::size_t>(powd(static_cast<double>(n), regime.exponent)));
-      const auto space = make_space(n, k);
-      const std::size_t s = space->num_sources();
-      std::size_t centers_seen = 0;
-      const Summary measured = sweep_seeds(seeds, 1000 + n * 7 + k, [&](std::uint64_t seed) {
-        ChurnConfig cc;
-        cc.n = n;
-        cc.target_edges = 4 * n;
-        cc.churn_per_round = std::max<std::size_t>(1, n / 8);
-        cc.sigma = 3;
-        cc.seed = seed;
-        ChurnAdversary adversary(cc);
-        ObliviousMsOptions opts;
-        opts.seed = seed ^ 0x5bd1e995u;
-        if (regime.funnel) {
-          opts.force_phase1 = true;
-          opts.f_override = static_cast<std::size_t>(clampd(
-              powd(static_cast<double>(n), 0.5) * powd(static_cast<double>(k), 0.25),
-              2.0, static_cast<double>(n) / 2.0));
-        }
-        const ObliviousMsResult r =
-            run_oblivious_multi_source(n, space, adversary, opts);
-        if (!r.completed) return 0.0;  // excluded below via min>0 check
-        centers_seen = r.num_centers;
-        return r.total.unicast.total() / static_cast<double>(k);
-      });
-      const double bound = bounds::table1_amortized(n, k);
-      table.add_row({std::to_string(n), regime.label, std::to_string(k),
-                     std::to_string(s), std::to_string(centers_seen),
-                     TablePrinter::num(measured.mean, 1),
-                     TablePrinter::num(bound, 0),
-                     TablePrinter::num(measured.mean / bound, 4),
-                     regime.paper_bound});
-    }
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: measured amortized cost decreases as k grows (the\n"
-      "paper's rows fall from O(n^2) at k=n^(2/3) to O(n polylog) at k=n^2),\n"
-      "and meas/bound stays well below 1 (the bound is a worst-case w.h.p.\n"
-      "guarantee; realized walks hit centers far sooner).\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "table1", argc, argv);
 }

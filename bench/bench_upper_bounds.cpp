@@ -1,99 +1,11 @@
-// Section 1 / Section 2 naive upper bounds:
-//  - local broadcast: phase flooding achieves O(n²) amortized broadcasts per
-//    token against every adversary (and completes within nk rounds);
-//  - unicast, trivial: blind neighbor push ("each node sends each token at
-//    most once to each other node") is capped at O(n²) amortized;
-//  - unicast, Algorithm 1: on benign dynamic graphs far better than the
-//    trivial ceiling — close to the optimal Θ(n) once k >= n.
-//
-// The bench sweeps n under σ=3 churn, reporting amortized costs for all
-// three against their ceilings.
-//
-// Usage: bench_upper_bounds [--quick] [--seeds=3] [--csv]
+// Thin shim: this bench is now the `upper_bounds` scenario in the registry.
+// Run `dyngossip run upper_bounds` (or this binary with the legacy flags).
 
-#include <cstdio>
-#include <iostream>
-
-#include "adversary/churn.hpp"
-#include "common/cli.hpp"
-#include "common/rng.hpp"
-#include "common/table.hpp"
-#include "core/neighbor_exchange.hpp"
-#include "sim/bounds.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
-
-using namespace dyngossip;
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_cli.hpp"
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"quick", "seeds", "csv"},
-                  "bench_upper_bounds [--quick] [--seeds=3] [--csv]");
-  const bool quick = args.get_bool("quick", false);
-  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", quick ? 2 : 3));
-  const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{24, 48} : std::vector<std::size_t>{24, 48, 96};
-
-  std::printf("== Naive upper bounds under benign churn (k = n) ==\n\n");
-
-  TablePrinter table({"n", "k", "flooding amortized", "flood/n^2",
-                      "blind push amortized", "push/n^2", "Alg.1 amortized",
-                      "Alg.1/n", "flood rounds"});
-  for (const std::size_t n : sizes) {
-    const auto k = static_cast<std::uint32_t>(n);
-    RunningStat flood_am, flood_rounds, uni_am, push_am;
-    for (std::size_t i = 0; i < seeds; ++i) {
-      const std::uint64_t seed = 19'000 + 29 * n + i;
-      ChurnConfig cc;
-      cc.n = n;
-      cc.target_edges = 3 * n;
-      cc.churn_per_round = n / 8;
-      cc.sigma = 3;
-      cc.seed = seed;
-      Rng rng(seed);
-      std::vector<DynamicBitset> init(n, DynamicBitset(k));
-      for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
-      {
-        ChurnAdversary adversary(cc);
-        const RunResult r = run_phase_flooding(n, k, init, adversary,
-                                               static_cast<Round>(10 * n * k));
-        if (r.completed) {
-          flood_am.add(r.amortized(k));
-          flood_rounds.add(static_cast<double>(r.rounds));
-        }
-      }
-      {
-        ChurnAdversary adversary(cc);  // same schedule, trivial unicast push
-        const RunMetrics m = run_neighbor_exchange(n, k, init, adversary,
-                                                   static_cast<Round>(100 * n * k));
-        if (m.completed) push_am.add(m.amortized(k));
-      }
-      {
-        ChurnAdversary adversary(cc);  // same schedule, Algorithm 1
-        const RunResult r =
-            run_single_source(n, k, 0, adversary, static_cast<Round>(100 * n * k));
-        if (r.completed) uni_am.add(r.amortized(k));
-      }
-    }
-    const double ub = bounds::broadcast_ub_amortized(n);
-    table.add_row({std::to_string(n), std::to_string(k),
-                   TablePrinter::num(flood_am.mean(), 0),
-                   TablePrinter::num(flood_am.mean() / ub, 3),
-                   TablePrinter::num(push_am.mean(), 0),
-                   TablePrinter::num(push_am.mean() / ub, 3),
-                   TablePrinter::num(uni_am.mean(), 1),
-                   TablePrinter::num(uni_am.mean() / static_cast<double>(n), 2),
-                   TablePrinter::num(flood_rounds.mean(), 0)});
-  }
-  if (args.get_bool("csv", false)) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
-  std::printf(
-      "\nExpected shape: flooding and the blind push both sit below (but on\n"
-      "the order of) their n^2 amortized ceilings, while Algorithm 1's\n"
-      "request discipline runs at a small multiple of the optimal n\n"
-      "amortized messages per token (k = n) — the gap the paper quantifies.\n");
-  return 0;
+  dyngossip::ScenarioRegistry& registry = dyngossip::ScenarioRegistry::global();
+  dyngossip::register_all_scenarios(registry);
+  return dyngossip::scenario_shim_main(registry, "upper_bounds", argc, argv);
 }

@@ -1,0 +1,20 @@
+#include "scenarios/scenarios.hpp"
+
+namespace dyngossip {
+
+void register_all_scenarios(ScenarioRegistry& registry) {
+  if (registry.find("single_source") != nullptr) return;  // already installed
+  register_single_source(registry);
+  register_single_source_time(registry);
+  register_multi_source(registry);
+  register_oblivious_funnel(registry);
+  register_table1(registry);
+  register_lb_broadcast(registry);
+  register_fig1_free_edges(registry);
+  register_static_baseline(registry);
+  register_upper_bounds(registry);
+  register_leader_election(registry);
+  register_ablations(registry);
+}
+
+}  // namespace dyngossip

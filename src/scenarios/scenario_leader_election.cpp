@@ -1,0 +1,147 @@
+// Scenario `leader_election` — §4 extension: leader election under the
+// adversary-competitive measure.
+//
+// Port of bench_leader_election.cpp: broadcast (eager windows) vs unicast
+// (competitive) protocols across four adversaries; each trial runs both on
+// freshly constructed adversaries with the same seed.
+
+#include <memory>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "adversary/patterns.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/leader_election.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/parallel.hpp"
+
+namespace dyngossip {
+namespace {
+
+struct Case {
+  const char* name;
+  int kind;  // 0 churn, 1 fresh, 2 star, 3 path-shuffle
+};
+
+constexpr Case kCases[] = {
+    {"churn", 0}, {"fresh-graph", 1}, {"rotating-star", 2}, {"path-shuffle", 3}};
+
+std::unique_ptr<Adversary> make_adversary(int kind, std::size_t n,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case 0: {
+      ChurnConfig cc;
+      cc.n = n;
+      cc.target_edges = 3 * n;
+      cc.churn_per_round = n / 4;
+      cc.seed = seed;
+      return std::make_unique<ChurnAdversary>(cc);
+    }
+    case 1: {
+      ChurnConfig cc;
+      cc.n = n;
+      cc.target_edges = 3 * n;
+      cc.fresh_graph_each_round = true;
+      cc.seed = seed;
+      return std::make_unique<ChurnAdversary>(cc);
+    }
+    case 2:
+      return std::make_unique<RotatingStarAdversary>(n, seed);
+    default:
+      return std::make_unique<PathShuffleAdversary>(n, seed);
+  }
+}
+
+struct TrialOut {
+  bool ok = false;
+  double brounds = 0, bmsgs = 0, urounds = 0, umsgs = 0, tc = 0, residual = 0;
+};
+
+ScenarioResult run(const ScenarioContext& ctx) {
+  const bool quick = ctx.quick();
+  const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{32, 64} : std::vector<std::size_t>{32, 64, 128};
+
+  struct RowSpec {
+    std::size_t n;
+    Case c;
+  };
+  std::vector<RowSpec> rows;
+  for (const std::size_t n : sizes) {
+    for (const Case& c : kCases) rows.push_back({n, c});
+  }
+
+  std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
+  JobBatch batch;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < seeds; ++i) {
+      batch.add([&out, &rows, r, i] {
+        const RowSpec& spec = rows[r];
+        const std::size_t n = spec.n;
+        const std::uint64_t seed = 41'000 + 3 * n + i;
+        auto a1 = make_adversary(spec.c.kind, n, seed);
+        const LeaderElectionResult b =
+            run_leader_election_broadcast(n, *a1, static_cast<Round>(50 * n));
+        auto a2 = make_adversary(spec.c.kind, n, seed);
+        const LeaderElectionResult u =
+            run_leader_election_unicast(n, *a2, static_cast<Round>(50 * n));
+        if (!b.agreed || !u.agreed) return;
+        TrialOut& t = out[r][i];
+        t.ok = true;
+        t.brounds = static_cast<double>(b.rounds);
+        t.bmsgs = static_cast<double>(b.broadcasts);
+        t.urounds = static_cast<double>(u.rounds);
+        t.umsgs = static_cast<double>(u.unicast_messages);
+        t.tc = static_cast<double>(u.tc);
+        t.residual = u.competitive_residual(1.0);
+      });
+    }
+  }
+  batch.run(ctx.pool());
+
+  ScenarioTable table;
+  table.title = "Section 4 extension: leader election, competitive accounting";
+  table.columns = {"n",         "adversary", "bcast rounds", "bcast msgs",
+                   "uni rounds", "uni msgs",  "TC(E)",        "uni residual(a=1)",
+                   "residual/n^2"};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const RowSpec& spec = rows[r];
+    RunningStat brounds, bmsgs, urounds, umsgs, tc, residual;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      const TrialOut& t = out[r][i];
+      if (!t.ok) continue;
+      brounds.add(t.brounds);
+      bmsgs.add(t.bmsgs);
+      urounds.add(t.urounds);
+      umsgs.add(t.umsgs);
+      tc.add(t.tc);
+      residual.add(t.residual);
+    }
+    table.rows.push_back(
+        {std::to_string(spec.n), spec.c.name, TablePrinter::num(brounds.mean(), 0),
+         TablePrinter::num(bmsgs.mean(), 0), TablePrinter::num(urounds.mean(), 0),
+         TablePrinter::num(umsgs.mean(), 0), TablePrinter::num(tc.mean(), 0),
+         TablePrinter::num(residual.mean(), 0),
+         TablePrinter::num(residual.mean() /
+                               (static_cast<double>(spec.n) * spec.n), 3)});
+  }
+  table.note =
+      "Expected shape: broadcast agreement within n rounds everywhere; the\n"
+      "unicast residual (messages - TC) stays a small multiple of n^2 even\n"
+      "when topology changes dominate (fresh-graph, rotating-star) — the\n"
+      "adversary-competitive behaviour Section 4 conjectures for this problem.";
+  return {"leader_election", {std::move(table)}};
+}
+
+}  // namespace
+
+void register_leader_election(ScenarioRegistry& registry) {
+  registry.add({"leader_election",
+                "Section 4 extension: leader election, broadcast vs unicast",
+                {},
+                run});
+}
+
+}  // namespace dyngossip

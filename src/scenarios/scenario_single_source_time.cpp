@@ -1,0 +1,108 @@
+// Scenario `single_source_time` — Theorem 3.4: on 3-edge-stable dynamic
+// graphs, Single-Source-Unicast terminates within O(nk) rounds.
+//
+// Port of bench_single_source_time.cpp: sweeps n and k under σ=3 churn and
+// reports rounds/(nk); σ=1 rows show the algorithm still finishes without
+// the stability assumption.
+
+#include <algorithm>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/bounds.hpp"
+#include "sim/runner/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyngossip {
+namespace {
+
+struct TrialOut {
+  bool ok = false;
+  double rounds = 0;
+};
+
+ScenarioResult run(const ScenarioContext& ctx) {
+  const bool quick = ctx.quick();
+  const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{16, 32} : std::vector<std::size_t>{16, 32, 64};
+
+  struct RowSpec {
+    std::size_t n;
+    std::size_t kf;
+    std::uint32_t k;
+    Round sigma;
+  };
+  std::vector<RowSpec> rows;
+  for (const std::size_t n : sizes) {
+    for (const std::size_t kf : {1u, 2u, 4u}) {
+      const auto k = static_cast<std::uint32_t>(kf * n);
+      for (const Round sigma : {Round{3}, Round{1}}) {
+        rows.push_back({n, kf, k, sigma});
+      }
+    }
+  }
+
+  std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
+  JobBatch batch;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < seeds; ++i) {
+      batch.add([&out, &rows, r, i] {
+        const RowSpec& spec = rows[r];
+        ChurnConfig cc;
+        cc.n = spec.n;
+        cc.target_edges = 3 * spec.n;
+        cc.churn_per_round = std::max<std::size_t>(1, spec.n / 8);
+        cc.sigma = spec.sigma;
+        cc.seed = 11'000 + 17 * spec.n + 3 * spec.kf + spec.sigma + i;
+        ChurnAdversary adversary(cc);
+        const RunResult result = run_single_source(
+            spec.n, spec.k, 0, adversary, static_cast<Round>(100 * spec.n * spec.k));
+        out[r][i].ok = result.completed;
+        out[r][i].rounds = static_cast<double>(result.rounds);
+      });
+    }
+  }
+  batch.run(ctx.pool());
+
+  ScenarioTable table;
+  table.title = "Theorem 3.4: O(nk) rounds on 3-edge-stable graphs";
+  table.columns = {"n", "k", "sigma", "rounds", "nk", "rounds/nk", "completed"};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const RowSpec& spec = rows[r];
+    RunningStat rounds;
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      if (!out[r][i].ok) continue;
+      ++done;
+      rounds.add(out[r][i].rounds);
+    }
+    const double nk = bounds::stable_round_bound(spec.n, spec.k);
+    table.rows.push_back({std::to_string(spec.n), std::to_string(spec.k),
+                          std::to_string(spec.sigma),
+                          TablePrinter::num(rounds.mean(), 0),
+                          TablePrinter::num(nk, 0),
+                          TablePrinter::num(rounds.mean() / nk, 3),
+                          std::to_string(done) + "/" + std::to_string(seeds)});
+  }
+  table.note =
+      "Expected shape: rounds/nk bounded by a constant well below 1 for\n"
+      "sigma=3 (Theorem 3.4's regime), and the ratio does not blow up with n\n"
+      "or k.  sigma=1 rows show the bound degrades gracefully without the\n"
+      "stability assumption.";
+  return {"single_source_time", {std::move(table)}};
+}
+
+}  // namespace
+
+void register_single_source_time(ScenarioRegistry& registry) {
+  registry.add({"single_source_time",
+                "Theorem 3.4: O(nk) round bound under 3-edge-stable churn",
+                {},
+                run});
+}
+
+}  // namespace dyngossip

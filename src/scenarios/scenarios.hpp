@@ -1,0 +1,29 @@
+// Scenario registrations: every paper experiment the repo reproduces.
+//
+// Each register_* function adds one scenario (an algorithm × adversary ×
+// size grid) to a ScenarioRegistry; register_all_scenarios installs the
+// whole catalogue and is idempotent so the CLI and every legacy bench shim
+// can call it unconditionally.  Adding an experiment = one new
+// scenario_*.cpp with a register function wired in here — no new binary.
+#pragma once
+
+#include "sim/runner/scenario_registry.hpp"
+
+namespace dyngossip {
+
+void register_single_source(ScenarioRegistry& registry);
+void register_single_source_time(ScenarioRegistry& registry);
+void register_multi_source(ScenarioRegistry& registry);
+void register_oblivious_funnel(ScenarioRegistry& registry);
+void register_table1(ScenarioRegistry& registry);
+void register_lb_broadcast(ScenarioRegistry& registry);
+void register_fig1_free_edges(ScenarioRegistry& registry);
+void register_static_baseline(ScenarioRegistry& registry);
+void register_upper_bounds(ScenarioRegistry& registry);
+void register_leader_election(ScenarioRegistry& registry);
+void register_ablations(ScenarioRegistry& registry);
+
+/// Installs every scenario above; a no-op when already installed.
+void register_all_scenarios(ScenarioRegistry& registry);
+
+}  // namespace dyngossip

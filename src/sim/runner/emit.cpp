@@ -1,0 +1,114 @@
+#include "sim/runner/emit.hpp"
+
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace dyngossip {
+
+JsonValue scenario_result_to_json(const ScenarioResult& result, const RunInfo& info) {
+  JsonValue doc = JsonValue::object();
+  doc.set("scenario", JsonValue::str(result.scenario));
+  JsonValue tables = JsonValue::array();
+  for (const ScenarioTable& table : result.tables) {
+    JsonValue t = JsonValue::object();
+    t.set("title", JsonValue::str(table.title));
+    JsonValue columns = JsonValue::array();
+    for (const std::string& c : table.columns) columns.push(JsonValue::str(c));
+    t.set("columns", std::move(columns));
+    JsonValue rows = JsonValue::array();
+    for (const auto& row : table.rows) {
+      JsonValue r = JsonValue::array();
+      for (const std::string& cell : row) r.push(JsonValue::str(cell));
+      rows.push(std::move(r));
+    }
+    t.set("rows", std::move(rows));
+    t.set("note", JsonValue::str(table.note));
+    tables.push(std::move(t));
+  }
+  doc.set("tables", std::move(tables));
+  JsonValue run = JsonValue::object();
+  run.set("trials", JsonValue::number(static_cast<double>(info.trials)));
+  run.set("threads", JsonValue::number(static_cast<double>(info.threads)));
+  run.set("quick", JsonValue::boolean(info.quick));
+  run.set("elapsed_seconds", JsonValue::number(info.elapsed_seconds));
+  doc.set("run", std::move(run));
+  return doc;
+}
+
+namespace {
+
+const JsonValue& require(const JsonValue& doc, const std::string& key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("scenario record missing key '" + key + "'");
+  }
+  return *v;
+}
+
+// Typed accessors that throw (the JsonValue ones DG_CHECK-abort); a corrupt
+// or hand-edited record must surface as a catchable error, not a SIGABRT.
+const std::string& string_field(const JsonValue& v, const char* what) {
+  if (v.type() != JsonValue::Type::kString) {
+    throw std::runtime_error(std::string("scenario record field '") + what +
+                             "' is not a string");
+  }
+  return v.as_string();
+}
+
+const std::vector<JsonValue>& array_field(const JsonValue& v, const char* what) {
+  if (v.type() != JsonValue::Type::kArray) {
+    throw std::runtime_error(std::string("scenario record field '") + what +
+                             "' is not an array");
+  }
+  return v.items();
+}
+
+}  // namespace
+
+ScenarioResult scenario_result_from_json(const JsonValue& doc) {
+  ScenarioResult result;
+  result.scenario = string_field(require(doc, "scenario"), "scenario");
+  for (const JsonValue& t : array_field(require(doc, "tables"), "tables")) {
+    ScenarioTable table;
+    table.title = string_field(require(t, "title"), "title");
+    for (const JsonValue& c : array_field(require(t, "columns"), "columns")) {
+      table.columns.push_back(string_field(c, "columns[]"));
+    }
+    for (const JsonValue& r : array_field(require(t, "rows"), "rows")) {
+      std::vector<std::string> row;
+      for (const JsonValue& cell : array_field(r, "rows[]")) {
+        row.push_back(string_field(cell, "rows[][]"));
+      }
+      table.rows.push_back(std::move(row));
+    }
+    table.note = string_field(require(t, "note"), "note");
+    result.tables.push_back(std::move(table));
+  }
+  return result;
+}
+
+void print_scenario_tables(const ScenarioResult& result, std::ostream& os) {
+  for (std::size_t i = 0; i < result.tables.size(); ++i) {
+    const ScenarioTable& table = result.tables[i];
+    if (i) os << "\n";
+    os << "== " << table.title << " ==\n\n";
+    TablePrinter printer(table.columns);
+    for (const auto& row : table.rows) printer.add_row(row);
+    printer.print(os);
+    if (!table.note.empty()) os << "\n" << table.note << "\n";
+  }
+}
+
+void print_scenario_csv(const ScenarioResult& result, std::ostream& os) {
+  for (std::size_t i = 0; i < result.tables.size(); ++i) {
+    const ScenarioTable& table = result.tables[i];
+    if (i) os << "\n";
+    if (result.tables.size() > 1) os << "# " << table.title << "\n";
+    TablePrinter printer(table.columns);
+    for (const auto& row : table.rows) printer.add_row(row);
+    printer.print_csv(os);
+  }
+}
+
+}  // namespace dyngossip

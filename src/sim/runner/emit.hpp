@@ -1,0 +1,41 @@
+// Output emitters for scenario results: aligned text, CSV, JSON.
+//
+// The JSON record splits volatile run metadata (threads, wall time) into a
+// "run" sub-object and keeps the deterministic payload under "scenario" /
+// "tables", so CI can diff two runs' payloads (e.g. --threads=1 vs
+// --threads=8) without masking anything but "run".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+#include "sim/runner/json.hpp"
+#include "sim/runner/scenario.hpp"
+
+namespace dyngossip {
+
+/// Metadata about one scenario execution (the volatile part of the record).
+struct RunInfo {
+  std::size_t trials = 0;   ///< 0: scenario default
+  std::size_t threads = 1;
+  bool quick = false;
+  double elapsed_seconds = 0.0;
+};
+
+/// Full run record: {"scenario", "tables": [...], "run": {...}}.
+[[nodiscard]] JsonValue scenario_result_to_json(const ScenarioResult& result,
+                                                const RunInfo& info);
+
+/// Inverse of scenario_result_to_json's deterministic payload.  Throws
+/// std::runtime_error when required fields are missing or mistyped.
+[[nodiscard]] ScenarioResult scenario_result_from_json(const JsonValue& doc);
+
+/// Aligned tables with title and note lines (the human-facing rendering the
+/// legacy bench binaries printed).
+void print_scenario_tables(const ScenarioResult& result, std::ostream& os);
+
+/// CSV rendering; multiple tables are separated by "# <title>" comment rows.
+void print_scenario_csv(const ScenarioResult& result, std::ostream& os);
+
+}  // namespace dyngossip

@@ -1,0 +1,67 @@
+// Minimal JSON value: build, serialize, parse.
+//
+// The scenario engine emits machine-readable run records (CI artifacts,
+// regression trajectories) and the tests round-trip them; this is the small
+// self-contained JSON core both sides share.  Objects preserve insertion
+// order so emitted documents are stable byte-for-byte — which is what lets
+// CI diff a --threads=8 run against --threads=1 directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dyngossip {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Builders.
+  [[nodiscard]] static JsonValue null() { return JsonValue(); }
+  [[nodiscard]] static JsonValue boolean(bool b);
+  [[nodiscard]] static JsonValue number(double v);
+  [[nodiscard]] static JsonValue str(std::string s);
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+
+  /// Typed accessors; DG_CHECK-fail on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member by key, or nullptr (first match; also null for non-objects).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const noexcept;
+
+  /// Appends to an array.
+  void push(JsonValue v);
+
+  /// Appends a member to an object (no de-duplication; order preserved).
+  void set(std::string key, JsonValue v);
+
+  /// Serializes; indent < 0 is compact, otherwise pretty with that step.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document.  Throws std::runtime_error with an
+  /// offset-bearing message on malformed input or trailing garbage.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace dyngossip

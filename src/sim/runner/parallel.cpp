@@ -1,0 +1,41 @@
+#include "sim/runner/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+namespace dyngossip {
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const std::size_t runners = std::min(pool.size(), count);
+  for (std::size_t r = 0; r < runners; ++r) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          next.store(count, std::memory_order_relaxed);  // skip the rest
+          return;
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void JobBatch::run(ThreadPool& pool) {
+  parallel_for(pool, jobs_.size(), [this](std::size_t i) { jobs_[i](); });
+}
+
+}  // namespace dyngossip

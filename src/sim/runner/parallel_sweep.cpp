@@ -1,0 +1,35 @@
+#include "sim/runner/parallel_sweep.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/runner/parallel.hpp"
+
+namespace dyngossip {
+
+std::vector<std::uint64_t> derive_sweep_seeds(std::size_t trials,
+                                              std::uint64_t base_seed) {
+  DG_CHECK(trials >= 1);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(trials);
+  std::uint64_t sm = base_seed;
+  for (std::size_t i = 0; i < trials; ++i) seeds.push_back(splitmix64(sm));
+  return seeds;
+}
+
+Summary parallel_sweep(ThreadPool& pool, std::size_t trials, std::uint64_t base_seed,
+                       const std::function<double(std::uint64_t)>& measure) {
+  const std::vector<std::uint64_t> seeds = derive_sweep_seeds(trials, base_seed);
+  std::vector<double> samples(trials);
+  parallel_for(pool, trials,
+               [&](std::size_t i) { samples[i] = measure(seeds[i]); });
+  return Summary::of(std::move(samples));
+}
+
+Summary parallel_sweep(std::size_t trials, std::uint64_t base_seed,
+                       const std::function<double(std::uint64_t)>& measure,
+                       std::size_t n_threads) {
+  ThreadPool pool(n_threads);
+  return parallel_sweep(pool, trials, base_seed, measure);
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,35 @@
+// Parallel drop-in for sweep_seeds (src/sim/sweep.hpp).
+//
+// Seeds are derived with the exact SplitMix64 chain sweep_seeds uses, each
+// trial writes its sample into a preassigned slot, and Summary::of folds the
+// slots in trial order — so the returned Summary is bit-identical to the
+// serial sweep at any thread count.  `measure` must be self-contained per
+// call (construct adversaries/engines inside it); every simulation entry
+// point in src/sim/simulator.hpp satisfies this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/runner/thread_pool.hpp"
+
+namespace dyngossip {
+
+/// The SplitMix64-derived seed sequence sweep_seeds feeds to `measure`.
+[[nodiscard]] std::vector<std::uint64_t> derive_sweep_seeds(std::size_t trials,
+                                                            std::uint64_t base_seed);
+
+/// sweep_seeds, parallelized over `pool`; bit-identical to the serial sweep.
+[[nodiscard]] Summary parallel_sweep(ThreadPool& pool, std::size_t trials,
+                                     std::uint64_t base_seed,
+                                     const std::function<double(std::uint64_t)>& measure);
+
+/// Convenience overload owning a transient pool of `n_threads` workers
+/// (0: one per hardware thread).
+[[nodiscard]] Summary parallel_sweep(std::size_t trials, std::uint64_t base_seed,
+                                     const std::function<double(std::uint64_t)>& measure,
+                                     std::size_t n_threads);
+
+}  // namespace dyngossip

@@ -1,0 +1,65 @@
+#include "sim/runner/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dyngossip {
+
+namespace {
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "scenario error: %s\n", msg.c_str());
+  std::exit(2);
+}
+}  // namespace
+
+bool operator==(const ScenarioTable& a, const ScenarioTable& b) {
+  return a.title == b.title && a.columns == b.columns && a.rows == b.rows &&
+         a.note == b.note;
+}
+
+bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
+  return a.scenario == b.scenario && a.tables == b.tables;
+}
+
+std::int64_t ScenarioContext::get_int(const std::string& name,
+                                      std::int64_t def) const {
+  const auto it = params_.find(name);
+  if (it == params_.end()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') die("param " + name + " expects an integer");
+  return v;
+}
+
+std::size_t ScenarioContext::get_size(const std::string& name, std::size_t def,
+                                      std::size_t lo, std::size_t hi) const {
+  const std::int64_t v = get_int(name, static_cast<std::int64_t>(def));
+  if (v < 0 || static_cast<std::size_t>(v) < lo || static_cast<std::size_t>(v) > hi) {
+    die("param " + name + " must be in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "]");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double ScenarioContext::get_double(const std::string& name, double def) const {
+  const auto it = params_.find(name);
+  if (it == params_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') die("param " + name + " expects a number");
+  return v;
+}
+
+bool ScenarioContext::get_bool(const std::string& name, bool def) const {
+  const auto it = params_.find(name);
+  if (it == params_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+std::string ScenarioContext::get_string(const std::string& name,
+                                        const std::string& def) const {
+  const auto it = params_.find(name);
+  return it == params_.end() ? def : it->second;
+}
+
+}  // namespace dyngossip

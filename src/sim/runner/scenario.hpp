@@ -1,0 +1,100 @@
+// Scenario model for the parallel scenario engine.
+//
+// A scenario is one registered experiment — an algorithm × adversary × size
+// grid (a paper table, figure, or ablation).  Its run function receives a
+// ScenarioContext (thread pool, trial count, quick mode, parameter
+// overrides) and returns ScenarioTables that the emitters render as aligned
+// text, CSV, or JSON.  Adding a future experiment means writing one
+// registration function, not a new binary + CMake target.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner/thread_pool.hpp"
+
+namespace dyngossip {
+
+/// One declared scenario parameter (documentation + CLI validation).
+struct ParamSpec {
+  enum class Kind { kInt, kDouble, kBool, kString };
+
+  std::string name;
+  Kind kind = Kind::kInt;
+  std::string default_value;  ///< rendered in `dyngossip list`
+  std::string help;
+};
+
+/// One rendered table: title, column headers, string cells, trailing note.
+struct ScenarioTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  std::string note;  ///< "expected shape" prose printed after the table
+};
+
+/// A scenario run's full output (some scenarios emit several tables).
+struct ScenarioResult {
+  std::string scenario;
+  std::vector<ScenarioTable> tables;
+};
+
+[[nodiscard]] bool operator==(const ScenarioTable& a, const ScenarioTable& b);
+[[nodiscard]] bool operator==(const ScenarioResult& a, const ScenarioResult& b);
+inline bool operator!=(const ScenarioResult& a, const ScenarioResult& b) {
+  return !(a == b);
+}
+
+/// Execution context handed to a scenario's run function.
+class ScenarioContext {
+ public:
+  /// `trials` = 0 lets the scenario pick its default (see trials_or).
+  ScenarioContext(ThreadPool& pool, std::size_t trials, bool quick,
+                  std::map<std::string, std::string> params = {})
+      : pool_(&pool), trials_(trials), quick_(quick), params_(std::move(params)) {}
+
+  /// Pool scenario jobs run on.
+  [[nodiscard]] ThreadPool& pool() const noexcept { return *pool_; }
+
+  /// Requested trials per configuration, or `def` when unset.
+  [[nodiscard]] std::size_t trials_or(std::size_t def) const noexcept {
+    return trials_ == 0 ? def : trials_;
+  }
+
+  /// Quick mode: smaller grids, fewer trials (CI smoke settings).
+  [[nodiscard]] bool quick() const noexcept { return quick_; }
+
+  /// Typed parameter access with defaults; exits with a message on a value
+  /// that does not parse (mirrors CliArgs behaviour).
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  /// get_int plus range validation; exits with a usage message when the
+  /// value falls outside [lo, hi].  Scenarios use this for size params so a
+  /// negative --n dies as a flag error, not a bad_alloc.
+  [[nodiscard]] std::size_t get_size(const std::string& name, std::size_t def,
+                                     std::size_t lo, std::size_t hi) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def) const;
+
+ private:
+  ThreadPool* pool_;
+  std::size_t trials_;
+  bool quick_;
+  std::map<std::string, std::string> params_;
+};
+
+/// A registered experiment.
+struct Scenario {
+  std::string name;         ///< registry key, e.g. "table1"
+  std::string description;  ///< one line for `dyngossip list`
+  std::vector<ParamSpec> params;
+  std::function<ScenarioResult(const ScenarioContext&)> run;
+};
+
+}  // namespace dyngossip

@@ -1,0 +1,273 @@
+#include "sim/runner/scenario_cli.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "common/cli.hpp"
+#include "sim/runner/emit.hpp"
+#include "sim/runner/parallel_sweep.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+
+namespace dyngossip {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: dyngossip <command> [flags]\n"
+    "\n"
+    "commands:\n"
+    "  list [--json]                 list registered scenarios\n"
+    "  run <scenario> [flags]        run one scenario\n"
+    "      --threads=N   worker threads (0 = hardware, default)\n"
+    "      --trials=T    trials per configuration (0 = scenario default)\n"
+    "      --quick       small grids / fast settings\n"
+    "      --csv         CSV instead of aligned tables\n"
+    "      --json[=PATH] machine-readable record (PATH or '-' for stdout)\n"
+    "      --<param>=v   scenario-specific parameter (see `list`)\n"
+    "  speedup [--threads=N] [--trials=T] [--n=SIZE] [--min=X]\n"
+    "                                time serial vs parallel sweep, verify\n"
+    "                                bit-identity, print the ratio as JSON\n";
+
+const char* kind_name(ParamSpec::Kind kind) {
+  switch (kind) {
+    case ParamSpec::Kind::kInt: return "int";
+    case ParamSpec::Kind::kDouble: return "double";
+    case ParamSpec::Kind::kBool: return "bool";
+    case ParamSpec::Kind::kString: return "string";
+  }
+  return "?";
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int cmd_list(const ScenarioRegistry& registry, const CliArgs& args) {
+  args.allow_only({"json"}, "dyngossip list [--json]");
+  if (args.get_bool("json", false)) {
+    JsonValue doc = JsonValue::object();
+    JsonValue scenarios = JsonValue::array();
+    for (const Scenario* s : registry.list()) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue::str(s->name));
+      entry.set("description", JsonValue::str(s->description));
+      JsonValue params = JsonValue::array();
+      for (const ParamSpec& p : s->params) {
+        JsonValue spec = JsonValue::object();
+        spec.set("name", JsonValue::str(p.name));
+        spec.set("kind", JsonValue::str(kind_name(p.kind)));
+        spec.set("default", JsonValue::str(p.default_value));
+        spec.set("help", JsonValue::str(p.help));
+        params.push(std::move(spec));
+      }
+      entry.set("params", std::move(params));
+      scenarios.push(std::move(entry));
+    }
+    doc.set("scenarios", std::move(scenarios));
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  for (const Scenario* s : registry.list()) {
+    std::printf("%-22s %s\n", s->name.c_str(), s->description.c_str());
+    for (const ParamSpec& p : s->params) {
+      std::printf("    --%s=<%s>  (default %s)  %s\n", p.name.c_str(),
+                  kind_name(p.kind), p.default_value.c_str(), p.help.c_str());
+    }
+  }
+  return 0;
+}
+
+/// Shared by `run` and the legacy shims.  `legacy` additionally accepts
+/// --seeds as an alias for --trials.
+int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
+                     const CliArgs& args, bool legacy) {
+  const Scenario* scenario = registry.find(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; try `dyngossip list`\n",
+                 name.c_str());
+    return 2;
+  }
+  std::vector<std::string> allowed = {"threads", "trials", "quick", "csv", "json"};
+  if (legacy) allowed.push_back("seeds");
+  for (const ParamSpec& p : scenario->params) allowed.push_back(p.name);
+  args.allow_only(allowed, "dyngossip run " + name +
+                               " [--threads=N] [--trials=T] [--quick] [--csv]"
+                               " [--json[=PATH]] [--<param>=v]");
+
+  std::map<std::string, std::string> params;
+  for (const ParamSpec& p : scenario->params) {
+    if (args.has(p.name)) params[p.name] = args.get_string(p.name, "");
+  }
+  std::int64_t trials_raw = args.get_int("trials", 0);
+  if (legacy && trials_raw == 0) trials_raw = args.get_int("seeds", 0);
+  const std::int64_t threads_raw = args.get_int("threads", 0);
+  if (trials_raw < 0 || threads_raw < 0 || threads_raw > 4096) {
+    std::fprintf(stderr, "--trials must be >= 0 and --threads in [0, 4096]\n");
+    return 2;
+  }
+  const auto trials = static_cast<std::size_t>(trials_raw);
+  const auto threads = static_cast<std::size_t>(threads_raw);
+  const bool quick = args.get_bool("quick", false);
+
+  ThreadPool pool(threads);
+  const ScenarioContext ctx(pool, trials, quick, std::move(params));
+  const auto start = std::chrono::steady_clock::now();
+  const ScenarioResult result = scenario->run(ctx);
+  RunInfo info;
+  info.trials = trials;
+  info.threads = pool.size();
+  info.quick = quick;
+  info.elapsed_seconds = seconds_since(start);
+
+  if (args.has("json")) {
+    const std::string path = args.get_string("json", "-");
+    const std::string text = scenario_result_to_json(result, info).dump(2);
+    if (path == "-" || path == "true") {
+      std::cout << text << "\n";
+    } else {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return 2;
+      }
+      out << text << "\n";
+    }
+  } else if (args.get_bool("csv", false)) {
+    print_scenario_csv(result, std::cout);
+  } else {
+    print_scenario_tables(result, std::cout);
+  }
+  std::fprintf(stderr, "[dyngossip] %s: %zu threads, %.2fs\n", name.c_str(),
+               info.threads, info.elapsed_seconds);
+  return 0;
+}
+
+bool summaries_identical(const Summary& a, const Summary& b) {
+  return a.count == b.count && a.mean == b.mean && a.stddev == b.stddev &&
+         a.min == b.min && a.max == b.max && a.median == b.median &&
+         a.p90 == b.p90 && a.p99 == b.p99;
+}
+
+int cmd_speedup(const CliArgs& args) {
+  args.allow_only({"threads", "trials", "n", "min"},
+                  "dyngossip speedup [--threads=N] [--trials=T] [--n=SIZE]"
+                  " [--min=X]");
+  const std::int64_t threads_raw = args.get_int(
+      "threads", static_cast<std::int64_t>(ThreadPool::hardware_threads()));
+  const std::int64_t trials_raw = args.get_int("trials", 16);
+  const std::int64_t n_raw = args.get_int("n", 48);
+  if (threads_raw < 1 || threads_raw > 4096 || trials_raw < 1 || n_raw < 4) {
+    std::fprintf(stderr,
+                 "--threads in [1, 4096], --trials >= 1, --n >= 4 required\n");
+    return 2;
+  }
+  const auto threads = static_cast<std::size_t>(threads_raw);
+  const auto trials = static_cast<std::size_t>(trials_raw);
+  const auto n = static_cast<std::size_t>(n_raw);
+  const double min_speedup = args.get_double("min", 0.0);
+
+  // A representative paper workload: Algorithm 1 under churn, one full run
+  // per trial.  Self-contained per call, so safe at any thread count.
+  const auto k = static_cast<std::uint32_t>(2 * n);
+  const auto measure = [n, k](std::uint64_t seed) {
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = 3 * n;
+    cc.churn_per_round = std::max<std::size_t>(1, n / 8);
+    cc.sigma = 3;
+    cc.seed = seed;
+    ChurnAdversary adversary(cc);
+    const RunResult r = run_single_source(n, k, 0, adversary,
+                                          static_cast<Round>(100 * n * k));
+    return static_cast<double>(r.metrics.unicast.total());
+  };
+
+  constexpr std::uint64_t kBaseSeed = 0x5eedfeed;
+  const auto t_serial = std::chrono::steady_clock::now();
+  const Summary serial = sweep_seeds(trials, kBaseSeed, measure);
+  const double serial_s = seconds_since(t_serial);
+
+  ThreadPool pool(threads);
+  const auto t_parallel = std::chrono::steady_clock::now();
+  const Summary parallel = parallel_sweep(pool, trials, kBaseSeed, measure);
+  const double parallel_s = seconds_since(t_parallel);
+
+  const bool identical = summaries_identical(serial, parallel);
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+
+  JsonValue doc = JsonValue::object();
+  doc.set("trials", JsonValue::number(static_cast<double>(trials)));
+  doc.set("threads", JsonValue::number(static_cast<double>(pool.size())));
+  doc.set("n", JsonValue::number(static_cast<double>(n)));
+  doc.set("serial_seconds", JsonValue::number(serial_s));
+  doc.set("parallel_seconds", JsonValue::number(parallel_s));
+  doc.set("speedup", JsonValue::number(speedup));
+  doc.set("bit_identical", JsonValue::boolean(identical));
+  std::cout << doc.dump(2) << "\n";
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: parallel sweep diverged from serial\n");
+    return 1;
+  }
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n", speedup,
+                 min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const char* program = argv[0];
+
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (command == "list") {
+    std::vector<const char*> rest = {program};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return cmd_list(registry, args);
+  }
+  if (command == "run") {
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+      std::fprintf(stderr, "usage: dyngossip run <scenario> [flags]\n");
+      return 2;
+    }
+    const std::string name = argv[2];
+    std::vector<const char*> rest = {program};
+    for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return run_one_scenario(registry, name, args, /*legacy=*/false);
+  }
+  if (command == "speedup") {
+    std::vector<const char*> rest = {program};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return cmd_speedup(args);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
+  return 2;
+}
+
+int scenario_shim_main(ScenarioRegistry& registry, const std::string& scenario_name,
+                       int argc, const char* const* argv) {
+  const CliArgs args(argc, argv);
+  return run_one_scenario(registry, scenario_name, args, /*legacy=*/true);
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,44 @@
+#include "sim/runner/scenario_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dyngossip {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("scenario name must be non-empty");
+  }
+  if (!scenario.run) {
+    throw std::invalid_argument("scenario '" + scenario.name +
+                                "' has no run function");
+  }
+  std::string name = scenario.name;
+  const auto [it, inserted] = scenarios_.emplace(std::move(name), std::move(scenario));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("duplicate scenario name '" + it->first + "'");
+  }
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const noexcept {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    (void)name;
+    out.push_back(&scenario);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,38 @@
+// Name → Scenario registry behind the dyngossip CLI and the bench shims.
+//
+// Registration is explicit (register_all_scenarios in src/scenarios) rather
+// than static-initializer magic, so static linking never drops a scenario
+// and tests can build private registries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner/scenario.hpp"
+
+namespace dyngossip {
+
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario.  Throws std::invalid_argument on an empty name,
+  /// a missing run function, or a duplicate name.
+  void add(Scenario scenario);
+
+  /// Scenario by name, or nullptr when unknown.
+  [[nodiscard]] const Scenario* find(const std::string& name) const noexcept;
+
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> list() const;
+
+  /// Number of registered scenarios.
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+
+  /// Process-wide registry used by the CLI and the bench shims.
+  [[nodiscard]] static ScenarioRegistry& global();
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+}  // namespace dyngossip

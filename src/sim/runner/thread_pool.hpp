@@ -1,0 +1,59 @@
+// Fixed-size worker pool for the parallel scenario engine.
+//
+// Deliberately work-stealing-free: one locked FIFO drained by a fixed set of
+// workers.  Scenario sweeps submit coarse-grained trial jobs (each runs a
+// whole simulation), so queue contention is negligible and the simple design
+// keeps the engine easy to reason about.  Reproducibility never depends on
+// scheduling: parallel_sweep and the scenario ports write every trial into a
+// preassigned slot and merge by trial index, so results are bit-identical at
+// any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dyngossip {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (0: one per hardware thread).
+  explicit ThreadPool(std::size_t n_threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not call submit/wait_idle on their own
+  /// pool (the pool is a leaf executor, not a nested scheduler).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool stop_ = false;
+};
+
+}  // namespace dyngossip

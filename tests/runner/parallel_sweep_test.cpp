@@ -1,0 +1,90 @@
+// Bit-reproducibility of parallel_sweep against the serial sweep_seeds.
+#include "sim/runner/parallel_sweep.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "adversary/churn.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+
+namespace dyngossip {
+namespace {
+
+// Exact (bitwise) equality on every Summary field.
+void expect_identical(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+TEST(DeriveSweepSeeds, MatchesSweepSeedsSeedStream) {
+  std::vector<std::uint64_t> from_serial;
+  (void)sweep_seeds(6, 99, [&](std::uint64_t seed) {
+    from_serial.push_back(seed);
+    return 0.0;
+  });
+  EXPECT_EQ(derive_sweep_seeds(6, 99), from_serial);
+}
+
+TEST(ParallelSweep, BitIdenticalToSerialAt1_2_8Threads) {
+  // Irrational-ish samples so that any reordering of the fold would show up
+  // in the low bits of mean/stddev.
+  const auto measure = [](std::uint64_t seed) {
+    return std::sin(static_cast<double>(seed % 100'000)) * 1e6 +
+           std::sqrt(static_cast<double>(seed % 997));
+  };
+  const std::size_t trials = 37;  // deliberately not a multiple of any pool size
+  const Summary serial = sweep_seeds(trials, 0xfeedface, measure);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const Summary parallel = parallel_sweep(trials, 0xfeedface, measure, threads);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelSweep, BitIdenticalOnARealSimulationWorkload) {
+  const std::size_t n = 16;
+  const auto k = static_cast<std::uint32_t>(2 * n);
+  const auto measure = [n, k](std::uint64_t seed) {
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = 3 * n;
+    cc.churn_per_round = 2;
+    cc.sigma = 3;
+    cc.seed = seed;
+    ChurnAdversary adversary(cc);
+    const RunResult r =
+        run_single_source(n, k, 0, adversary, static_cast<Round>(100 * n * k));
+    return static_cast<double>(r.metrics.unicast.total());
+  };
+  const Summary serial = sweep_seeds(5, 4242, measure);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    expect_identical(serial, parallel_sweep(5, 4242, measure, threads));
+  }
+}
+
+TEST(ParallelSweep, SharedPoolOverloadMatchesOwningOverload) {
+  const auto measure = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 1000);
+  };
+  ThreadPool pool(3);
+  expect_identical(parallel_sweep(pool, 9, 7, measure),
+                   parallel_sweep(9, 7, measure, 3));
+}
+
+TEST(ParallelSweep, SingleTrial) {
+  const auto measure = [](std::uint64_t seed) {
+    return static_cast<double>(seed & 0xff);
+  };
+  expect_identical(sweep_seeds(1, 5, measure), parallel_sweep(1, 5, measure, 4));
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -1,0 +1,95 @@
+// End-to-end tests for the scenario engine: run a real scenario through the
+// registry, round-trip the JSON record, and verify thread-count invariance.
+#include "sim/runner/emit.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_registry.hpp"
+
+namespace dyngossip {
+namespace {
+
+ScenarioResult run_with_threads(const Scenario& scenario, std::size_t threads,
+                                std::size_t trials) {
+  ThreadPool pool(threads);
+  const ScenarioContext ctx(pool, trials, /*quick=*/true);
+  return scenario.run(ctx);
+}
+
+TEST(ScenarioRun, JsonRecordRoundTrips) {
+  ScenarioRegistry registry;
+  register_all_scenarios(registry);
+  const Scenario* scenario = registry.find("static_baseline");
+  ASSERT_NE(scenario, nullptr);
+  const ScenarioResult result = run_with_threads(*scenario, 2, 0);
+  ASSERT_FALSE(result.tables.empty());
+  EXPECT_FALSE(result.tables[0].rows.empty());
+
+  RunInfo info;
+  info.trials = 0;
+  info.threads = 2;
+  info.quick = true;
+  info.elapsed_seconds = 0.125;
+  const std::string text = scenario_result_to_json(result, info).dump(2);
+  const JsonValue parsed = JsonValue::parse(text);
+  const ScenarioResult back = scenario_result_from_json(parsed);
+  EXPECT_TRUE(result == back);
+
+  // The volatile metadata survives in the "run" sub-object.
+  const JsonValue* run = parsed.find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->find("threads")->as_number(), 2.0);
+  EXPECT_EQ(run->find("elapsed_seconds")->as_number(), 0.125);
+}
+
+TEST(ScenarioRun, PayloadIsThreadCountInvariant) {
+  ScenarioRegistry registry;
+  register_all_scenarios(registry);
+  // fig1_free_edges is pure analysis (no engine rounds), so it is fast even
+  // at a statistically meaningful trial count.
+  const Scenario* scenario = registry.find("fig1_free_edges");
+  ASSERT_NE(scenario, nullptr);
+  const ScenarioResult serial = run_with_threads(*scenario, 1, 8);
+  const ScenarioResult parallel2 = run_with_threads(*scenario, 2, 8);
+  const ScenarioResult parallel8 = run_with_threads(*scenario, 8, 8);
+  EXPECT_TRUE(serial == parallel2);
+  EXPECT_TRUE(serial == parallel8);
+}
+
+TEST(ScenarioRun, FromJsonRejectsMalformedRecords) {
+  // Missing keys and mistyped fields must both throw (never abort).
+  for (const char* bad :
+       {"{}", "{\"scenario\":\"x\"}", "{\"scenario\":\"x\",\"tables\":3}",
+        "{\"scenario\":7,\"tables\":[]}",
+        "{\"scenario\":\"x\",\"tables\":[{\"title\":\"t\",\"columns\":[1],"
+        "\"rows\":[],\"note\":\"\"}]}"}) {
+    EXPECT_THROW((void)scenario_result_from_json(JsonValue::parse(bad)),
+                 std::runtime_error)
+        << bad;
+  }
+}
+
+TEST(ScenarioRun, CsvAndTableRenderingsContainEveryCell) {
+  ScenarioTable table;
+  table.title = "toy";
+  table.columns = {"a", "b"};
+  table.rows = {{"1", "2"}, {"3", "4"}};
+  table.note = "note line";
+  const ScenarioResult result{"toy_scenario", {table}};
+
+  std::ostringstream tables_out;
+  print_scenario_tables(result, tables_out);
+  for (const char* needle : {"toy", "a", "b", "1", "2", "3", "4", "note line"}) {
+    EXPECT_NE(tables_out.str().find(needle), std::string::npos) << needle;
+  }
+  std::ostringstream csv_out;
+  print_scenario_csv(result, csv_out);
+  EXPECT_NE(csv_out.str().find("a,b"), std::string::npos);
+  EXPECT_NE(csv_out.str().find("3,4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyngossip

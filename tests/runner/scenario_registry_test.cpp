@@ -1,0 +1,91 @@
+// Tests for the scenario registry and the scenario catalogue.
+#include "sim/runner/scenario_registry.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.hpp"
+
+namespace dyngossip {
+namespace {
+
+Scenario dummy(const std::string& name) {
+  return {name, "a dummy scenario", {},
+          [name](const ScenarioContext&) { return ScenarioResult{name, {}}; }};
+}
+
+TEST(ScenarioRegistry, AddAndFind) {
+  ScenarioRegistry registry;
+  registry.add(dummy("alpha"));
+  registry.add(dummy("beta"));
+  ASSERT_NE(registry.find("alpha"), nullptr);
+  EXPECT_EQ(registry.find("alpha")->name, "alpha");
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ScenarioRegistry, UnknownLookupReturnsNull) {
+  ScenarioRegistry registry;
+  registry.add(dummy("alpha"));
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  EXPECT_EQ(registry.find(""), nullptr);
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateNames) {
+  ScenarioRegistry registry;
+  registry.add(dummy("alpha"));
+  EXPECT_THROW(registry.add(dummy("alpha")), std::invalid_argument);
+  EXPECT_EQ(registry.size(), 1u);  // the original registration survives
+}
+
+TEST(ScenarioRegistry, RejectsEmptyNameAndMissingRun) {
+  ScenarioRegistry registry;
+  EXPECT_THROW(registry.add(dummy("")), std::invalid_argument);
+  Scenario no_run{"gamma", "no run fn", {}, nullptr};
+  EXPECT_THROW(registry.add(std::move(no_run)), std::invalid_argument);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ScenarioRegistry, ListIsNameSorted) {
+  ScenarioRegistry registry;
+  registry.add(dummy("zeta"));
+  registry.add(dummy("alpha"));
+  registry.add(dummy("mid"));
+  const auto scenarios = registry.list();
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0]->name, "alpha");
+  EXPECT_EQ(scenarios[1]->name, "mid");
+  EXPECT_EQ(scenarios[2]->name, "zeta");
+}
+
+TEST(ScenarioCatalogue, RegistersElevenScenariosIdempotently) {
+  ScenarioRegistry registry;
+  register_all_scenarios(registry);
+  EXPECT_EQ(registry.size(), 11u);
+  register_all_scenarios(registry);  // second call must be a no-op, not a throw
+  EXPECT_EQ(registry.size(), 11u);
+  for (const char* name :
+       {"single_source", "single_source_time", "multi_source", "oblivious_funnel",
+        "table1", "lb_broadcast", "fig1_free_edges", "static_baseline",
+        "upper_bounds", "leader_election", "ablations"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioContext, ParamAccessorsAndTrialsDefault) {
+  ThreadPool pool(1);
+  const ScenarioContext ctx(pool, 0, true,
+                            {{"n", "64"}, {"rate", "0.5"}, {"flag", "true"}});
+  EXPECT_EQ(ctx.trials_or(7), 7u);
+  EXPECT_TRUE(ctx.quick());
+  EXPECT_EQ(ctx.get_int("n", 1), 64);
+  EXPECT_DOUBLE_EQ(ctx.get_double("rate", 0.0), 0.5);
+  EXPECT_TRUE(ctx.get_bool("flag", false));
+  EXPECT_EQ(ctx.get_int("missing", 42), 42);
+  EXPECT_EQ(ctx.get_string("missing", "d"), "d");
+  const ScenarioContext explicit_trials(pool, 5, false);
+  EXPECT_EQ(explicit_trials.trials_or(7), 5u);
+}
+
+}  // namespace
+}  // namespace dyngossip

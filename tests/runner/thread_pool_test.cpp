@@ -1,0 +1,105 @@
+// Tests for the fixed thread pool and the fork/join primitives.
+#include "sim/runner/thread_pool.hpp"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "sim/runner/parallel.hpp"
+
+namespace dyngossip {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, MoreWorkersThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 3, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool survives a failed parallel_for.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 5, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(JobBatch, RunsAllJobs) {
+  ThreadPool pool(2);
+  std::vector<int> slots(20, 0);
+  JobBatch batch;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    batch.add([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  EXPECT_EQ(batch.size(), 20u);
+  batch.run(pool);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace dyngossip
