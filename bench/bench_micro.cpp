@@ -1,8 +1,17 @@
 // Substrate microbenchmarks (google-benchmark): the per-round primitives
 // that dominate simulation cost — bitset algebra, union-find, graph
-// generation, free-edge analysis, and full engine rounds.
+// generation, free-edge analysis, the CSR round-snapshot path, and full
+// engine rounds.
+//
+// The *Legacy benches reproduce the pre-CSR per-round idiom (per-node
+// allocate-and-sort, hash-map classifier state) so the snapshot refactor's
+// win stays measurable: compare BM_RoundSnapshotLegacy vs BM_RoundSnapshotCsr
+// and BM_ClassifierRoundLegacyMap vs BM_ClassifierRound at the same size.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <unordered_map>
 
 #include "adversary/churn.hpp"
 #include "adversary/lb_adversary.hpp"
@@ -10,11 +19,13 @@
 #include "common/dynamic_bitset.hpp"
 #include "common/rng.hpp"
 #include "core/flooding.hpp"
+#include "core/knowledge.hpp"
 #include "core/single_source.hpp"
 #include "engine/broadcast_engine.hpp"
 #include "engine/unicast_engine.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "graph/round_view.hpp"
 #include "metrics/potential.hpp"
 
 namespace dyngossip {
@@ -102,6 +113,149 @@ void BM_FreeGraphAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FreeGraphAnalysis)->Arg(128)->Arg(512);
+
+/// The pre-CSR engine read path: every node's sorted neighbor list is a
+/// fresh allocation + comparison sort, every round.
+void BM_RoundSnapshotLegacy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  const Graph g = random_connected_with_edges(n, 4 * n, rng);
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::vector<NodeId> neigh = g.sorted_neighbors(v);
+      sum += neigh.empty() ? 0 : neigh.front();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RoundSnapshotLegacy)->Arg(1024)->Arg(4096)->Arg(10000);
+
+/// The CSR path: one O(n + m) rebuild into reused buffers, then sorted
+/// spans for free.
+void BM_RoundSnapshotCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  const Graph g = random_connected_with_edges(n, 4 * n, rng);
+  RoundGraphView view;
+  for (auto _ : state) {
+    view.rebuild(g);
+    std::size_t sum = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::span<const NodeId> neigh = view.neighbors(v);
+      sum += neigh.empty() ? 0 : neigh.front();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RoundSnapshotCsr)->Arg(1024)->Arg(4096)->Arg(10000);
+
+/// Full mutable-graph rebuild from an edge list (adversary-side cost).
+void BM_GraphBuildFromEdges(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const std::vector<EdgeKey> edges =
+      random_connected_with_edges(n, 4 * n, rng).sorted_edges();
+  for (auto _ : state) {
+    Graph g(n, edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphBuildFromEdges)->Arg(1024)->Arg(4096);
+
+/// Drives n churn-varying neighbor lists through one round of the flat
+/// parallel-array classifier (the production path).
+void BM_ClassifierRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  Graph g = random_connected_with_edges(n, 4 * n, rng);
+  RoundGraphView view;
+  view.rebuild(g);
+  std::vector<EdgeClassifier> classifiers(n);
+  Round r = 0;
+  for (auto _ : state) {
+    ++r;
+    std::size_t acc = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::span<const NodeId> neigh = view.neighbors(v);
+      classifiers[v].begin_round(r, neigh);
+      for (std::size_t slot = 0; slot < neigh.size(); ++slot) {
+        acc += static_cast<std::size_t>(classifiers[v].classify_slot(slot));
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ClassifierRound)->Arg(1024)->Arg(4096);
+
+/// The pre-refactor classifier idiom: unordered_map per node, erase-scan of
+/// vanished edges, hash lookup per classify.
+void BM_ClassifierRoundLegacyMap(benchmark::State& state) {
+  struct EdgeState {
+    Round inserted = kNoRound;
+    bool contributed = false;
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  Graph g = random_connected_with_edges(n, 4 * n, rng);
+  RoundGraphView view;
+  view.rebuild(g);
+  std::vector<std::unordered_map<NodeId, EdgeState>> edges(n);
+  Round r = 0;
+  for (auto _ : state) {
+    ++r;
+    std::size_t acc = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::span<const NodeId> neigh = view.neighbors(v);
+      auto& map = edges[v];
+      for (auto it = map.begin(); it != map.end();) {
+        if (!std::binary_search(neigh.begin(), neigh.end(), it->first)) {
+          it = map.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const NodeId w : neigh) map.try_emplace(w, EdgeState{r, false});
+      for (const NodeId w : neigh) {
+        const EdgeState& st = map.find(w)->second;
+        acc += st.inserted + 1 >= r ? 0 : (st.contributed ? 2 : 1);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ClassifierRoundLegacyMap)->Arg(1024)->Arg(4096);
+
+/// Word-scan cursor over set bits vs materializing the positions vector.
+void BM_BitsetIterateCursor(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  DynamicBitset b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.bernoulli(0.3)) b.set(i);
+  }
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (const std::size_t pos : b.set_bits()) sum += pos;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitsetIterateCursor)->Arg(4096)->Arg(65536);
+
+void BM_BitsetIterateMaterialized(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  DynamicBitset b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.bernoulli(0.3)) b.set(i);
+  }
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (const std::size_t pos : b.set_positions()) sum += pos;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitsetIterateMaterialized)->Arg(4096)->Arg(65536);
 
 void BM_BroadcastEngineRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

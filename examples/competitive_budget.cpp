@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
                    TablePrinter::big(r.metrics.unicast.total()),
                    TablePrinter::big(r.metrics.tc),
                    TablePrinter::num(r.metrics.competitive_residual(1.0), 0),
-                   TablePrinter::num(r.metrics.competitive_residual(1.0) / paper_bound, 3),
+                   TablePrinter::num(
+                       r.metrics.competitive_residual(1.0) / paper_bound, 3),
                    std::to_string(r.rounds)});
   };
 

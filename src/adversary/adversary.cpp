@@ -4,26 +4,32 @@
 
 namespace dyngossip {
 
-Graph Adversary::broadcast_round(const BroadcastRoundView& view) {
+namespace {
+// Storage for the must-not-be-reached default next_graph (keeps the
+// reference-returning contract without a per-adversary dummy member).
+const Graph kEmptyGraph(0);
+}  // namespace
+
+const Graph& Adversary::broadcast_round(const BroadcastRoundView& view) {
   return next_graph(view.round);
 }
 
-Graph Adversary::unicast_round(const UnicastRoundView& view) {
+const Graph& Adversary::unicast_round(const UnicastRoundView& view) {
   return next_graph(view.round);
 }
 
-Graph Adversary::next_graph(Round /*r*/) {
+const Graph& Adversary::next_graph(Round /*r*/) {
   // Reaching here means a subclass neither overrode the round methods nor
   // provided a generator — a wiring bug, not a runtime condition.
   DG_CHECK(false && "adversary must implement next_graph or override round methods");
-  return Graph(0);
+  return kEmptyGraph;
 }
 
-Graph ObliviousAdversary::broadcast_round(const BroadcastRoundView& view) {
+const Graph& ObliviousAdversary::broadcast_round(const BroadcastRoundView& view) {
   return next_graph(view.round);
 }
 
-Graph ObliviousAdversary::unicast_round(const UnicastRoundView& view) {
+const Graph& ObliviousAdversary::unicast_round(const UnicastRoundView& view) {
   return next_graph(view.round);
 }
 

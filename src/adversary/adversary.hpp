@@ -54,6 +54,13 @@ struct UnicastRoundView {
 };
 
 /// Base class for all adversaries.
+///
+/// Round methods return a reference to adversary-owned storage that stays
+/// valid until the next round call on the same adversary: at n ~ 10⁴ a
+/// by-value Graph return would copy n adjacency vectors every round, which
+/// the incremental adversaries (churn, request cutter) never need to pay.
+/// Engines that must retain the previous round's topology snapshot it
+/// themselves (UnicastEngine copy-assigns into a reused buffer).
 class Adversary {
  public:
   virtual ~Adversary() = default;
@@ -63,16 +70,18 @@ class Adversary {
 
   /// Round graph for the local-broadcast engine.  Default: defers to the
   /// view-free generator (oblivious behaviour).
-  [[nodiscard]] virtual Graph broadcast_round(const BroadcastRoundView& view);
+  [[nodiscard]] virtual const Graph& broadcast_round(const BroadcastRoundView& view);
 
   /// Round graph for the unicast engine.  Default: defers to the view-free
   /// generator (oblivious behaviour).
-  [[nodiscard]] virtual Graph unicast_round(const UnicastRoundView& view);
+  [[nodiscard]] virtual const Graph& unicast_round(const UnicastRoundView& view);
 
  protected:
   /// View-free generator used by oblivious adversaries; adaptive adversaries
-  /// that override both round methods need not implement it.
-  [[nodiscard]] virtual Graph next_graph(Round r);
+  /// that override both round methods need not implement it.  The returned
+  /// reference must stay valid until the next round call (incremental
+  /// generators return their working graph).
+  [[nodiscard]] virtual const Graph& next_graph(Round r);
 };
 
 /// Convenience base for oblivious adversaries: subclasses implement only
@@ -80,8 +89,8 @@ class Adversary {
 /// (seed, parameters) and r — i.e. the sequence is committed in advance.
 class ObliviousAdversary : public Adversary {
  public:
-  [[nodiscard]] Graph broadcast_round(const BroadcastRoundView& view) final;
-  [[nodiscard]] Graph unicast_round(const UnicastRoundView& view) final;
+  [[nodiscard]] const Graph& broadcast_round(const BroadcastRoundView& view) final;
+  [[nodiscard]] const Graph& unicast_round(const UnicastRoundView& view) final;
 };
 
 }  // namespace dyngossip

@@ -17,7 +17,7 @@ ChurnAdversary::ChurnAdversary(const ChurnConfig& cfg)
   cfg_.target_edges = std::min(cfg_.target_edges, max_edges);
 }
 
-bool ChurnAdversary::add_random_edge(Round r) {
+bool ChurnAdversary::add_random_edge() {
   const std::size_t max_edges = cfg_.n * (cfg_.n - 1) / 2;
   if (current_.num_edges() >= max_edges) return false;
   // Rejection sampling; the graphs used in experiments are sparse, so a few
@@ -27,14 +27,14 @@ bool ChurnAdversary::add_random_edge(Round r) {
     auto v = static_cast<NodeId>(rng_.next_below(cfg_.n - 1));
     if (v >= u) ++v;
     if (current_.add_edge(u, v)) {
-      inserted_at_[edge_key(u, v)] = r;
+      pending_.push_back(edge_key(u, v));
       return true;
     }
   }
   for (NodeId u = 0; u < cfg_.n; ++u) {
     for (NodeId v = u + 1; v < cfg_.n; ++v) {
       if (current_.add_edge(u, v)) {
-        inserted_at_[edge_key(u, v)] = r;
+        pending_.push_back(edge_key(u, v));
         return true;
       }
     }
@@ -42,7 +42,14 @@ bool ChurnAdversary::add_random_edge(Round r) {
   return false;
 }
 
-Graph ChurnAdversary::next_graph(Round r) {
+void ChurnAdversary::reset_ages(Round r) {
+  inserted_at_.clear();
+  current_.for_each_edge(
+      [this, r](EdgeKey key) { inserted_at_.push_back({key, r}); });
+  std::sort(inserted_at_.begin(), inserted_at_.end());
+}
+
+const Graph& ChurnAdversary::next_graph(Round r) {
   DG_CHECK(r == last_round_ + 1);
   last_round_ = r;
 
@@ -53,38 +60,59 @@ Graph ChurnAdversary::next_graph(Round r) {
 
   if (r == 1) {
     current_ = random_connected_with_edges(cfg_.n, cfg_.target_edges, rng_);
-    inserted_at_.clear();
-    for (const EdgeKey key : current_.edges()) inserted_at_[key] = 1;
+    reset_ages(1);
     return current_;
   }
 
   // 1. Delete up to churn_per_round edges old enough to respect σ-stability.
   //    An edge inserted at r0 must be present in rounds r0 .. r0+σ-1, so it
-  //    may first be absent in round r0+σ.
+  //    may first be absent in round r0+σ.  inserted_at_ is sorted by key, so
+  //    the removable list comes out in the canonical order directly.
   std::vector<EdgeKey> removable;
-  removable.reserve(current_.num_edges());
-  for (const EdgeKey key : current_.edges()) {
-    const Round r0 = inserted_at_.at(key);
+  removable.reserve(inserted_at_.size());
+  for (const auto& [key, r0] : inserted_at_) {
     if (r >= r0 + cfg_.sigma) removable.push_back(key);
   }
-  std::sort(removable.begin(), removable.end());  // deterministic base order
   rng_.shuffle(removable);
   const std::size_t cuts = std::min(cfg_.churn_per_round, removable.size());
-  for (std::size_t i = 0; i < cuts; ++i) {
-    const auto [u, v] = edge_endpoints(removable[i]);
-    current_.remove_edge(u, v);
-    inserted_at_.erase(removable[i]);
+  if (cuts > 0) {
+    std::vector<EdgeKey> cut(removable.begin(),
+                             removable.begin() + static_cast<std::ptrdiff_t>(cuts));
+    std::sort(cut.begin(), cut.end());
+    for (const EdgeKey key : cut) {
+      const auto [u, v] = edge_endpoints(key);
+      current_.remove_edge(u, v);
+    }
+    // Compact the age list, dropping the cut edges (both lists sorted).
+    age_scratch_.clear();
+    std::size_t c = 0;
+    for (const auto& entry : inserted_at_) {
+      while (c < cut.size() && cut[c] < entry.first) ++c;
+      if (c < cut.size() && cut[c] == entry.first) continue;
+      age_scratch_.push_back(entry);
+    }
+    std::swap(inserted_at_, age_scratch_);
   }
 
   // 2. Replenish toward the target edge count.
+  pending_.clear();
   while (current_.num_edges() < cfg_.target_edges) {
-    if (!add_random_edge(r)) break;
+    if (!add_random_edge()) break;
   }
 
   // 3. Patch connectivity (these insertions are part of the adversary's
   //    committed schedule and are charged to TC like any other).
   for (const EdgeKey key : connect_components(current_, rng_)) {
-    inserted_at_[key] = r;
+    pending_.push_back(key);
+  }
+
+  // Fold this round's insertions into the sorted age list.
+  if (!pending_.empty()) {
+    std::sort(pending_.begin(), pending_.end());
+    const auto old_size = static_cast<std::ptrdiff_t>(inserted_at_.size());
+    for (const EdgeKey key : pending_) inserted_at_.push_back({key, r});
+    std::inplace_merge(inserted_at_.begin(), inserted_at_.begin() + old_size,
+                       inserted_at_.end());
   }
   return current_;
 }

@@ -14,7 +14,8 @@
 // algorithm's "free budget" dominates.
 #pragma once
 
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "adversary/adversary.hpp"
 #include "common/rng.hpp"
@@ -39,17 +40,25 @@ class ChurnAdversary final : public ObliviousAdversary {
   [[nodiscard]] std::size_t num_nodes() const override { return cfg_.n; }
 
  protected:
-  [[nodiscard]] Graph next_graph(Round r) override;
+  [[nodiscard]] const Graph& next_graph(Round r) override;
 
  private:
-  /// Inserts one uniformly random absent edge; returns false if the graph
-  /// is complete.
-  bool add_random_edge(Round r);
+  /// Inserts one uniformly random absent edge (recorded in pending_);
+  /// returns false if the graph is complete.
+  bool add_random_edge();
+
+  /// Rebuilds inserted_at_ from current_ with every edge aged `r`.
+  void reset_ages(Round r);
 
   ChurnConfig cfg_;
   Rng rng_;
   Graph current_;
-  std::unordered_map<EdgeKey, Round> inserted_at_;
+  /// Live-edge insertion rounds, sorted by edge key (mirrors current_'s edge
+  /// set).  The σ-stability scan walks this in order, so the removable list
+  /// needs no per-round sort and no hashing.
+  std::vector<std::pair<EdgeKey, Round>> inserted_at_;
+  std::vector<std::pair<EdgeKey, Round>> age_scratch_;  ///< compaction buffer
+  std::vector<EdgeKey> pending_;  ///< edges inserted in the current round
   Round last_round_ = 0;
 };
 

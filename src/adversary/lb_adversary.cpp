@@ -107,7 +107,7 @@ LowerBoundAdversary::LowerBoundAdversary(
            "'at most k/2 tokens on average' precondition of Theorem 2.3");
 }
 
-Graph LowerBoundAdversary::broadcast_round(const BroadcastRoundView& view) {
+const Graph& LowerBoundAdversary::broadcast_round(const BroadcastRoundView& view) {
   DG_CHECK(view.knowledge != nullptr);
   DG_CHECK(view.intents.size() == cfg_.n);
 
@@ -137,7 +137,8 @@ Graph LowerBoundAdversary::broadcast_round(const BroadcastRoundView& view) {
     rec.phi_before = potential(*view.knowledge, kprime_);
     series_.push_back(rec);
   }
-  return g;
+  current_ = std::move(g);
+  return current_;
 }
 
 }  // namespace dyngossip

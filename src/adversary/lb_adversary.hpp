@@ -84,7 +84,7 @@ class LowerBoundAdversary final : public Adversary {
 
   [[nodiscard]] std::size_t num_nodes() const override { return cfg_.n; }
 
-  [[nodiscard]] Graph broadcast_round(const BroadcastRoundView& view) override;
+  [[nodiscard]] const Graph& broadcast_round(const BroadcastRoundView& view) override;
 
   /// The sampled K'_v sets.
   [[nodiscard]] const std::vector<DynamicBitset>& kprime() const noexcept {
@@ -109,6 +109,7 @@ class LowerBoundAdversary final : public Adversary {
   std::uint64_t phi0_ = 0;
   std::size_t max_components_ = 0;
   std::vector<RoundRecord> series_;
+  Graph current_;  ///< round-graph storage (see Adversary contract)
 };
 
 }  // namespace dyngossip

@@ -19,8 +19,9 @@ NodeId RotatingStarAdversary::center_of(Round r) const {
   return order_[static_cast<std::size_t>(r - 1) % n_];
 }
 
-Graph RotatingStarAdversary::next_graph(Round r) {
-  return star_graph(n_, center_of(r));
+const Graph& RotatingStarAdversary::next_graph(Round r) {
+  current_ = star_graph(n_, center_of(r));
+  return current_;
 }
 
 PathShuffleAdversary::PathShuffleAdversary(std::size_t n, std::uint64_t seed)
@@ -28,7 +29,7 @@ PathShuffleAdversary::PathShuffleAdversary(std::size_t n, std::uint64_t seed)
   DG_CHECK(n >= 2);
 }
 
-Graph PathShuffleAdversary::next_graph(Round r) {
+const Graph& PathShuffleAdversary::next_graph(Round r) {
   // Derive the round's permutation purely from (seed, r): the schedule is
   // committed up front even though it is materialized lazily.
   std::uint64_t sm = seed_ ^ (0x9e3779b97f4a7c15ull * r);
@@ -38,7 +39,8 @@ Graph PathShuffleAdversary::next_graph(Round r) {
   rng.shuffle(perm);
   Graph g(n_);
   for (std::size_t i = 1; i < n_; ++i) g.add_edge(perm[i - 1], perm[i]);
-  return g;
+  current_ = std::move(g);
+  return current_;
 }
 
 }  // namespace dyngossip

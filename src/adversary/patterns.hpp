@@ -35,11 +35,12 @@ class RotatingStarAdversary final : public ObliviousAdversary {
   [[nodiscard]] NodeId center_of(Round r) const;
 
  protected:
-  [[nodiscard]] Graph next_graph(Round r) override;
+  [[nodiscard]] const Graph& next_graph(Round r) override;
 
  private:
   std::size_t n_;
   std::vector<NodeId> order_;  ///< seeded permutation of the nodes
+  Graph current_;              ///< round-graph storage (see Adversary contract)
 };
 
 /// Fresh random Hamiltonian path every round.
@@ -51,11 +52,12 @@ class PathShuffleAdversary final : public ObliviousAdversary {
   [[nodiscard]] std::size_t num_nodes() const override { return n_; }
 
  protected:
-  [[nodiscard]] Graph next_graph(Round r) override;
+  [[nodiscard]] const Graph& next_graph(Round r) override;
 
  private:
   std::size_t n_;
   std::uint64_t seed_;
+  Graph current_;  ///< round-graph storage (see Adversary contract)
 };
 
 }  // namespace dyngossip

@@ -17,7 +17,7 @@ RequestCutterAdversary::RequestCutterAdversary(const RequestCutterConfig& cfg)
   cfg_.target_edges = std::min(cfg_.target_edges, max_edges);
 }
 
-Graph RequestCutterAdversary::unicast_round(const UnicastRoundView& view) {
+const Graph& RequestCutterAdversary::unicast_round(const UnicastRoundView& view) {
   DG_CHECK(view.round == last_round_ + 1);
   last_round_ = view.round;
 
@@ -33,7 +33,7 @@ Graph RequestCutterAdversary::unicast_round(const UnicastRoundView& view) {
   for (const SentRecord& rec : *view.prev_messages) {
     if (rec.msg.type != MsgType::kRequest) continue;
     const EdgeKey key = edge_key(rec.from, rec.to);
-    if (current_.edges().count(key) > 0 && rng_.bernoulli(cfg_.cut_probability)) {
+    if (current_.has_edge(rec.from, rec.to) && rng_.bernoulli(cfg_.cut_probability)) {
       victims.push_back(key);
     }
   }

@@ -39,7 +39,7 @@ class RequestCutterAdversary final : public Adversary {
 
   [[nodiscard]] std::size_t num_nodes() const override { return cfg_.n; }
 
-  [[nodiscard]] Graph unicast_round(const UnicastRoundView& view) override;
+  [[nodiscard]] const Graph& unicast_round(const UnicastRoundView& view) override;
 
   /// Number of edges this adversary has cut because they carried requests.
   [[nodiscard]] std::uint64_t cuts() const noexcept { return cuts_; }

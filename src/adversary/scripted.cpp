@@ -15,7 +15,7 @@ ScriptedAdversary::ScriptedAdversary(std::vector<Graph> script)
   }
 }
 
-Graph ScriptedAdversary::next_graph(Round r) {
+const Graph& ScriptedAdversary::next_graph(Round r) {
   DG_CHECK(r >= 1);
   const std::size_t idx = static_cast<std::size_t>(r - 1) < script_.size()
                               ? static_cast<std::size_t>(r - 1)

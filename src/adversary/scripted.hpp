@@ -27,7 +27,7 @@ class ScriptedAdversary final : public ObliviousAdversary {
   [[nodiscard]] std::size_t script_length() const noexcept { return script_.size(); }
 
  protected:
-  [[nodiscard]] Graph next_graph(Round r) override;
+  [[nodiscard]] const Graph& next_graph(Round r) override;
 
  private:
   std::vector<Graph> script_;

@@ -9,6 +9,6 @@ StaticAdversary::StaticAdversary(Graph g) : graph_(std::move(g)) {
   DG_CHECK(is_connected(graph_));
 }
 
-Graph StaticAdversary::next_graph(Round /*r*/) { return graph_; }
+const Graph& StaticAdversary::next_graph(Round /*r*/) { return graph_; }
 
 }  // namespace dyngossip

@@ -18,7 +18,7 @@ class StaticAdversary final : public ObliviousAdversary {
   [[nodiscard]] std::size_t num_nodes() const override { return graph_.num_nodes(); }
 
  protected:
-  [[nodiscard]] Graph next_graph(Round r) override;
+  [[nodiscard]] const Graph& next_graph(Round r) override;
 
  private:
   Graph graph_;

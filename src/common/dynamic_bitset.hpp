@@ -7,6 +7,7 @@
 // adversary (Θ(n²) edge classifications per round) tractable.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -18,6 +19,83 @@ namespace dyngossip {
 /// Fixed-universe dynamic bitset with word-parallel set algebra.
 class DynamicBitset {
  public:
+  /// Zero-allocation word-scan cursor over bit positions, in increasing
+  /// order.  Replaces the materialized vectors of set_positions() /
+  /// unset_positions() on the per-round hot paths (Algorithm 1's
+  /// missing-token selection walks this cursor instead of building the full
+  /// b_1 < b_2 < ... list every round).  Invalidated by any mutation of the
+  /// underlying bitset.
+  class BitCursor {
+   public:
+    /// Range-for sentinel.
+    struct End {};
+
+    [[nodiscard]] std::size_t operator*() const noexcept {
+      return word_index_ * 64 + static_cast<std::size_t>(std::countr_zero(word_));
+    }
+
+    BitCursor& operator++() noexcept {
+      word_ &= word_ - 1;  // clear lowest set bit
+      settle();
+      return *this;
+    }
+
+    [[nodiscard]] bool operator==(End) const noexcept {
+      return word_index_ >= num_words_;
+    }
+
+   private:
+    friend class DynamicBitset;
+
+    BitCursor(const std::uint64_t* words, std::size_t num_words, std::size_t size,
+              bool invert) noexcept
+        : words_(words), num_words_(num_words), size_(size), invert_(invert) {
+      word_ = num_words_ > 0 ? load(0) : 0;
+      settle();
+    }
+
+    [[nodiscard]] std::uint64_t load(std::size_t i) const noexcept {
+      std::uint64_t w = invert_ ? ~words_[i] : words_[i];
+      const std::size_t rem = size_ & 63;
+      if (i + 1 == num_words_ && rem != 0) w &= (std::uint64_t{1} << rem) - 1;
+      return w;
+    }
+
+    void settle() noexcept {
+      while (word_ == 0) {
+        if (++word_index_ >= num_words_) return;
+        word_ = load(word_index_);
+      }
+    }
+
+    const std::uint64_t* words_;
+    std::size_t num_words_;
+    std::size_t size_;
+    bool invert_;
+    std::size_t word_index_ = 0;
+    std::uint64_t word_ = 0;
+  };
+
+  /// Lightweight range over set or unset positions (see BitCursor).
+  class PositionRange {
+   public:
+    [[nodiscard]] BitCursor begin() const noexcept {
+      return BitCursor(words_, num_words_, size_, invert_);
+    }
+    [[nodiscard]] BitCursor::End end() const noexcept { return {}; }
+
+   private:
+    friend class DynamicBitset;
+    PositionRange(const std::uint64_t* words, std::size_t num_words,
+                  std::size_t size, bool invert) noexcept
+        : words_(words), num_words_(num_words), size_(size), invert_(invert) {}
+
+    const std::uint64_t* words_;
+    std::size_t num_words_;
+    std::size_t size_;
+    bool invert_;
+  };
+
   /// Empty set over an empty universe.
   DynamicBitset() = default;
 
@@ -99,11 +177,22 @@ class DynamicBitset {
   [[nodiscard]] std::size_t find_next_set(std::size_t from) const noexcept;
 
   /// All unset positions in increasing order (the "missing token" list of
-  /// Algorithm 1, line 7).
+  /// Algorithm 1, line 7).  Allocates; hot paths iterate unset_bits().
   [[nodiscard]] std::vector<std::size_t> unset_positions() const;
 
-  /// All set positions in increasing order.
+  /// All set positions in increasing order.  Allocates; hot paths iterate
+  /// set_bits().
   [[nodiscard]] std::vector<std::size_t> set_positions() const;
+
+  /// Allocation-free cursor range over set positions, increasing order.
+  [[nodiscard]] PositionRange set_bits() const noexcept {
+    return PositionRange(words_.data(), words_.size(), size_, /*invert=*/false);
+  }
+
+  /// Allocation-free cursor range over unset positions, increasing order.
+  [[nodiscard]] PositionRange unset_bits() const noexcept {
+    return PositionRange(words_.data(), words_.size(), size_, /*invert=*/true);
+  }
 
   /// Structural equality (same universe, same members).
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {

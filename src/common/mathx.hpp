@@ -18,7 +18,8 @@ namespace dyngossip {
 [[nodiscard]] double powd(double x, double e) noexcept;
 
 /// Ceiling division for unsigned integers.
-[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
   return (a + b - 1) / b;
 }
 

@@ -15,11 +15,19 @@
 // EdgeClassifier tracks, per live incident edge, its last insertion round
 // and whether a learning has happened over it since — exactly the local
 // information the paper argues each node can maintain.
+//
+// Storage is a sorted parallel-array keyed by the position in the round's
+// sorted neighbor list (the CSR neighbor slot): begin_round is one linear
+// merge of the previous round's state with the new neighbor span, reusing
+// scratch buffers — no per-round hashing or node allocation.
 #pragma once
 
+#include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/dynamic_bitset.hpp"
 #include "common/types.hpp"
 
 namespace dyngossip {
@@ -27,13 +35,32 @@ namespace dyngossip {
 /// The three classes of Section 3.1.
 enum class EdgeClass : std::uint8_t { kNew = 0, kIdle = 1, kContributive = 2 };
 
+/// Per-edge request bookkeeping shared by the unicast algorithms:
+/// (neighbor, token) pairs kept sorted by neighbor id.
+using RequestList = std::vector<std::pair<NodeId, TokenId>>;
+
+/// Entry for neighbor w in a sorted request list, or nullptr.
+[[nodiscard]] const std::pair<NodeId, TokenId>* find_request(const RequestList& list,
+                                                             NodeId w);
+
+/// Folds the surviving in-flight requests into the round's fresh
+/// assignment: sorts `fresh`, appends each surviving entry whose neighbor
+/// received no fresh request this round, re-clears the surviving tokens
+/// from `in_flight` (restoring its empty-between-rounds invariant), and
+/// leaves `fresh` sorted by neighbor.  `surviving` must be sorted.
+void carry_surviving_requests(RequestList& fresh, const RequestList& surviving,
+                              DynamicBitset& in_flight);
+
 /// Human-readable class name.
 [[nodiscard]] const char* edge_class_name(EdgeClass c) noexcept;
 
 /// Per-node incident-edge state machine.
 class EdgeClassifier {
  public:
-  /// Ingests round r's (sorted) neighbor list: newly appeared neighbors get
+  /// Sentinel slot for "not a current neighbor".
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// Ingests round r's sorted neighbor list: newly appeared neighbors get
   /// a fresh insertion record (a re-inserted edge counts as new again, per
   /// the "last insertion" wording); vanished neighbors are dropped.
   void begin_round(Round r, std::span<const NodeId> neighbors);
@@ -44,12 +71,20 @@ class EdgeClassifier {
   /// round r").
   [[nodiscard]] EdgeClass classify(NodeId w, bool token_arriving_now = false) const;
 
+  /// classify by neighbor slot (position of w in this round's sorted
+  /// neighbor list) — the O(1) form for callers already iterating the span.
+  [[nodiscard]] EdgeClass classify_slot(std::size_t slot,
+                                        bool token_arriving_now = false) const;
+
   /// Records that a new token was learned over the edge to w (call on
   /// first-time token receipt).
   void note_learning_over(NodeId w);
 
+  /// Slot of w in the current round's neighbor list, or kNoSlot.
+  [[nodiscard]] std::size_t slot_of(NodeId w) const;
+
   /// True iff w is a live neighbor this round.
-  [[nodiscard]] bool is_neighbor(NodeId w) const { return edges_.count(w) > 0; }
+  [[nodiscard]] bool is_neighbor(NodeId w) const { return slot_of(w) != kNoSlot; }
 
   /// Last insertion round of the live edge to w (kNoRound if absent).
   [[nodiscard]] Round insertion_round(NodeId w) const;
@@ -58,11 +93,14 @@ class EdgeClassifier {
   [[nodiscard]] Round round() const noexcept { return round_; }
 
  private:
-  struct EdgeState {
-    Round inserted = kNoRound;
-    bool contributed = false;
-  };
-  std::unordered_map<NodeId, EdgeState> edges_;
+  // Parallel arrays over the current round's sorted neighbors.
+  std::vector<NodeId> neighbors_;
+  std::vector<Round> inserted_;
+  std::vector<std::uint8_t> contributed_;
+  // Previous round's state (merge source), reused as scratch via swap.
+  std::vector<NodeId> prev_neighbors_;
+  std::vector<Round> prev_inserted_;
+  std::vector<std::uint8_t> prev_contributed_;
   Round round_ = 0;
 };
 

@@ -8,7 +8,10 @@ namespace dyngossip {
 
 MultiSourceNode::MultiSourceNode(NodeId self, const MultiSourceConfig& cfg,
                                  const DynamicBitset& initial_tokens)
-    : self_(self), cfg_(cfg), tokens_(cfg.space->total_tokens()) {
+    : self_(self),
+      cfg_(cfg),
+      tokens_(cfg.space->total_tokens()),
+      in_flight_(cfg.space->total_tokens()) {
   DG_CHECK(cfg_.space != nullptr);
   DG_CHECK(self < cfg_.n);
   DG_CHECK(initial_tokens.size() == tokens_.size());
@@ -21,7 +24,7 @@ MultiSourceNode::MultiSourceNode(NodeId self, const MultiSourceConfig& cfg,
   // discover sources through announcements.
   const std::size_t own = cfg_.space->index_of_node(self);
   if (own != kNotASource) per_source_[own].known = true;
-  for (const std::size_t t : initial_tokens.set_positions()) {
+  for (const std::size_t t : initial_tokens.set_bits()) {
     account_token(static_cast<TokenId>(t));
   }
 }
@@ -70,48 +73,55 @@ void MultiSourceNode::send(Round r, std::span<const NodeId> neighbors, Outbox& o
   }
 
   // In-flight tokens: requested last round over edges that survived.
-  DynamicBitset in_flight(tokens_.size());
-  std::unordered_map<NodeId, TokenId> surviving;
+  // in_flight_ is empty on entry (the invariant restored below) and
+  // surviving_ stays sorted because sent_requests_ is.
+  surviving_.clear();
   for (const auto& [w, tok] : sent_requests_) {
     if (std::binary_search(neighbors.begin(), neighbors.end(), w)) {
-      in_flight.set(tok);
-      surviving.emplace(w, tok);
+      in_flight_.set(tok);
+      surviving_.push_back({w, tok});
     }
   }
 
-  std::unordered_map<NodeId, TokenId> new_requests;
+  next_requests_.clear();
   if (target != kNotASource) {
     const PerSource& ps = per_source_[target];
-    std::vector<TokenId> missing;
-    for (const TokenId t : cfg_.space->tokens_of(target)) {
-      if (!tokens_.test(t) && !in_flight.test(t)) missing.push_back(t);
-    }
-    std::vector<NodeId> by_class[3];
+    // Lazy missing-token selection over the target source's token list (the
+    // analogue of Algorithm 1's b_1 < b_2 < ... walk): tokens are consumed
+    // only as requests are assigned, O(deg) steps per round amortized.
+    const std::span<const TokenId> pool = cfg_.space->tokens_of(target);
+    std::size_t pos = 0;
+    const auto next_missing = [&]() -> TokenId {
+      while (pos < pool.size() &&
+             (tokens_.test(pool[pos]) || in_flight_.test(pool[pos]))) {
+        ++pos;
+      }
+      return pos < pool.size() ? pool[pos++] : kNoToken;
+    };
+    for (auto& list : by_class_) list.clear();
     for (const NodeId w : neighbors) {
       if (!ps.announcers.test(w)) continue;
-      const bool arriving = surviving.count(w) > 0;
+      const bool arriving = find_request(surviving_, w) != nullptr;
       const EdgeClass c = classifier_.classify(w, arriving);
-      by_class[static_cast<std::size_t>(c)].push_back(w);
+      by_class_[static_cast<std::size_t>(c)].push_back(w);
     }
-    std::size_t j = 0;
     const EdgeClass priority[3] = {EdgeClass::kNew, EdgeClass::kIdle,
                                    EdgeClass::kContributive};
     for (const EdgeClass c : priority) {
-      for (const NodeId w : by_class[static_cast<std::size_t>(c)]) {
-        if (j >= missing.size()) break;
-        out.send(w, Message::request(missing[j], cfg_.space->source_node(target)));
-        new_requests.emplace(w, missing[j]);
+      for (const NodeId w : by_class_[static_cast<std::size_t>(c)]) {
+        const TokenId b = next_missing();
+        if (b == kNoToken) break;
+        out.send(w, Message::request(b, cfg_.space->source_node(target)));
+        next_requests_.push_back({w, b});
         ++requests_by_class_[static_cast<std::size_t>(c)];
-        ++j;
       }
     }
   }
   // Edges with an in-flight token stay tracked unless they got a fresh
-  // request this round.
-  for (const auto& [w, tok] : surviving) {
-    new_requests.try_emplace(w, tok);
-  }
-  sent_requests_ = std::move(new_requests);
+  // request this round; the helper also restores the in_flight_
+  // empty-between-rounds invariant.
+  carry_surviving_requests(next_requests_, surviving_, in_flight_);
+  std::swap(sent_requests_, next_requests_);
 }
 
 void MultiSourceNode::on_receive(Round /*r*/, NodeId from, const Message& m) {
@@ -122,9 +132,10 @@ void MultiSourceNode::on_receive(Round /*r*/, NodeId from, const Message& m) {
         account_token(m.token);
         classifier_.note_learning_over(from);
       }
-      const auto it = sent_requests_.find(from);
-      if (it != sent_requests_.end() && it->second == m.token) {
-        sent_requests_.erase(it);
+      const auto* entry = find_request(sent_requests_, from);
+      if (entry != nullptr && entry->second == m.token) {
+        sent_requests_.erase(sent_requests_.begin() +
+                             (entry - sent_requests_.data()));
       }
       break;
     }

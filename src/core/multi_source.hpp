@@ -18,7 +18,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/dynamic_bitset.hpp"
@@ -89,9 +89,14 @@ class MultiSourceNode final : public UnicastAlgorithm {
   DynamicBitset tokens_;
   std::vector<PerSource> per_source_;  ///< indexed by source index
   EdgeClassifier classifier_;
-  std::unordered_map<NodeId, TokenId> sent_requests_;
+  RequestList sent_requests_;          ///< sorted by neighbor id
   std::vector<std::pair<NodeId, TokenId>> pending_answers_;
   std::uint64_t requests_by_class_[3] = {0, 0, 0};
+  // Per-round scratch, reused across rounds (send() leaves in_flight_ empty).
+  RequestList surviving_;
+  RequestList next_requests_;
+  DynamicBitset in_flight_;
+  std::vector<NodeId> by_class_[3];
 };
 
 }  // namespace dyngossip

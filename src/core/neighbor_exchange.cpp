@@ -10,7 +10,7 @@ NeighborExchangeNode::NeighborExchangeNode(NodeId self, std::size_t n,
     : self_(self), k_(k), tokens_(k) {
   DG_CHECK(self < n);
   DG_CHECK(initial.size() == k);
-  for (const std::size_t t : initial.set_positions()) {
+  for (const std::size_t t : initial.set_bits()) {
     tokens_.set(t);
     order_.push_back(static_cast<TokenId>(t));
   }

@@ -7,7 +7,7 @@ namespace dyngossip {
 RandomFloodingNode::RandomFloodingNode(std::size_t k, DynamicBitset initial, Rng rng)
     : k_(k), known_(std::move(initial)), rng_(rng) {
   DG_CHECK(known_.size() == k_);
-  for (const std::size_t t : known_.set_positions()) {
+  for (const std::size_t t : known_.set_bits()) {
     held_.push_back(static_cast<TokenId>(t));
   }
 }

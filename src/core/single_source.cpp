@@ -11,7 +11,8 @@ SingleSourceNode::SingleSourceNode(NodeId self, const SingleSourceConfig& cfg)
       cfg_(cfg),
       tokens_(cfg.k),
       informed_(cfg.n),
-      known_complete_(cfg.n) {
+      known_complete_(cfg.n),
+      in_flight_(cfg.k) {
   DG_CHECK(self < cfg.n);
   DG_CHECK(cfg.source < cfg.n);
   if (self == cfg.source) tokens_.set_all();
@@ -47,37 +48,42 @@ void SingleSourceNode::send(Round r, std::span<const NodeId> neighbors, Outbox& 
   // Tokens already in flight: requested last round over an edge that
   // survived into this round.  The paper notes v can know these arrive by
   // the end of round r; they are excluded from this round's requests and
-  // count as contributions for edge classification.
-  DynamicBitset in_flight(cfg_.k);
-  std::unordered_map<NodeId, TokenId> surviving;
+  // count as contributions for edge classification.  in_flight_ is empty on
+  // entry (the invariant restored at the bottom of this function) and
+  // surviving_ stays sorted because sent_requests_ is.
+  surviving_.clear();
   for (const auto& [w, tok] : sent_requests_) {
     if (std::binary_search(neighbors.begin(), neighbors.end(), w)) {
-      in_flight.set(tok);
-      surviving.emplace(w, tok);
+      in_flight_.set(tok);
+      surviving_.push_back({w, tok});
     }
   }
 
-  // Missing-token list b_1 < b_2 < ... (Algorithm 1, line 7), minus in-flight.
-  std::vector<std::size_t> missing_raw = tokens_.unset_positions();
-  std::vector<TokenId> missing;
-  missing.reserve(missing_raw.size());
-  for (const std::size_t b : missing_raw) {
-    if (!in_flight.test(b)) missing.push_back(static_cast<TokenId>(b));
-  }
-
   // Partition eligible edges (to known-complete neighbors) by class.
-  std::vector<NodeId> by_class[3];
+  for (auto& list : by_class_) list.clear();
   for (const NodeId w : neighbors) {
     if (!known_complete_.test(w)) continue;
-    const bool arriving = surviving.count(w) > 0;
+    const bool arriving = find_request(surviving_, w) != nullptr;
     const EdgeClass c = classifier_.classify(w, arriving);
-    by_class[static_cast<std::size_t>(c)].push_back(w);
+    by_class_[static_cast<std::size_t>(c)].push_back(w);
   }
 
   // Assign one distinct request per edge in the configured class priority
-  // (Algorithm 1: new, then idle, then contributive).
-  sent_requests_.clear();
-  std::size_t j = 0;
+  // (Algorithm 1: new, then idle, then contributive).  The missing-token
+  // list b_1 < b_2 < ... (line 7, minus in-flight) is never materialized:
+  // the bitset cursor is advanced lazily, so a round's cost is O(deg)
+  // cursor steps instead of O(k) — the difference between O(nk) and
+  // O(n + m) work per engine round.
+  next_requests_.clear();
+  auto missing = tokens_.unset_bits().begin();
+  const auto missing_end = tokens_.unset_bits().end();
+  const auto next_missing = [&]() -> TokenId {
+    while (missing != missing_end && in_flight_.test(*missing)) ++missing;
+    if (missing == missing_end) return kNoToken;
+    const auto b = static_cast<TokenId>(*missing);
+    ++missing;
+    return b;
+  };
   static constexpr EdgeClass kOrders[3][3] = {
       {EdgeClass::kNew, EdgeClass::kIdle, EdgeClass::kContributive},
       {EdgeClass::kNew, EdgeClass::kContributive, EdgeClass::kIdle},
@@ -86,20 +92,20 @@ void SingleSourceNode::send(Round r, std::span<const NodeId> neighbors, Outbox& 
   const EdgeClass(&priority)[3] =
       kOrders[static_cast<std::size_t>(cfg_.priority)];
   for (const EdgeClass c : priority) {
-    for (const NodeId w : by_class[static_cast<std::size_t>(c)]) {
-      if (j >= missing.size()) break;
-      out.send(w, Message::request(missing[j], cfg_.source));
-      sent_requests_.emplace(w, missing[j]);
+    for (const NodeId w : by_class_[static_cast<std::size_t>(c)]) {
+      const TokenId b = next_missing();
+      if (b == kNoToken) break;
+      out.send(w, Message::request(b, cfg_.source));
+      next_requests_.push_back({w, b});
       ++requests_by_class_[static_cast<std::size_t>(c)];
-      ++j;
     }
   }
   // Edges with an in-flight token keep their pending entry so next round's
   // in-flight computation (and classification) still sees them if no fresh
-  // request was assigned to that edge this round.
-  for (const auto& [w, tok] : surviving) {
-    sent_requests_.try_emplace(w, tok);
-  }
+  // request was assigned to that edge this round; the helper also restores
+  // the in_flight_ empty-between-rounds invariant.
+  carry_surviving_requests(next_requests_, surviving_, in_flight_);
+  std::swap(sent_requests_, next_requests_);
 }
 
 void SingleSourceNode::on_receive(Round /*r*/, NodeId from, const Message& m) {
@@ -110,9 +116,10 @@ void SingleSourceNode::on_receive(Round /*r*/, NodeId from, const Message& m) {
         classifier_.note_learning_over(from);
       }
       // Arrived: no longer in flight from this neighbor.
-      const auto it = sent_requests_.find(from);
-      if (it != sent_requests_.end() && it->second == m.token) {
-        sent_requests_.erase(it);
+      const auto* entry = find_request(sent_requests_, from);
+      if (entry != nullptr && entry->second == m.token) {
+        sent_requests_.erase(sent_requests_.begin() +
+                             (entry - sent_requests_.data()));
       }
       break;
     }

@@ -17,7 +17,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/dynamic_bitset.hpp"
@@ -83,13 +83,18 @@ class SingleSourceNode final : public UnicastAlgorithm {
   DynamicBitset informed_;        ///< R_v: nodes I announced completeness to
   DynamicBitset known_complete_;  ///< S_v: nodes that announced completeness
   EdgeClassifier classifier_;
-  /// Requests I sent last round: neighbor -> requested token.
-  std::unordered_map<NodeId, TokenId> sent_requests_;
+  /// Requests I sent last round (sorted by neighbor id).
+  RequestList sent_requests_;
   /// Requests received last round, answered this round if the edge survives.
   std::vector<std::pair<NodeId, TokenId>> pending_answers_;
   /// Live neighbors of the current round (sorted), for is_bridge_node().
   std::vector<NodeId> current_neighbors_;
   std::uint64_t requests_by_class_[3] = {0, 0, 0};
+  // Per-round scratch, reused across rounds (send() leaves in_flight_ empty).
+  RequestList surviving_;            ///< last round's requests whose edge survived
+  RequestList next_requests_;        ///< the round's fresh request assignment
+  DynamicBitset in_flight_;          ///< tokens known to arrive this round
+  std::vector<NodeId> by_class_[3];  ///< eligible edges partitioned by class
 };
 
 }  // namespace dyngossip

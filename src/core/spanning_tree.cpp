@@ -14,7 +14,7 @@ SpanningTreeNode::SpanningTreeNode(NodeId self, const SpanningTreeConfig& cfg,
   DG_CHECK(cfg_.root < cfg_.n);
   if (self == cfg_.root) parent_ = self;  // the root is its own parent
   provenance_.assign(cfg_.space->total_tokens(), kNoNode);
-  for (const std::size_t t : initial_tokens.set_positions()) {
+  for (const std::size_t t : initial_tokens.set_bits()) {
     tokens_.set(t);
     sequence_.push_back(static_cast<TokenId>(t));
   }

@@ -1,0 +1,12 @@
+#include "demos/demos.hpp"
+
+namespace dyngossip {
+
+void register_all_demos(DemoRegistry& registry) {
+  // Per-name guards keep this idempotent without suppressing the built-ins
+  // when a caller pre-registered demos of its own.
+  if (registry.find("quickstart") == nullptr) register_demo_quickstart(registry);
+  if (registry.find("sensor_flood") == nullptr) register_demo_sensor_flood(registry);
+}
+
+}  // namespace dyngossip

@@ -1,29 +1,28 @@
-// quickstart — a 60-second tour of dyngossip.
+// Demo `quickstart` — a 60-second tour of dyngossip.
 //
 // Runs the paper's three unicast algorithms and naive flooding on small
 // dynamic networks and prints the measured message complexity, TC(E), and
 // the adversary-competitive residual of Definition 1.3.
 //
-//   ./quickstart [--n=64] [--k=128] [--seed=7]
+//   dyngossip demo quickstart [--n=64] [--k=128] [--seed=7]
 
 #include <cstdio>
-#include <iostream>
 
 #include "adversary/churn.hpp"
 #include "adversary/lb_adversary.hpp"
-#include "adversary/static_adversary.hpp"
 #include "common/cli.hpp"
 #include "core/tokens.hpp"
-#include "graph/generators.hpp"
+#include "demos/demos.hpp"
 #include "metrics/report.hpp"
 #include "sim/bounds.hpp"
 #include "sim/simulator.hpp"
 
-using namespace dyngossip;
+namespace dyngossip {
+namespace {
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"n", "k", "seed"}, "quickstart [--n=64] [--k=128] [--seed=7]");
+int run(const CliArgs& args) {
+  args.allow_only({"n", "k", "seed"},
+                  "dyngossip demo quickstart [--n=64] [--k=128] [--seed=7]");
   const auto n = static_cast<std::size_t>(args.get_int("n", 64));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 128));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
@@ -49,7 +48,7 @@ int main(int argc, char** argv) {
                 bounds::stable_round_bound(n, k));
   }
 
-  // --- 2. Multi-Source-Unicast with sqrt(n) sources ------------------------
+  // --- 2. Multi-Source-Unicast with n/8 sources ----------------------------
   {
     const std::size_t s = std::max<std::size_t>(2, n / 8);
     std::vector<TokenSpace::SourceSpec> specs;
@@ -67,7 +66,8 @@ int main(int argc, char** argv) {
     ChurnAdversary adversary(cc);
     const RunResult r = run_multi_source(n, space, adversary, cap);
     std::printf("[2] Multi-Source-Unicast, s=%zu sources (Thm 3.5/3.6)\n%s",
-                space->num_sources(), run_summary(r.metrics, space->total_tokens()).c_str());
+                space->num_sources(),
+                run_summary(r.metrics, space->total_tokens()).c_str());
     std::printf("    paper bound n^2 s + nk = %.0f\n\n",
                 bounds::multi_source_messages(n, space->total_tokens(), s));
   }
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
 
   // --- 4. Naive flooding vs the Section-2 lower-bound adversary ------------
   {
-    const std::size_t kb = std::max<std::size_t>(8, n / 4);  // smaller k: LB runs are long
+    const std::size_t kb = std::max<std::size_t>(8, n / 4);  // small k: LB runs are long
     std::vector<DynamicBitset> initial(n, DynamicBitset(kb));
     Rng rng(seed + 4);
     for (std::size_t t = 0; t < kb; ++t) {
@@ -121,6 +121,17 @@ int main(int argc, char** argv) {
                 bounds::broadcast_ub_amortized(n));
   }
 
-  std::printf("\nDone. See bench/ for the full paper reproduction harness.\n");
+  std::printf("\nDone. Try `dyngossip list` for the full reproduction catalogue.\n");
   return 0;
 }
+
+}  // namespace
+
+void register_demo_quickstart(DemoRegistry& registry) {
+  registry.add({"quickstart",
+                "60-second tour: Algorithms 1/2, multi-source, and flooding",
+                "[--n=64] [--k=128] [--seed=7]",
+                run});
+}
+
+}  // namespace dyngossip

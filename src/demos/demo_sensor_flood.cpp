@@ -1,4 +1,5 @@
-// sensor_flood — local-broadcast dissemination in a dynamic sensor mesh.
+// Demo `sensor_flood` — local-broadcast dissemination in a dynamic sensor
+// mesh.
 //
 // Wireless sensor networks communicate by local broadcast: one transmission
 // reaches all current radio neighbors and costs one message (one battery
@@ -8,25 +9,27 @@
 // worst-case adversary (Theorem 2.3), with naive flooding's O(n²) nearly
 // matching.
 //
-// The example floods k sensor readings through (a) a benign drifting mesh
-// and (b) the worst-case Section-2 adversary, and reports the battery bill.
+// The demo floods k sensor readings through (a) a benign drifting mesh and
+// (b) the worst-case Section-2 adversary, and reports the battery bill.
 //
-//   ./sensor_flood [--n=64] [--k=32] [--seed=3]
+//   dyngossip demo sensor_flood [--n=64] [--k=32] [--seed=3]
 
 #include <cstdio>
 
 #include "adversary/churn.hpp"
 #include "adversary/lb_adversary.hpp"
 #include "common/cli.hpp"
+#include "demos/demos.hpp"
 #include "metrics/report.hpp"
 #include "sim/bounds.hpp"
 #include "sim/simulator.hpp"
 
-using namespace dyngossip;
+namespace dyngossip {
+namespace {
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  args.allow_only({"n", "k", "seed"}, "sensor_flood [--n=64] [--k=32] [--seed=3]");
+int run(const CliArgs& args) {
+  args.allow_only({"n", "k", "seed"},
+                  "dyngossip demo sensor_flood [--n=64] [--k=32] [--seed=3]");
   const auto n = static_cast<std::size_t>(args.get_int("n", 64));
   const auto k = static_cast<std::size_t>(args.get_int("k", 32));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
@@ -71,3 +74,14 @@ int main(int argc, char** argv) {
       "links changes the economics: see competitive_budget.\n");
   return 0;
 }
+
+}  // namespace
+
+void register_demo_sensor_flood(DemoRegistry& registry) {
+  registry.add({"sensor_flood",
+                "battery cost of local-broadcast flooding in a dynamic mesh",
+                "[--n=64] [--k=32] [--seed=3]",
+                run});
+}
+
+}  // namespace dyngossip

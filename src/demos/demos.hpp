@@ -1,0 +1,19 @@
+// Demo registrations: narrated end-to-end tours behind `dyngossip demo`.
+//
+// Ports of the former standalone examples (examples/quickstart.cpp,
+// examples/sensor_flood.cpp); the remaining examples migrate in a later PR.
+// Each register_demo_* adds one entry; register_all_demos installs the
+// catalogue and is idempotent.
+#pragma once
+
+#include "sim/runner/demo_registry.hpp"
+
+namespace dyngossip {
+
+void register_demo_quickstart(DemoRegistry& registry);
+void register_demo_sensor_flood(DemoRegistry& registry);
+
+/// Installs every demo above; a no-op when already installed.
+void register_all_demos(DemoRegistry& registry);
+
+}  // namespace dyngossip

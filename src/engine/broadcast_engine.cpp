@@ -43,10 +43,11 @@ Round BroadcastEngine::step() {
   view.round = r;
   view.intents = intents_;
   view.knowledge = &knowledge_;
-  Graph g = adversary_.broadcast_round(view);
+  const Graph& g = adversary_.broadcast_round(view);
   DG_CHECK(g.num_nodes() == n);
-  DG_CHECK(is_connected(g));
-  const GraphDiff diff = tracker_.advance(g, r);
+  view_.rebuild(g);
+  DG_CHECK(connectivity_.is_connected(view_));
+  const GraphDiff& diff = tracker_.advance(view_, r);
   metrics_.tc += diff.inserted.size();
   metrics_.deletions += diff.removed.size();
 
@@ -54,7 +55,7 @@ Round BroadcastEngine::step() {
   // algorithms so the mirror stays authoritative.
   for (NodeId v = 0; v < n; ++v) {
     inbox_scratch_.clear();
-    for (const NodeId u : g.neighbors(v)) {
+    for (const NodeId u : view_.neighbors(v)) {
       if (intents_[u] != kNoToken) inbox_scratch_.push_back(intents_[u]);
     }
     if (inbox_scratch_.empty()) continue;

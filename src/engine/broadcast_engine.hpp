@@ -23,7 +23,9 @@
 #include "adversary/adversary.hpp"
 #include "common/dynamic_bitset.hpp"
 #include "common/types.hpp"
+#include "graph/connectivity.hpp"
 #include "graph/dynamic_tracker.hpp"
+#include "graph/round_view.hpp"
 #include "metrics/accounting.hpp"
 #include "metrics/learning_log.hpp"
 
@@ -112,6 +114,8 @@ class BroadcastEngine {
   RoundHook hook_;
   std::vector<TokenId> intents_;       // scratch: i_v(r)
   std::vector<TokenId> inbox_scratch_; // scratch: per-node deliveries
+  RoundGraphView view_;                // scratch: CSR snapshot of G_r
+  ConnectivityChecker connectivity_;   // scratch: BFS buffers for the G_r check
 };
 
 }  // namespace dyngossip

@@ -1,10 +1,8 @@
 #include "engine/unicast_engine.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.hpp"
-#include "graph/connectivity.hpp"
 
 namespace dyngossip {
 
@@ -45,47 +43,50 @@ Round UnicastEngine::step() {
   const Round r = ++round_;
   const std::size_t n = nodes_.size();
 
-  // 1. Adversary fixes G_r with full visibility of state and history.
+  // 1. Adversary fixes G_r with full visibility of state and history.  The
+  // returned reference is adversary-owned and stays valid through the round;
+  // the engine snapshots it into the reusable CSR view.
   UnicastRoundView view;
   view.round = r;
   view.prev_graph = &prev_graph_;
   view.prev_messages = &prev_messages_;
   view.knowledge = &knowledge_;
-  Graph g = adversary_.unicast_round(view);
+  const Graph& g = adversary_.unicast_round(view);
   DG_CHECK(g.num_nodes() == n);
-  DG_CHECK(is_connected(g));
-  const GraphDiff diff = tracker_->advance(g, r);
+  view_.rebuild(g);
+  DG_CHECK(connectivity_.is_connected(view_));
+  const GraphDiff& diff = tracker_->advance(view_, r);
   metrics_.tc += diff.inserted.size();
   metrics_.deletions += diff.removed.size();
 
-  // 2. Send step: each node sees its sorted neighbor IDs and queues
-  // per-neighbor payloads.
-  std::vector<SentRecord> traffic;
-  std::unordered_map<std::uint64_t, std::uint32_t> per_edge;  // directed-edge budget
+  // 2. Send step: each node sees its sorted neighbor span (served by the
+  // CSR snapshot — no per-node allocation or sort) and queues per-neighbor
+  // payloads into the shared traffic buffer.
+  traffic_.clear();
+  arc_budget_.assign(view_.num_arcs(), 0);
   for (NodeId v = 0; v < n; ++v) {
-    const std::vector<NodeId> neigh = g.sorted_neighbors(v);
-    Outbox out;
-    out.from_ = v;
+    const std::span<const NodeId> neigh = view_.neighbors(v);
+    Outbox out(v, traffic_);
+    const std::size_t mark = traffic_.size();
     nodes_[v]->send(r, neigh, out);
-    for (SentRecord& rec : out.records_) {
+    for (std::size_t i = mark; i < traffic_.size(); ++i) {
+      const SentRecord& rec = traffic_[i];
       DG_CHECK(rec.to < n && rec.to != v);
-      DG_CHECK(std::binary_search(neigh.begin(), neigh.end(), rec.to));
+      const std::size_t arc = view_.arc_index(v, rec.to);
+      DG_CHECK(arc != kNoArc);  // may only address current neighbors
       // Token-forwarding: only held tokens may be shipped.
       if (rec.msg.type == MsgType::kToken) {
         DG_CHECK(rec.msg.token < k_ && knowledge_[v].test(rec.msg.token));
       }
-      const std::uint64_t dir_key =
-          (static_cast<std::uint64_t>(v) << 32) | static_cast<std::uint64_t>(rec.to);
-      const std::uint32_t used = ++per_edge[dir_key];
+      const std::uint32_t used = ++arc_budget_[arc];
       DG_CHECK(used <= max_payloads_per_edge_);
       metrics_.unicast.add(rec.msg.type);
-      traffic.push_back(rec);
     }
   }
 
   // 3 + 4. End-of-round delivery; learnings recorded against the mirror
   // before algorithms observe the payloads.
-  for (const SentRecord& rec : traffic) {
+  for (const SentRecord& rec : traffic_) {
     if (rec.msg.type == MsgType::kToken) {
       const bool was_complete = knowledge_[rec.to].all();
       if (knowledge_[rec.to].set(rec.msg.token)) {
@@ -101,8 +102,10 @@ Round UnicastEngine::step() {
 
   metrics_.rounds = r - start_offset_;  // rounds executed by THIS engine/phase
   if (hook_) hook_(r, g, metrics_);
-  prev_messages_ = std::move(traffic);
-  prev_graph_ = std::move(g);
+  // Swap (not move) so both buffers recycle; copy-assignment into the
+  // retained previous graph reuses its adjacency capacity.
+  std::swap(prev_messages_, traffic_);
+  prev_graph_ = g;
   return r;
 }
 

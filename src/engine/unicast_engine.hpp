@@ -27,22 +27,39 @@
 #include "common/dynamic_bitset.hpp"
 #include "common/types.hpp"
 #include "engine/message.hpp"
+#include "graph/connectivity.hpp"
 #include "graph/dynamic_tracker.hpp"
+#include "graph/round_view.hpp"
 #include "metrics/accounting.hpp"
 #include "metrics/learning_log.hpp"
 
 namespace dyngossip {
 
 /// Outbox handed to a node during its send step; delivery is end-of-round.
+///
+/// The engine points every node's outbox at one shared traffic buffer that
+/// is reused across rounds (records appended since the node's send began
+/// are validated against that node); a default-constructed Outbox owns its
+/// records (unit-test convenience).
 class Outbox {
  public:
+  Outbox() : sink_(&owned_) {}
+
+  // Non-copyable/movable: a copy's sink_ would alias the source's owned_
+  // buffer (dangling once the source dies).
+  Outbox(const Outbox&) = delete;
+  Outbox& operator=(const Outbox&) = delete;
+
   /// Queues one payload to a current neighbor.
-  void send(NodeId to, const Message& m) { records_.push_back({from_, to, m}); }
+  void send(NodeId to, const Message& m) { sink_->push_back({from_, to, m}); }
 
  private:
   friend class UnicastEngine;
+  Outbox(NodeId from, std::vector<SentRecord>& sink) : from_(from), sink_(&sink) {}
+
   NodeId from_ = kNoNode;
-  std::vector<SentRecord> records_;
+  std::vector<SentRecord>* sink_;
+  std::vector<SentRecord> owned_;  ///< backing store for the default ctor only
 };
 
 /// Per-node algorithm interface for the unicast model.
@@ -147,6 +164,11 @@ class UnicastEngine {
   RoundHook hook_;
   Graph prev_graph_;
   std::vector<SentRecord> prev_messages_;
+  // Per-round scratch, reused across rounds (see step()).
+  RoundGraphView view_;                   ///< CSR snapshot of G_r
+  ConnectivityChecker connectivity_;      ///< BFS buffers for the G_r check
+  std::vector<SentRecord> traffic_;       ///< round-r records (swapped into prev)
+  std::vector<std::uint32_t> arc_budget_; ///< payload counts per directed arc
 };
 
 }  // namespace dyngossip

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "common/disjoint_set.hpp"
 
@@ -11,10 +10,10 @@ namespace dyngossip {
 ComponentInfo connected_components(const Graph& g) {
   const std::size_t n = g.num_nodes();
   DisjointSet dsu(n);
-  for (const EdgeKey key : g.edges()) {
+  g.for_each_edge([&dsu](EdgeKey key) {
     const auto [u, v] = edge_endpoints(key);
     dsu.unite(u, v);
-  }
+  });
   ComponentInfo info;
   info.labels.assign(n, 0);
   std::vector<std::size_t> root_to_label(n, std::numeric_limits<std::size_t>::max());
@@ -32,6 +31,29 @@ ComponentInfo connected_components(const Graph& g) {
 bool is_connected(const Graph& g) {
   if (g.num_nodes() <= 1) return true;
   return connected_components(g).count == 1;
+}
+
+bool ConnectivityChecker::is_connected(const RoundGraphView& view) {
+  const std::size_t n = view.num_nodes();
+  if (n <= 1) return true;
+  visited_.assign(n, 0);
+  frontier_.clear();
+  frontier_.reserve(n);
+  visited_[0] = 1;
+  frontier_.push_back(0);
+  std::size_t reached = 1;
+  // The frontier vector doubles as the BFS queue: elements are appended and
+  // consumed by index, never erased, so the buffer is reusable as-is.
+  for (std::size_t head = 0; head < frontier_.size(); ++head) {
+    for (const NodeId w : view.neighbors(frontier_[head])) {
+      if (visited_[w] == 0) {
+        visited_[w] = 1;
+        ++reached;
+        frontier_.push_back(w);
+      }
+    }
+  }
+  return reached == n;
 }
 
 std::vector<EdgeKey> connect_components(Graph& g, Rng& rng) {
@@ -59,26 +81,28 @@ std::vector<EdgeKey> connect_components(Graph& g, Rng& rng) {
 }
 
 BfsTree bfs_tree(const Graph& g, NodeId root) {
-  const std::size_t n = g.num_nodes();
+  return bfs_tree(RoundGraphView(g), root);
+}
+
+BfsTree bfs_tree(const RoundGraphView& view, NodeId root) {
+  const std::size_t n = view.num_nodes();
   DG_CHECK(root < n);
   BfsTree tree;
   tree.parent.assign(n, kNoNode);
   tree.depth.assign(n, std::numeric_limits<std::uint32_t>::max());
   tree.order.reserve(n);
 
-  std::queue<NodeId> frontier;
   tree.parent[root] = root;
   tree.depth[root] = 0;
-  frontier.push(root);
-  while (!frontier.empty()) {
-    const NodeId v = frontier.front();
-    frontier.pop();
-    tree.order.push_back(v);
-    for (const NodeId w : g.sorted_neighbors(v)) {
+  tree.order.push_back(root);
+  // tree.order doubles as the BFS queue (append-only, consumed by index).
+  for (std::size_t head = 0; head < tree.order.size(); ++head) {
+    const NodeId v = tree.order[head];
+    for (const NodeId w : view.neighbors(v)) {
       if (tree.parent[w] == kNoNode) {
         tree.parent[w] = v;
         tree.depth[w] = tree.depth[v] + 1;
-        frontier.push(w);
+        tree.order.push_back(w);
       }
     }
   }

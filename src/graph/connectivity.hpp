@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "graph/graph.hpp"
+#include "graph/round_view.hpp"
 
 namespace dyngossip {
 
@@ -32,6 +34,20 @@ struct ComponentInfo {
 /// True iff g is connected (vacuously true for n <= 1).
 [[nodiscard]] bool is_connected(const Graph& g);
 
+/// Reusable-buffer connectivity check for the per-round engine path: one
+/// BFS over the CSR snapshot, allocation-free once the buffers have grown
+/// to the node count.  Each engine owns one checker and calls it every
+/// round (the model requires every G_r to be connected).
+class ConnectivityChecker {
+ public:
+  /// True iff the snapshot's graph is connected (vacuously true, n <= 1).
+  [[nodiscard]] bool is_connected(const RoundGraphView& view);
+
+ private:
+  std::vector<NodeId> frontier_;
+  std::vector<std::uint8_t> visited_;
+};
+
 /// Adds the minimum number of edges (#components - 1) to make g connected.
 /// Components are joined in a chain over uniformly random representatives so
 /// repeated repairs do not bias the topology.  Returns the added edges.
@@ -47,7 +63,12 @@ struct BfsTree {
   std::vector<NodeId> order;
 };
 
-/// Computes a BFS tree (deterministic: neighbors scanned in sorted order).
+/// Computes a BFS tree (deterministic: neighbors scanned in sorted order,
+/// served by a CSR snapshot rather than per-node sorts).
 [[nodiscard]] BfsTree bfs_tree(const Graph& g, NodeId root);
+
+/// BFS tree off an existing snapshot (avoids the O(n + m) rebuild when the
+/// caller already holds one).
+[[nodiscard]] BfsTree bfs_tree(const RoundGraphView& view, NodeId root);
 
 }  // namespace dyngossip

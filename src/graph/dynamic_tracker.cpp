@@ -8,40 +8,63 @@ namespace dyngossip {
 
 DynamicGraphTracker::DynamicGraphTracker(std::size_t n) : n_(n) {}
 
-GraphDiff DynamicGraphTracker::advance(const Graph& g, Round r) {
-  DG_CHECK(g.num_nodes() == n_);
+void DynamicGraphTracker::merge_round(const std::vector<EdgeKey>& edges, Round r) {
   DG_CHECK(r == last_round_ + 1);
   last_round_ = r;
 
-  GraphDiff diff;
-  // Removals: live edges absent from the new round.
-  for (auto it = live_.begin(); it != live_.end();) {
-    if (g.edges().count(it->first) == 0) {
-      const Round lifetime = r - it->second;  // present in [it->second, r-1]
+  diff_.inserted.clear();
+  diff_.removed.clear();
+  live_scratch_.clear();
+
+  // One pass over two sorted sequences: the previous live set and the new
+  // round's edge list.  Matches survive with their insertion round; edges
+  // only in the old set are removals; edges only in the new list are
+  // insertions.  Output stays sorted, so the merge repeats next round.
+  std::size_t i = 0;  // over live_
+  std::size_t j = 0;  // over edges
+  while (i < live_.size() || j < edges.size()) {
+    if (j == edges.size() ||
+        (i < live_.size() && live_[i].key < edges[j])) {
+      const Round lifetime = r - live_[i].inserted;  // present [inserted, r-1]
       min_lifetime_ = (min_lifetime_ == kNoRound) ? lifetime
                                                   : std::min(min_lifetime_, lifetime);
-      diff.removed.push_back(it->first);
-      it = live_.erase(it);
+      diff_.removed.push_back(live_[i].key);
       ++deletions_;
-    } else {
-      ++it;
-    }
-  }
-  // Insertions: new-round edges that were not live.
-  for (const EdgeKey key : g.edges()) {
-    if (live_.emplace(key, r).second) {
-      diff.inserted.push_back(key);
+      ++i;
+    } else if (i == live_.size() || edges[j] < live_[i].key) {
+      diff_.inserted.push_back(edges[j]);
       ++tc_;
+      live_scratch_.push_back({edges[j], r});
+      ++j;
+    } else {
+      live_scratch_.push_back(live_[i]);
+      ++i;
+      ++j;
     }
   }
-  std::sort(diff.inserted.begin(), diff.inserted.end());
-  std::sort(diff.removed.begin(), diff.removed.end());
-  return diff;
+  std::swap(live_, live_scratch_);
+}
+
+GraphDiff DynamicGraphTracker::advance(const Graph& g, Round r) {
+  DG_CHECK(g.num_nodes() == n_);
+  edge_scratch_ = g.sorted_edges();
+  merge_round(edge_scratch_, r);
+  return diff_;  // copy: the public Graph-based contract returns by value
+}
+
+const GraphDiff& DynamicGraphTracker::advance(const RoundGraphView& view, Round r) {
+  DG_CHECK(view.num_nodes() == n_);
+  edge_scratch_.clear();
+  view.for_each_edge([this](EdgeKey key) { edge_scratch_.push_back(key); });
+  merge_round(edge_scratch_, r);
+  return diff_;
 }
 
 Round DynamicGraphTracker::insertion_round(EdgeKey key) const {
-  const auto it = live_.find(key);
-  return it == live_.end() ? kNoRound : it->second;
+  const auto it = std::lower_bound(
+      live_.begin(), live_.end(), key,
+      [](const LiveEdge& e, EdgeKey k) { return e.key < k; });
+  return (it == live_.end() || it->key != key) ? kNoRound : it->inserted;
 }
 
 }  // namespace dyngossip

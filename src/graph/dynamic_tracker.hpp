@@ -7,21 +7,26 @@
 // per-round insertion/deletion sets, accumulates TC, and remembers each live
 // edge's most recent insertion round (needed both for σ-stability validation
 // and for the "new edge" classification of Algorithm 1).
+//
+// Storage is a sorted flat array of (edge, insertion round) pairs: each
+// round's diff is one linear merge against the snapshot's canonical edge
+// order, reusing scratch buffers — no hashing and no steady-state
+// allocation on the engine hot path.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "graph/graph.hpp"
+#include "graph/round_view.hpp"
 
 namespace dyngossip {
 
 /// Per-round topology diff.
 struct GraphDiff {
-  /// E+_r: edges in round r but not round r-1.
+  /// E+_r: edges in round r but not round r-1 (sorted).
   std::vector<EdgeKey> inserted;
-  /// E-_r: edges in round r-1 but not round r.
+  /// E-_r: edges in round r-1 but not round r (sorted).
   std::vector<EdgeKey> removed;
 };
 
@@ -35,6 +40,10 @@ class DynamicGraphTracker {
   /// Ingests round r's graph (rounds must be consumed in order, from 1).
   /// Returns the diff against the previous round.
   GraphDiff advance(const Graph& g, Round r);
+
+  /// Engine-path variant: ingests round r's CSR snapshot and returns a
+  /// reference to an internally reused diff (valid until the next advance).
+  const GraphDiff& advance(const RoundGraphView& view, Round r);
 
   /// Σ_r |E+_r| so far — the adversary's topological-change budget TC(E).
   [[nodiscard]] std::uint64_t topological_changes() const noexcept { return tc_; }
@@ -60,8 +69,20 @@ class DynamicGraphTracker {
   [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
 
  private:
+  struct LiveEdge {
+    EdgeKey key;
+    Round inserted;
+  };
+
+  /// Shared merge step: `edges` must be the new round's canonical sorted
+  /// edge list.
+  void merge_round(const std::vector<EdgeKey>& edges, Round r);
+
   std::size_t n_;
-  std::unordered_map<EdgeKey, Round> live_;  // edge -> last insertion round
+  std::vector<LiveEdge> live_;          ///< sorted by key
+  std::vector<LiveEdge> live_scratch_;  ///< merge double-buffer
+  std::vector<EdgeKey> edge_scratch_;   ///< snapshot edge-list buffer
+  GraphDiff diff_;                      ///< reused by the view-based advance
   std::uint64_t tc_ = 0;
   std::uint64_t deletions_ = 0;
   Round min_lifetime_ = kNoRound;

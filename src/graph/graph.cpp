@@ -4,35 +4,52 @@
 
 namespace dyngossip {
 
+namespace {
+
+/// Swap-removes `x` from `list`; returns true iff it was present.
+bool drop_from(std::vector<NodeId>& list, NodeId x) {
+  const auto it = std::find(list.begin(), list.end(), x);
+  if (it == list.end()) return false;
+  *it = list.back();
+  list.pop_back();
+  return true;
+}
+
+}  // namespace
+
 Graph::Graph(std::size_t n) : adjacency_(n) {}
 
 Graph::Graph(std::size_t n, const std::vector<EdgeKey>& edges) : adjacency_(n) {
-  edge_set_.reserve(edges.size() * 2);
   for (const EdgeKey key : edges) {
     const auto [u, v] = edge_endpoints(key);
     add_edge(u, v);
   }
 }
 
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  const std::vector<NodeId>& su =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const NodeId other = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(su.begin(), su.end(), other) != su.end();
+}
+
 bool Graph::add_edge(NodeId u, NodeId v) {
   DG_CHECK(u != v);
   DG_CHECK(u < adjacency_.size() && v < adjacency_.size());
-  if (!edge_set_.insert(edge_key(u, v)).second) return false;
+  if (has_edge(u, v)) return false;
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
+  ++num_edges_;
   return true;
 }
 
 bool Graph::remove_edge(NodeId u, NodeId v) {
-  if (edge_set_.erase(edge_key(u, v)) == 0) return false;
-  auto drop = [](std::vector<NodeId>& list, NodeId x) {
-    const auto it = std::find(list.begin(), list.end(), x);
-    DG_CHECK(it != list.end());
-    *it = list.back();
-    list.pop_back();
-  };
-  drop(adjacency_[u], v);
-  drop(adjacency_[v], u);
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
+  if (!drop_from(adjacency_[u], v)) return false;
+  const bool dropped = drop_from(adjacency_[v], u);
+  DG_CHECK(dropped);
+  --num_edges_;
   return true;
 }
 
@@ -42,8 +59,15 @@ std::vector<NodeId> Graph::sorted_neighbors(NodeId v) const {
   return out;
 }
 
+std::vector<EdgeKey> Graph::edges() const {
+  std::vector<EdgeKey> out;
+  out.reserve(num_edges_);
+  for_each_edge([&out](EdgeKey key) { out.push_back(key); });
+  return out;
+}
+
 std::vector<EdgeKey> Graph::sorted_edges() const {
-  std::vector<EdgeKey> out(edge_set_.begin(), edge_set_.end());
+  std::vector<EdgeKey> out = edges();
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -2,13 +2,18 @@
 //
 // The dynamic network model (Section 1.3) is a sequence G_r = (V, E_r) of
 // undirected graphs over a fixed node set V.  A Graph object is one round's
-// topology: an edge set plus adjacency lists, supporting the operations the
-// engines and adversaries need — membership tests, degree queries, neighbor
-// iteration, and edge-set mutation while an adversary constructs the round.
+// topology: adjacency lists supporting the operations the engines and
+// adversaries need — membership tests, degree queries, neighbor iteration,
+// and edge-set mutation while an adversary constructs the round.
+//
+// Storage is adjacency lists only (no hash set): the graphs the paper's
+// experiments run are sparse (|E_r| = O(n)), so membership is a short scan
+// of the smaller endpoint list, and dropping the per-edge hash nodes makes
+// copies and per-round mutation allocation-light.  The read-optimized
+// per-round snapshot is RoundGraphView (round_view.hpp).
 #pragma once
 
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.hpp"
@@ -29,7 +34,7 @@ class Graph {
   [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
 
   /// Number of edges m_r.
-  [[nodiscard]] std::size_t num_edges() const noexcept { return edge_set_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
 
   /// Adds the undirected edge {u, v}; returns true iff it was absent.
   /// Requires u != v and both < n.
@@ -38,10 +43,9 @@ class Graph {
   /// Removes the undirected edge {u, v}; returns true iff it was present.
   bool remove_edge(NodeId u, NodeId v);
 
-  /// Membership test.
-  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
-    return edge_set_.count(edge_key(u, v)) > 0;
-  }
+  /// Membership test (scan of the smaller endpoint's adjacency list);
+  /// false for out-of-range endpoints.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
   /// Degree of v in this round.
   [[nodiscard]] std::size_t degree(NodeId v) const {
@@ -57,20 +61,30 @@ class Graph {
 
   /// Neighbors of v sorted ascending (the unicast model hands each node the
   /// IDs of its round-r neighbors; a canonical order keeps runs
-  /// deterministic).
+  /// deterministic).  Allocates; the per-round engines read sorted spans off
+  /// a RoundGraphView instead.
   [[nodiscard]] std::vector<NodeId> sorted_neighbors(NodeId v) const;
 
-  /// All edges as canonical keys (unordered).
-  [[nodiscard]] const std::unordered_set<EdgeKey>& edges() const noexcept {
-    return edge_set_;
+  /// Visits every edge once as a canonical key, grouped by the lower
+  /// endpoint in increasing order (within a node, insertion order).
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (NodeId u = 0; u < adjacency_.size(); ++u) {
+      for (const NodeId v : adjacency_[u]) {
+        if (v > u) fn(edge_key(u, v));
+      }
+    }
   }
+
+  /// All edges as canonical keys, unsorted (lower-endpoint grouped).
+  [[nodiscard]] std::vector<EdgeKey> edges() const;
 
   /// All edges as a sorted vector (deterministic iteration for tests).
   [[nodiscard]] std::vector<EdgeKey> sorted_edges() const;
 
  private:
   std::vector<std::vector<NodeId>> adjacency_;
-  std::unordered_set<EdgeKey> edge_set_;
+  std::size_t num_edges_ = 0;
 };
 
 }  // namespace dyngossip

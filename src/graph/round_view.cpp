@@ -1,0 +1,35 @@
+#include "graph/round_view.hpp"
+
+#include <algorithm>
+
+namespace dyngossip {
+
+void RoundGraphView::rebuild(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  num_nodes_ = n;
+  offsets_.resize(n + 1);
+  cursor_.resize(n + 1);
+  targets_.resize(2 * g.num_edges());
+
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + g.degree(v);
+  DG_CHECK(offsets_[n] == targets_.size());
+
+  // Append each arc u->w to w's block while scanning sources u in increasing
+  // order: every block receives its targets pre-sorted.
+  std::copy(offsets_.begin(), offsets_.end(), cursor_.begin());
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId w : g.neighbors(u)) {
+      targets_[cursor_[w]++] = u;
+    }
+  }
+}
+
+std::size_t RoundGraphView::arc_index(NodeId v, NodeId w) const {
+  const std::span<const NodeId> block = neighbors(v);
+  const auto it = std::lower_bound(block.begin(), block.end(), w);
+  if (it == block.end() || *it != w) return kNoArc;
+  return offsets_[v] + static_cast<std::size_t>(it - block.begin());
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,104 @@
+// Immutable CSR snapshot of one round graph.
+//
+// The engines consume each round's topology read-only and in full: every
+// node reads its sorted neighbor list, the budget check addresses directed
+// edges, connectivity is verified, and the tracker diffs the edge set.
+// Serving all of that off the mutable Graph costs a per-node allocation and
+// sort per round (Graph::sorted_neighbors).  RoundGraphView is the
+// flat-snapshot alternative used by graph-processing systems (Ligra-style
+// CSR): one O(n + m) rebuild per round into reusable buffers, after which
+//   - neighbors(v) is a sorted span (no allocation, no sort),
+//   - every directed edge v->w has a dense arc index in [0, 2m) usable as a
+//     key into flat per-round arrays (the engines' payload budgets),
+//   - edges enumerate in canonical EdgeKey order for O(m) set diffs.
+//
+// The sortedness falls out of the rebuild for free: scanning source nodes
+// in increasing order appends each target list in increasing source order,
+// so no comparison sort runs anywhere.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace dyngossip {
+
+/// Sentinel for "no such arc" (arc_index of an absent edge).
+inline constexpr std::size_t kNoArc = static_cast<std::size_t>(-1);
+
+/// Read-only CSR (offsets + sorted targets) snapshot of a Graph.
+class RoundGraphView {
+ public:
+  /// Empty view over zero nodes; rebuild() before use.
+  RoundGraphView() = default;
+
+  /// View of g's current topology (convenience for one-shot callers; the
+  /// engines construct once and rebuild per round).
+  explicit RoundGraphView(const Graph& g) { rebuild(g); }
+
+  /// Rebuilds the snapshot from g in O(n + m), reusing internal buffers —
+  /// allocation-free once buffers have grown to the high-water mark.
+  void rebuild(const Graph& g);
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+  /// Number of undirected edges m.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return targets_.size() / 2; }
+
+  /// Number of directed arcs (2m); arc indices are dense in [0, num_arcs()).
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return targets_.size(); }
+
+  /// Degree of v.
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    DG_DCHECK(v < num_nodes_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbors of v, sorted ascending.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    DG_DCHECK(v < num_nodes_);
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// First arc index of v's neighbor block (arc of v's i-th neighbor is
+  /// arc_begin(v) + i).
+  [[nodiscard]] std::size_t arc_begin(NodeId v) const {
+    DG_DCHECK(v < num_nodes_);
+    return offsets_[v];
+  }
+
+  /// Dense index of the directed arc v->w, or kNoArc if the edge is absent.
+  /// O(log deg(v)) binary search over the sorted neighbor block.
+  [[nodiscard]] std::size_t arc_index(NodeId v, NodeId w) const;
+
+  /// Membership test (binary search on the smaller endpoint block).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    DG_DCHECK(u < num_nodes_ && v < num_nodes_);
+    return degree(u) <= degree(v) ? arc_index(u, v) != kNoArc
+                                  : arc_index(v, u) != kNoArc;
+  }
+
+  /// Visits every undirected edge once, in increasing canonical EdgeKey
+  /// order (lower endpoint ascending, then higher endpoint ascending).
+  template <typename Fn>
+  void for_each_edge(Fn&& fn) const {
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      for (std::size_t i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+        const NodeId v = targets_[i];
+        if (v > u) fn(edge_key(u, v));
+      }
+    }
+  }
+
+ private:
+  std::size_t num_nodes_ = 0;
+  std::vector<std::size_t> offsets_;  ///< n + 1 prefix sums
+  std::vector<NodeId> targets_;       ///< 2m targets, sorted per source
+  std::vector<std::size_t> cursor_;   ///< rebuild scratch (write positions)
+};
+
+}  // namespace dyngossip

@@ -14,7 +14,8 @@ void StabilityValidator::observe(const Graph& g, Round r) {
   DG_CHECK(r == last_round_ + 1);
   last_round_ = r;
   for (auto it = live_.begin(); it != live_.end();) {
-    if (g.edges().count(it->first) == 0) {
+    const auto [u, v] = edge_endpoints(it->first);
+    if (!g.has_edge(u, v)) {
       const Round lifetime = r - it->second;
       min_lifetime_ = (min_lifetime_ == kNoRound) ? lifetime
                                                   : std::min(min_lifetime_, lifetime);
@@ -24,7 +25,7 @@ void StabilityValidator::observe(const Graph& g, Round r) {
       ++it;
     }
   }
-  for (const EdgeKey key : g.edges()) live_.emplace(key, r);
+  g.for_each_edge([this, r](EdgeKey key) { live_.emplace(key, r); });
 }
 
 }  // namespace dyngossip

@@ -8,6 +8,8 @@
 // distributions are statistically identical to the bench's).
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "adversary/lb_adversary.hpp"
@@ -27,21 +29,24 @@ struct TrialOut {
   bool connected = false;
 };
 
-ScenarioResult run(const ScenarioContext& ctx) {
-  const bool quick = ctx.quick();
-  const std::size_t n = ctx.get_size("n", quick ? 64 : 128, 2, 1u << 20);
-  const std::size_t k = ctx.get_size("k", n, 1, 1u << 22);
-  const std::size_t trials = ctx.trials_or(quick ? 50 : 200);
-
+/// One Figure-1 table for a fixed n: β sweep × trials, parallel per cell.
+ScenarioTable run_one_size(const ScenarioContext& ctx, std::size_t n,
+                           std::size_t k, std::size_t trials, bool large) {
   const double logn = log2_clamped(static_cast<double>(n));
   const auto sparse_threshold =
       static_cast<std::size_t>(bounds::sparse_broadcaster_threshold(n, 4.0));
 
   const std::vector<std::size_t> betas = [&] {
-    std::vector<std::size_t> b{1, std::max<std::size_t>(1, sparse_threshold / 2),
-                               sparse_threshold,
-                               static_cast<std::size_t>(n / logn),
-                               n / 4, n / 2, n};
+    // The large grid trims the β axis: each cell pays an Θ(nk) K' sample
+    // plus up to Θ(β²) direction tests, so keep the four regime-defining
+    // points (one broadcaster, the Lemma-2.2 threshold, n/log n, all-n).
+    std::vector<std::size_t> b =
+        large ? std::vector<std::size_t>{1, sparse_threshold,
+                                         static_cast<std::size_t>(n / logn), n}
+              : std::vector<std::size_t>{
+                    1, std::max<std::size_t>(1, sparse_threshold / 2),
+                    sparse_threshold, static_cast<std::size_t>(n / logn),
+                    n / 4, n / 2, n};
     std::sort(b.begin(), b.end());
     b.erase(std::unique(b.begin(), b.end()), b.end());
     return b;
@@ -104,7 +109,33 @@ ScenarioResult run(const ScenarioContext& ctx) {
       "threshold the free graph is connected with probability 1 (no round\n"
       "progress possible); above it components appear but stay O(log n)\n"
       "(log2 n = " + TablePrinter::num(logn, 1) + " here).";
-  return {"fig1_free_edges", {std::move(table)}};
+  return table;
+}
+
+ScenarioResult run(const ScenarioContext& ctx) {
+  if (ctx.large()) {
+    // The large grid fixes its sizes; silently dropping explicit --n/--k
+    // would produce tables contradicting the flags that made them.
+    if (!ctx.get_string("n", "").empty() || !ctx.get_string("k", "").empty()) {
+      std::fprintf(stderr,
+                   "fig1_free_edges: --n/--k apply to --scale=quick/default; "
+                   "the large grid runs fixed n in {1024, 4096, 10000}, k = n\n");
+      std::exit(2);
+    }
+    // Θ(n²) free-edge classifications per β = n cell, at n up to 10^4.
+    const std::size_t trials = ctx.trials_or(1);
+    ScenarioResult result{"fig1_free_edges", {}};
+    for (const std::size_t n : {1024u, 4096u, 10000u}) {
+      result.tables.push_back(run_one_size(ctx, n, n, trials, /*large=*/true));
+    }
+    return result;
+  }
+  const bool quick = ctx.quick();
+  const std::size_t n = ctx.get_size("n", quick ? 64 : 128, 2, 1u << 20);
+  const std::size_t k = ctx.get_size("k", n, 1, 1u << 22);
+  const std::size_t trials = ctx.trials_or(quick ? 50 : 200);
+  return {"fig1_free_edges",
+          {run_one_size(ctx, n, k, trials, /*large=*/false)}};
 }
 
 }  // namespace

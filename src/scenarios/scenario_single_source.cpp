@@ -41,12 +41,12 @@ struct TrialOut {
 };
 
 TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
-                   std::uint64_t seed) {
+                   std::size_t target_edges, std::uint64_t seed) {
   RunResult r = [&] {
     if (c.cut_p < 0) {
       ChurnConfig cc;
       cc.n = n;
-      cc.target_edges = 3 * n;
+      cc.target_edges = target_edges;
       cc.churn_per_round = n / 8;
       cc.fresh_graph_each_round = c.fresh;
       cc.seed = seed;
@@ -78,21 +78,37 @@ TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
 
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
-  const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
+  const bool large = ctx.large();
+  // Large grids: one trial, churn only (fresh-graph resampling at n = 10^4
+  // never lets a request edge survive into its answer round, and the full
+  // request cutter needs a 50n-round horizon — hours), k fixed at 256 so
+  // the n² completeness term dominates, and a denser graph (8n edges) so
+  // dissemination chains survive the churn.
+  const std::size_t seeds = ctx.trials_or(large ? 1 : quick ? 2 : 3);
   const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{24, 48} : std::vector<std::size_t>{24, 48, 96};
+      large   ? std::vector<std::size_t>{1024, 4096, 10000}
+      : quick ? std::vector<std::size_t>{24, 48}
+              : std::vector<std::size_t>{24, 48, 96};
 
   struct RowSpec {
     std::size_t n;
     std::uint32_t k;
     Round cap;
+    std::size_t target_edges;
     Case c;
   };
   std::vector<RowSpec> rows;
   for (const std::size_t n : sizes) {
-    const auto k = static_cast<std::uint32_t>(2 * n);
-    const Round cap = static_cast<Round>(quick ? 40 * n * k : 100 * n * k);
-    for (const Case& c : kCases) rows.push_back({n, k, cap, c});
+    const auto k = static_cast<std::uint32_t>(large ? 256 : 2 * n);
+    const Round cap = static_cast<Round>(
+        large ? 100 * static_cast<std::uint64_t>(k) + n
+              : static_cast<std::uint64_t>(quick ? 40 : 100) * n * k);
+    const std::size_t target_edges = large ? 8 * n : 3 * n;
+    if (large) {
+      rows.push_back({n, k, cap, target_edges, kCases[0]});  // churn
+    } else {
+      for (const Case& c : kCases) rows.push_back({n, k, cap, target_edges, c});
+    }
   }
 
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
@@ -102,7 +118,8 @@ ScenarioResult run(const ScenarioContext& ctx) {
       batch.add([&out, &rows, r, i] {
         const RowSpec& spec = rows[r];
         const std::uint64_t seed = 9'000 + 13 * spec.n + i;
-        out[r][i] = run_trial(spec.c, spec.n, spec.k, spec.cap, seed);
+        out[r][i] =
+            run_trial(spec.c, spec.n, spec.k, spec.cap, spec.target_edges, seed);
       });
     }
   }
@@ -110,8 +127,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
 
   ScenarioTable table;
   table.title =
-      "Theorem 3.1: 1-adversary-competitive messages, single source "
-      "(bound: total - TC(E) <= O(n^2 + nk); k = 2n)";
+      large ? "Theorem 3.1 at scale: 1-adversary-competitive messages, single "
+              "source (n up to 10^4; k = 256, 8n-edge churn)"
+            : "Theorem 3.1: 1-adversary-competitive messages, single source "
+              "(bound: total - TC(E) <= O(n^2 + nk); k = 2n)";
   table.columns = {"adversary", "n",     "k",        "done",
                    "tokens",    "completeness", "requests", "TC(E)",
                    "residual",  "residual/(n^2+nk)", "rounds"};
@@ -139,10 +158,14 @@ ScenarioResult run(const ScenarioContext& ctx) {
          TablePrinter::num(rounds.mean(), 0)});
   }
   table.note =
-      "Expected shape: residual/(n^2+nk) stays bounded by a small constant\n"
-      "across ALL adversaries and sizes — including the full request cutter,\n"
-      "where the algorithm never finishes but every wasted request is paid\n"
-      "for by the adversary's TC budget (Definition 1.3).";
+      large ? "Expected shape: residual/(n^2+nk) keeps FALLING as n grows at\n"
+              "fixed k — the realized traffic is Θ(n·deg·rounds) while the\n"
+              "bound's n^2 term grows quadratically (the slack the paper's\n"
+              "lower bound says no algorithm can close in the worst case)."
+            : "Expected shape: residual/(n^2+nk) stays bounded by a small constant\n"
+              "across ALL adversaries and sizes — including the full request cutter,\n"
+              "where the algorithm never finishes but every wasted request is paid\n"
+              "for by the adversary's TC budget (Definition 1.3).";
   return {"single_source", {std::move(table)}};
 }
 

@@ -1,0 +1,43 @@
+#include "sim/runner/demo_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dyngossip {
+
+void DemoRegistry::add(Demo demo) {
+  if (demo.name.empty()) {
+    throw std::invalid_argument("demo name must be non-empty");
+  }
+  if (!demo.run) {
+    throw std::invalid_argument("demo '" + demo.name + "' has no run function");
+  }
+  std::string name = demo.name;
+  const auto [it, inserted] = demos_.emplace(std::move(name), std::move(demo));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("duplicate demo name '" + it->first + "'");
+  }
+}
+
+const Demo* DemoRegistry::find(const std::string& name) const noexcept {
+  const auto it = demos_.find(name);
+  return it == demos_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Demo*> DemoRegistry::list() const {
+  std::vector<const Demo*> out;
+  out.reserve(demos_.size());
+  for (const auto& [name, demo] : demos_) {
+    (void)name;
+    out.push_back(&demo);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+DemoRegistry& DemoRegistry::global() {
+  static DemoRegistry registry;
+  return registry;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,50 @@
+// Name → Demo registry behind `dyngossip demo <name>`.
+//
+// Demos are narrated end-to-end tours (the former standalone example
+// binaries): they parse their own flags, print prose + numbers to stdout,
+// and return a process exit code.  Keeping them behind the same CLI as the
+// scenarios means one binary to build and one catalogue to discover
+// (`dyngossip demo` lists them), while the scenario registry stays reserved
+// for table-producing experiments.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace dyngossip {
+
+/// One registered demo.
+struct Demo {
+  std::string name;         ///< registry key, e.g. "quickstart"
+  std::string description;  ///< one line for `dyngossip demo`
+  std::string usage;        ///< flag summary, e.g. "[--n=64] [--k=128]"
+  std::function<int(const CliArgs&)> run;
+};
+
+class DemoRegistry {
+ public:
+  /// Registers a demo.  Throws std::invalid_argument on an empty name, a
+  /// missing run function, or a duplicate name.
+  void add(Demo demo);
+
+  /// Demo by name, or nullptr when unknown.
+  [[nodiscard]] const Demo* find(const std::string& name) const noexcept;
+
+  /// All demos, sorted by name.
+  [[nodiscard]] std::vector<const Demo*> list() const;
+
+  /// Number of registered demos.
+  [[nodiscard]] std::size_t size() const noexcept { return demos_.size(); }
+
+  /// Process-wide registry used by the CLI.
+  [[nodiscard]] static DemoRegistry& global();
+
+ private:
+  std::map<std::string, Demo> demos_;
+};
+
+}  // namespace dyngossip

@@ -20,6 +20,7 @@ struct RunInfo {
   std::size_t trials = 0;   ///< 0: scenario default
   std::size_t threads = 1;
   bool quick = false;
+  ScenarioScale scale = ScenarioScale::kDefault;
   double elapsed_seconds = 0.0;
 };
 

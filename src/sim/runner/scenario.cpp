@@ -12,6 +12,19 @@ namespace {
 }
 }  // namespace
 
+bool parse_scenario_scale(const std::string& text, ScenarioScale* out) {
+  if (text == "quick") {
+    *out = ScenarioScale::kQuick;
+  } else if (text == "default") {
+    *out = ScenarioScale::kDefault;
+  } else if (text == "large") {
+    *out = ScenarioScale::kLarge;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 bool operator==(const ScenarioTable& a, const ScenarioTable& b) {
   return a.title == b.title && a.columns == b.columns && a.rows == b.rows &&
          a.note == b.note;

@@ -49,13 +49,29 @@ inline bool operator!=(const ScenarioResult& a, const ScenarioResult& b) {
   return !(a == b);
 }
 
+/// Grid-size axis of a scenario run.  `quick` shrinks the default grids to
+/// CI-smoke settings; `large` stretches the flagship scenarios to
+/// n ~ 10⁴ (single trial, churn-style adversaries) to exercise the
+/// flat-snapshot engine path at scale.
+enum class ScenarioScale : std::uint8_t { kQuick = 0, kDefault = 1, kLarge = 2 };
+
+/// Parses "quick" / "default" / "large"; returns false on anything else.
+[[nodiscard]] bool parse_scenario_scale(const std::string& text, ScenarioScale* out);
+
 /// Execution context handed to a scenario's run function.
 class ScenarioContext {
  public:
   /// `trials` = 0 lets the scenario pick its default (see trials_or).
+  ScenarioContext(ThreadPool& pool, std::size_t trials, ScenarioScale scale,
+                  std::map<std::string, std::string> params = {})
+      : pool_(&pool), trials_(trials), scale_(scale), params_(std::move(params)) {}
+
+  /// Back-compat convenience: bool quick flag (tests construct these).
   ScenarioContext(ThreadPool& pool, std::size_t trials, bool quick,
                   std::map<std::string, std::string> params = {})
-      : pool_(&pool), trials_(trials), quick_(quick), params_(std::move(params)) {}
+      : ScenarioContext(pool, trials,
+                        quick ? ScenarioScale::kQuick : ScenarioScale::kDefault,
+                        std::move(params)) {}
 
   /// Pool scenario jobs run on.
   [[nodiscard]] ThreadPool& pool() const noexcept { return *pool_; }
@@ -65,8 +81,18 @@ class ScenarioContext {
     return trials_ == 0 ? def : trials_;
   }
 
+  /// Grid-size axis (see ScenarioScale).
+  [[nodiscard]] ScenarioScale scale() const noexcept { return scale_; }
+
   /// Quick mode: smaller grids, fewer trials (CI smoke settings).
-  [[nodiscard]] bool quick() const noexcept { return quick_; }
+  [[nodiscard]] bool quick() const noexcept {
+    return scale_ == ScenarioScale::kQuick;
+  }
+
+  /// Scale-up mode: n ~ 10⁴ grids on the scenarios that support them.
+  [[nodiscard]] bool large() const noexcept {
+    return scale_ == ScenarioScale::kLarge;
+  }
 
   /// Typed parameter access with defaults; exits with a message on a value
   /// that does not parse (mirrors CliArgs behaviour).
@@ -85,7 +111,7 @@ class ScenarioContext {
  private:
   ThreadPool* pool_;
   std::size_t trials_;
-  bool quick_;
+  ScenarioScale scale_;
   std::map<std::string, std::string> params_;
 };
 

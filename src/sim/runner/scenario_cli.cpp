@@ -8,6 +8,7 @@
 
 #include "adversary/churn.hpp"
 #include "common/cli.hpp"
+#include "sim/runner/demo_registry.hpp"
 #include "sim/runner/emit.hpp"
 #include "sim/runner/parallel_sweep.hpp"
 #include "sim/simulator.hpp"
@@ -25,10 +26,13 @@ constexpr const char* kUsage =
     "  run <scenario> [flags]        run one scenario\n"
     "      --threads=N   worker threads (0 = hardware, default)\n"
     "      --trials=T    trials per configuration (0 = scenario default)\n"
-    "      --quick       small grids / fast settings\n"
+    "      --scale=S     grid size: quick | default | large (n ~ 10^4)\n"
+    "      --quick       alias for --scale=quick\n"
     "      --csv         CSV instead of aligned tables\n"
     "      --json[=PATH] machine-readable record (PATH or '-' for stdout)\n"
     "      --<param>=v   scenario-specific parameter (see `list`)\n"
+    "  demo <name> [flags]           run a narrated end-to-end demo\n"
+    "      (see `dyngossip demo` for the catalogue)\n"
     "  speedup [--threads=N] [--trials=T] [--n=SIZE] [--min=X]\n"
     "                                time serial vs parallel sweep, verify\n"
     "                                bit-identity, print the ratio as JSON\n";
@@ -93,12 +97,13 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
                  name.c_str());
     return 2;
   }
-  std::vector<std::string> allowed = {"threads", "trials", "quick", "csv", "json"};
+  std::vector<std::string> allowed = {"threads", "trials", "scale",
+                                      "quick",   "csv",    "json"};
   if (legacy) allowed.push_back("seeds");
   for (const ParamSpec& p : scenario->params) allowed.push_back(p.name);
   args.allow_only(allowed, "dyngossip run " + name +
-                               " [--threads=N] [--trials=T] [--quick] [--csv]"
-                               " [--json[=PATH]] [--<param>=v]");
+                               " [--threads=N] [--trials=T] [--scale=S]"
+                               " [--quick] [--csv] [--json[=PATH]] [--<param>=v]");
 
   std::map<std::string, std::string> params;
   for (const ParamSpec& p : scenario->params) {
@@ -113,16 +118,31 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   }
   const auto trials = static_cast<std::size_t>(trials_raw);
   const auto threads = static_cast<std::size_t>(threads_raw);
-  const bool quick = args.get_bool("quick", false);
+
+  ScenarioScale scale =
+      args.get_bool("quick", false) ? ScenarioScale::kQuick : ScenarioScale::kDefault;
+  if (args.has("scale")) {
+    const std::string text = args.get_string("scale", "default");
+    if (!parse_scenario_scale(text, &scale)) {
+      std::fprintf(stderr, "--scale must be quick, default, or large (got '%s')\n",
+                   text.c_str());
+      return 2;
+    }
+    if (args.get_bool("quick", false) && scale != ScenarioScale::kQuick) {
+      std::fprintf(stderr, "--quick conflicts with --scale=%s\n", text.c_str());
+      return 2;
+    }
+  }
 
   ThreadPool pool(threads);
-  const ScenarioContext ctx(pool, trials, quick, std::move(params));
+  const ScenarioContext ctx(pool, trials, scale, std::move(params));
   const auto start = std::chrono::steady_clock::now();
   const ScenarioResult result = scenario->run(ctx);
   RunInfo info;
   info.trials = trials;
   info.threads = pool.size();
-  info.quick = quick;
+  info.quick = scale == ScenarioScale::kQuick;
+  info.scale = scale;
   info.elapsed_seconds = seconds_since(start);
 
   if (args.has("json")) {
@@ -146,6 +166,28 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   std::fprintf(stderr, "[dyngossip] %s: %zu threads, %.2fs\n", name.c_str(),
                info.threads, info.elapsed_seconds);
   return 0;
+}
+
+int cmd_demo(int argc, const char* const* argv, const char* program) {
+  DemoRegistry& demos = DemoRegistry::global();
+  if (argc < 3) {
+    std::printf("available demos (dyngossip demo <name> [flags]):\n");
+    for (const Demo* d : demos.list()) {
+      std::printf("  %-14s %s\n                 %s\n", d->name.c_str(),
+                  d->description.c_str(), d->usage.c_str());
+    }
+    return 0;
+  }
+  const std::string name = argv[2];
+  const Demo* demo = demos.find(name);
+  if (demo == nullptr) {
+    std::fprintf(stderr, "unknown demo '%s'; try `dyngossip demo`\n", name.c_str());
+    return 2;
+  }
+  std::vector<const char*> rest = {program};
+  for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
+  const CliArgs args(static_cast<int>(rest.size()), rest.data());
+  return demo->run(args);
 }
 
 bool summaries_identical(const Summary& a, const Summary& b) {
@@ -253,6 +295,9 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
     for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
     const CliArgs args(static_cast<int>(rest.size()), rest.data());
     return run_one_scenario(registry, name, args, /*legacy=*/false);
+  }
+  if (command == "demo") {
+    return cmd_demo(argc, argv, program);
   }
   if (command == "speedup") {
     std::vector<const char*> rest = {program};

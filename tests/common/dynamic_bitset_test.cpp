@@ -172,5 +172,84 @@ TEST(DynamicBitset, ContainsAllSelfAndEmpty) {
   EXPECT_FALSE(e.contains_all(a));
 }
 
+std::vector<std::size_t> collect_set(const DynamicBitset& b) {
+  std::vector<std::size_t> out;
+  for (const std::size_t pos : b.set_bits()) out.push_back(pos);
+  return out;
+}
+
+std::vector<std::size_t> collect_unset(const DynamicBitset& b) {
+  std::vector<std::size_t> out;
+  for (const std::size_t pos : b.unset_bits()) out.push_back(pos);
+  return out;
+}
+
+TEST(DynamicBitsetCursor, EmptyUniverseYieldsNothing) {
+  DynamicBitset b;
+  EXPECT_TRUE(collect_set(b).empty());
+  EXPECT_TRUE(collect_unset(b).empty());
+}
+
+class BitsetCursorEdgeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetCursorEdgeTest, CursorMatchesPositionsOracle) {
+  const std::size_t universe = GetParam();
+  Rng rng(99 + universe);
+  DynamicBitset b(universe);
+  for (std::size_t i = 0; i < universe; ++i) {
+    if (rng.bernoulli(0.4)) b.set(i);
+  }
+  EXPECT_EQ(collect_set(b), b.set_positions());
+  EXPECT_EQ(collect_unset(b), b.unset_positions());
+}
+
+TEST_P(BitsetCursorEdgeTest, FullAndEmptySets) {
+  const std::size_t universe = GetParam();
+  DynamicBitset empty(universe);
+  EXPECT_TRUE(collect_set(empty).empty());
+  EXPECT_EQ(collect_unset(empty).size(), universe);
+
+  DynamicBitset full(universe, /*initially_set=*/true);
+  EXPECT_EQ(collect_set(full).size(), universe);
+  // The unset cursor must not walk into the trimmed tail of the last word.
+  EXPECT_TRUE(collect_unset(full).empty());
+}
+
+// The ISSUE-named universe sizes: 0 and the word-boundary straddles.
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetCursorEdgeTest,
+                         ::testing::Values(0, 1, 63, 64, 65, 128, 129, 1000));
+
+TEST(DynamicBitsetCursor, WordBoundaryPositions) {
+  DynamicBitset b(130);
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{63}, std::size_t{64},
+                                std::size_t{127}, std::size_t{128},
+                                std::size_t{129}}) {
+    b.set(pos);
+  }
+  const std::vector<std::size_t> want{0, 63, 64, 127, 128, 129};
+  EXPECT_EQ(collect_set(b), want);
+}
+
+TEST(DynamicBitsetCursor, SparseScanSkipsEmptyWords) {
+  DynamicBitset b(64 * 64);
+  b.set(5);
+  b.set(63 * 64 + 1);
+  const std::vector<std::size_t> want{5, 63 * 64 + 1};
+  EXPECT_EQ(collect_set(b), want);
+}
+
+TEST(DynamicBitset, FindNextSetAcrossManyWordBoundaries) {
+  DynamicBitset b(4 * 64 + 3);
+  b.set(64);
+  b.set(191);
+  b.set(4 * 64 + 2);  // last valid position
+  EXPECT_EQ(b.find_next_set(0), 64u);
+  EXPECT_EQ(b.find_next_set(65), 191u);
+  EXPECT_EQ(b.find_next_set(192), 4u * 64 + 2);
+  EXPECT_EQ(b.find_next_set(4 * 64 + 3), b.size());
+  b.reset(64);
+  EXPECT_EQ(b.find_next_set(0), 191u);
+}
+
 }  // namespace
 }  // namespace dyngossip

@@ -1,6 +1,9 @@
 // Tests for the new/idle/contributive edge classification (Section 3.1).
 #include "core/knowledge.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace dyngossip {
@@ -86,6 +89,61 @@ TEST(EdgeClassifier, ClassNames) {
   EXPECT_STREQ(edge_class_name(EdgeClass::kNew), "new");
   EXPECT_STREQ(edge_class_name(EdgeClass::kIdle), "idle");
   EXPECT_STREQ(edge_class_name(EdgeClass::kContributive), "contributive");
+}
+
+TEST(EdgeClassifier, SlotApiMatchesNodeApi) {
+  EdgeClassifier c;
+  const std::vector<NodeId> with{2, 5, 9};
+  c.begin_round(1, with);
+  c.begin_round(2, with);
+  c.note_learning_over(5);
+  c.begin_round(3, with);
+  for (std::size_t slot = 0; slot < with.size(); ++slot) {
+    EXPECT_EQ(c.slot_of(with[slot]), slot);
+    EXPECT_EQ(c.classify_slot(slot), c.classify(with[slot]));
+  }
+  EXPECT_EQ(c.slot_of(4), EdgeClassifier::kNoSlot);
+  EXPECT_EQ(c.classify_slot(1), EdgeClass::kContributive);
+}
+
+TEST(EdgeClassifier, ReinsertionAmidShiftingNeighborsKeepsRecordsStraight) {
+  // The flat storage re-slots every neighbor each round; state must follow
+  // the node id, not the slot.  Neighbor 5's record survives while its slot
+  // moves (insertions below it), and neighbor 3's record resets when 3
+  // vanishes for a round and returns.
+  EdgeClassifier c;
+  c.begin_round(1, std::vector<NodeId>{3, 5});
+  c.begin_round(2, std::vector<NodeId>{3, 5});
+  c.note_learning_over(5);
+  c.note_learning_over(3);
+  // 3 vanishes; 1 and 2 appear below 5 (5's slot shifts from 1 to 2).
+  c.begin_round(3, std::vector<NodeId>{1, 2, 5});
+  EXPECT_EQ(c.classify(5), EdgeClass::kContributive);  // record followed node 5
+  EXPECT_EQ(c.classify(1), EdgeClass::kNew);
+  EXPECT_FALSE(c.is_neighbor(3));
+  // 3 returns: fresh record (new), contribution history gone.
+  c.begin_round(4, std::vector<NodeId>{1, 2, 3, 5});
+  EXPECT_EQ(c.classify(3), EdgeClass::kNew);
+  EXPECT_EQ(c.insertion_round(3), 4u);
+  c.begin_round(5, std::vector<NodeId>{1, 2, 3, 5});
+  c.begin_round(6, std::vector<NodeId>{1, 2, 3, 5});
+  EXPECT_EQ(c.classify(3), EdgeClass::kIdle);          // no contribution since return
+  EXPECT_EQ(c.classify(5), EdgeClass::kContributive);  // old contribution persists
+}
+
+TEST(EdgeClassifier, InsertionRoundSurvivesManyMerges) {
+  EdgeClassifier c;
+  std::vector<NodeId> neighbors{10};
+  c.begin_round(1, neighbors);
+  for (Round r = 2; r <= 20; ++r) {
+    // Churn the surrounding ids every round; 10 stays put.
+    neighbors = {static_cast<NodeId>(r % 7), 10,
+                 static_cast<NodeId>(20 + (r % 5))};
+    std::sort(neighbors.begin(), neighbors.end());
+    c.begin_round(r, neighbors);
+  }
+  EXPECT_EQ(c.insertion_round(10), 1u);
+  EXPECT_EQ(c.classify(10), EdgeClass::kIdle);
 }
 
 }  // namespace

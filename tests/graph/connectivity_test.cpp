@@ -85,5 +85,29 @@ TEST(Connectivity, BfsTreeDepthsAreShortestPaths) {
   }
 }
 
+TEST(Connectivity, CheckerMatchesUnionFindOracle) {
+  Rng rng(31);
+  ConnectivityChecker checker;
+  RoundGraphView view;
+  for (int trial = 0; trial < 40; ++trial) {
+    Graph g = random_connected_with_edges(24, 40, rng);
+    // Randomly delete a few edges; about half the trials disconnect.
+    const std::vector<EdgeKey> edges = g.sorted_edges();
+    for (int cut = 0; cut < 6; ++cut) {
+      const auto [u, v] = edge_endpoints(edges[rng.next_below(edges.size())]);
+      g.remove_edge(u, v);
+    }
+    view.rebuild(g);
+    EXPECT_EQ(checker.is_connected(view), is_connected(g)) << "trial " << trial;
+  }
+}
+
+TEST(Connectivity, CheckerTrivialCases) {
+  ConnectivityChecker checker;
+  EXPECT_TRUE(checker.is_connected(RoundGraphView(Graph(0))));
+  EXPECT_TRUE(checker.is_connected(RoundGraphView(Graph(1))));
+  EXPECT_FALSE(checker.is_connected(RoundGraphView(Graph(2))));
+}
+
 }  // namespace
 }  // namespace dyngossip

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+#include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 
 namespace dyngossip {
@@ -90,6 +92,41 @@ TEST(DynamicTrackerDeath, RoundsMustBeConsecutive) {
 TEST(DynamicTrackerDeath, NodeCountMustMatch) {
   DynamicGraphTracker tracker(3);
   EXPECT_DEATH(tracker.advance(path_graph(4), 1), "DG_CHECK");
+}
+
+TEST(DynamicTracker, ViewAdvanceMatchesGraphAdvance) {
+  // The CSR-view overload (engine hot path) and the Graph overload must
+  // produce identical diffs and statistics on the same round sequence.
+  Rng rng(21);
+  std::vector<Graph> rounds;
+  rounds.push_back(random_connected_with_edges(16, 30, rng));
+  for (int i = 0; i < 6; ++i) {
+    Graph g = rounds.back();
+    for (int cut = 0; cut < 3; ++cut) {
+      const std::vector<EdgeKey> edges = g.sorted_edges();
+      const auto [u, v] = edge_endpoints(edges[rng.next_below(edges.size())]);
+      g.remove_edge(u, v);
+    }
+    connect_components(g, rng);
+    rounds.push_back(std::move(g));
+  }
+
+  DynamicGraphTracker by_graph(16);
+  DynamicGraphTracker by_view(16);
+  RoundGraphView view;
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    const GraphDiff a = by_graph.advance(rounds[r], static_cast<Round>(r + 1));
+    view.rebuild(rounds[r]);
+    const GraphDiff& b = by_view.advance(view, static_cast<Round>(r + 1));
+    EXPECT_EQ(a.inserted, b.inserted) << "round " << r + 1;
+    EXPECT_EQ(a.removed, b.removed) << "round " << r + 1;
+  }
+  EXPECT_EQ(by_graph.topological_changes(), by_view.topological_changes());
+  EXPECT_EQ(by_graph.deletions(), by_view.deletions());
+  EXPECT_EQ(by_graph.min_completed_lifetime(), by_view.min_completed_lifetime());
+  rounds.back().for_each_edge([&](EdgeKey key) {
+    EXPECT_EQ(by_graph.insertion_round(key), by_view.insertion_round(key));
+  });
 }
 
 }  // namespace

@@ -1,0 +1,51 @@
+// Tests for the demo registry behind `dyngossip demo`.
+#include "sim/runner/demo_registry.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "demos/demos.hpp"
+
+namespace dyngossip {
+namespace {
+
+Demo make_demo(const char* name) {
+  return {name, "a demo", "[--n=8]", [](const CliArgs&) { return 0; }};
+}
+
+TEST(DemoRegistry, AddFindList) {
+  DemoRegistry registry;
+  registry.add(make_demo("zeta"));
+  registry.add(make_demo("alpha"));
+  ASSERT_EQ(registry.size(), 2u);
+  EXPECT_NE(registry.find("alpha"), nullptr);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+  const auto listed = registry.list();
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0]->name, "alpha");  // name-sorted
+  EXPECT_EQ(listed[1]->name, "zeta");
+}
+
+TEST(DemoRegistry, RejectsBadRegistrations) {
+  DemoRegistry registry;
+  EXPECT_THROW(registry.add({"", "d", "", [](const CliArgs&) { return 0; }}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"noop", "d", "", nullptr}), std::invalid_argument);
+  registry.add(make_demo("dup"));
+  EXPECT_THROW(registry.add(make_demo("dup")), std::invalid_argument);
+}
+
+TEST(DemoRegistry, RegisterAllDemosInstallsCatalogueIdempotently) {
+  DemoRegistry registry;
+  register_all_demos(registry);
+  const std::size_t installed = registry.size();
+  EXPECT_GE(installed, 2u);
+  EXPECT_NE(registry.find("quickstart"), nullptr);
+  EXPECT_NE(registry.find("sensor_flood"), nullptr);
+  register_all_demos(registry);  // idempotent
+  EXPECT_EQ(registry.size(), installed);
+}
+
+}  // namespace
+}  // namespace dyngossip

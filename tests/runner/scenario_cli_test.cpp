@@ -72,6 +72,44 @@ TEST(ScenarioRun, FromJsonRejectsMalformedRecords) {
   }
 }
 
+TEST(ScenarioScaleAxis, ParsesAllThreeValuesAndRejectsJunk) {
+  ScenarioScale scale = ScenarioScale::kDefault;
+  EXPECT_TRUE(parse_scenario_scale("quick", &scale));
+  EXPECT_EQ(scale, ScenarioScale::kQuick);
+  EXPECT_TRUE(parse_scenario_scale("default", &scale));
+  EXPECT_EQ(scale, ScenarioScale::kDefault);
+  EXPECT_TRUE(parse_scenario_scale("large", &scale));
+  EXPECT_EQ(scale, ScenarioScale::kLarge);
+  EXPECT_FALSE(parse_scenario_scale("huge", &scale));
+  EXPECT_FALSE(parse_scenario_scale("", &scale));
+  EXPECT_EQ(scale, ScenarioScale::kLarge);  // failed parses leave *out alone
+}
+
+TEST(ScenarioScaleAxis, ContextExposesScaleAndBackCompatQuickFlag) {
+  ThreadPool pool(1);
+  const ScenarioContext quick(pool, 0, /*quick=*/true);
+  EXPECT_TRUE(quick.quick());
+  EXPECT_FALSE(quick.large());
+  EXPECT_EQ(quick.scale(), ScenarioScale::kQuick);
+
+  const ScenarioContext deflt(pool, 0, /*quick=*/false);
+  EXPECT_EQ(deflt.scale(), ScenarioScale::kDefault);
+
+  const ScenarioContext large(pool, 0, ScenarioScale::kLarge);
+  EXPECT_FALSE(large.quick());
+  EXPECT_TRUE(large.large());
+}
+
+TEST(ScenarioScaleAxis, RunRecordCarriesScaleString) {
+  const ScenarioResult result{"toy", {}};
+  RunInfo info;
+  info.scale = ScenarioScale::kLarge;
+  const JsonValue doc = scenario_result_to_json(result, info);
+  const JsonValue* run = doc.find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->find("scale")->as_string(), "large");
+}
+
 TEST(ScenarioRun, CsvAndTableRenderingsContainEveryCell) {
   ScenarioTable table;
   table.title = "toy";

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Trend `dyngossip run --json` records across commits.
+
+Reads two or more scenario run records (the JSON artifacts the bench-smoke CI
+job uploads), groups them by scenario, and prints per-scenario wall-time and
+payload deltas between the oldest and newest record of each scenario.  Exits
+non-zero when a scenario's wall time regressed by more than --max-regress
+percent, or when --require-payload-match is set and the deterministic payload
+(the "tables" section; everything except the volatile "run" metadata) changed.
+
+Typical CI usage, comparing a fresh run against a downloaded baseline:
+
+    dyngossip run table1 --trials=2 --quick --json=new.json
+    python3 tools/trend_bench.py --max-regress=200 baseline.json new.json
+
+The generous default threshold absorbs shared-runner noise; tighten it for
+dedicated hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_record(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"trend_bench: cannot read {path}: {err}")
+    for key in ("scenario", "tables", "run"):
+        if key not in record:
+            sys.exit(f"trend_bench: {path} is not a dyngossip run record "
+                     f"(missing '{key}')")
+    record["_path"] = path
+    return record
+
+
+def payload(record: dict) -> object:
+    """The deterministic part of a record (everything but run metadata)."""
+    return {k: v for k, v in record.items() if k not in ("run", "_path")}
+
+
+def payload_delta(old: dict, new: dict) -> list[str]:
+    """Human-readable description of payload differences (empty if none)."""
+    deltas = []
+    old_tables = old.get("tables", [])
+    new_tables = new.get("tables", [])
+    if len(old_tables) != len(new_tables):
+        deltas.append(f"table count {len(old_tables)} -> {len(new_tables)}")
+        return deltas
+    for i, (ot, nt) in enumerate(zip(old_tables, new_tables)):
+        if ot.get("columns") != nt.get("columns"):
+            deltas.append(f"table[{i}] columns changed")
+        orows, nrows = ot.get("rows", []), nt.get("rows", [])
+        if len(orows) != len(nrows):
+            deltas.append(f"table[{i}] rows {len(orows)} -> {len(nrows)}")
+            continue
+        changed = sum(1 for a, b in zip(orows, nrows) if a != b)
+        if changed:
+            deltas.append(f"table[{i}] {changed}/{len(orows)} rows changed")
+    return deltas
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("records", nargs="+", metavar="RECORD.json",
+                        help="two or more dyngossip run --json records, "
+                             "oldest first")
+    parser.add_argument("--max-regress", type=float, default=200.0,
+                        help="fail when wall time grows by more than this "
+                             "percent (default: %(default)s)")
+    parser.add_argument("--require-payload-match", action="store_true",
+                        help="fail when the deterministic payload changed")
+    args = parser.parse_args()
+    if len(args.records) < 2:
+        parser.error("need at least two records to trend")
+
+    by_scenario: dict[str, list[dict]] = {}
+    for path in args.records:
+        record = load_record(path)
+        by_scenario.setdefault(record["scenario"], []).append(record)
+
+    failures = []
+    header = f"{'scenario':<22} {'base s':>9} {'new s':>9} {'delta':>8}  payload"
+    print(header)
+    print("-" * len(header))
+    for scenario, records in sorted(by_scenario.items()):
+        if len(records) < 2:
+            print(f"{scenario:<22} {'':>9} {'':>9} {'':>8}  only one record "
+                  f"({records[0]['_path']}); skipped")
+            continue
+        old, new = records[0], records[-1]
+        old_s = float(old["run"].get("elapsed_seconds", 0.0))
+        new_s = float(new["run"].get("elapsed_seconds", 0.0))
+        delta_pct = ((new_s - old_s) / old_s * 100.0) if old_s > 0 else 0.0
+        deltas = payload_delta(payload(old), payload(new))
+        payload_txt = "identical" if not deltas else "; ".join(deltas)
+        print(f"{scenario:<22} {old_s:>9.3f} {new_s:>9.3f} {delta_pct:>+7.1f}%"
+              f"  {payload_txt}")
+        if delta_pct > args.max_regress:
+            failures.append(f"{scenario}: wall time regressed "
+                            f"{delta_pct:+.1f}% (> {args.max_regress}%)")
+        if args.require_payload_match and deltas:
+            failures.append(f"{scenario}: payload changed ({payload_txt})")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
