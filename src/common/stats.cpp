@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace dyngossip {
 
@@ -39,6 +41,21 @@ Summary Summary::of(std::vector<double> sample) {
   Summary s;
   s.count = sample.size();
   if (sample.empty()) return s;
+  // Fold the checksum before sorting: trial order is part of the identity a
+  // determinism check certifies (a parallel sweep that wrote its samples
+  // into the wrong slots must not summarize equal).  Each step feeds the
+  // *mixed* output back as the chaining state — chaining on SplitMix64's
+  // internal (additive) state would let sign-bit flips of an even number of
+  // samples cancel, since XOR of bit 63 commutes with 64-bit addition.
+  std::uint64_t state = 0x5eedc0de ^ static_cast<std::uint64_t>(sample.size());
+  for (const double x : sample) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(x));
+    std::memcpy(&bits, &x, sizeof(bits));
+    std::uint64_t mixed = state ^ bits;
+    state = splitmix64(mixed);
+  }
+  s.checksum = state;
   std::sort(sample.begin(), sample.end());
   RunningStat rs;
   for (double x : sample) rs.add(x);

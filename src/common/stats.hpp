@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,7 +50,8 @@ class RunningStat {
   double max_ = -(1.0 / 0.0);      // -inf
 };
 
-/// Batch summary of a sample: mean, stddev, min, max, median, percentiles.
+/// Batch summary of a sample: mean, stddev, min, max, median, percentiles,
+/// and a bit-exact checksum of the sample itself.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
@@ -59,8 +61,15 @@ struct Summary {
   double median = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// SplitMix64 fold of the raw sample bit patterns in *input* order.  Two
+  /// sweeps are bit-identical iff their checksums match, so determinism
+  /// checks (serial vs parallel, record vs replay) compare one field
+  /// instead of diffing every statistic — and unlike the folded moments,
+  /// the checksum cannot collide on reordered trials.
+  std::uint64_t checksum = 0;
 
-  /// Computes the summary of a sample (copied and sorted internally).
+  /// Computes the summary of a sample (copied and sorted internally; the
+  /// checksum is folded over the pre-sort input order).
   [[nodiscard]] static Summary of(std::vector<double> sample);
 
   /// "mean ± stddev [min, max]" rendering for tables.

@@ -7,6 +7,18 @@ void register_all_demos(DemoRegistry& registry) {
   // when a caller pre-registered demos of its own.
   if (registry.find("quickstart") == nullptr) register_demo_quickstart(registry);
   if (registry.find("sensor_flood") == nullptr) register_demo_sensor_flood(registry);
+  if (registry.find("adversarial_showdown") == nullptr) {
+    register_demo_adversarial_showdown(registry);
+  }
+  if (registry.find("competitive_budget") == nullptr) {
+    register_demo_competitive_budget(registry);
+  }
+  if (registry.find("learning_curves") == nullptr) {
+    register_demo_learning_curves(registry);
+  }
+  if (registry.find("p2p_churn_gossip") == nullptr) {
+    register_demo_p2p_churn_gossip(registry);
+  }
 }
 
 }  // namespace dyngossip

@@ -1,4 +1,4 @@
-// adversarial_showdown — watching the Section-2 adversary at work.
+// Demo `adversarial_showdown` — watching the Section-2 adversary at work.
 //
 // Runs naive phase flooding against the strongly adaptive lower-bound
 // adversary with full instrumentation and narrates what the adversary does
@@ -7,7 +7,7 @@
 // Rounds with at most n/(c log n) broadcasters provably make zero progress
 // (Lemma 2.2) — the printout shows it happening.
 //
-//   ./adversarial_showdown [--n=48] [--k=16] [--seed=5] [--rows=25]
+//   dyngossip demo adversarial_showdown [--n=48] [--k=16] [--seed=5] [--rows=25]
 
 #include <algorithm>
 #include <cstdio>
@@ -18,16 +18,18 @@
 #include "common/mathx.hpp"
 #include "common/table.hpp"
 #include "core/flooding.hpp"
+#include "demos/demos.hpp"
 #include "engine/broadcast_engine.hpp"
 #include "metrics/report.hpp"
 #include "sim/bounds.hpp"
 
-using namespace dyngossip;
+namespace dyngossip {
+namespace {
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+int run(const CliArgs& args) {
   args.allow_only({"n", "k", "seed", "rows"},
-                  "adversarial_showdown [--n=48] [--k=16] [--seed=5] [--rows=25]");
+                  "dyngossip demo adversarial_showdown [--n=48] [--k=16] [--seed=5]"
+                  " [--rows=25]");
   const auto n = static_cast<std::size_t>(args.get_int("n", 48));
   const auto k = static_cast<std::size_t>(args.get_int("k", 16));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
@@ -89,3 +91,14 @@ int main(int argc, char** argv) {
               bounds::broadcast_ub_amortized(n));
   return 0;
 }
+
+}  // namespace
+
+void register_demo_adversarial_showdown(DemoRegistry& registry) {
+  registry.add({"adversarial_showdown",
+                "round-by-round narration of the Section-2 lower-bound adversary",
+                "[--n=48] [--k=16] [--seed=5] [--rows=25]",
+                run});
+}
+
+}  // namespace dyngossip

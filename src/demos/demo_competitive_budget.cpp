@@ -1,5 +1,5 @@
-// competitive_budget — a walkthrough of adversary-competitive accounting
-// (Definition 1.3), the paper's main conceptual contribution.
+// Demo `competitive_budget` — a walkthrough of adversary-competitive
+// accounting (Definition 1.3), the paper's main conceptual contribution.
 //
 // The same Single-Source-Unicast algorithm runs against adversaries of
 // increasing hostility.  For each run we print the ledger:
@@ -11,26 +11,28 @@
 // how violently the topology changes — every extra message the algorithm is
 // forced to send is paid for by the adversary's own budget.
 //
-//   ./competitive_budget [--n=48] [--k=96] [--seed=9]
+//   dyngossip demo competitive_budget [--n=48] [--k=96] [--seed=9]
 
 #include <cstdio>
 #include <iostream>
 
 #include "adversary/churn.hpp"
 #include "adversary/request_cutter.hpp"
+#include "adversary/sigma_stable.hpp"
 #include "adversary/static_adversary.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "demos/demos.hpp"
 #include "graph/generators.hpp"
 #include "sim/bounds.hpp"
 #include "sim/simulator.hpp"
 
-using namespace dyngossip;
+namespace dyngossip {
+namespace {
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+int run(const CliArgs& args) {
   args.allow_only({"n", "k", "seed"},
-                  "competitive_budget [--n=48] [--k=96] [--seed=9]");
+                  "dyngossip demo competitive_budget [--n=48] [--k=96] [--seed=9]");
   const auto n = static_cast<std::size_t>(args.get_int("n", 48));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 96));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
@@ -77,6 +79,16 @@ int main(int argc, char** argv) {
     report("heavy churn", run_single_source(n, k, 0, adversary, cap));
   }
   {
+    SigmaStableChurnConfig sc;
+    sc.n = n;
+    sc.target_edges = 3 * n;
+    sc.churn_per_interval = 3 * n;
+    sc.sigma = 4;
+    sc.seed = seed + 6;
+    SigmaStableChurnAdversary adversary(sc);
+    report("sigma-stable full rewire", run_single_source(n, k, 0, adversary, cap));
+  }
+  {
     ChurnConfig cc;
     cc.n = n;
     cc.target_edges = 3 * n;
@@ -117,3 +129,14 @@ int main(int argc, char** argv) {
       "the adversary had to pay for.\n");
   return 0;
 }
+
+}  // namespace
+
+void register_demo_competitive_budget(DemoRegistry& registry) {
+  registry.add({"competitive_budget",
+                "the Definition-1.3 ledger: one algorithm vs seven adversaries",
+                "[--n=48] [--k=96] [--seed=9]",
+                run});
+}
+
+}  // namespace dyngossip

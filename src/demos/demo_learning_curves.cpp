@@ -1,4 +1,4 @@
-// learning_curves — exporting per-round progress series as CSV.
+// Demo `learning_curves` — exporting per-round progress series as CSV.
 //
 // Runs Algorithm 1 under three adversaries on the same problem and writes
 // one CSV per run (round, cumulative messages, learnings, TC, |E_r|),
@@ -6,7 +6,7 @@
 // benign churn shows steady learning; the request cutter shows the
 // sawtooth of wasted requests being re-paid by adversary insertions.
 //
-//   ./learning_curves [--n=32] [--k=64] [--seed=21] [--outdir=.]
+//   dyngossip demo learning_curves [--n=32] [--k=64] [--seed=21] [--outdir=.]
 
 #include <cstdio>
 #include <fstream>
@@ -17,11 +17,11 @@
 #include "adversary/request_cutter.hpp"
 #include "common/cli.hpp"
 #include "core/single_source.hpp"
+#include "demos/demos.hpp"
 #include "engine/unicast_engine.hpp"
 #include "metrics/series.hpp"
 
-using namespace dyngossip;
-
+namespace dyngossip {
 namespace {
 
 void run_one(const char* name, std::size_t n, std::uint32_t k, Adversary& adversary,
@@ -46,12 +46,10 @@ void run_one(const char* name, std::size_t n, std::uint32_t k, Adversary& advers
               path.c_str());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+int run(const CliArgs& args) {
   args.allow_only({"n", "k", "seed", "outdir"},
-                  "learning_curves [--n=32] [--k=64] [--seed=21] [--outdir=.]");
+                  "dyngossip demo learning_curves [--n=32] [--k=64] [--seed=21]"
+                  " [--outdir=.]");
   const auto n = static_cast<std::size_t>(args.get_int("n", 32));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 64));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 21));
@@ -85,3 +83,14 @@ int main(int argc, char** argv) {
               "plot 'curve_churn.csv' using 1:3 with lines\"\n");
   return 0;
 }
+
+}  // namespace
+
+void register_demo_learning_curves(DemoRegistry& registry) {
+  registry.add({"learning_curves",
+                "per-round progress CSVs for Algorithm 1 under three adversaries",
+                "[--n=32] [--k=64] [--seed=21] [--outdir=.]",
+                run});
+}
+
+}  // namespace dyngossip

@@ -1,32 +1,33 @@
-// p2p_churn_gossip — multi-source gossip in a churning peer-to-peer overlay.
+// Demo `p2p_churn_gossip` — multi-source gossip in a churning P2P overlay.
 //
 // The motivating scenario of the paper's introduction: a P2P overlay where
 // connections come and go continuously (the oblivious churn adversary), and
 // every peer has updates (tokens) to disseminate to everyone (n-gossip).
 //
-// The example compares the two strategies the paper analyzes for this
-// regime:
+// The demo compares the two strategies the paper analyzes for this regime:
 //   1. direct Multi-Source-Unicast (Theorem 3.5: O(n²s + nk) competitive —
 //      expensive when s = n);
 //   2. Algorithm 2's center funnel (Theorem 3.8: subquadratic amortized).
 //
-//   ./p2p_churn_gossip [--n=96] [--updates=2] [--seed=11]
+//   dyngossip demo p2p_churn_gossip [--n=96] [--updates=2] [--seed=11]
 
 #include <cstdio>
 
 #include "adversary/churn.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "demos/demos.hpp"
 #include "metrics/report.hpp"
 #include "sim/bounds.hpp"
 #include "sim/simulator.hpp"
 
-using namespace dyngossip;
+namespace dyngossip {
+namespace {
 
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+int run(const CliArgs& args) {
   args.allow_only({"n", "updates", "seed"},
-                  "p2p_churn_gossip [--n=96] [--updates=2] [--seed=11]");
+                  "dyngossip demo p2p_churn_gossip [--n=96] [--updates=2]"
+                  " [--seed=11]");
   const auto n = static_cast<std::size_t>(args.get_int("n", 96));
   const auto updates = static_cast<std::uint32_t>(args.get_int("updates", 2));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
@@ -80,3 +81,14 @@ int main(int argc, char** argv) {
               100.0 * saving);
   return 0;
 }
+
+}  // namespace
+
+void register_demo_p2p_churn_gossip(DemoRegistry& registry) {
+  registry.add({"p2p_churn_gossip",
+                "n-gossip in a churning P2P overlay: direct vs super-peer funnel",
+                "[--n=96] [--updates=2] [--seed=11]",
+                run});
+}
+
+}  // namespace dyngossip

@@ -1,9 +1,8 @@
 // Demo registrations: narrated end-to-end tours behind `dyngossip demo`.
 //
-// Ports of the former standalone examples (examples/quickstart.cpp,
-// examples/sensor_flood.cpp); the remaining examples migrate in a later PR.
-// Each register_demo_* adds one entry; register_all_demos installs the
-// catalogue and is idempotent.
+// Ports of the former standalone example binaries (the examples/ directory
+// is gone; every tour lives behind the one CLI).  Each register_demo_* adds
+// one entry; register_all_demos installs the catalogue and is idempotent.
 #pragma once
 
 #include "sim/runner/demo_registry.hpp"
@@ -12,6 +11,10 @@ namespace dyngossip {
 
 void register_demo_quickstart(DemoRegistry& registry);
 void register_demo_sensor_flood(DemoRegistry& registry);
+void register_demo_adversarial_showdown(DemoRegistry& registry);
+void register_demo_competitive_budget(DemoRegistry& registry);
+void register_demo_learning_curves(DemoRegistry& registry);
+void register_demo_p2p_churn_gossip(DemoRegistry& registry);
 
 /// Installs every demo above; a no-op when already installed.
 void register_all_demos(DemoRegistry& registry);

@@ -15,6 +15,8 @@ void register_all_scenarios(ScenarioRegistry& registry) {
   register_upper_bounds(registry);
   register_leader_election(registry);
   register_ablations(registry);
+  register_trace_replay(registry);
+  register_sigma_stable_churn(registry);
 }
 
 }  // namespace dyngossip

@@ -1,0 +1,173 @@
+// Scenario `sigma_stable_churn` — the high-churn but σ-interval-stable
+// stress family (ROADMAP follow-up to PR 2).
+//
+// Sweeps σ × churn-rate under SigmaStableChurnAdversary and runs the
+// request-based Algorithm 1 at every point.  Fresh-graph adversaries starve
+// request-response at scale (no request edge survives resampling); under
+// σ-interval stability any request sent in the first σ-1 rounds of an
+// interval is answered over a live edge, so the small grids complete even
+// with the whole edge set replaced per interval, and the large grids
+// complete at n = 10⁴ under 3%-of-edges-per-round turnover in σ-sized
+// bursts.  Expected shape: completion on every σ >= 2 row while TC grows
+// with the churn rate, and the competitive residual stays bounded by
+// O(n² + nk).
+
+#include <string>
+#include <vector>
+
+#include "adversary/sigma_stable.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/bounds.hpp"
+#include "sim/runner/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyngossip {
+namespace {
+
+struct TrialOut {
+  bool ok = false;
+  double msgs = 0, tc = 0, norm = 0, rounds = 0;
+};
+
+TrialOut run_trial(std::size_t n, std::uint32_t k, Round sigma, double churn_rate,
+                   std::size_t target_edges, Round cap, std::uint64_t seed) {
+  SigmaStableChurnConfig sc;
+  sc.n = n;
+  sc.target_edges = target_edges;
+  sc.churn_per_interval =
+      static_cast<std::size_t>(churn_rate * static_cast<double>(target_edges));
+  sc.sigma = sigma;
+  sc.seed = seed;
+  SigmaStableChurnAdversary adversary(sc);
+  const RunResult r = run_single_source(n, k, /*source=*/0, adversary, cap);
+  TrialOut out;
+  out.ok = r.completed;
+  out.msgs = static_cast<double>(r.metrics.unicast.total());
+  out.tc = static_cast<double>(r.metrics.tc);
+  out.norm = r.metrics.competitive_residual(1.0) / bounds::single_source_messages(n, k);
+  out.rounds = static_cast<double>(r.rounds);
+  return out;
+}
+
+ScenarioResult run(const ScenarioContext& ctx) {
+  const bool quick = ctx.quick();
+  const bool large = ctx.large();
+  const std::size_t seeds = ctx.trials_or(large ? 1 : quick ? 2 : 3);
+  const std::vector<std::size_t> sizes =
+      large   ? std::vector<std::size_t>{1024, 4096, 10000}
+      : quick ? std::vector<std::size_t>{24, 48}
+              : std::vector<std::size_t>{64, 128};
+  const std::vector<Round> sigmas = {2, 4, 8};
+  // Churn rate: fraction of the edge set rewired per interval.  1.0 is the
+  // maximum-turnover regime fresh-graph adversaries cannot make runnable;
+  // the small grids sweep up to it.  At scale, completion time grows
+  // super-linearly in the *per-round* turnover (tokens flow only while a
+  // node borders a holder), so the large grid pins per-round turnover at 3%
+  // of the edge set — ~2x the PR-2 churn row — and lets sigma sweep how
+  // bursty the same churn volume is (6% / 12% / 24% of all edges replaced
+  // at once).
+  const std::vector<double> churn_rates = {0.25, 1.0};
+
+  struct RowSpec {
+    std::size_t n;
+    std::uint32_t k;
+    Round sigma;
+    double churn_rate;
+    std::size_t target_edges;
+    Round cap;
+  };
+  std::vector<RowSpec> rows;
+  for (const std::size_t n : sizes) {
+    const auto k = static_cast<std::uint32_t>(large ? 256 : 2 * n);
+    const Round cap = static_cast<Round>(
+        large ? 100 * static_cast<std::uint64_t>(k) + n
+              : static_cast<std::uint64_t>(quick ? 40 : 100) * n * k);
+    const std::size_t target_edges = large ? 8 * n : 3 * n;
+    for (const Round sigma : sigmas) {
+      if (large) {
+        rows.push_back({n, k, sigma, 0.03 * sigma, target_edges, cap});
+      } else {
+        for (const double rate : churn_rates) {
+          rows.push_back({n, k, sigma, rate, target_edges, cap});
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
+  JobBatch batch;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < seeds; ++i) {
+      batch.add([&out, &rows, r, i] {
+        const RowSpec& spec = rows[r];
+        const std::uint64_t seed =
+            11'000 + 17 * spec.n + 5 * spec.sigma + i +
+            static_cast<std::uint64_t>(100.0 * spec.churn_rate);
+        out[r][i] = run_trial(spec.n, spec.k, spec.sigma, spec.churn_rate,
+                              spec.target_edges, spec.cap, seed);
+      });
+    }
+  }
+  batch.run(ctx.pool());
+
+  ScenarioTable table;
+  table.title =
+      large ? "sigma-stable churn at scale: Algorithm 1 under per-interval "
+              "rewiring (n up to 10^4, k = 256, 3% of edges per round in "
+              "sigma-sized bursts)"
+            : "sigma-stable churn: Algorithm 1 under sigma-interval rewiring "
+              "(bound: residual <= O(n^2 + nk); k = 2n)";
+  table.columns = {"n",     "k",  "sigma",    "churn/interval",
+                   "done",  "messages", "TC(E)", "residual/(n^2+nk)",
+                   "rounds"};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const RowSpec& spec = rows[r];
+    RunningStat msgs, tc, norm, rounds;
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      const TrialOut& t = out[r][i];
+      msgs.add(t.msgs);
+      tc.add(t.tc);
+      norm.add(t.norm);
+      rounds.add(t.rounds);
+      completed += t.ok ? 1 : 0;
+    }
+    const auto budget = static_cast<std::size_t>(
+        spec.churn_rate * static_cast<double>(spec.target_edges));
+    table.rows.push_back(
+        {std::to_string(spec.n), std::to_string(spec.k), std::to_string(spec.sigma),
+         std::to_string(budget) + " (" +
+             TablePrinter::num(100.0 * spec.churn_rate, 0) + "%)",
+         std::to_string(completed) + "/" + std::to_string(seeds),
+         TablePrinter::num(msgs.mean(), 0), TablePrinter::num(tc.mean(), 0),
+         TablePrinter::num(norm.mean(), 3), TablePrinter::num(rounds.mean(), 0)});
+  }
+  table.note =
+      large ? "Expected shape: every row COMPLETES at n up to 10^4 — the\n"
+              "regime fresh-graph resampling starves forever (a request edge\n"
+              "never survives into its answer round).  sigma-interval\n"
+              "stability keeps request-response alive: at the same 3%/round\n"
+              "churn volume, larger sigma means bigger bursts but fewer\n"
+              "boundaries, so rounds rise while the residual stays bounded."
+            : "Expected shape: every sigma >= 2 row COMPLETES — even at 100%\n"
+              "churn per interval, where the whole edge set turns over every\n"
+              "sigma rounds (the regime where fresh-graph resampling starves\n"
+              "request-response forever).  TC(E) falls as sigma grows (fewer\n"
+              "boundaries per run) and residual/(n^2+nk) stays bounded by a\n"
+              "small constant throughout.";
+  return {"sigma_stable_churn", {std::move(table)}};
+}
+
+}  // namespace
+
+void register_sigma_stable_churn(ScenarioRegistry& registry) {
+  registry.add({"sigma_stable_churn",
+                "sigma-interval-stable high-churn stress: Algorithm 1 across "
+                "sigma x churn-rate",
+                {},
+                run});
+}
+
+}  // namespace dyngossip

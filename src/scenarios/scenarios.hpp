@@ -22,6 +22,8 @@ void register_static_baseline(ScenarioRegistry& registry);
 void register_upper_bounds(ScenarioRegistry& registry);
 void register_leader_election(ScenarioRegistry& registry);
 void register_ablations(ScenarioRegistry& registry);
+void register_trace_replay(ScenarioRegistry& registry);
+void register_sigma_stable_churn(ScenarioRegistry& registry);
 
 /// Installs every scenario above; a no-op when already installed.
 void register_all_scenarios(ScenarioRegistry& registry);

@@ -13,6 +13,8 @@
 #include "sim/runner/parallel_sweep.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "trace/trace_cli.hpp"
+#include "trace/trace_format.hpp"
 
 namespace dyngossip {
 
@@ -33,6 +35,9 @@ constexpr const char* kUsage =
     "      --<param>=v   scenario-specific parameter (see `list`)\n"
     "  demo <name> [flags]           run a narrated end-to-end demo\n"
     "      (see `dyngossip demo` for the catalogue)\n"
+    "  trace <record|replay|info|gen> [flags]\n"
+    "                                record, replay, inspect, or synthesize\n"
+    "                                dynamic-network traces (.dgt / .jsonl)\n"
     "  speedup [--threads=N] [--trials=T] [--n=SIZE] [--min=X]\n"
     "                                time serial vs parallel sweep, verify\n"
     "                                bit-identity, print the ratio as JSON\n";
@@ -191,9 +196,11 @@ int cmd_demo(int argc, const char* const* argv, const char* program) {
 }
 
 bool summaries_identical(const Summary& a, const Summary& b) {
-  return a.count == b.count && a.mean == b.mean && a.stddev == b.stddev &&
-         a.min == b.min && a.max == b.max && a.median == b.median &&
-         a.p90 == b.p90 && a.p99 == b.p99;
+  // The checksum alone certifies bit-identity of the underlying samples in
+  // trial order; the statistic compares stay as a self-check of Summary::of.
+  return a.checksum == b.checksum && a.count == b.count && a.mean == b.mean &&
+         a.stddev == b.stddev && a.min == b.min && a.max == b.max &&
+         a.median == b.median && a.p90 == b.p90 && a.p99 == b.p99;
 }
 
 int cmd_speedup(const CliArgs& args) {
@@ -251,6 +258,8 @@ int cmd_speedup(const CliArgs& args) {
   doc.set("parallel_seconds", JsonValue::number(parallel_s));
   doc.set("speedup", JsonValue::number(speedup));
   doc.set("bit_identical", JsonValue::boolean(identical));
+  doc.set("checksum_serial", JsonValue::str(checksum_hex(serial.checksum)));
+  doc.set("checksum_parallel", JsonValue::str(checksum_hex(parallel.checksum)));
   std::cout << doc.dump(2) << "\n";
 
   if (!identical) {
@@ -298,6 +307,9 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
   }
   if (command == "demo") {
     return cmd_demo(argc, argv, program);
+  }
+  if (command == "trace") {
+    return trace_main(argc, argv);
   }
   if (command == "speedup") {
     std::vector<const char*> rest = {program};

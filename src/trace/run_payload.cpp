@@ -1,0 +1,82 @@
+#include "trace/run_payload.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/tokens.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace_format.hpp"
+
+namespace dyngossip {
+
+std::uint64_t run_payload_checksum(std::size_t n, std::uint64_t k,
+                                   const RunResult& r) {
+  TraceChecksum sum;
+  sum.fold(n);
+  sum.fold(k);
+  sum.fold(r.completed ? 1 : 0);
+  sum.fold(r.rounds);
+  sum.fold(r.metrics.unicast.token);
+  sum.fold(r.metrics.unicast.completeness);
+  sum.fold(r.metrics.unicast.request);
+  sum.fold(r.metrics.unicast.control);
+  sum.fold(r.metrics.broadcasts);
+  sum.fold(r.metrics.tc);
+  sum.fold(r.metrics.deletions);
+  sum.fold(r.metrics.learnings);
+  sum.fold(r.metrics.duplicate_token_deliveries);
+  return sum.value();
+}
+
+JsonValue run_payload_json(const std::string& algo, std::size_t n, std::uint64_t k,
+                           const RunResult& r) {
+  auto num = [](std::uint64_t v) { return JsonValue::number(static_cast<double>(v)); };
+  JsonValue doc = JsonValue::object();
+  doc.set("algo", JsonValue::str(algo));
+  doc.set("n", num(n));
+  doc.set("k", num(k));
+  doc.set("completed", JsonValue::boolean(r.completed));
+  doc.set("rounds", num(r.rounds));
+  JsonValue unicast = JsonValue::object();
+  unicast.set("token", num(r.metrics.unicast.token));
+  unicast.set("completeness", num(r.metrics.unicast.completeness));
+  unicast.set("request", num(r.metrics.unicast.request));
+  unicast.set("control", num(r.metrics.unicast.control));
+  unicast.set("total", num(r.metrics.unicast.total()));
+  doc.set("unicast", std::move(unicast));
+  doc.set("broadcasts", num(r.metrics.broadcasts));
+  doc.set("tc", num(r.metrics.tc));
+  doc.set("deletions", num(r.metrics.deletions));
+  doc.set("learnings", num(r.metrics.learnings));
+  doc.set("duplicate_token_deliveries", num(r.metrics.duplicate_token_deliveries));
+  doc.set("checksum", JsonValue::str(checksum_hex(run_payload_checksum(n, k, r))));
+  return doc;
+}
+
+RunResult run_traced_algo(const TracedRunSpec& spec, Adversary& adversary,
+                          std::uint64_t* k_out) {
+  DG_CHECK(spec.algo == "single_source" || spec.algo == "multi_source");
+  const Round cap =
+      spec.cap > 0
+          ? spec.cap
+          : static_cast<Round>(200ull * spec.n * std::max<std::uint32_t>(spec.k, 1));
+  if (spec.algo == "single_source") {
+    *k_out = spec.k;
+    return run_single_source(spec.n, spec.k, /*source=*/0, adversary, cap);
+  }
+  const std::size_t s = std::min(std::max<std::size_t>(1, spec.sources), spec.n);
+  std::vector<TokenSpace::SourceSpec> specs;
+  specs.reserve(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    specs.push_back(
+        {static_cast<NodeId>(i * (spec.n / s)),
+         std::max<std::uint32_t>(1, spec.k / static_cast<std::uint32_t>(s))});
+  }
+  const auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
+  *k_out = space->total_tokens();
+  return run_multi_source(spec.n, space, adversary, cap);
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,46 @@
+// Deterministic run-result payloads and the shared run dispatch used by
+// `dyngossip trace` and the trace scenarios.
+//
+// A payload is every metric a run produced plus a SplitMix64 fold of all of
+// them: two runs are bit-identical iff their payload checksums match, so
+// record-vs-replay checks (CI, the trace_replay scenario, sweep rows) can
+// compare one 64-bit value instead of diffing full JSON documents.  The
+// dispatch (TracedRunSpec → run) lives here too so the CLI and the
+// scenarios build identical runs — in particular the multi_source
+// token-splitting rule exists exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adversary/adversary.hpp"
+#include "sim/config.hpp"
+#include "sim/runner/json.hpp"
+
+namespace dyngossip {
+
+/// SplitMix64 fold of (n, k, completion, rounds, every message counter).
+[[nodiscard]] std::uint64_t run_payload_checksum(std::size_t n, std::uint64_t k,
+                                                 const RunResult& r);
+
+/// Full machine-readable record, checksum included.
+[[nodiscard]] JsonValue run_payload_json(const std::string& algo, std::size_t n,
+                                         std::uint64_t k, const RunResult& r);
+
+/// Algorithm side of a traced run (parsed from CLI flags or built by a
+/// scenario row).
+struct TracedRunSpec {
+  std::string algo = "single_source";  ///< single_source | multi_source
+  std::size_t n = 64;
+  std::uint32_t k = 128;
+  std::size_t sources = 4;  ///< multi_source: evenly spaced source nodes
+  Round cap = 0;            ///< 0: derive 200·n·k
+};
+
+/// Runs the spec'd algorithm against `adversary`.  multi_source places
+/// min(sources, n) sources at nodes i·(n/s) with k/s tokens each; *k_out
+/// receives the realized token count (k rounded down to s·(k/s)).
+[[nodiscard]] RunResult run_traced_algo(const TracedRunSpec& spec,
+                                        Adversary& adversary, std::uint64_t* k_out);
+
+}  // namespace dyngossip

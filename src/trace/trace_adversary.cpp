@@ -1,0 +1,30 @@
+#include "trace/trace_adversary.hpp"
+
+#include "common/check.hpp"
+
+namespace dyngossip {
+
+TraceAdversary::TraceAdversary(std::unique_ptr<TraceSource> source,
+                               TraceAdversaryOptions opts)
+    : source_(std::move(source)),
+      opts_(opts),
+      current_(source_->header().n) {
+  DG_CHECK(source_ != nullptr);
+}
+
+TraceAdversary::TraceAdversary(const std::string& path, TraceAdversaryOptions opts)
+    : TraceAdversary(open_trace_source(path), opts) {}
+
+std::size_t TraceAdversary::num_nodes() const { return source_->header().n; }
+
+const Graph& TraceAdversary::next_graph(Round r) {
+  DG_CHECK(r == last_round_ + 1);
+  last_round_ = r;
+  if (!exhausted_ && !source_->next_round(current_)) exhausted_ = true;
+  if (exhausted_) {
+    DG_CHECK(opts_.hold_last_graph && "run stepped past the end of its trace");
+  }
+  return current_;
+}
+
+}  // namespace dyngossip

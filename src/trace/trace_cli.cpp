@@ -1,0 +1,388 @@
+#include "trace/trace_cli.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "adversary/sigma_stable.hpp"
+#include "common/cli.hpp"
+#include "core/tokens.hpp"
+#include "metrics/report.hpp"
+#include "sim/runner/json.hpp"
+#include "sim/simulator.hpp"
+#include "trace/run_payload.hpp"
+#include "trace/trace_adversary.hpp"
+#include "trace/trace_gen.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+
+namespace dyngossip {
+
+namespace {
+
+constexpr const char* kTraceUsage =
+    "usage: dyngossip trace <record|replay|info|gen> [flags]\n"
+    "\n"
+    "  record --out=T.dgt [--algo=single_source|multi_source] [--n=64]\n"
+    "         [--k=128] [--sources=4] [--adversary=churn|fresh|sigma]\n"
+    "         [--sigma=3] [--churn=N/8] [--edges=3N] [--seed=7] [--cap=R]\n"
+    "         [--quick] [--json[=PATH|-]]\n"
+    "         run an algorithm against a live adversary, teeing the schedule\n"
+    "         to a trace; the run flags are embedded in the trace metadata\n"
+    "  replay --trace=T.dgt [--algo=..] [--k=..] [--sources=..] [--cap=R]\n"
+    "         [--json[=PATH|-]]\n"
+    "         re-run an algorithm against a recorded schedule (flags default\n"
+    "         to the recorded metadata; matching flags give a bit-identical\n"
+    "         payload, which `diff` or the checksum field verifies)\n"
+    "  info   --trace=T.dgt [--json[=PATH|-]]\n"
+    "         stream a trace and summarize it (no run)\n"
+    "  gen    --out=T.dgt --kind=sigma|churn|fresh|smoothed [--n=64]\n"
+    "         [--rounds=256] [--sigma=4] [--churn=N] [--edges=3N] [--seed=7]\n"
+    "         [--base=IN.dgt] [--flips=8]\n"
+    "         synthesize a trace (smoothed perturbs --base)\n"
+    "\n"
+    "Trace paths ending in .jsonl use the text interchange codec; all other\n"
+    "paths use the binary .dgt codec.  Readers sniff the format.\n";
+
+/// Parses the "key=value key=value ..." metadata a recorded trace embeds.
+std::map<std::string, std::string> parse_metadata(const std::string& metadata) {
+  std::map<std::string, std::string> out;
+  std::istringstream in(metadata);
+  std::string item;
+  while (in >> item) {
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      out[item.substr(0, eq)] = item.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+/// Writes a JSON doc per the --json flag convention ("-"/bare to stdout).
+int emit_json(const CliArgs& args, const JsonValue& doc) {
+  const std::string path = args.get_string("json", "-");
+  const std::string text = doc.dump(2);
+  if (path == "-" || path == "true") {
+    std::cout << text << "\n";
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 2;
+  }
+  out << text << "\n";
+  return 0;
+}
+
+int cmd_record(const CliArgs& args) {
+  args.allow_only({"out", "algo", "n", "k", "sources", "adversary", "sigma", "churn",
+                   "edges", "seed", "cap", "quick", "json"},
+                  kTraceUsage);
+  const std::string out_path = args.get_string("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "trace record requires --out=PATH\n");
+    return 2;
+  }
+  const bool quick = args.get_bool("quick", false);
+  TracedRunSpec spec;
+  spec.algo = args.get_string("algo", "single_source");
+  spec.n = static_cast<std::size_t>(args.get_int("n", quick ? 32 : 64));
+  spec.k = static_cast<std::uint32_t>(args.get_int("k", quick ? 64 : 128));
+  spec.sources = static_cast<std::size_t>(args.get_int("sources", 4));
+  spec.cap = static_cast<Round>(args.get_int("cap", 0));
+  if (spec.algo != "single_source" && spec.algo != "multi_source") {
+    std::fprintf(stderr, "--algo must be single_source or multi_source\n");
+    return 2;
+  }
+  if (spec.n < 2 || spec.k < 1) {
+    std::fprintf(stderr, "--n >= 2 and --k >= 1 required\n");
+    return 2;
+  }
+  const std::string kind = args.get_string("adversary", "churn");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const auto sigma = static_cast<Round>(args.get_int("sigma", 3));
+  const auto churn =
+      static_cast<std::size_t>(args.get_int("churn", static_cast<std::int64_t>(
+                                                         std::max<std::size_t>(
+                                                             1, spec.n / 8))));
+  const auto edges = static_cast<std::size_t>(
+      args.get_int("edges", static_cast<std::int64_t>(3 * spec.n)));
+  if (sigma < 1) {
+    std::fprintf(stderr, "--sigma must be >= 1\n");
+    return 2;
+  }
+
+  std::unique_ptr<Adversary> inner;
+  if (kind == "churn" || kind == "fresh") {
+    ChurnConfig cc;
+    cc.n = spec.n;
+    cc.target_edges = edges;
+    cc.churn_per_round = churn;
+    cc.sigma = sigma;
+    cc.seed = seed;
+    cc.fresh_graph_each_round = kind == "fresh";
+    inner = std::make_unique<ChurnAdversary>(cc);
+  } else if (kind == "sigma") {
+    SigmaStableChurnConfig sc;
+    sc.n = spec.n;
+    sc.target_edges = edges;
+    sc.churn_per_interval = churn;
+    sc.sigma = sigma;
+    sc.seed = seed;
+    inner = std::make_unique<SigmaStableChurnAdversary>(sc);
+  } else {
+    std::fprintf(stderr, "--adversary must be churn, fresh, or sigma\n");
+    return 2;
+  }
+
+  // The run flags become the trace metadata so replay can default to them.
+  std::string metadata = "algo=" + spec.algo + " n=" + std::to_string(spec.n) +
+                         " k=" + std::to_string(spec.k) +
+                         " sources=" + std::to_string(spec.sources) +
+                         " adversary=" + kind + " sigma=" + std::to_string(sigma) +
+                         " churn=" + std::to_string(churn) +
+                         " edges=" + std::to_string(edges) +
+                         " seed=" + std::to_string(seed) +
+                         " cap=" + std::to_string(spec.cap);
+
+  std::unique_ptr<TraceWriter> writer = open_trace_writer(
+      out_path, static_cast<std::uint32_t>(spec.n), seed, std::move(metadata));
+  TraceRecorder recorder(*inner, *writer);
+  std::uint64_t k_realized = 0;
+  const RunResult r = run_traced_algo(spec, recorder, &k_realized);
+  writer->finish();
+
+  if (args.has("json")) {
+    return emit_json(args, run_payload_json(spec.algo, spec.n, k_realized, r));
+  }
+  std::printf("recorded %u rounds to %s (n=%zu, checksum=%s)\n", writer->rounds(),
+              out_path.c_str(), spec.n, checksum_hex(writer->checksum()).c_str());
+  std::printf("%s", run_summary(r.metrics, k_realized).c_str());
+  return 0;
+}
+
+int cmd_replay(const CliArgs& args) {
+  // No --n: the node count is the trace header's, never a flag.
+  args.allow_only({"trace", "algo", "k", "sources", "cap", "json"}, kTraceUsage);
+  const std::string trace_path = args.get_string("trace", "");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "trace replay requires --trace=PATH\n");
+    return 2;
+  }
+  TraceAdversary adversary(trace_path);
+  const TraceHeader& header = adversary.trace_header();
+  const std::map<std::string, std::string> meta = parse_metadata(header.metadata);
+  auto meta_or = [&meta](const char* key, std::int64_t def) {
+    const auto it = meta.find(key);
+    if (it == meta.end()) return def;
+    try {
+      return static_cast<std::int64_t>(std::stoll(it->second));
+    } catch (const std::exception&) {
+      return def;  // foreign trace with free-form metadata: fall back
+    }
+  };
+
+  TracedRunSpec spec;
+  spec.algo = args.get_string(
+      "algo", meta.count("algo") != 0u ? meta.at("algo") : "single_source");
+  spec.n = header.n;
+  spec.k = static_cast<std::uint32_t>(args.get_int("k", meta_or("k", 128)));
+  spec.sources =
+      static_cast<std::size_t>(args.get_int("sources", meta_or("sources", 4)));
+  spec.cap = static_cast<Round>(args.get_int("cap", meta_or("cap", 0)));
+  if (spec.algo != "single_source" && spec.algo != "multi_source") {
+    std::fprintf(stderr, "--algo must be single_source or multi_source\n");
+    return 2;
+  }
+
+  std::uint64_t k_realized = 0;
+  const RunResult r = run_traced_algo(spec, adversary, &k_realized);
+
+  if (args.has("json")) {
+    return emit_json(args, run_payload_json(spec.algo, spec.n, k_realized, r));
+  }
+  std::printf("replayed %u trace rounds from %s (exhausted=%s)\n",
+              adversary.rounds_replayed(), trace_path.c_str(),
+              adversary.exhausted() ? "yes" : "no");
+  std::printf("%s", run_summary(r.metrics, k_realized).c_str());
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  args.allow_only({"trace", "json"}, kTraceUsage);
+  const std::string trace_path = args.get_string("trace", "");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "trace info requires --trace=PATH\n");
+    return 2;
+  }
+  const std::unique_ptr<TraceSource> source = open_trace_source(trace_path);
+  Graph g(source->header().n);
+  std::uint64_t insertions = 0;
+  std::uint64_t deletions = 0;
+  std::uint64_t edge_sum = 0;
+  std::size_t min_edges = 0;
+  std::size_t max_edges = 0;
+  Round rounds = 0;
+  while (source->next_round(g)) {
+    ++rounds;
+    const std::size_t m = g.num_edges();
+    insertions += source->last_insertions();
+    deletions += source->last_removals();
+    min_edges = rounds == 1 ? m : std::min(min_edges, m);
+    max_edges = std::max(max_edges, m);
+    edge_sum += m;
+  }
+  const TraceHeader& header = source->header();
+  const double avg_edges =
+      rounds == 0 ? 0.0 : static_cast<double>(edge_sum) / static_cast<double>(rounds);
+
+  if (args.has("json")) {
+    JsonValue doc = JsonValue::object();
+    doc.set("n", JsonValue::number(static_cast<double>(header.n)));
+    doc.set("rounds", JsonValue::number(static_cast<double>(header.rounds)));
+    doc.set("seed", JsonValue::str(checksum_hex(header.seed)));
+    doc.set("checksum", JsonValue::str(checksum_hex(header.checksum)));
+    doc.set("metadata", JsonValue::str(header.metadata));
+    doc.set("min_edges", JsonValue::number(static_cast<double>(min_edges)));
+    doc.set("avg_edges", JsonValue::number(avg_edges));
+    doc.set("max_edges", JsonValue::number(static_cast<double>(max_edges)));
+    doc.set("tc", JsonValue::number(static_cast<double>(insertions)));
+    doc.set("deletions", JsonValue::number(static_cast<double>(deletions)));
+    return emit_json(args, doc);
+  }
+  std::printf("trace %s\n", trace_path.c_str());
+  std::printf("  n         %u\n", header.n);
+  std::printf("  rounds    %u\n", header.rounds);
+  std::printf("  seed      %s\n", checksum_hex(header.seed).c_str());
+  std::printf("  checksum  %s\n", checksum_hex(header.checksum).c_str());
+  std::printf("  edges     min=%zu avg=%.1f max=%zu\n", min_edges, avg_edges,
+              max_edges);
+  std::printf("  TC(E)     %llu insertions, %llu deletions\n",
+              static_cast<unsigned long long>(insertions),
+              static_cast<unsigned long long>(deletions));
+  std::printf("  metadata  %s\n",
+              header.metadata.empty() ? "(none)" : header.metadata.c_str());
+  return 0;
+}
+
+int cmd_gen(const CliArgs& args) {
+  args.allow_only(
+      {"out", "kind", "n", "rounds", "sigma", "churn", "edges", "seed", "base",
+       "flips"},
+      kTraceUsage);
+  const std::string out_path = args.get_string("out", "");
+  const std::string kind = args.get_string("kind", "sigma");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "trace gen requires --out=PATH\n");
+    return 2;
+  }
+  // Validate everything before open_trace_writer truncates --out: a typo'd
+  // kind must not destroy an existing trace file.
+  if (kind != "sigma" && kind != "churn" && kind != "fresh" && kind != "smoothed") {
+    std::fprintf(stderr, "--kind must be sigma, churn, fresh, or smoothed\n");
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  if (kind == "smoothed") {
+    const std::string base_path = args.get_string("base", "");
+    if (base_path.empty()) {
+      std::fprintf(stderr, "trace gen --kind=smoothed requires --base=PATH\n");
+      return 2;
+    }
+    SmoothedTraceConfig sc;
+    sc.flips_per_round = static_cast<std::size_t>(args.get_int("flips", 8));
+    sc.seed = seed;
+    const std::unique_ptr<TraceSource> base = open_trace_source(base_path);
+    const std::string metadata =
+        "kind=smoothed base=" + base_path +
+        " flips=" + std::to_string(sc.flips_per_round) +
+        " seed=" + std::to_string(seed);
+    std::unique_ptr<TraceWriter> writer =
+        open_trace_writer(out_path, base->header().n, seed, metadata);
+    smooth_trace(*base, sc, *writer);
+    writer->finish();
+    std::printf("smoothed %u rounds (%zu flips/round) -> %s (checksum=%s)\n",
+                writer->rounds(), sc.flips_per_round, out_path.c_str(),
+                checksum_hex(writer->checksum()).c_str());
+    return 0;
+  }
+
+  const auto n = static_cast<std::size_t>(args.get_int("n", 64));
+  const auto rounds = static_cast<Round>(args.get_int("rounds", 256));
+  const auto sigma = static_cast<Round>(args.get_int("sigma", 4));
+  const auto churn = static_cast<std::size_t>(
+      args.get_int("churn", static_cast<std::int64_t>(n)));
+  const auto edges = static_cast<std::size_t>(
+      args.get_int("edges", static_cast<std::int64_t>(3 * n)));
+  if (n < 2 || sigma < 1) {
+    std::fprintf(stderr, "--n >= 2 and --sigma >= 1 required\n");
+    return 2;
+  }
+  const std::string metadata =
+      "kind=" + kind + " n=" + std::to_string(n) + " rounds=" +
+      std::to_string(rounds) + " sigma=" + std::to_string(sigma) +
+      " churn=" + std::to_string(churn) + " edges=" + std::to_string(edges) +
+      " seed=" + std::to_string(seed);
+  std::unique_ptr<TraceWriter> writer =
+      open_trace_writer(out_path, static_cast<std::uint32_t>(n), seed, metadata);
+
+  if (kind == "sigma") {
+    SigmaStableChurnConfig sc;
+    sc.n = n;
+    sc.target_edges = edges;
+    sc.churn_per_interval = churn;
+    sc.sigma = sigma;
+    sc.seed = seed;
+    generate_sigma_churn_trace(sc, rounds, *writer);
+  } else {  // churn | fresh (validated above)
+    ChurnConfig cc;
+    cc.n = n;
+    cc.target_edges = edges;
+    cc.churn_per_round = churn;
+    cc.sigma = sigma;
+    cc.seed = seed;
+    cc.fresh_graph_each_round = kind == "fresh";
+    ChurnAdversary adversary(cc);
+    record_schedule(adversary, rounds, *writer);
+  }
+  writer->finish();
+  std::printf("generated %u rounds of '%s' -> %s (n=%zu, checksum=%s)\n",
+              writer->rounds(), kind.c_str(), out_path.c_str(), n,
+              checksum_hex(writer->checksum()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int trace_main(int argc, const char* const* argv) {
+  if (argc < 3) {
+    std::fputs(kTraceUsage, stderr);
+    return 2;
+  }
+  const std::string sub = argv[2];
+  std::vector<const char*> rest = {argv[0]};
+  for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
+  const CliArgs args(static_cast<int>(rest.size()), rest.data());
+
+  try {
+    if (sub == "record") return cmd_record(args);
+    if (sub == "replay") return cmd_replay(args);
+    if (sub == "info") return cmd_info(args);
+    if (sub == "gen") return cmd_gen(args);
+  } catch (const TraceError& e) {
+    std::fprintf(stderr, "trace error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown trace subcommand '%s'\n%s", sub.c_str(), kTraceUsage);
+  return 2;
+}
+
+}  // namespace dyngossip

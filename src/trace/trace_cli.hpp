@@ -1,0 +1,24 @@
+// The `dyngossip trace` subcommand family.
+//
+//   dyngossip trace record --out=T.dgt [--algo=..] [--n= --k= ..] [--json[=P]]
+//   dyngossip trace replay --trace=T.dgt [--algo=..] [--json[=P]]
+//   dyngossip trace info   --trace=T.dgt [--json[=P]]
+//   dyngossip trace gen    --out=T.dgt --kind=sigma|churn|fresh|smoothed ...
+//
+// record runs one paper algorithm against a live adversary while teeing the
+// schedule to a trace file; replay re-runs an algorithm against the recorded
+// schedule (bit-identical payload when the flags match the recorded run —
+// the flags are embedded in the trace metadata, so replay defaults to them);
+// info summarizes a trace without replaying a run; gen synthesizes traces
+// from the generator family (σ-stable churn, classic churn, fresh-graph,
+// smoothed perturbation of a base trace).  Trace files ending in ".jsonl"
+// use the text interchange codec; everything else is binary .dgt.
+#pragma once
+
+namespace dyngossip {
+
+/// Entry point for `dyngossip trace ...` (argv[1] == "trace").  Returns a
+/// process exit code (0 ok, 1 failed check, 2 usage error).
+int trace_main(int argc, const char* const* argv);
+
+}  // namespace dyngossip

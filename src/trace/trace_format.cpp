@@ -1,0 +1,21 @@
+#include "trace/trace_format.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace dyngossip {
+
+void TraceChecksum::fold(std::uint64_t x) noexcept {
+  std::uint64_t mixed = state_ ^ x;
+  state_ = splitmix64(mixed);
+}
+
+std::string checksum_hex(std::uint64_t checksum) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return buf;
+}
+
+}  // namespace dyngossip

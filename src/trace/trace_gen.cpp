@@ -1,0 +1,45 @@
+#include "trace/trace_gen.hpp"
+
+#include "common/check.hpp"
+#include "graph/connectivity.hpp"
+
+namespace dyngossip {
+
+void record_schedule(ObliviousAdversary& adversary, Round rounds, TraceWriter& out) {
+  DG_CHECK(adversary.num_nodes() == out.num_nodes());
+  for (Round r = 1; r <= rounds; ++r) {
+    BroadcastRoundView view;
+    view.round = r;
+    out.append_round(adversary.broadcast_round(view));
+  }
+}
+
+void generate_sigma_churn_trace(const SigmaStableChurnConfig& cfg, Round rounds,
+                                TraceWriter& out) {
+  SigmaStableChurnAdversary adversary(cfg);
+  record_schedule(adversary, rounds, out);
+}
+
+void smooth_trace(TraceSource& base, const SmoothedTraceConfig& cfg,
+                  TraceWriter& out) {
+  const std::size_t n = base.header().n;
+  DG_CHECK(n == out.num_nodes());
+  Rng rng(cfg.seed);
+  Graph base_graph(n);
+  Graph perturbed(n);
+  while (base.next_round(base_graph)) {
+    perturbed = base_graph;
+    if (n >= 2) {
+      for (std::size_t i = 0; i < cfg.flips_per_round; ++i) {
+        const auto u = static_cast<NodeId>(rng.next_below(n));
+        auto v = static_cast<NodeId>(rng.next_below(n - 1));
+        if (v >= u) ++v;
+        if (!perturbed.add_edge(u, v)) perturbed.remove_edge(u, v);
+      }
+      connect_components(perturbed, rng);
+    }
+    out.append_round(perturbed);
+  }
+}
+
+}  // namespace dyngossip

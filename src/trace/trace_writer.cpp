@@ -1,0 +1,295 @@
+#include "trace/trace_writer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/runner/json.hpp"
+
+namespace dyngossip {
+
+namespace {
+
+void append_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xff));
+  buf.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void append_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void append_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void append_varint(std::string& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf.push_back(static_cast<char>(v));
+}
+
+/// Appends a sorted key list as absolute-first, delta-rest varints.
+void append_key_list(std::string& buf, std::span<const EdgeKey> keys) {
+  EdgeKey prev = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    append_varint(buf, i == 0 ? keys[i] : keys[i] - prev);
+    prev = keys[i];
+  }
+}
+
+void check_writable(const std::ostream& out) {
+  if (!out.good()) throw TraceError("trace write failed (stream error)");
+}
+
+}  // namespace
+
+void TraceWriter::append_round(const Graph& g) {
+  DG_CHECK(g.num_nodes() == n_);
+  cur_edges_.clear();
+  g.for_each_edge([this](EdgeKey key) { cur_edges_.push_back(key); });
+  std::sort(cur_edges_.begin(), cur_edges_.end());
+
+  ins_scratch_.clear();
+  del_scratch_.clear();
+  std::set_difference(cur_edges_.begin(), cur_edges_.end(), prev_edges_.begin(),
+                      prev_edges_.end(), std::back_inserter(ins_scratch_));
+  std::set_difference(prev_edges_.begin(), prev_edges_.end(), cur_edges_.begin(),
+                      cur_edges_.end(), std::back_inserter(del_scratch_));
+  // The diff already produced the new edge set; no re-merge needed.
+  std::swap(prev_edges_, cur_edges_);
+  commit_delta(ins_scratch_, del_scratch_);
+}
+
+void TraceWriter::append_delta(std::span<const EdgeKey> insertions,
+                               std::span<const EdgeKey> removals) {
+  // Validate and apply the delta to the running edge set: removals must be
+  // live, insertions absent, both sorted ascending with endpoints below n.
+  auto validate = [this](std::span<const EdgeKey> keys) {
+    EdgeKey prev = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      DG_CHECK(i == 0 || keys[i] > prev);
+      const auto [lo, hi] = edge_endpoints(keys[i]);
+      DG_CHECK(lo < hi && hi < n_);
+      prev = keys[i];
+    }
+  };
+  validate(insertions);
+  validate(removals);
+
+  // Merge prev - removals + insertions into cur (all three sorted).
+  cur_edges_.clear();
+  std::size_t d = 0;
+  std::size_t a = 0;
+  for (const EdgeKey live : prev_edges_) {
+    while (a < insertions.size() && insertions[a] < live) {
+      cur_edges_.push_back(insertions[a++]);
+    }
+    if (d < removals.size() && removals[d] == live) {
+      ++d;
+      continue;
+    }
+    DG_CHECK(a >= insertions.size() || insertions[a] != live);
+    cur_edges_.push_back(live);
+  }
+  while (a < insertions.size()) cur_edges_.push_back(insertions[a++]);
+  DG_CHECK(d == removals.size() && "removal of an edge not in the trace");
+  std::swap(prev_edges_, cur_edges_);
+
+  commit_delta(insertions, removals);
+}
+
+void TraceWriter::commit_delta(std::span<const EdgeKey> insertions,
+                               std::span<const EdgeKey> removals) {
+  DG_CHECK(!finished_ && "append after finish()");
+  DG_CHECK(rounds_ < trace_format::kUnfinishedRounds - 1);
+  ++rounds_;
+  checksum_.fold_round(rounds_, insertions.size(), removals.size());
+  for (const EdgeKey key : insertions) checksum_.fold(key);
+  for (const EdgeKey key : removals) checksum_.fold(key);
+  write_block(insertions, removals);
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  write_trailer();
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out, std::uint32_t n,
+                                     std::uint64_t seed, std::string metadata)
+    : TraceWriter(n, seed, std::move(metadata)), out_(&out) {
+  write_header();
+}
+
+BinaryTraceWriter::BinaryTraceWriter(std::unique_ptr<std::ofstream> file,
+                                     std::uint32_t n, std::uint64_t seed,
+                                     std::string metadata)
+    : TraceWriter(n, seed, std::move(metadata)),
+      owned_(std::move(file)),
+      out_(owned_.get()) {
+  write_header();
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  try {
+    finish();
+  } catch (...) {  // a dtor must not throw; explicit finish() reports errors
+  }
+}
+
+void BinaryTraceWriter::write_header() {
+  DG_CHECK(metadata_.size() <= trace_format::kMaxMetadataBytes);
+  std::string header;
+  header.append(trace_format::kMagic, sizeof(trace_format::kMagic));
+  append_u16(header, trace_format::kVersion);
+  append_u16(header, 0);  // reserved
+  append_u32(header, n_);
+  append_u32(header, trace_format::kUnfinishedRounds);
+  append_u64(header, seed_);
+  append_u64(header, 0);  // checksum placeholder
+  append_u32(header, static_cast<std::uint32_t>(metadata_.size()));
+  header += metadata_;
+  out_->write(header.data(), static_cast<std::streamsize>(header.size()));
+  check_writable(*out_);
+}
+
+void BinaryTraceWriter::write_block(std::span<const EdgeKey> insertions,
+                                    std::span<const EdgeKey> removals) {
+  block_scratch_.clear();
+  append_varint(block_scratch_, insertions.size());
+  append_varint(block_scratch_, removals.size());
+  append_key_list(block_scratch_, insertions);
+  append_key_list(block_scratch_, removals);
+  out_->write(block_scratch_.data(),
+              static_cast<std::streamsize>(block_scratch_.size()));
+  check_writable(*out_);
+}
+
+void BinaryTraceWriter::write_trailer() {
+  out_->write(trace_format::kEndMagic, sizeof(trace_format::kEndMagic));
+  check_writable(*out_);
+  const std::ostream::pos_type end = out_->tellp();
+
+  std::string patch;
+  append_u32(patch, rounds());
+  out_->seekp(static_cast<std::ostream::off_type>(trace_format::kRoundsOffset),
+              std::ios::beg);
+  out_->write(patch.data(), static_cast<std::streamsize>(patch.size()));
+
+  patch.clear();
+  append_u64(patch, checksum());
+  out_->seekp(static_cast<std::ostream::off_type>(trace_format::kChecksumOffset),
+              std::ios::beg);
+  out_->write(patch.data(), static_cast<std::streamsize>(patch.size()));
+
+  out_->seekp(end);
+  out_->flush();
+  check_writable(*out_);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL codec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+JsonValue edge_pairs(std::span<const EdgeKey> keys) {
+  JsonValue list = JsonValue::array();
+  for (const EdgeKey key : keys) {
+    const auto [lo, hi] = edge_endpoints(key);
+    JsonValue pair = JsonValue::array();
+    pair.push(JsonValue::number(static_cast<double>(lo)));
+    pair.push(JsonValue::number(static_cast<double>(hi)));
+    list.push(std::move(pair));
+  }
+  return list;
+}
+
+}  // namespace
+
+JsonlTraceWriter::JsonlTraceWriter(std::ostream& out, std::uint32_t n,
+                                   std::uint64_t seed, std::string metadata)
+    : TraceWriter(n, seed, std::move(metadata)), out_(&out) {
+  write_header();
+}
+
+JsonlTraceWriter::JsonlTraceWriter(std::unique_ptr<std::ofstream> file,
+                                   std::uint32_t n, std::uint64_t seed,
+                                   std::string metadata)
+    : TraceWriter(n, seed, std::move(metadata)),
+      owned_(std::move(file)),
+      out_(owned_.get()) {
+  write_header();
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+  }
+}
+
+void JsonlTraceWriter::write_header() {
+  JsonValue header = JsonValue::object();
+  header.set("dgt", JsonValue::number(trace_format::kVersion));
+  header.set("n", JsonValue::number(static_cast<double>(n_)));
+  header.set("seed", JsonValue::str(checksum_hex(seed_)));
+  header.set("metadata", JsonValue::str(metadata_));
+  *out_ << header.dump() << "\n";
+  check_writable(*out_);
+}
+
+void JsonlTraceWriter::write_block(std::span<const EdgeKey> insertions,
+                                   std::span<const EdgeKey> removals) {
+  JsonValue line = JsonValue::object();
+  line.set("r", JsonValue::number(static_cast<double>(rounds())));
+  line.set("ins", edge_pairs(insertions));
+  line.set("del", edge_pairs(removals));
+  *out_ << line.dump() << "\n";
+  check_writable(*out_);
+}
+
+void JsonlTraceWriter::write_trailer() {
+  JsonValue line = JsonValue::object();
+  line.set("end", JsonValue::boolean(true));
+  line.set("rounds", JsonValue::number(static_cast<double>(rounds())));
+  line.set("checksum", JsonValue::str(checksum_hex(checksum())));
+  *out_ << line.dump() << "\n";
+  out_->flush();
+  check_writable(*out_);
+}
+
+// ---------------------------------------------------------------------------
+// File factory
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<TraceWriter> open_trace_writer(const std::string& path,
+                                               std::uint32_t n, std::uint64_t seed,
+                                               std::string metadata) {
+  auto file = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc | std::ios::out);
+  if (!*file) throw TraceError("cannot open trace file for writing: " + path);
+  if (has_suffix(path, ".jsonl")) {
+    return std::make_unique<JsonlTraceWriter>(std::move(file), n, seed,
+                                              std::move(metadata));
+  }
+  return std::make_unique<BinaryTraceWriter>(std::move(file), n, seed,
+                                             std::move(metadata));
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,142 @@
+// Streaming trace writers (binary .dgt and JSONL interchange).
+//
+// A writer receives round graphs (or pre-computed deltas) one at a time and
+// never holds more than the previous round's sorted edge list, so recording
+// a 10⁵-round schedule costs O(max_r |E_r|) memory.  finish() seals the
+// trace — the binary codec patches the round count and checksum into the
+// header, the JSONL codec appends a trailer line — and further appends are
+// rejected.  Destroying an unfinished writer finishes it.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "trace/trace_format.hpp"
+
+namespace dyngossip {
+
+/// Base streaming writer: owns the graph-to-delta diffing; codecs implement
+/// the block encoding.
+class TraceWriter {
+ public:
+  virtual ~TraceWriter() = default;
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends round (rounds_written()+1) as the delta from the previously
+  /// appended graph (the first round diffs against the empty graph G_0).
+  /// The graph must stay on n = header n nodes.
+  void append_round(const Graph& g);
+
+  /// Appends a pre-computed delta; both lists must be sorted ascending and
+  /// disjoint, with every key's endpoints below n.  Callers that stream
+  /// deltas (trace-to-trace transforms) use this to skip the diff.
+  void append_delta(std::span<const EdgeKey> insertions,
+                    std::span<const EdgeKey> removals);
+
+  /// Seals the trace (idempotent).  No appends afterwards.
+  void finish();
+
+  /// Rounds appended so far.
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return rounds_; }
+
+  /// Delta-stream checksum folded so far (final once finish() ran).
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_.value(); }
+
+  /// Node count this trace is over.
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return n_; }
+
+ protected:
+  TraceWriter(std::uint32_t n, std::uint64_t seed, std::string metadata)
+      : n_(n), seed_(seed), metadata_(std::move(metadata)) {}
+
+  /// Codec hook: encodes one round block (lists sorted, validated).
+  virtual void write_block(std::span<const EdgeKey> insertions,
+                           std::span<const EdgeKey> removals) = 0;
+
+  /// Codec hook: seals the underlying stream.
+  virtual void write_trailer() = 0;
+
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  std::string metadata_;
+
+ private:
+  /// Folds the checksum and emits the block (round bookkeeping shared by
+  /// both append paths; prev_edges_ must already reflect the new round).
+  void commit_delta(std::span<const EdgeKey> insertions,
+                    std::span<const EdgeKey> removals);
+
+  std::uint32_t rounds_ = 0;
+  bool finished_ = false;
+  TraceChecksum checksum_;
+  std::vector<EdgeKey> prev_edges_;  ///< sorted edges of the last round
+  std::vector<EdgeKey> cur_edges_;   ///< diff scratch
+  std::vector<EdgeKey> ins_scratch_;
+  std::vector<EdgeKey> del_scratch_;
+};
+
+/// Binary .dgt codec over a seekable stream (rounds/checksum are patched
+/// into the header by finish()).
+class BinaryTraceWriter final : public TraceWriter {
+ public:
+  /// Writes the header to `out` immediately; the stream must outlive the
+  /// writer and support seekp (files and stringstreams both do).
+  BinaryTraceWriter(std::ostream& out, std::uint32_t n, std::uint64_t seed,
+                    std::string metadata);
+  /// File-owning variant (used by open_trace_writer).
+  BinaryTraceWriter(std::unique_ptr<std::ofstream> file, std::uint32_t n,
+                    std::uint64_t seed, std::string metadata);
+  ~BinaryTraceWriter() override;
+
+ protected:
+  void write_block(std::span<const EdgeKey> insertions,
+                   std::span<const EdgeKey> removals) override;
+  void write_trailer() override;
+
+ private:
+  void write_header();
+
+  std::unique_ptr<std::ofstream> owned_;  ///< set by the file ctor only
+  std::ostream* out_;
+  std::string block_scratch_;
+};
+
+/// JSONL codec: header object line, one {"r", "ins", "del"} line per round,
+/// {"end"} trailer line.  Append-only (no seeks), diffable, greppable.
+class JsonlTraceWriter final : public TraceWriter {
+ public:
+  JsonlTraceWriter(std::ostream& out, std::uint32_t n, std::uint64_t seed,
+                   std::string metadata);
+  JsonlTraceWriter(std::unique_ptr<std::ofstream> file, std::uint32_t n,
+                   std::uint64_t seed, std::string metadata);
+  ~JsonlTraceWriter() override;
+
+ protected:
+  void write_block(std::span<const EdgeKey> insertions,
+                   std::span<const EdgeKey> removals) override;
+  void write_trailer() override;
+
+ private:
+  void write_header();
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+};
+
+/// Opens a file-backed writer, choosing the codec by extension: ".jsonl"
+/// writes the text codec, anything else the binary codec.  Throws TraceError
+/// when the file cannot be created.
+[[nodiscard]] std::unique_ptr<TraceWriter> open_trace_writer(const std::string& path,
+                                                             std::uint32_t n,
+                                                             std::uint64_t seed,
+                                                             std::string metadata);
+
+}  // namespace dyngossip

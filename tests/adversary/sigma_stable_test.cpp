@@ -1,0 +1,143 @@
+// Tests for the σ-interval-stable high-churn adversary.
+#include "adversary/sigma_stable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/connectivity.hpp"
+#include "graph/dynamic_tracker.hpp"
+
+namespace dyngossip {
+namespace {
+
+SigmaStableChurnConfig base_config() {
+  SigmaStableChurnConfig cfg;
+  cfg.n = 24;
+  cfg.target_edges = 60;
+  cfg.churn_per_interval = 60;  // full rewire budget every boundary
+  cfg.sigma = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(SigmaStable, AlwaysConnected) {
+  SigmaStableChurnAdversary adversary(base_config());
+  UnicastRoundView v;
+  for (Round r = 1; r <= 200; ++r) {
+    v.round = r;
+    EXPECT_TRUE(is_connected(adversary.unicast_round(v))) << "round " << r;
+  }
+}
+
+TEST(SigmaStable, GraphFrozenWithinIntervals) {
+  SigmaStableChurnAdversary adversary(base_config());
+  UnicastRoundView v;
+  std::vector<EdgeKey> interval_edges;
+  for (Round r = 1; r <= 120; ++r) {
+    v.round = r;
+    const std::vector<EdgeKey> edges = adversary.unicast_round(v).sorted_edges();
+    if ((r - 1) % 4 == 0) {
+      interval_edges = edges;
+    } else {
+      EXPECT_EQ(edges, interval_edges) << "round " << r << " changed mid-interval";
+    }
+  }
+}
+
+TEST(SigmaStable, EveryEdgeSurvivesAtLeastSigmaRounds) {
+  const SigmaStableChurnConfig cfg = base_config();
+  SigmaStableChurnAdversary adversary(cfg);
+  UnicastRoundView v;
+  std::map<EdgeKey, Round> inserted_at;
+  std::vector<EdgeKey> prev;
+  for (Round r = 1; r <= 240; ++r) {
+    v.round = r;
+    const std::vector<EdgeKey> cur = adversary.unicast_round(v).sorted_edges();
+    // Edges in prev but not cur disappeared at round r; they must have been
+    // present for >= sigma rounds (inserted at r0, present r0..r-1).
+    std::size_t p = 0, c = 0;
+    while (p < prev.size()) {
+      while (c < cur.size() && cur[c] < prev[p]) ++c;
+      if (c >= cur.size() || cur[c] != prev[p]) {
+        const Round r0 = inserted_at.at(prev[p]);
+        EXPECT_GE(r - r0, cfg.sigma)
+            << "edge lived only " << (r - r0) << " rounds (round " << r << ")";
+        inserted_at.erase(prev[p]);
+      }
+      ++p;
+    }
+    for (const EdgeKey key : cur) {
+      if (inserted_at.find(key) == inserted_at.end()) inserted_at[key] = r;
+    }
+    prev = cur;
+  }
+}
+
+TEST(SigmaStable, HighChurnActuallyTurnsOverTheEdgeSet) {
+  SigmaStableChurnAdversary adversary(base_config());
+  DynamicGraphTracker tracker(24);
+  UnicastRoundView v;
+  for (Round r = 1; r <= 80; ++r) {
+    v.round = r;
+    tracker.advance(adversary.unicast_round(v), r);
+  }
+  // 80 rounds = 19 rewires with a full-edge-set budget: most of the ~60-edge
+  // graph is replaced at every boundary.
+  EXPECT_GT(tracker.deletions(), 500u);
+  EXPECT_GT(tracker.topological_changes(), 500u);
+}
+
+TEST(SigmaStable, DeterministicAndOblivious) {
+  SigmaStableChurnAdversary a(base_config()), b(base_config());
+  std::vector<DynamicBitset> knowledge(24, DynamicBitset(4, true));
+  for (Round r = 1; r <= 60; ++r) {
+    UnicastRoundView va;
+    va.round = r;
+    UnicastRoundView vb;
+    vb.round = r;
+    vb.knowledge = &knowledge;
+    EXPECT_EQ(a.unicast_round(va).sorted_edges(), b.unicast_round(vb).sorted_edges());
+  }
+}
+
+TEST(SigmaStable, EdgeCountHoldsAtTarget) {
+  SigmaStableChurnAdversary adversary(base_config());
+  UnicastRoundView v;
+  for (Round r = 1; r <= 60; ++r) {
+    v.round = r;
+    EXPECT_GE(adversary.unicast_round(v).num_edges(), 60u);
+  }
+}
+
+TEST(SigmaStable, SigmaOneDegeneratesToPerRoundRewiring) {
+  SigmaStableChurnConfig cfg = base_config();
+  cfg.sigma = 1;
+  SigmaStableChurnAdversary adversary(cfg);
+  DynamicGraphTracker tracker(24);
+  UnicastRoundView v;
+  for (Round r = 1; r <= 40; ++r) {
+    v.round = r;
+    const Graph& g = adversary.unicast_round(v);
+    EXPECT_TRUE(is_connected(g));
+    tracker.advance(g, r);
+  }
+  EXPECT_GT(tracker.deletions(), 500u);  // every round rewires
+}
+
+TEST(SigmaStable, TargetBelowTreeIsRaised) {
+  SigmaStableChurnConfig cfg;
+  cfg.n = 10;
+  cfg.target_edges = 3;  // a connected graph needs >= 9
+  cfg.sigma = 2;
+  cfg.seed = 1;
+  SigmaStableChurnAdversary adversary(cfg);
+  UnicastRoundView v;
+  v.round = 1;
+  const Graph& g = adversary.unicast_round(v);
+  EXPECT_GE(g.num_edges(), 9u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace dyngossip

@@ -45,6 +45,38 @@ TEST(Summary, EmptySample) {
   const Summary s = Summary::of({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.checksum, 0u);
+}
+
+TEST(Summary, ChecksumIdentifiesTheSample) {
+  const Summary a = Summary::of({1.0, 2.0, 3.0});
+  const Summary b = Summary::of({1.0, 2.0, 3.0});
+  EXPECT_NE(a.checksum, 0u);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_NE(Summary::of({1.0, 2.0, 3.5}).checksum, a.checksum);
+}
+
+TEST(Summary, ChecksumIsOrderSensitive) {
+  // A parallel sweep that wrote trial results into the wrong slots has the
+  // same sorted statistics but must not summarize identical.
+  const Summary forward = Summary::of({1.0, 2.0, 3.0});
+  const Summary shuffled = Summary::of({3.0, 1.0, 2.0});
+  EXPECT_EQ(forward.mean, shuffled.mean);
+  EXPECT_EQ(forward.median, shuffled.median);
+  EXPECT_NE(forward.checksum, shuffled.checksum);
+}
+
+TEST(Summary, ChecksumSeparatesBitPatternsMeanCannotSee) {
+  // -0.0 folds in as a distinct bit pattern even though it compares == 0.0.
+  EXPECT_NE(Summary::of({0.0, 1.0}).checksum, Summary::of({-0.0, 1.0}).checksum);
+}
+
+TEST(Summary, ChecksumDoesNotCancelPairedSignFlips) {
+  // Chaining on SplitMix64's additive internal state (instead of the mixed
+  // output) would let an even number of sign-bit flips cancel: XOR of bit
+  // 63 commutes with 64-bit addition.  Regression for exactly that bug.
+  EXPECT_NE(Summary::of({1.0, 2.0, 3.0}).checksum,
+            Summary::of({-1.0, -2.0, 3.0}).checksum);
 }
 
 TEST(Summary, ToStringFormat) {

@@ -40,9 +40,12 @@ TEST(DemoRegistry, RegisterAllDemosInstallsCatalogueIdempotently) {
   DemoRegistry registry;
   register_all_demos(registry);
   const std::size_t installed = registry.size();
-  EXPECT_GE(installed, 2u);
-  EXPECT_NE(registry.find("quickstart"), nullptr);
-  EXPECT_NE(registry.find("sensor_flood"), nullptr);
+  EXPECT_EQ(installed, 6u);  // every former standalone example is a demo now
+  for (const char* name :
+       {"quickstart", "sensor_flood", "adversarial_showdown", "competitive_budget",
+        "learning_curves", "p2p_churn_gossip"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
   register_all_demos(registry);  // idempotent
   EXPECT_EQ(registry.size(), installed);
 }

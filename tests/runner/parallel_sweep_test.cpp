@@ -13,8 +13,11 @@
 namespace dyngossip {
 namespace {
 
-// Exact (bitwise) equality on every Summary field.
+// Exact (bitwise) equality on every Summary field.  The checksum alone is
+// the load-bearing check — it folds every raw sample in trial order — and
+// the statistic fields double-check Summary::of itself.
 void expect_identical(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.checksum, b.checksum);
   EXPECT_EQ(a.count, b.count);
   EXPECT_EQ(a.mean, b.mean);
   EXPECT_EQ(a.stddev, b.stddev);
