@@ -30,7 +30,7 @@ namespace dyngossip {
 /// (new > idle > contributive) is what makes Lemma 3.2 tick: in a futile
 /// round every bridge node spends a request on an idle edge, forcing the
 /// adversary to delete idle edges it already paid for.  The alternatives
-/// exist for ablation benches (bench_ablations).
+/// exist for the ablations scenario.
 enum class RequestPriority : std::uint8_t {
   kPaper = 0,       ///< new > idle > contributive (Algorithm 1)
   kReversed = 1,    ///< new > contributive > idle

@@ -12,8 +12,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "adversary/lb_adversary.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
 #include "common/mathx.hpp"
 #include "common/table.hpp"
@@ -39,12 +41,19 @@ int run(const CliArgs& args) {
   std::vector<DynamicBitset> init(n, DynamicBitset(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
 
-  LbAdversaryConfig cfg;
-  cfg.n = n;
-  cfg.k = k;
-  cfg.seed = seed + 1;
-  cfg.record_series = true;
-  LowerBoundAdversary adversary(cfg, init);
+  AdversarySpec spec{"lb", {}};
+  spec.set("series", "true");
+  AdversaryBuildContext bctx;
+  bctx.n = n;
+  bctx.seed = seed + 1;
+  bctx.k = k;
+  bctx.initial_knowledge = &init;
+  const std::unique_ptr<Adversary> built =
+      AdversaryRegistry::global().build(spec, bctx);
+  // The demo narrates the adversary's internals; the lb family is
+  // guaranteed to build a LowerBoundAdversary, whose instrumentation
+  // accessors live below the Adversary interface.
+  auto& adversary = dynamic_cast<LowerBoundAdversary&>(*built);
 
   std::printf("n=%zu k=%zu   Φ(0)=%llu of max %zu (budget 0.8nk=%zu)\n",
               n, k, static_cast<unsigned long long>(adversary.initial_potential()),

@@ -15,15 +15,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <vector>
 
-#include "adversary/churn.hpp"
-#include "adversary/request_cutter.hpp"
-#include "adversary/sigma_stable.hpp"
-#include "adversary/static_adversary.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "demos/demos.hpp"
-#include "graph/generators.hpp"
 #include "sim/bounds.hpp"
 #include "sim/simulator.hpp"
 
@@ -54,68 +52,60 @@ int run(const CliArgs& args) {
                    std::to_string(r.rounds)});
   };
 
+  // The whole ladder of hostility is one list of registry specs — exactly
+  // the strings `dyngossip run ... --adversary=` accepts.
+  const auto edges = static_cast<std::uint64_t>(3 * n);
+  struct Rung {
+    const char* name;
+    AdversarySpec spec;
+    std::uint64_t seed;
+    Round horizon;  ///< 0: the shared cap
+  };
+  std::vector<Rung> ladder;
   {
-    Rng g(seed);
-    StaticAdversary adversary(connected_erdos_renyi(n, 0.15, g));
-    report("static (no changes)", run_single_source(n, k, 0, adversary, cap));
+    AdversarySpec s{"static", {}};
+    s.set("graph", "gnp").set("p", 0.15);
+    ladder.push_back({"static (no changes)", s, seed, 0});
   }
   {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.churn_per_round = n / 16;
-    cc.sigma = 3;
-    cc.seed = seed + 1;
-    ChurnAdversary adversary(cc);
-    report("gentle churn", run_single_source(n, k, 0, adversary, cap));
+    AdversarySpec s{"churn", {}};
+    s.set("edges", edges).set("churn", static_cast<std::uint64_t>(n / 16))
+        .set("sigma", static_cast<std::uint64_t>(3));
+    ladder.push_back({"gentle churn", s, seed + 1, 0});
   }
   {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.churn_per_round = n;
-    cc.seed = seed + 2;
-    ChurnAdversary adversary(cc);
-    report("heavy churn", run_single_source(n, k, 0, adversary, cap));
+    AdversarySpec s{"churn", {}};
+    s.set("edges", edges).set("churn", static_cast<std::uint64_t>(n));
+    ladder.push_back({"heavy churn", s, seed + 2, 0});
   }
   {
-    SigmaStableChurnConfig sc;
-    sc.n = n;
-    sc.target_edges = 3 * n;
-    sc.churn_per_interval = 3 * n;
-    sc.sigma = 4;
-    sc.seed = seed + 6;
-    SigmaStableChurnAdversary adversary(sc);
-    report("sigma-stable full rewire", run_single_source(n, k, 0, adversary, cap));
+    AdversarySpec s{"sigma", {}};
+    s.set("edges", edges).set("churn", edges)
+        .set("interval", static_cast<std::uint64_t>(4));
+    ladder.push_back({"sigma-stable full rewire", s, seed + 6, 0});
   }
   {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.fresh_graph_each_round = true;
-    cc.seed = seed + 3;
-    ChurnAdversary adversary(cc);
-    report("fresh graph each round", run_single_source(n, k, 0, adversary, cap));
+    AdversarySpec s{"fresh", {}};
+    s.set("edges", edges);
+    ladder.push_back({"fresh graph each round", s, seed + 3, 0});
   }
   {
-    RequestCutterConfig rc;
-    rc.n = n;
-    rc.target_edges = 3 * n;
-    rc.cut_probability = 0.8;
-    rc.seed = seed + 4;
-    RequestCutterAdversary adversary(rc);
-    report("request cutter p=0.8", run_single_source(n, k, 0, adversary, cap));
+    AdversarySpec s{"cutter", {}};
+    s.set("p", 0.8).set("edges", edges);
+    ladder.push_back({"request cutter p=0.8", s, seed + 4, 0});
   }
   {
-    RequestCutterConfig rc;
-    rc.n = n;
-    rc.target_edges = 3 * n;
-    rc.cut_probability = 1.0;
-    rc.seed = seed + 5;
-    RequestCutterAdversary adversary(rc);
+    AdversarySpec s{"cutter", {}};
+    s.set("p", 1.0).set("edges", edges);
     // Never completes: evaluate the ledger on a fixed horizon.
-    report("request cutter p=1.0",
-           run_single_source(n, k, 0, adversary, static_cast<Round>(100 * n)));
+    ladder.push_back(
+        {"request cutter p=1.0", s, seed + 5, static_cast<Round>(100 * n)});
+  }
+  for (const Rung& rung : ladder) {
+    const std::unique_ptr<Adversary> adversary =
+        build_adversary(rung.spec, n, rung.seed);
+    report(rung.name, run_single_source(n, k, 0, *adversary,
+                                        rung.horizon > 0 ? rung.horizon : cap));
   }
   table.print(std::cout);
 

@@ -10,11 +10,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
-#include "adversary/churn.hpp"
-#include "adversary/patterns.hpp"
-#include "adversary/request_cutter.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
 #include "core/single_source.hpp"
 #include "demos/demos.hpp"
@@ -57,27 +56,23 @@ int run(const CliArgs& args) {
 
   std::printf("Single-Source-Unicast, n=%zu k=%u — per-round progress CSVs\n\n", n, k);
   {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.churn_per_round = n / 8;
-    cc.sigma = 3;
-    cc.seed = seed;
-    ChurnAdversary adversary(cc);
-    run_one("churn", n, k, adversary, outdir);
+    AdversarySpec spec{"churn", {}};
+    spec.set("edges", static_cast<std::uint64_t>(3 * n))
+        .set("churn", static_cast<std::uint64_t>(n / 8))
+        .set("sigma", static_cast<std::uint64_t>(3));
+    const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed);
+    run_one("churn", n, k, *adversary, outdir);
   }
   {
-    RotatingStarAdversary adversary(n, seed + 1);
-    run_one("rotating_star", n, k, adversary, outdir);
+    const std::unique_ptr<Adversary> adversary =
+        build_adversary(AdversarySpec{"star", {}}, n, seed + 1);
+    run_one("rotating_star", n, k, *adversary, outdir);
   }
   {
-    RequestCutterConfig rc;
-    rc.n = n;
-    rc.target_edges = 3 * n;
-    rc.cut_probability = 0.6;
-    rc.seed = seed + 2;
-    RequestCutterAdversary adversary(rc);
-    run_one("cutter", n, k, adversary, outdir);
+    AdversarySpec spec{"cutter", {}};
+    spec.set("p", 0.6).set("edges", static_cast<std::uint64_t>(3 * n));
+    const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed + 2);
+    run_one("cutter", n, k, *adversary, outdir);
   }
   std::printf("\nPlot with e.g.: gnuplot -e \"set datafile separator ','; "
               "plot 'curve_churn.csv' using 1:3 with lines\"\n");

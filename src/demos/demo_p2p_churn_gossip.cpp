@@ -12,8 +12,9 @@
 //   dyngossip demo p2p_churn_gossip [--n=96] [--updates=2] [--seed=11]
 
 #include <cstdio>
+#include <memory>
 
-#include "adversary/churn.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "demos/demos.hpp"
@@ -40,33 +41,32 @@ int run(const CliArgs& args) {
   const auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
   const std::uint64_t k = space->total_tokens();
 
-  auto overlay = [&](std::uint64_t s) {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 4 * n;           // sparse overlay: average degree 8
-    cc.churn_per_round = n / 10;       // ~10% of peers rewire per round
-    cc.sigma = 3;                      // links live >= 3 rounds (TCP-ish)
-    cc.seed = s;
-    return cc;
+  auto overlay = [&] {
+    AdversarySpec spec{"churn", {}};
+    spec.set("edges", static_cast<std::uint64_t>(4 * n))  // avg degree 8
+        .set("churn", static_cast<std::uint64_t>(n / 10))  // ~10% rewire/round
+        .set("sigma", static_cast<std::uint64_t>(3));  // links live >= 3 rounds
+    return spec;
   };
 
   std::printf("P2P overlay: %zu peers x %u updates = %llu tokens, avg degree 8, "
               "%zu links rewired per round\n\n",
               n, updates, static_cast<unsigned long long>(k), n / 10);
 
-  ChurnAdversary direct_net(overlay(seed));
+  const std::unique_ptr<Adversary> direct_net = build_adversary(overlay(), n, seed);
   const RunResult direct =
-      run_multi_source(n, space, direct_net, static_cast<Round>(400 * n * k));
+      run_multi_source(n, space, *direct_net, static_cast<Round>(400 * n * k));
   std::printf("[direct multi-source gossip]\n%s\n",
               run_summary(direct.metrics, k).c_str());
 
-  ChurnAdversary funnel_net(overlay(seed));  // identical network evolution
+  // Same spec + seed: identical network evolution.
+  const std::unique_ptr<Adversary> funnel_net = build_adversary(overlay(), n, seed);
   ObliviousMsOptions opts;
   opts.seed = seed + 1;
   opts.force_phase1 = true;
   opts.f_override = std::max<std::size_t>(2, n / 8);  // super-peer count
   const ObliviousMsResult funnel =
-      run_oblivious_multi_source(n, space, funnel_net, opts);
+      run_oblivious_multi_source(n, space, *funnel_net, opts);
   std::printf("[random-walk funnel through %zu super-peers (Algorithm 2)]\n%s\n",
               funnel.num_centers, run_summary(funnel.total, k).c_str());
   std::printf("phase 1: %u rounds, %llu walk messages; phase 2: %u rounds\n",

@@ -7,10 +7,11 @@
 //   dyngossip demo quickstart [--n=64] [--k=128] [--seed=7]
 
 #include <cstdio>
+#include <memory>
 
-#include "adversary/churn.hpp"
-#include "adversary/lb_adversary.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "core/tokens.hpp"
 #include "demos/demos.hpp"
 #include "metrics/report.hpp"
@@ -33,14 +34,12 @@ int run(const CliArgs& args) {
 
   // --- 1. Single-Source-Unicast (Algorithm 1) on a churning network -------
   {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.churn_per_round = n / 8;
-    cc.sigma = 3;  // Theorem 3.4's stability assumption
-    cc.seed = seed;
-    ChurnAdversary adversary(cc);
-    const RunResult r = run_single_source(n, k, /*source=*/0, adversary, cap);
+    AdversarySpec spec{"churn", {}};
+    spec.set("edges", static_cast<std::uint64_t>(3 * n))
+        .set("churn", static_cast<std::uint64_t>(n / 8))
+        .set("sigma", static_cast<std::uint64_t>(3));  // Thm 3.4's stability
+    const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed);
+    const RunResult r = run_single_source(n, k, /*source=*/0, *adversary, cap);
     std::printf("[1] Single-Source-Unicast vs 3-stable churn (Thm 3.1/3.4)\n%s",
                 run_summary(r.metrics, k).c_str());
     std::printf("    paper bound n^2+nk = %.0f, O(nk) round bound = %.0f\n\n",
@@ -57,14 +56,12 @@ int run(const CliArgs& args) {
                        std::max<std::uint32_t>(1, k / static_cast<std::uint32_t>(s))});
     }
     auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.churn_per_round = n / 8;
-    cc.sigma = 3;
-    cc.seed = seed + 1;
-    ChurnAdversary adversary(cc);
-    const RunResult r = run_multi_source(n, space, adversary, cap);
+    AdversarySpec spec{"churn", {}};
+    spec.set("edges", static_cast<std::uint64_t>(3 * n))
+        .set("churn", static_cast<std::uint64_t>(n / 8))
+        .set("sigma", static_cast<std::uint64_t>(3));
+    const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed + 1);
+    const RunResult r = run_multi_source(n, space, *adversary, cap);
     std::printf("[2] Multi-Source-Unicast, s=%zu sources (Thm 3.5/3.6)\n%s",
                 space->num_sources(),
                 run_summary(r.metrics, space->total_tokens()).c_str());
@@ -77,18 +74,17 @@ int run(const CliArgs& args) {
     std::vector<TokenSpace::SourceSpec> specs;
     for (std::size_t v = 0; v < n; ++v) specs.push_back({static_cast<NodeId>(v), 1});
     auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 4 * n;
-    cc.churn_per_round = n / 4;
-    cc.sigma = 3;
-    cc.seed = seed + 2;
-    ChurnAdversary adversary(cc);
+    AdversarySpec spec{"churn", {}};
+    spec.set("edges", static_cast<std::uint64_t>(4 * n))
+        .set("churn", static_cast<std::uint64_t>(n / 4))
+        .set("sigma", static_cast<std::uint64_t>(3));
+    const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed + 2);
     ObliviousMsOptions opts;
     opts.seed = seed + 3;
     opts.force_phase1 = true;            // exercise the walk phase even at small n
     opts.f_override = std::max<std::size_t>(2, n / 8);  // see DESIGN.md on polylog
-    const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+    const ObliviousMsResult r =
+        run_oblivious_multi_source(n, space, *adversary, opts);
     std::printf("[3] Oblivious-Multi-Source (Algorithm 2), n-gossip (Thm 3.8)\n");
     std::printf("    centers=%zu  phase1 rounds=%u  walk steps=%llu (+%llu virtual)\n",
                 r.num_centers, r.phase1_rounds,
@@ -107,12 +103,14 @@ int run(const CliArgs& args) {
     for (std::size_t t = 0; t < kb; ++t) {
       initial[rng.next_below(n)].set(t);  // each token starts at one node
     }
-    LbAdversaryConfig lbc;
-    lbc.n = n;
-    lbc.k = kb;
-    lbc.seed = seed + 5;
-    LowerBoundAdversary adversary(lbc, initial);
-    const RunResult r = run_phase_flooding(n, kb, initial, adversary, cap);
+    AdversaryBuildContext bctx;
+    bctx.n = n;
+    bctx.seed = seed + 5;
+    bctx.k = kb;
+    bctx.initial_knowledge = &initial;
+    const std::unique_ptr<Adversary> adversary =
+        AdversaryRegistry::global().build(AdversarySpec{"lb", {}}, bctx);
+    const RunResult r = run_phase_flooding(n, kb, initial, *adversary, cap);
     std::printf("[4] Phase flooding vs strongly adaptive LB adversary (Thm 2.3)\n%s",
                 run_summary(r.metrics, kb).c_str());
     std::printf("    amortized broadcasts=%.0f vs lower bound n^2/log^2 n = %.0f"

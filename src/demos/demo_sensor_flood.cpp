@@ -15,10 +15,11 @@
 //   dyngossip demo sensor_flood [--n=64] [--k=32] [--seed=3]
 
 #include <cstdio>
+#include <memory>
 
-#include "adversary/churn.hpp"
-#include "adversary/lb_adversary.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "demos/demos.hpp"
 #include "metrics/report.hpp"
 #include "sim/bounds.hpp"
@@ -42,25 +43,25 @@ int run(const CliArgs& args) {
   std::printf("Sensor mesh: %zu nodes, %zu readings to disseminate\n\n", n, k);
 
   {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.churn_per_round = n / 10;  // slow radio-connectivity drift
-    cc.sigma = 3;
-    cc.seed = seed + 1;
-    ChurnAdversary mesh(cc);
+    AdversarySpec spec{"churn", {}};
+    spec.set("edges", static_cast<std::uint64_t>(3 * n))
+        .set("churn", static_cast<std::uint64_t>(n / 10))  // slow radio drift
+        .set("sigma", static_cast<std::uint64_t>(3));
+    const std::unique_ptr<Adversary> mesh = build_adversary(spec, n, seed + 1);
     const RunResult r =
-        run_phase_flooding(n, k, readings, mesh, static_cast<Round>(10 * n * k));
+        run_phase_flooding(n, k, readings, *mesh, static_cast<Round>(10 * n * k));
     std::printf("[benign drifting mesh]\n%s\n", run_summary(r.metrics, k).c_str());
   }
   {
-    LbAdversaryConfig lb;
-    lb.n = n;
-    lb.k = k;
-    lb.seed = seed + 2;
-    LowerBoundAdversary worst(lb, readings);
+    AdversaryBuildContext bctx;
+    bctx.n = n;
+    bctx.seed = seed + 2;
+    bctx.k = k;
+    bctx.initial_knowledge = &readings;
+    const std::unique_ptr<Adversary> worst =
+        AdversaryRegistry::global().build(AdversarySpec{"lb", {}}, bctx);
     const RunResult r =
-        run_phase_flooding(n, k, readings, worst, static_cast<Round>(100 * n * k));
+        run_phase_flooding(n, k, readings, *worst, static_cast<Round>(100 * n * k));
     std::printf("[worst-case adaptive interference (Section 2)]\n%s\n",
                 run_summary(r.metrics, k).c_str());
     std::printf("paper bounds: lower %.0f, naive upper %.0f broadcasts/reading\n",

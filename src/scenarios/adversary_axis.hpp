@@ -1,0 +1,97 @@
+// The scenario side of the global --adversary=/--trace= axis.
+//
+// AdversaryAxis resolves a ScenarioContext's override once per run: when
+// the user supplied a spec, every per-trial adversary is built from it
+// (through the global AdversaryRegistry, with the trial seed unless the
+// spec pins seed=); otherwise the scenario's own default spec runs.  Either
+// way the scenario never names a concrete adversary type.
+//
+// Trace overrides additionally pin the run shape: the node count comes from
+// the recording's header, and k / sources / cap default to the metadata the
+// recording embedded.  adversary_axis_table is the shared override table
+// for the algorithm-backed flagships (single_source, multi_source,
+// sigma_stable_churn): it dispatches through run_traced_algo — the same
+// entry point `dyngossip trace record|replay` uses — and puts the
+// deterministic payload checksum in the last column, so a scenario run over
+// `trace:file=X.dgt` is bit-verifiable against the recording run with a
+// string compare.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/registry.hpp"
+#include "sim/runner/scenario.hpp"
+
+namespace dyngossip {
+
+/// Parsed, validated override (or the absence of one).
+class AdversaryAxis {
+ public:
+  /// Parses + validates ctx.adversary_spec() against the global registry.
+  /// Throws AdversarySpecError on a malformed or unknown spec.
+  [[nodiscard]] static AdversaryAxis resolve(const ScenarioContext& ctx);
+
+  [[nodiscard]] bool overridden() const noexcept { return overridden_; }
+  [[nodiscard]] bool is_trace() const noexcept {
+    return overridden_ && spec_.family == "trace";
+  }
+  /// The override spec (only meaningful when overridden()).
+  [[nodiscard]] const AdversarySpec& spec() const noexcept { return spec_; }
+  /// Canonical spec string for row labels / table titles.
+  [[nodiscard]] std::string label() const { return spec_.to_string(); }
+
+  /// Builds the effective adversary: the override when set, else `def`.
+  /// `seed` is the trial seed (an explicit seed= in either spec wins).
+  [[nodiscard]] std::unique_ptr<Adversary> build(const AdversarySpec& def,
+                                                 std::size_t n,
+                                                 std::uint64_t seed) const;
+
+  /// Variant for families needing more context (lb: k + initial knowledge).
+  [[nodiscard]] std::unique_ptr<Adversary> build(const AdversarySpec& def,
+                                                 AdversaryBuildContext ctx) const;
+
+ private:
+  bool overridden_ = false;
+  AdversarySpec spec_;
+};
+
+/// Run shape pinned by a file-backed override (trace, scripted, smoothed):
+/// n from the file's header, the rest defaulted from the recording's
+/// embedded metadata (0 / "" when the file carries none).  nullopt when the
+/// override is not file-backed (or absent).
+struct TracePinned {
+  std::size_t n = 0;
+  std::uint32_t k = 0;
+  std::size_t sources = 0;
+  Round cap = 0;
+  std::string algo;
+};
+[[nodiscard]] std::optional<TracePinned> trace_pinned(const AdversaryAxis& axis);
+
+/// One row of the override table (ignored under a trace override, which
+/// pins its own shape).
+struct AxisRowSpec {
+  std::size_t n = 0;
+  std::uint32_t k = 0;
+  Round cap = 0;        ///< 0: run_traced_algo derives 200·n·k
+  std::size_t sources = 4;
+};
+
+/// The declared CLI params every axis-capable scenario shares, so
+/// `dyngossip list` shows the axis without reading source.
+[[nodiscard]] std::vector<ParamSpec> scenario_axis_params();
+
+/// The shared override table: runs `algo` (single_source | multi_source)
+/// against the override adversary for every row × trial and reports the
+/// run payload checksum per row (bit-comparable with `dyngossip trace
+/// record|replay --json` output).
+[[nodiscard]] ScenarioTable adversary_axis_table(const ScenarioContext& ctx,
+                                                 const AdversaryAxis& axis,
+                                                 const std::string& algo,
+                                                 std::vector<AxisRowSpec> rows,
+                                                 std::uint64_t seed_base);
+
+}  // namespace dyngossip

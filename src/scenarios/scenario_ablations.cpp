@@ -3,19 +3,20 @@
 //   B. Algorithm 2 walk-step probability (pseudocode 1/d vs text d/n),
 //   C. LB adversary free-graph mode (spanning forest vs all free edges).
 //
-// Port of bench_ablations.cpp; emits three tables, all (row × trial) pairs
-// flattened into one parallel batch.
+// Emits three tables, all (row × trial) pairs flattened into one parallel
+// batch; every adversary comes from the registry.  The --adversary=/--trace=
+// axis overrides the schedules of ablations A and B (a trace override also
+// pins their n to the recording); ablation C *is* an adversary ablation
+// (the lb family's graph mode), so it always runs lb.
 
 #include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
-#include "adversary/lb_adversary.hpp"
-#include "adversary/request_cutter.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/single_source.hpp"
 #include "engine/unicast_engine.hpp"
+#include "scenarios/adversary_axis.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/simulator.hpp"
@@ -42,25 +43,17 @@ struct PriorityTrial {
   double rounds = 0, requests = 0, over_new = 0, over_idle = 0, over_contrib = 0;
 };
 
-PriorityTrial priority_trial(std::size_t n, std::uint32_t k,
-                             RequestPriority priority, bool cutter,
-                             std::uint64_t seed) {
-  std::unique_ptr<Adversary> adversary;
+PriorityTrial priority_trial(const AdversaryAxis& axis, std::size_t n,
+                             std::uint32_t k, RequestPriority priority,
+                             bool cutter, std::uint64_t seed) {
+  AdversarySpec def{cutter ? "cutter" : "churn", {}};
+  def.set("edges", static_cast<std::uint64_t>(3 * n));
   if (cutter) {
-    RequestCutterConfig rc;
-    rc.n = n;
-    rc.target_edges = 3 * n;
-    rc.cut_probability = 0.6;
-    rc.seed = seed;
-    adversary = std::make_unique<RequestCutterAdversary>(rc);
+    def.set("p", 0.6);
   } else {
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = 3 * n;
-    cc.churn_per_round = n / 6;
-    cc.seed = seed;
-    adversary = std::make_unique<ChurnAdversary>(cc);
+    def.set("churn", static_cast<std::uint64_t>(n / 6));
   }
+  const std::unique_ptr<Adversary> adversary = axis.build(def, n, seed);
   SingleSourceConfig cfg{n, k, 0, priority};
   UnicastEngine engine(SingleSourceNode::make_all(cfg), *adversary,
                        SingleSourceNode::initial_knowledge(cfg), k);
@@ -90,21 +83,19 @@ struct WalkTrial {
   double p1_rounds = 0, walk = 0, virt = 0, total = 0;
 };
 
-WalkTrial walk_trial(std::size_t n, const TokenSpacePtr& space, bool pseudocode,
-                     std::size_t i) {
-  ChurnConfig cc;
-  cc.n = n;
-  cc.target_edges = 4 * n;
-  cc.churn_per_round = n / 8;
-  cc.sigma = 3;
-  cc.seed = 29'000 + i;
-  ChurnAdversary adversary(cc);
+WalkTrial walk_trial(const AdversaryAxis& axis, std::size_t n,
+                     const TokenSpacePtr& space, bool pseudocode, std::size_t i) {
+  AdversarySpec def{"churn", {}};
+  def.set("edges", static_cast<std::uint64_t>(4 * n))
+      .set("churn", static_cast<std::uint64_t>(n / 8))
+      .set("sigma", static_cast<std::uint64_t>(3));
+  const std::unique_ptr<Adversary> adversary = axis.build(def, n, 29'000 + i);
   ObliviousMsOptions opts;
   opts.seed = 31'000 + i;
   opts.force_phase1 = true;
   opts.f_override = std::max<std::size_t>(2, n / 8);
   opts.pseudocode_walk_prob = pseudocode;
-  const ObliviousMsResult r = run_oblivious_multi_source(n, space, adversary, opts);
+  const ObliviousMsResult r = run_oblivious_multi_source(n, space, *adversary, opts);
   WalkTrial t;
   if (!r.completed) return t;
   t.ok = true;
@@ -126,14 +117,17 @@ LbTrial lb_trial(std::size_t n, std::size_t k, bool full, std::size_t i) {
   Rng rng(37'000 + i);
   std::vector<DynamicBitset> init(n, DynamicBitset(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
-  LbAdversaryConfig cfg;
-  cfg.n = n;
-  cfg.k = k;
-  cfg.seed = rng.next();
-  cfg.full_free_graph = full;
-  LowerBoundAdversary adversary(cfg, init);
+  AdversarySpec spec{"lb", {}};
+  if (full) spec.set("full", "true");
+  AdversaryBuildContext bctx;
+  bctx.n = n;
+  bctx.seed = rng.next();
+  bctx.k = k;
+  bctx.initial_knowledge = &init;
+  const std::unique_ptr<Adversary> adversary =
+      AdversaryRegistry::global().build(spec, bctx);
   const RunResult r =
-      run_phase_flooding(n, k, init, adversary, static_cast<Round>(100 * n * k));
+      run_phase_flooding(n, k, init, *adversary, static_cast<Round>(100 * n * k));
   LbTrial t;
   if (!r.completed) return t;
   t.ok = true;
@@ -147,23 +141,29 @@ LbTrial lb_trial(std::size_t n, std::size_t k, bool full, std::size_t i) {
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
+  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  // A trace override pins the A/B grids to the recording's node count.
+  const std::optional<TracePinned> pin = trace_pinned(axis);
 
-  // A. rows: priority × adversary.
-  const std::size_t a_n = quick ? 24 : 48;
+  // A. rows: priority × adversary (the override collapses the adversary
+  // sub-axis — both default cases would be the same schedule).
+  const std::size_t a_n = pin ? pin->n : quick ? 24 : 48;
   const auto a_k = static_cast<std::uint32_t>(2 * a_n);
   struct ARow {
     RequestPriority priority;
     bool cutter;
   };
   std::vector<ARow> a_rows;
+  const std::vector<bool> a_cases =
+      axis.overridden() ? std::vector<bool>{false} : std::vector<bool>{false, true};
   for (const RequestPriority priority :
        {RequestPriority::kPaper, RequestPriority::kReversed,
         RequestPriority::kNewLast}) {
-    for (const bool cutter : {false, true}) a_rows.push_back({priority, cutter});
+    for (const bool cutter : a_cases) a_rows.push_back({priority, cutter});
   }
 
   // B. rows: walk variant (n-gossip token space shared, read-only).
-  const std::size_t b_n = quick ? 32 : 64;
+  const std::size_t b_n = pin ? pin->n : quick ? 32 : 64;
   std::vector<TokenSpace::SourceSpec> b_specs;
   for (std::size_t v = 0; v < b_n; ++v) {
     b_specs.push_back({static_cast<NodeId>(v), 1});
@@ -184,16 +184,16 @@ ScenarioResult run(const ScenarioContext& ctx) {
   JobBatch batch;
   for (std::size_t r = 0; r < a_rows.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&a_out, &a_rows, a_n, a_k, r, i] {
-        a_out[r][i] = priority_trial(a_n, a_k, a_rows[r].priority,
+      batch.add([&a_out, &a_rows, &axis, a_n, a_k, r, i] {
+        a_out[r][i] = priority_trial(axis, a_n, a_k, a_rows[r].priority,
                                      a_rows[r].cutter, 23'000 + i);
       });
     }
   }
   for (std::size_t r = 0; r < 2; ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&b_out, &b_space, &b_variants, b_n, r, i] {
-        b_out[r][i] = walk_trial(b_n, b_space, b_variants[r], i);
+      batch.add([&b_out, &b_space, &b_variants, &axis, b_n, r, i] {
+        b_out[r][i] = walk_trial(axis, b_n, b_space, b_variants[r], i);
       });
       batch.add([&c_out, &c_modes, c_n, c_k, r, i] {
         c_out[r][i] = lb_trial(c_n, c_k, c_modes[r], i);
@@ -219,7 +219,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
       over_contrib.add(t.over_contrib);
     }
     a_table.rows.push_back({priority_name(a_rows[r].priority),
-                            a_rows[r].cutter ? "cutter p=0.6" : "churn",
+                            axis.overridden()
+                                ? axis.label()
+                                : std::string(a_rows[r].cutter ? "cutter p=0.6"
+                                                               : "churn"),
                             TablePrinter::num(rounds.mean(), 0),
                             TablePrinter::num(requests.mean(), 0),
                             TablePrinter::num(over_new.mean(), 0),
@@ -280,7 +283,8 @@ ScenarioResult run(const ScenarioContext& ctx) {
   c_table.note =
       "Both modes throttle learning identically in order of magnitude —\n"
       "the forest substitution (DESIGN.md) preserves the potential-argument\n"
-      "dynamics while keeping round graphs O(n)-sized.";
+      "dynamics while keeping round graphs O(n)-sized.  (This table ablates\n"
+      "the lb family itself, so --adversary/--trace do not replace it.)";
 
   return {"ablations",
           {std::move(a_table), std::move(b_table), std::move(c_table)}};
@@ -291,8 +295,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_ablations(ScenarioRegistry& registry) {
   registry.add({"ablations",
                 "DESIGN.md ablations: request priority, walk prob, LB graph mode",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

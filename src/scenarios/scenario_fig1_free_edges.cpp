@@ -1,7 +1,7 @@
 // Scenario `fig1_free_edges` — Figure 1 (Section 2): the structure of the
 // free-edge graph F(r).
 //
-// Port of bench_fig1_free_edges.cpp.  The bench shared one Rng across the
+// The original bench shared one Rng across the
 // whole β × trial grid, which serializes the sweep; here every (β, trial)
 // derives an independent SplitMix64 stream, so trials parallelize and the
 // output is bit-identical at any thread count (the realized component

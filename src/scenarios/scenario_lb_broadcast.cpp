@@ -2,14 +2,16 @@
 // forces every token-forwarding local-broadcast algorithm to spend
 // Ω(n²/log² n) amortized messages.
 //
-// Port of bench_lb_broadcast.cpp: phase flooding vs the Section-2 adversary
+// Phase flooding vs the Section-2 adversary
 // over an n sweep, reporting amortized broadcasts against the paper's lower
 // and upper bounds plus the empirical growth exponent.
 
+#include <memory>
 #include <vector>
 
-#include "adversary/lb_adversary.hpp"
+#include "adversary/registry.hpp"
 #include "common/mathx.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "scenarios/scenarios.hpp"
@@ -47,13 +49,15 @@ ScenarioResult run(const ScenarioContext& ctx) {
         const std::size_t k = n / 2;
         Rng rng(7'000 + 31 * n + i);
         const auto init = one_per_token(n, k, rng);
-        LbAdversaryConfig cfg;
-        cfg.n = n;
-        cfg.k = k;
-        cfg.seed = rng.next();
-        LowerBoundAdversary adversary(cfg, init);
+        AdversaryBuildContext bctx;
+        bctx.n = n;
+        bctx.seed = rng.next();
+        bctx.k = k;
+        bctx.initial_knowledge = &init;
+        const std::unique_ptr<Adversary> adversary =
+            AdversaryRegistry::global().build(AdversarySpec{"lb", {}}, bctx);
         const RunResult result = run_phase_flooding(
-            n, k, init, adversary, static_cast<Round>(100 * n * k));
+            n, k, init, *adversary, static_cast<Round>(100 * n * k));
         if (!result.completed) return;
         TrialOut& t = out[r][i];
         t.ok = true;

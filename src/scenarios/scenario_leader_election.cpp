@@ -1,18 +1,19 @@
 // Scenario `leader_election` — §4 extension: leader election under the
 // adversary-competitive measure.
 //
-// Port of bench_leader_election.cpp: broadcast (eager windows) vs unicast
-// (competitive) protocols across four adversaries; each trial runs both on
-// freshly constructed adversaries with the same seed.
+// Broadcast (eager windows) vs unicast (competitive) protocols across four
+// registry adversaries; each trial runs both on freshly built adversaries
+// with the same seed.  The global --adversary=/--trace= axis replaces the
+// four-case grid with the requested spec (a trace override additionally
+// pins n to the recording's node count).
 
 #include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
-#include "adversary/patterns.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/leader_election.hpp"
+#include "scenarios/adversary_axis.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/runner/parallel.hpp"
 
@@ -27,29 +28,23 @@ struct Case {
 constexpr Case kCases[] = {
     {"churn", 0}, {"fresh-graph", 1}, {"rotating-star", 2}, {"path-shuffle", 3}};
 
-std::unique_ptr<Adversary> make_adversary(int kind, std::size_t n,
-                                          std::uint64_t seed) {
+AdversarySpec case_spec(int kind, std::size_t n) {
   switch (kind) {
     case 0: {
-      ChurnConfig cc;
-      cc.n = n;
-      cc.target_edges = 3 * n;
-      cc.churn_per_round = n / 4;
-      cc.seed = seed;
-      return std::make_unique<ChurnAdversary>(cc);
+      AdversarySpec spec{"churn", {}};
+      spec.set("edges", static_cast<std::uint64_t>(3 * n))
+          .set("churn", static_cast<std::uint64_t>(n / 4));
+      return spec;
     }
     case 1: {
-      ChurnConfig cc;
-      cc.n = n;
-      cc.target_edges = 3 * n;
-      cc.fresh_graph_each_round = true;
-      cc.seed = seed;
-      return std::make_unique<ChurnAdversary>(cc);
+      AdversarySpec spec{"fresh", {}};
+      spec.set("edges", static_cast<std::uint64_t>(3 * n));
+      return spec;
     }
     case 2:
-      return std::make_unique<RotatingStarAdversary>(n, seed);
+      return AdversarySpec{"star", {}};
     default:
-      return std::make_unique<PathShuffleAdversary>(n, seed);
+      return AdversarySpec{"path", {}};
   }
 }
 
@@ -61,8 +56,16 @@ struct TrialOut {
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
-  const std::vector<std::size_t> sizes =
+  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{32, 64} : std::vector<std::size_t>{32, 64, 128};
+  // A trace override pins n to the recording's node count.
+  if (const std::optional<TracePinned> pin = trace_pinned(axis)) {
+    sizes.assign(1, pin->n);
+  }
+  const std::vector<Case> cases =
+      axis.overridden() ? std::vector<Case>{{"override", -1}}
+                        : std::vector<Case>(std::begin(kCases), std::end(kCases));
 
   struct RowSpec {
     std::size_t n;
@@ -70,21 +73,22 @@ ScenarioResult run(const ScenarioContext& ctx) {
   };
   std::vector<RowSpec> rows;
   for (const std::size_t n : sizes) {
-    for (const Case& c : kCases) rows.push_back({n, c});
+    for (const Case& c : cases) rows.push_back({n, c});
   }
 
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&out, &rows, r, i] {
+      batch.add([&out, &rows, &axis, r, i] {
         const RowSpec& spec = rows[r];
         const std::size_t n = spec.n;
         const std::uint64_t seed = 41'000 + 3 * n + i;
-        auto a1 = make_adversary(spec.c.kind, n, seed);
+        const AdversarySpec def = case_spec(spec.c.kind, n);
+        auto a1 = axis.build(def, n, seed);
         const LeaderElectionResult b =
             run_leader_election_broadcast(n, *a1, static_cast<Round>(50 * n));
-        auto a2 = make_adversary(spec.c.kind, n, seed);
+        auto a2 = axis.build(def, n, seed);
         const LeaderElectionResult u =
             run_leader_election_unicast(n, *a2, static_cast<Round>(50 * n));
         if (!b.agreed || !u.agreed) return;
@@ -120,7 +124,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
       residual.add(t.residual);
     }
     table.rows.push_back(
-        {std::to_string(spec.n), spec.c.name, TablePrinter::num(brounds.mean(), 0),
+        {std::to_string(spec.n),
+         axis.overridden() ? axis.label() : std::string(spec.c.name),
+         TablePrinter::num(brounds.mean(), 0),
          TablePrinter::num(bmsgs.mean(), 0), TablePrinter::num(urounds.mean(), 0),
          TablePrinter::num(umsgs.mean(), 0), TablePrinter::num(tc.mean(), 0),
          TablePrinter::num(residual.mean(), 0),
@@ -140,8 +146,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_leader_election(ScenarioRegistry& registry) {
   registry.add({"leader_election",
                 "Section 4 extension: leader election, broadcast vs unicast",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

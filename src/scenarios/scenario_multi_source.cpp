@@ -1,6 +1,6 @@
 // Scenario `multi_source` — Theorems 3.5 / 3.6: Multi-Source-Unicast.
 //
-// Port of bench_multi_source.cpp.  Table A sweeps the source count s at
+// Table A sweeps the source count s at
 // fixed n, k and checks the O(n²s + nk) competitive message bound (plus the
 // empirical growth exponent of the completeness traffic in s); Table B
 // checks the O(nk) round bound on 3-edge-stable churn.
@@ -9,9 +9,9 @@
 #include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "scenarios/adversary_axis.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -19,6 +19,14 @@
 
 namespace dyngossip {
 namespace {
+
+AdversarySpec churn_spec(std::size_t target_edges, std::size_t churn_per_round) {
+  AdversarySpec spec{"churn", {}};
+  spec.set("edges", static_cast<std::uint64_t>(target_edges))
+      .set("churn", static_cast<std::uint64_t>(churn_per_round))
+      .set("sigma", static_cast<std::uint64_t>(3));
+  return spec;
+}
 
 TokenSpacePtr spread(std::size_t n, std::size_t s, std::uint32_t k_total) {
   std::vector<TokenSpace::SourceSpec> specs;
@@ -62,15 +70,11 @@ ScenarioResult run_large(const ScenarioContext& ctx) {
     for (std::size_t i = 0; i < seeds; ++i) {
       batch.add([&out, &rows, r, i] {
         const Row& row = rows[r];
-        ChurnConfig cc;
-        cc.n = row.n;
-        cc.target_edges = 8 * row.n;
-        cc.churn_per_round = row.n / 8;
-        cc.sigma = 3;
-        cc.seed = 13'000 + 7 * kSources + i;
-        ChurnAdversary adversary(cc);
+        const std::unique_ptr<Adversary> adversary =
+            build_adversary(churn_spec(8 * row.n, row.n / 8), row.n,
+                            13'000 + 7 * kSources + i);
         const RunResult res = run_multi_source(
-            row.n, row.space, adversary,
+            row.n, row.space, *adversary,
             static_cast<Round>(100 * row.k + row.n));
         TrialOut& t = out[r][i];
         t.ok = res.completed;
@@ -136,6 +140,23 @@ ScenarioResult run_large(const ScenarioContext& ctx) {
 }
 
 ScenarioResult run(const ScenarioContext& ctx) {
+  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  if (axis.overridden()) {
+    std::vector<AxisRowSpec> axis_rows;
+    if (ctx.large()) {
+      for (const std::size_t n : {1024u, 4096u, 10000u}) {
+        axis_rows.push_back(
+            {n, 256, static_cast<Round>(100 * 256 + n), /*sources=*/4});
+      }
+    } else {
+      const std::size_t n = ctx.quick() ? 32 : 64;
+      axis_rows.push_back({n, static_cast<std::uint32_t>(4 * n), 0,
+                           std::max<std::size_t>(2, n / 8)});
+    }
+    return {"multi_source",
+            {adversary_axis_table(ctx, axis, "multi_source", std::move(axis_rows),
+                                  13'000)}};
+  }
   if (ctx.large()) return run_large(ctx);
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
@@ -184,14 +205,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
     for (std::size_t i = 0; i < seeds; ++i) {
       batch.add([&msg_out, &msg_rows, n, r, i] {
         const MsgRow& row = msg_rows[r];
-        ChurnConfig cc;
-        cc.n = n;
-        cc.target_edges = 3 * n;
-        cc.churn_per_round = n / 8;
-        cc.sigma = 3;
-        cc.seed = 13'000 + 7 * row.s + i;
-        ChurnAdversary adversary(cc);
-        const RunResult res = run_multi_source(n, row.space, adversary,
+        const std::unique_ptr<Adversary> adversary = build_adversary(
+            churn_spec(3 * n, n / 8), n, 13'000 + 7 * row.s + i);
+        const RunResult res = run_multi_source(n, row.space, *adversary,
                                                static_cast<Round>(200 * n * row.k));
         if (!res.completed) return;
         TrialOut& t = msg_out[r][i];
@@ -210,15 +226,11 @@ ScenarioResult run(const ScenarioContext& ctx) {
     for (std::size_t i = 0; i < seeds; ++i) {
       batch.add([&time_out, &time_rows, r, i] {
         const TimeRow& row = time_rows[r];
-        ChurnConfig cc;
-        cc.n = row.n;
-        cc.target_edges = 3 * row.n;
-        cc.churn_per_round = std::max<std::size_t>(1, row.n / 8);
-        cc.sigma = 3;
-        cc.seed = 15'000 + 5 * row.n + i;
-        ChurnAdversary adversary(cc);
+        const std::unique_ptr<Adversary> adversary = build_adversary(
+            churn_spec(3 * row.n, std::max<std::size_t>(1, row.n / 8)), row.n,
+            15'000 + 5 * row.n + i);
         const RunResult res = run_multi_source(
-            row.n, row.space, adversary, static_cast<Round>(200 * row.n * row.k));
+            row.n, row.space, *adversary, static_cast<Round>(200 * row.n * row.k));
         time_out[r][i].ok = res.completed;
         time_out[r][i].rounds = static_cast<double>(res.rounds);
       });
@@ -296,8 +308,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_multi_source(ScenarioRegistry& registry) {
   registry.add({"multi_source",
                 "Theorems 3.5/3.6: multi-source competitive messages + rounds",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

@@ -2,14 +2,14 @@
 // funnelling tokens through f = n^{1/2} k^{1/4} polylog centers beats direct
 // Multi-Source-Unicast on n-gossip.
 //
-// Port of bench_oblivious.cpp: each trial runs BOTH algorithms on the same
+// Each trial runs BOTH algorithms on the same
 // committed churn schedule (one pool job), so the comparison stays paired
 // under parallel execution.
 
 #include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
+#include "adversary/registry.hpp"
 #include "common/mathx.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -27,14 +27,13 @@ TokenSpacePtr n_gossip(std::size_t n) {
   return std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
 }
 
-ChurnConfig churn_for(std::size_t n, std::uint64_t seed) {
-  ChurnConfig cc;
-  cc.n = n;
-  cc.target_edges = 4 * n;
-  cc.churn_per_round = std::max<std::size_t>(1, n / 8);
-  cc.sigma = 3;
-  cc.seed = seed;
-  return cc;
+AdversarySpec churn_for(std::size_t n) {
+  AdversarySpec spec{"churn", {}};
+  spec.set("edges", static_cast<std::uint64_t>(4 * n))
+      .set("churn",
+           static_cast<std::uint64_t>(std::max<std::size_t>(1, n / 8)))
+      .set("sigma", static_cast<std::uint64_t>(3));
+  return spec;
 }
 
 struct TrialOut {
@@ -75,16 +74,18 @@ ScenarioResult run(const ScenarioContext& ctx) {
         const RowSpec& row = rows[r];
         const std::size_t n = row.n;
         const std::uint64_t seed = 17'000 + 23 * n + i;
-        ChurnAdversary direct_adv(churn_for(n, seed));
+        const std::unique_ptr<Adversary> direct_adv =
+            build_adversary(churn_for(n), n, seed);
         const RunResult direct = run_multi_source(
-            n, row.space, direct_adv, static_cast<Round>(400 * n * row.k));
-        ChurnAdversary funnel_adv(churn_for(n, seed));
+            n, row.space, *direct_adv, static_cast<Round>(400 * n * row.k));
+        const std::unique_ptr<Adversary> funnel_adv =
+            build_adversary(churn_for(n), n, seed);  // identical schedule
         ObliviousMsOptions opts;
         opts.seed = seed ^ 0x9e3779b9u;
         opts.force_phase1 = true;
         opts.f_override = row.f;
         const ObliviousMsResult funnel =
-            run_oblivious_multi_source(n, row.space, funnel_adv, opts);
+            run_oblivious_multi_source(n, row.space, *funnel_adv, opts);
         if (!direct.completed || !funnel.completed) return;
         TrialOut& t = out[r][i];
         t.ok = true;

@@ -12,12 +12,13 @@
 // with the churn rate, and the competitive residual stays bounded by
 // O(n² + nk).
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "adversary/sigma_stable.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "scenarios/adversary_axis.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -33,15 +34,12 @@ struct TrialOut {
 
 TrialOut run_trial(std::size_t n, std::uint32_t k, Round sigma, double churn_rate,
                    std::size_t target_edges, Round cap, std::uint64_t seed) {
-  SigmaStableChurnConfig sc;
-  sc.n = n;
-  sc.target_edges = target_edges;
-  sc.churn_per_interval =
-      static_cast<std::size_t>(churn_rate * static_cast<double>(target_edges));
-  sc.sigma = sigma;
-  sc.seed = seed;
-  SigmaStableChurnAdversary adversary(sc);
-  const RunResult r = run_single_source(n, k, /*source=*/0, adversary, cap);
+  AdversarySpec spec{"sigma", {}};
+  spec.set("edges", static_cast<std::uint64_t>(target_edges))
+      .set("turnover", churn_rate)
+      .set("interval", static_cast<std::uint64_t>(sigma));
+  const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed);
+  const RunResult r = run_single_source(n, k, /*source=*/0, *adversary, cap);
   TrialOut out;
   out.ok = r.completed;
   out.msgs = static_cast<double>(r.metrics.unicast.total());
@@ -59,6 +57,21 @@ ScenarioResult run(const ScenarioContext& ctx) {
       large   ? std::vector<std::size_t>{1024, 4096, 10000}
       : quick ? std::vector<std::size_t>{24, 48}
               : std::vector<std::size_t>{64, 128};
+
+  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  if (axis.overridden()) {
+    std::vector<AxisRowSpec> axis_rows;
+    for (const std::size_t n : sizes) {
+      const auto k = static_cast<std::uint32_t>(large ? 256 : 2 * n);
+      const Round cap = static_cast<Round>(
+          large ? 100 * static_cast<std::uint64_t>(k) + n
+                : static_cast<std::uint64_t>(quick ? 40 : 100) * n * k);
+      axis_rows.push_back({n, k, cap, 4});
+    }
+    return {"sigma_stable_churn",
+            {adversary_axis_table(ctx, axis, "single_source",
+                                  std::move(axis_rows), 11'000)}};
+  }
   const std::vector<Round> sigmas = {2, 4, 8};
   // Churn rate: fraction of the edge set rewired per interval.  1.0 is the
   // maximum-turnover regime fresh-graph adversaries cannot make runnable;
@@ -166,8 +179,9 @@ void register_sigma_stable_churn(ScenarioRegistry& registry) {
   registry.add({"sigma_stable_churn",
                 "sigma-interval-stable high-churn stress: Algorithm 1 across "
                 "sigma x churn-rate",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

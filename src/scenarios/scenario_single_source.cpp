@@ -1,18 +1,20 @@
 // Scenario `single_source` — Theorem 3.1: Single-Source-Unicast has
 // 1-adversary-competitive message complexity O(n² + nk).
 //
-// Port of bench_single_source.cpp: three adversary regimes (churn, fresh
-// graph, adaptive request cutter) probe the bound; every (row × trial) runs
-// as one pool job and the statistics fold in trial order, so output is
-// bit-identical at any thread count.
+// Three adversary regimes (churn, fresh graph, adaptive request cutter)
+// probe the bound; every (row × trial) runs as one pool job and the
+// statistics fold in trial order, so output is bit-identical at any thread
+// count.  All adversaries come from the registry, and the scenario honours
+// the global --adversary=/--trace= axis: an override runs Algorithm 1
+// against the requested spec (or a recorded schedule) instead of the
+// default three-regime grid.
 
 #include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
-#include "adversary/request_cutter.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "scenarios/adversary_axis.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -34,6 +36,23 @@ constexpr Case kCases[] = {
     {"cutter p=1.0", 1.0, false},
 };
 
+AdversarySpec case_spec(const Case& c, std::size_t n, std::size_t target_edges) {
+  if (c.cut_p >= 0) {
+    AdversarySpec spec{"cutter", {}};
+    spec.set("p", c.cut_p).set("edges", static_cast<std::uint64_t>(3 * n));
+    return spec;
+  }
+  if (c.fresh) {
+    AdversarySpec spec{"fresh", {}};
+    spec.set("edges", static_cast<std::uint64_t>(target_edges));
+    return spec;
+  }
+  AdversarySpec spec{"churn", {}};
+  spec.set("edges", static_cast<std::uint64_t>(target_edges))
+      .set("churn", static_cast<std::uint64_t>(n / 8));
+  return spec;
+}
+
 struct TrialOut {
   bool ok = false;
   double tokens = 0, completeness = 0, requests = 0, tc = 0;
@@ -42,29 +61,12 @@ struct TrialOut {
 
 TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
                    std::size_t target_edges, std::uint64_t seed) {
-  RunResult r = [&] {
-    if (c.cut_p < 0) {
-      ChurnConfig cc;
-      cc.n = n;
-      cc.target_edges = target_edges;
-      cc.churn_per_round = n / 8;
-      cc.fresh_graph_each_round = c.fresh;
-      cc.seed = seed;
-      ChurnAdversary adversary(cc);
-      return run_single_source(n, k, 0, adversary, cap);
-    }
-    RequestCutterConfig rc;
-    rc.n = n;
-    rc.target_edges = 3 * n;
-    rc.cut_probability = c.cut_p;
-    rc.seed = seed;
-    RequestCutterAdversary adversary(rc);
-    // p=1 never completes: evaluate the bound on a shorter horizon.
-    const Round horizon = c.cut_p >= 1.0 ? static_cast<Round>(50 * n) : cap;
-    return run_single_source(n, k, 0, adversary, horizon);
-  }();
+  const std::unique_ptr<Adversary> adversary =
+      build_adversary(case_spec(c, n, target_edges), n, seed);
+  // p=1 never completes: evaluate the bound on a shorter horizon.
+  const Round horizon = c.cut_p >= 1.0 ? static_cast<Round>(50 * n) : cap;
+  const RunResult r = run_single_source(n, k, 0, *adversary, horizon);
   TrialOut out;
-  out.ok = true;
   out.tokens = static_cast<double>(r.metrics.unicast.token);
   out.completeness = static_cast<double>(r.metrics.unicast.completeness);
   out.requests = static_cast<double>(r.metrics.unicast.request);
@@ -79,16 +81,36 @@ TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const bool large = ctx.large();
+  const std::vector<std::size_t> sizes =
+      large   ? std::vector<std::size_t>{1024, 4096, 10000}
+      : quick ? std::vector<std::size_t>{24, 48}
+              : std::vector<std::size_t>{24, 48, 96};
+  const auto k_of = [large](std::size_t n) {
+    return static_cast<std::uint32_t>(large ? 256 : 2 * n);
+  };
+  const auto cap_of = [large, quick](std::size_t n, std::uint32_t k) {
+    return static_cast<Round>(
+        large ? 100 * static_cast<std::uint64_t>(k) + n
+              : static_cast<std::uint64_t>(quick ? 40 : 100) * n * k);
+  };
+
+  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  if (axis.overridden()) {
+    std::vector<AxisRowSpec> rows;
+    for (const std::size_t n : sizes) {
+      rows.push_back({n, k_of(n), cap_of(n, k_of(n)), 4});
+    }
+    return {"single_source",
+            {adversary_axis_table(ctx, axis, "single_source", std::move(rows),
+                                  9'000)}};
+  }
+
   // Large grids: one trial, churn only (fresh-graph resampling at n = 10^4
   // never lets a request edge survive into its answer round, and the full
   // request cutter needs a 50n-round horizon — hours), k fixed at 256 so
   // the n² completeness term dominates, and a denser graph (8n edges) so
   // dissemination chains survive the churn.
   const std::size_t seeds = ctx.trials_or(large ? 1 : quick ? 2 : 3);
-  const std::vector<std::size_t> sizes =
-      large   ? std::vector<std::size_t>{1024, 4096, 10000}
-      : quick ? std::vector<std::size_t>{24, 48}
-              : std::vector<std::size_t>{24, 48, 96};
 
   struct RowSpec {
     std::size_t n;
@@ -99,10 +121,8 @@ ScenarioResult run(const ScenarioContext& ctx) {
   };
   std::vector<RowSpec> rows;
   for (const std::size_t n : sizes) {
-    const auto k = static_cast<std::uint32_t>(large ? 256 : 2 * n);
-    const Round cap = static_cast<Round>(
-        large ? 100 * static_cast<std::uint64_t>(k) + n
-              : static_cast<std::uint64_t>(quick ? 40 : 100) * n * k);
+    const std::uint32_t k = k_of(n);
+    const Round cap = cap_of(n, k);
     const std::size_t target_edges = large ? 8 * n : 3 * n;
     if (large) {
       rows.push_back({n, k, cap, target_edges, kCases[0]});  // churn
@@ -174,8 +194,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_single_source(ScenarioRegistry& registry) {
   registry.add({"single_source",
                 "Theorem 3.1: competitive messages, single source, 3 adversaries",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

@@ -1,14 +1,15 @@
 // Scenario `single_source_time` — Theorem 3.4: on 3-edge-stable dynamic
 // graphs, Single-Source-Unicast terminates within O(nk) rounds.
 //
-// Port of bench_single_source_time.cpp: sweeps n and k under σ=3 churn and
+// Sweeps n and k under σ=3 churn and
 // reports rounds/(nk); σ=1 rows show the algorithm still finishes without
 // the stability assumption.
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
+#include "adversary/registry.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "scenarios/scenarios.hpp"
@@ -52,15 +53,15 @@ ScenarioResult run(const ScenarioContext& ctx) {
     for (std::size_t i = 0; i < seeds; ++i) {
       batch.add([&out, &rows, r, i] {
         const RowSpec& spec = rows[r];
-        ChurnConfig cc;
-        cc.n = spec.n;
-        cc.target_edges = 3 * spec.n;
-        cc.churn_per_round = std::max<std::size_t>(1, spec.n / 8);
-        cc.sigma = spec.sigma;
-        cc.seed = 11'000 + 17 * spec.n + 3 * spec.kf + spec.sigma + i;
-        ChurnAdversary adversary(cc);
+        AdversarySpec churn{"churn", {}};
+        churn.set("edges", static_cast<std::uint64_t>(3 * spec.n))
+            .set("churn",
+                 static_cast<std::uint64_t>(std::max<std::size_t>(1, spec.n / 8)))
+            .set("sigma", static_cast<std::uint64_t>(spec.sigma));
+        const std::unique_ptr<Adversary> adversary = build_adversary(
+            churn, spec.n, 11'000 + 17 * spec.n + 3 * spec.kf + spec.sigma + i);
         const RunResult result = run_single_source(
-            spec.n, spec.k, 0, adversary, static_cast<Round>(100 * spec.n * spec.k));
+            spec.n, spec.k, 0, *adversary, static_cast<Round>(100 * spec.n * spec.k));
         out[r][i].ok = result.completed;
         out[r][i].rounds = static_cast<double>(result.rounds);
       });

@@ -1,15 +1,14 @@
 // Scenario `static_baseline` — Section 1's static reference point: spanning
 // tree + token pipeline gives O(n² + nk) total, O(n²/k + n) amortized.
 //
-// Port of bench_static_baseline.cpp: a deterministic k sweep on a complete
+// A deterministic k sweep on a complete
 // static graph (no seeds), parallelized across the k rows.
 
 #include <memory>
 #include <vector>
 
-#include "adversary/static_adversary.hpp"
+#include "adversary/registry.hpp"
 #include "common/table.hpp"
-#include "graph/generators.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -36,8 +35,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
     batch.add([&out, &ks, n, r] {
       const std::uint32_t k = ks[r];
       const auto space = std::make_shared<TokenSpace>(TokenSpace::single_source(0, k));
-      StaticAdversary adversary(complete_graph(n));
-      out[r].result = run_spanning_tree(n, space, adversary,
+      const std::unique_ptr<Adversary> adversary =
+          build_adversary(AdversarySpec{"static", {}}, n, /*seed=*/1);
+      out[r].result = run_spanning_tree(n, space, *adversary,
                                         static_cast<Round>(10 * (n + k) + 100));
       out[r].ok = out[r].result.completed;
     });

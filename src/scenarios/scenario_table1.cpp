@@ -1,7 +1,7 @@
 // Scenario `table1` — Table 1 (Section 3.2.2): amortized message complexity
 // of the oblivious algorithm for the paper's four token-count regimes.
 //
-// Port of bench_table1.cpp.  The per-row sweep keeps sweep_seeds' SplitMix64
+// The per-row sweep keeps sweep_seeds' SplitMix64
 // seed derivation (via derive_sweep_seeds) and folds samples in trial order
 // with Summary::of, so the statistics are bit-identical to the serial bench
 // at any thread count.
@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
+#include "adversary/registry.hpp"
 #include "common/mathx.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -91,13 +91,12 @@ ScenarioResult run(const ScenarioContext& ctx) {
       batch.add([&out, &rows, r, i, seed] {
         const RowSpec& spec = rows[r];
         const std::size_t n = spec.n;
-        ChurnConfig cc;
-        cc.n = n;
-        cc.target_edges = 4 * n;
-        cc.churn_per_round = std::max<std::size_t>(1, n / 8);
-        cc.sigma = 3;
-        cc.seed = seed;
-        ChurnAdversary adversary(cc);
+        AdversarySpec churn{"churn", {}};
+        churn.set("edges", static_cast<std::uint64_t>(4 * n))
+            .set("churn",
+                 static_cast<std::uint64_t>(std::max<std::size_t>(1, n / 8)))
+            .set("sigma", static_cast<std::uint64_t>(3));
+        const std::unique_ptr<Adversary> adversary = build_adversary(churn, n, seed);
         ObliviousMsOptions opts;
         opts.seed = seed ^ 0x5bd1e995u;
         if (spec.regime->funnel) {
@@ -108,7 +107,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
                      2.0, static_cast<double>(n) / 2.0));
         }
         const ObliviousMsResult result =
-            run_oblivious_multi_source(n, spec.space, adversary, opts);
+            run_oblivious_multi_source(n, spec.space, *adversary, opts);
         TrialOut& t = out[r][i];
         if (!result.completed) return;  // sample stays 0, as in the bench
         t.ok = true;

@@ -1,30 +1,26 @@
 // Scenario `trace_replay` — schedules as data: record, replay, verify.
 //
-// For each (algorithm × adversary) cell, runs the algorithm against a live
-// churn adversary while teeing the schedule to an in-memory .dgt trace, then
-// replays the trace through TraceAdversary and re-runs the same algorithm
-// off the reader.  The deterministic payload checksum of both runs lands in
-// the row — bit-identity is a string compare, not a JSON diff — along with
-// the trace's size on disk (varint-delta blocks: a few bytes per changed
+// For each (algorithm × adversary) cell, record_replay_probe runs the
+// algorithm against a live registry-built adversary while teeing the
+// schedule to an in-memory .dgt trace, then replays the trace through
+// TraceAdversary and re-runs the same algorithm off the reader.  The
+// deterministic payload checksum of both runs lands in the row —
+// bit-identity is a string compare, not a JSON diff — along with the
+// trace's size on disk (varint-delta blocks: a few bytes per changed
 // edge).  A mismatch anywhere fails the expected shape, so this doubles as
 // the regression harness for the trace subsystem itself.
 
-#include <sstream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "adversary/churn.hpp"
-#include "adversary/sigma_stable.hpp"
+#include "adversary/registry.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/tokens.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/runner/parallel.hpp"
-#include "sim/simulator.hpp"
 #include "trace/run_payload.hpp"
-#include "trace/trace_adversary.hpp"
-#include "trace/trace_reader.hpp"
-#include "trace/trace_writer.hpp"
+#include "trace/trace_format.hpp"
 
 namespace dyngossip {
 namespace {
@@ -40,16 +36,6 @@ constexpr Case kCases[] = {
     {"multi_source", "churn"},
 };
 
-struct TrialOut {
-  std::uint64_t k = 0;
-  Round rounds = 0;
-  Round trace_rounds = 0;
-  std::size_t trace_bytes = 0;
-  std::uint64_t recorded_sum = 0;
-  std::uint64_t replayed_sum = 0;
-  bool completed = false;
-};
-
 /// The shared CLI/scenario dispatch with the scenario's source count
 /// (n/8 evenly spaced sources for multi_source rows).
 TracedRunSpec make_spec(const Case& c, std::size_t n, std::uint32_t k, Round cap) {
@@ -62,58 +48,26 @@ TracedRunSpec make_spec(const Case& c, std::size_t n, std::uint32_t k, Round cap
   return spec;
 }
 
-std::unique_ptr<Adversary> make_adversary(const std::string& kind, std::size_t n,
-                                          std::uint64_t seed) {
+AdversarySpec case_adversary(const std::string& kind, std::size_t n) {
   if (kind == "sigma") {
-    SigmaStableChurnConfig sc;
-    sc.n = n;
-    sc.target_edges = 3 * n;
-    sc.churn_per_interval = 3 * n;  // full rewire every interval
-    sc.sigma = 4;
-    sc.seed = seed;
-    return std::make_unique<SigmaStableChurnAdversary>(sc);
+    AdversarySpec spec{"sigma", {}};
+    spec.set("edges", static_cast<std::uint64_t>(3 * n))
+        .set("churn", static_cast<std::uint64_t>(3 * n))  // full rewire/interval
+        .set("interval", static_cast<std::uint64_t>(4));
+    return spec;
   }
-  ChurnConfig cc;
-  cc.n = n;
-  cc.target_edges = 3 * n;
-  cc.churn_per_round = n / 8;
-  cc.sigma = 3;
-  cc.seed = seed;
-  return std::make_unique<ChurnAdversary>(cc);
+  AdversarySpec spec{"churn", {}};
+  spec.set("edges", static_cast<std::uint64_t>(3 * n))
+      .set("churn", static_cast<std::uint64_t>(n / 8))
+      .set("sigma", static_cast<std::uint64_t>(3));
+  return spec;
 }
 
-TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
-                   std::uint64_t seed) {
-  TrialOut out;
-  const TracedRunSpec spec = make_spec(c, n, k, cap);
-
-  // Record: live adversary, schedule teed to an in-memory binary trace.
-  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
-  {
-    const std::unique_ptr<Adversary> inner = make_adversary(c.adversary, n, seed);
-    BinaryTraceWriter writer(buffer, static_cast<std::uint32_t>(n), seed, c.algo);
-    TraceRecorder recorder(*inner, writer);
-    std::uint64_t k_realized = 0;
-    const RunResult recorded = run_traced_algo(spec, recorder, &k_realized);
-    writer.finish();
-    out.k = k_realized;
-    out.rounds = recorded.rounds;
-    out.trace_rounds = writer.rounds();
-    out.completed = recorded.completed;
-    out.recorded_sum = run_payload_checksum(n, k_realized, recorded);
-  }
-  // tellp sits at the end after finish(); str() would copy the whole trace.
-  out.trace_bytes = static_cast<std::size_t>(buffer.tellp());
-
-  // Replay: same algorithm, schedule served from the trace reader.
-  {
-    buffer.seekg(0);
-    TraceAdversary adversary(std::make_unique<BinaryTraceReader>(buffer));
-    std::uint64_t k_realized = 0;
-    const RunResult replayed = run_traced_algo(spec, adversary, &k_realized);
-    out.replayed_sum = run_payload_checksum(n, k_realized, replayed);
-  }
-  return out;
+RecordReplayProbe run_trial(const Case& c, std::size_t n, std::uint32_t k,
+                            Round cap, std::uint64_t seed) {
+  const std::unique_ptr<Adversary> live =
+      build_adversary(case_adversary(c.adversary, n), n, seed);
+  return record_replay_probe(make_spec(c, n, k, cap), *live, seed);
 }
 
 ScenarioResult run(const ScenarioContext& ctx) {
@@ -140,7 +94,8 @@ ScenarioResult run(const ScenarioContext& ctx) {
     for (const Case& c : kCases) rows.push_back({c, n, k, cap});
   }
 
-  std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
+  std::vector<std::vector<RecordReplayProbe>> out(
+      rows.size(), std::vector<RecordReplayProbe>(seeds));
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
@@ -168,13 +123,13 @@ ScenarioResult run(const ScenarioContext& ctx) {
     RunningStat rounds, bytes;
     std::string sum_text;
     for (std::size_t i = 0; i < seeds; ++i) {
-      const TrialOut& t = out[r][i];
-      all_match = all_match && t.recorded_sum == t.replayed_sum;
+      const RecordReplayProbe& t = out[r][i];
+      all_match = all_match && t.recorded_checksum == t.replayed_checksum;
       all_complete = all_complete && t.completed;
       k_realized = t.k;
       rounds.add(static_cast<double>(t.rounds));
       bytes.add(static_cast<double>(t.trace_bytes));
-      if (i == 0) sum_text = checksum_hex(t.recorded_sum);
+      if (i == 0) sum_text = checksum_hex(t.recorded_checksum);
     }
     const double per_round =
         rounds.mean() > 0 ? bytes.mean() / rounds.mean() : 0.0;

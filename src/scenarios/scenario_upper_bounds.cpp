@@ -1,12 +1,13 @@
 // Scenario `upper_bounds` — Section 1/2 naive upper bounds: phase flooding,
 // blind neighbor push, and Algorithm 1 against their amortized ceilings.
 //
-// Port of bench_upper_bounds.cpp: each trial runs all three algorithms on
+// Each trial runs all three algorithms on
 // the same committed churn schedule (one pool job keeps them paired).
 
+#include <memory>
 #include <vector>
 
-#include "adversary/churn.hpp"
+#include "adversary/registry.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -38,19 +39,18 @@ ScenarioResult run(const ScenarioContext& ctx) {
         const std::size_t n = sizes[r];
         const auto k = static_cast<std::uint32_t>(n);
         const std::uint64_t seed = 19'000 + 29 * n + i;
-        ChurnConfig cc;
-        cc.n = n;
-        cc.target_edges = 3 * n;
-        cc.churn_per_round = n / 8;
-        cc.sigma = 3;
-        cc.seed = seed;
+        AdversarySpec churn{"churn", {}};
+        churn.set("edges", static_cast<std::uint64_t>(3 * n))
+            .set("churn", static_cast<std::uint64_t>(n / 8))
+            .set("sigma", static_cast<std::uint64_t>(3));
         Rng rng(seed);
         std::vector<DynamicBitset> init(n, DynamicBitset(k));
         for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
         TrialOut& slot = out[r][i];
         {
-          ChurnAdversary adversary(cc);
-          const RunResult res = run_phase_flooding(n, k, init, adversary,
+          const std::unique_ptr<Adversary> adversary =
+              build_adversary(churn, n, seed);
+          const RunResult res = run_phase_flooding(n, k, init, *adversary,
                                                    static_cast<Round>(10 * n * k));
           if (res.completed) {
             slot.flood_ok = true;
@@ -59,17 +59,21 @@ ScenarioResult run(const ScenarioContext& ctx) {
           }
         }
         {
-          ChurnAdversary adversary(cc);  // same schedule, trivial unicast push
+          // Same schedule, trivial unicast push.
+          const std::unique_ptr<Adversary> adversary =
+              build_adversary(churn, n, seed);
           const RunMetrics m = run_neighbor_exchange(
-              n, k, init, adversary, static_cast<Round>(100 * n * k));
+              n, k, init, *adversary, static_cast<Round>(100 * n * k));
           if (m.completed) {
             slot.push_ok = true;
             slot.push_am = m.amortized(k);
           }
         }
         {
-          ChurnAdversary adversary(cc);  // same schedule, Algorithm 1
-          const RunResult res = run_single_source(n, k, 0, adversary,
+          // Same schedule, Algorithm 1.
+          const std::unique_ptr<Adversary> adversary =
+              build_adversary(churn, n, seed);
+          const RunResult res = run_single_source(n, k, 0, *adversary,
                                                   static_cast<Round>(100 * n * k));
           if (res.completed) {
             slot.uni_ok = true;

@@ -94,6 +94,19 @@ class ScenarioContext {
     return scale_ == ScenarioScale::kLarge;
   }
 
+  /// Global --adversary=/--trace= axis: an adversary spec string (see
+  /// adversary/registry.hpp) overriding the scenario's default schedule
+  /// family, or "" when the scenario should run its own defaults.  Set by
+  /// the CLI after validation; only scenarios registered with
+  /// adversary_axis accept it.
+  [[nodiscard]] const std::string& adversary_spec() const noexcept {
+    return adversary_;
+  }
+  [[nodiscard]] bool has_adversary_override() const noexcept {
+    return !adversary_.empty();
+  }
+  void set_adversary_spec(std::string spec) { adversary_ = std::move(spec); }
+
   /// Typed parameter access with defaults; exits with a message on a value
   /// that does not parse (mirrors CliArgs behaviour).
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
@@ -113,6 +126,7 @@ class ScenarioContext {
   std::size_t trials_;
   ScenarioScale scale_;
   std::map<std::string, std::string> params_;
+  std::string adversary_;
 };
 
 /// A registered experiment.
@@ -121,6 +135,9 @@ struct Scenario {
   std::string description;  ///< one line for `dyngossip list`
   std::vector<ParamSpec> params;
   std::function<ScenarioResult(const ScenarioContext&)> run;
+  /// True when the scenario honours the global --adversary=/--trace= axis
+  /// (ScenarioContext::adversary_spec); the CLI rejects the flags otherwise.
+  bool adversary_axis = false;
 };
 
 }  // namespace dyngossip

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "adversary/churn.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
 #include "sim/runner/demo_registry.hpp"
 #include "sim/runner/emit.hpp"
@@ -25,6 +26,7 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  list [--json]                 list registered scenarios\n"
+    "  adversaries [--json]          list registered adversary families\n"
     "  run <scenario> [flags]        run one scenario\n"
     "      --threads=N   worker threads (0 = hardware, default)\n"
     "      --trials=T    trials per configuration (0 = scenario default)\n"
@@ -32,6 +34,10 @@ constexpr const char* kUsage =
     "      --quick       alias for --scale=quick\n"
     "      --csv         CSV instead of aligned tables\n"
     "      --json[=PATH] machine-readable record (PATH or '-' for stdout)\n"
+    "      --adversary=SPEC  run the scenario's algorithm against any\n"
+    "                    registered adversary spec (see `adversaries`)\n"
+    "      --trace=FILE  replay a recorded schedule: shorthand for\n"
+    "                    --adversary=trace:file=FILE\n"
     "      --<param>=v   scenario-specific parameter (see `list`)\n"
     "  demo <name> [flags]           run a narrated end-to-end demo\n"
     "      (see `dyngossip demo` for the catalogue)\n"
@@ -76,6 +82,7 @@ int cmd_list(const ScenarioRegistry& registry, const CliArgs& args) {
         params.push(std::move(spec));
       }
       entry.set("params", std::move(params));
+      entry.set("adversary_axis", JsonValue::boolean(s->adversary_axis));
       scenarios.push(std::move(entry));
     }
     doc.set("scenarios", std::move(scenarios));
@@ -89,22 +96,107 @@ int cmd_list(const ScenarioRegistry& registry, const CliArgs& args) {
                   kind_name(p.kind), p.default_value.c_str(), p.help.c_str());
     }
   }
+  std::printf(
+      "\nglobal run flags: --threads --trials --scale --quick --csv --json;\n"
+      "scenarios listing --adversary/--trace accept any spec from\n"
+      "`dyngossip adversaries` (e.g. --adversary=churn:rate=0.01 or\n"
+      "--trace=run.dgt to replay a recording).\n");
   return 0;
 }
 
-/// Shared by `run` and the legacy shims.  `legacy` additionally accepts
-/// --seeds as an alias for --trials.
+int cmd_adversaries(const CliArgs& args) {
+  args.allow_only({"json"}, "dyngossip adversaries [--json]");
+  const AdversaryRegistry& registry = AdversaryRegistry::global();
+  if (args.get_bool("json", false)) {
+    JsonValue doc = JsonValue::object();
+    JsonValue families = JsonValue::array();
+    for (const AdversaryFamily* f : registry.list()) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue::str(f->name));
+      entry.set("description", JsonValue::str(f->description));
+      entry.set("example", JsonValue::str(f->example));
+      JsonValue keys = JsonValue::array();
+      for (const AdversaryKeySpec& k : f->keys) {
+        JsonValue spec = JsonValue::object();
+        spec.set("key", JsonValue::str(k.key));
+        spec.set("kind", JsonValue::str(adversary_key_kind_name(k.kind)));
+        spec.set("default", JsonValue::str(k.default_value));
+        spec.set("help", JsonValue::str(k.help));
+        keys.push(std::move(spec));
+      }
+      entry.set("keys", std::move(keys));
+      families.push(std::move(entry));
+    }
+    doc.set("families", std::move(families));
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  std::printf("adversary spec grammar: family[:key=value[,key=value...]]\n\n");
+  for (const AdversaryFamily* f : registry.list()) {
+    std::printf("%-10s %s\n           e.g. %s\n", f->name.c_str(),
+                f->description.c_str(), f->example.c_str());
+    for (const AdversaryKeySpec& k : f->keys) {
+      std::printf("    %s=<%s>  (default %s)  %s\n", k.key.c_str(),
+                  adversary_key_kind_name(k.kind), k.default_value.c_str(),
+                  k.help.c_str());
+    }
+  }
+  std::printf(
+      "\nUse with any axis-capable scenario:  dyngossip run <scenario>\n"
+      "  --adversary=SPEC   (or --trace=FILE for trace:file=FILE)\n"
+      "or record one:  dyngossip trace record --adversary=SPEC --out=T.dgt\n");
+  return 0;
+}
+
 int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
-                     const CliArgs& args, bool legacy) {
+                     const CliArgs& args) {
   const Scenario* scenario = registry.find(name);
   if (scenario == nullptr) {
     std::fprintf(stderr, "unknown scenario '%s'; try `dyngossip list`\n",
                  name.c_str());
     return 2;
   }
-  std::vector<std::string> allowed = {"threads", "trials", "scale",
-                                      "quick",   "csv",    "json"};
-  if (legacy) allowed.push_back("seeds");
+
+  // The global adversary axis: --adversary=SPEC / --trace=FILE.  Validated
+  // up front so a typo'd spec dies as a flag error before any run starts.
+  if ((args.has("adversary") || args.has("trace")) && !scenario->adversary_axis) {
+    std::fprintf(stderr,
+                 "scenario '%s' does not support the --adversary/--trace axis; "
+                 "`dyngossip list` marks the scenarios that do\n",
+                 name.c_str());
+    return 2;
+  }
+  if (args.has("adversary") && args.has("trace")) {
+    std::fprintf(stderr, "--adversary conflicts with --trace (the latter is "
+                         "shorthand for --adversary=trace:file=...)\n");
+    return 2;
+  }
+  std::string adversary_spec;
+  if (args.has("adversary")) adversary_spec = args.get_string("adversary", "");
+  if (args.has("trace")) {
+    const std::string path = args.get_string("trace", "");
+    // The expansion below re-enters the spec grammar, where ',' separates
+    // keys — turn that into a clear error instead of a baffling parse one.
+    if (path.find(',') != std::string::npos) {
+      std::fprintf(stderr,
+                   "--trace paths may not contain ',' (the adversary spec "
+                   "grammar uses it as the key separator); rename '%s'\n",
+                   path.c_str());
+      return 2;
+    }
+    adversary_spec = "trace:file=" + path;
+  }
+  if (!adversary_spec.empty()) {
+    try {
+      AdversaryRegistry::global().validate(AdversarySpec::parse(adversary_spec));
+    } catch (const AdversarySpecError& e) {
+      std::fprintf(stderr, "%s\n(see `dyngossip adversaries`)\n", e.what());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> allowed = {"threads", "trials", "scale", "quick",
+                                      "csv",     "json"};
   for (const ParamSpec& p : scenario->params) allowed.push_back(p.name);
   args.allow_only(allowed, "dyngossip run " + name +
                                " [--threads=N] [--trials=T] [--scale=S]"
@@ -112,10 +204,12 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
 
   std::map<std::string, std::string> params;
   for (const ParamSpec& p : scenario->params) {
+    // The axis flags are global (threaded via ScenarioContext), never
+    // scenario params, even though they appear in `list` as declared specs.
+    if (p.name == "adversary" || p.name == "trace") continue;
     if (args.has(p.name)) params[p.name] = args.get_string(p.name, "");
   }
-  std::int64_t trials_raw = args.get_int("trials", 0);
-  if (legacy && trials_raw == 0) trials_raw = args.get_int("seeds", 0);
+  const std::int64_t trials_raw = args.get_int("trials", 0);
   const std::int64_t threads_raw = args.get_int("threads", 0);
   if (trials_raw < 0 || threads_raw < 0 || threads_raw > 4096) {
     std::fprintf(stderr, "--trials must be >= 0 and --threads in [0, 4096]\n");
@@ -140,9 +234,19 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   }
 
   ThreadPool pool(threads);
-  const ScenarioContext ctx(pool, trials, scale, std::move(params));
+  ScenarioContext ctx(pool, trials, scale, std::move(params));
+  ctx.set_adversary_spec(adversary_spec);
   const auto start = std::chrono::steady_clock::now();
-  const ScenarioResult result = scenario->run(ctx);
+  ScenarioResult result;
+  try {
+    result = scenario->run(ctx);
+  } catch (const AdversarySpecError& e) {
+    std::fprintf(stderr, "adversary spec error: %s\n", e.what());
+    return 2;
+  } catch (const TraceError& e) {
+    std::fprintf(stderr, "trace error: %s\n", e.what());
+    return 1;
+  }
   RunInfo info;
   info.trials = trials;
   info.threads = pool.size();
@@ -294,6 +398,12 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
     const CliArgs args(static_cast<int>(rest.size()), rest.data());
     return cmd_list(registry, args);
   }
+  if (command == "adversaries") {
+    std::vector<const char*> rest = {program};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return cmd_adversaries(args);
+  }
   if (command == "run") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
       std::fprintf(stderr, "usage: dyngossip run <scenario> [flags]\n");
@@ -303,7 +413,7 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
     std::vector<const char*> rest = {program};
     for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
     const CliArgs args(static_cast<int>(rest.size()), rest.data());
-    return run_one_scenario(registry, name, args, /*legacy=*/false);
+    return run_one_scenario(registry, name, args);
   }
   if (command == "demo") {
     return cmd_demo(argc, argv, program);
@@ -319,12 +429,6 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
-}
-
-int scenario_shim_main(ScenarioRegistry& registry, const std::string& scenario_name,
-                       int argc, const char* const* argv) {
-  const CliArgs args(argc, argv);
-  return run_one_scenario(registry, scenario_name, args, /*legacy=*/true);
 }
 
 }  // namespace dyngossip

@@ -1,20 +1,23 @@
-// The dyngossip CLI driver and the legacy bench shims.
+// The dyngossip CLI driver.
 //
 //   dyngossip list [--json]
-//   dyngossip run <scenario> [--threads=N] [--trials=T] [--quick] [--csv]
-//                            [--json[=PATH|-]] [--<param>=v ...]
+//   dyngossip adversaries [--json]
+//   dyngossip run <scenario> [--threads=N] [--trials=T] [--scale=S] [--quick]
+//                            [--csv] [--json[=PATH|-]]
+//                            [--adversary=SPEC | --trace=FILE]
+//                            [--<param>=v ...]
+//   dyngossip demo <name> [flags]
+//   dyngossip trace <record|replay|info|gen> [flags]
 //   dyngossip speedup [--threads=N] [--trials=T] [--n=..] [--min=X]
 //
 // run executes a registered scenario on a fixed thread pool and renders the
-// result; the payload is bit-identical at any --threads value.  speedup is
-// the self-measuring harness CI uses: it times the same sweep serially and
-// in parallel, asserts bit-identity, and reports the ratio.
-//
-// scenario_shim_main keeps the twelve historical bench_* executables alive:
-// each forwards its legacy flags (--quick/--seeds/--csv) to the registry.
+// result; the payload is bit-identical at any --threads value.  The global
+// --adversary/--trace axis swaps any axis-capable scenario's schedule for a
+// registry spec or a recorded .dgt trace.  adversaries enumerates the
+// spec grammar.  speedup is the self-measuring harness CI uses: it times
+// the same sweep serially and in parallel, asserts bit-identity, and
+// reports the ratio.
 #pragma once
-
-#include <string>
 
 #include "sim/runner/scenario_registry.hpp"
 
@@ -23,11 +26,5 @@ namespace dyngossip {
 /// Entry point behind tools/dyngossip_main.cpp.  Returns a process exit
 /// code (0 success, 1 failed acceptance e.g. speedup --min, 2 usage error).
 int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv);
-
-/// Legacy bench binary entry point: runs `scenario_name` with flags mapped
-/// from the historical bench CLI (--quick, --seeds, --csv, plus scenario
-/// params and the new --threads/--json).
-int scenario_shim_main(ScenarioRegistry& registry, const std::string& scenario_name,
-                       int argc, const char* const* argv);
 
 }  // namespace dyngossip

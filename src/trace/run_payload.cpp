@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "common/check.hpp"
 #include "core/tokens.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace_adversary.hpp"
 #include "trace/trace_format.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
 
 namespace dyngossip {
 
@@ -77,6 +81,39 @@ RunResult run_traced_algo(const TracedRunSpec& spec, Adversary& adversary,
   const auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
   *k_out = space->total_tokens();
   return run_multi_source(spec.n, space, adversary, cap);
+}
+
+RecordReplayProbe record_replay_probe(const TracedRunSpec& spec, Adversary& live,
+                                      std::uint64_t trace_seed) {
+  RecordReplayProbe probe;
+
+  // Record: live adversary, schedule teed to an in-memory binary trace.
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  {
+    BinaryTraceWriter writer(buffer, static_cast<std::uint32_t>(spec.n),
+                             trace_seed, spec.algo);
+    TraceRecorder recorder(live, writer);
+    std::uint64_t k_realized = 0;
+    const RunResult recorded = run_traced_algo(spec, recorder, &k_realized);
+    writer.finish();
+    probe.k = k_realized;
+    probe.rounds = recorded.rounds;
+    probe.trace_rounds = writer.rounds();
+    probe.completed = recorded.completed;
+    probe.recorded_checksum = run_payload_checksum(spec.n, k_realized, recorded);
+  }
+  // tellp sits at the end after finish(); str() would copy the whole trace.
+  probe.trace_bytes = static_cast<std::size_t>(buffer.tellp());
+
+  // Replay: same algorithm, schedule served from the trace reader.
+  {
+    buffer.seekg(0);
+    TraceAdversary adversary(std::make_unique<BinaryTraceReader>(buffer));
+    std::uint64_t k_realized = 0;
+    const RunResult replayed = run_traced_algo(spec, adversary, &k_realized);
+    probe.replayed_checksum = run_payload_checksum(spec.n, k_realized, replayed);
+  }
+  return probe;
 }
 
 }  // namespace dyngossip

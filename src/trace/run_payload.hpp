@@ -43,4 +43,25 @@ struct TracedRunSpec {
 [[nodiscard]] RunResult run_traced_algo(const TracedRunSpec& spec,
                                         Adversary& adversary, std::uint64_t* k_out);
 
+/// Outcome of one in-memory record→replay round trip (see
+/// record_replay_probe).
+struct RecordReplayProbe {
+  std::uint64_t k = 0;              ///< realized token count
+  Round rounds = 0;                 ///< rounds of the recorded run
+  Round trace_rounds = 0;           ///< rounds the writer captured
+  std::size_t trace_bytes = 0;      ///< encoded trace size
+  std::uint64_t recorded_checksum = 0;  ///< payload checksum, live run
+  std::uint64_t replayed_checksum = 0;  ///< payload checksum, replayed run
+  bool completed = false;           ///< live run finished dissemination
+};
+
+/// Runs the spec'd algorithm against `live` while teeing the schedule to an
+/// in-memory binary trace, then replays the trace through TraceAdversary
+/// and re-runs the same algorithm off the reader.  Equal checksums certify
+/// the whole trace pipeline reproduced the run bit-identically (the
+/// trace_replay scenario's regression probe).
+[[nodiscard]] RecordReplayProbe record_replay_probe(const TracedRunSpec& spec,
+                                                    Adversary& live,
+                                                    std::uint64_t trace_seed);
+
 }  // namespace dyngossip

@@ -1,16 +1,17 @@
 #include "trace/trace_cli.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "adversary/churn.hpp"
-#include "adversary/sigma_stable.hpp"
+#include "adversary/registry.hpp"
 #include "common/cli.hpp"
 #include "core/tokens.hpp"
 #include "metrics/report.hpp"
@@ -30,39 +31,30 @@ constexpr const char* kTraceUsage =
     "usage: dyngossip trace <record|replay|info|gen> [flags]\n"
     "\n"
     "  record --out=T.dgt [--algo=single_source|multi_source] [--n=64]\n"
-    "         [--k=128] [--sources=4] [--adversary=churn|fresh|sigma]\n"
-    "         [--sigma=3] [--churn=N/8] [--edges=3N] [--seed=7] [--cap=R]\n"
-    "         [--quick] [--json[=PATH|-]]\n"
+    "         [--k=128] [--sources=4] [--adversary=SPEC] [--sigma=3]\n"
+    "         [--churn=N/8] [--edges=3N] [--seed=7] [--cap=R] [--quick]\n"
+    "         [--json[=PATH|-]]\n"
     "         run an algorithm against a live adversary, teeing the schedule\n"
-    "         to a trace; the run flags are embedded in the trace metadata\n"
+    "         to a trace; SPEC is any registry spec (`dyngossip adversaries`;\n"
+    "         default churn — the --sigma/--churn/--edges flags fill in\n"
+    "         unset keys of the churn/fresh/sigma families); the run flags\n"
+    "         are embedded in the trace metadata\n"
     "  replay --trace=T.dgt [--algo=..] [--k=..] [--sources=..] [--cap=R]\n"
     "         [--json[=PATH|-]]\n"
     "         re-run an algorithm against a recorded schedule (flags default\n"
     "         to the recorded metadata; matching flags give a bit-identical\n"
     "         payload, which `diff` or the checksum field verifies)\n"
-    "  info   --trace=T.dgt [--json[=PATH|-]]\n"
-    "         stream a trace and summarize it (no run)\n"
-    "  gen    --out=T.dgt --kind=sigma|churn|fresh|smoothed [--n=64]\n"
-    "         [--rounds=256] [--sigma=4] [--churn=N] [--edges=3N] [--seed=7]\n"
+    "  info   --trace=T.dgt [--windows=W] [--json[=PATH|-]]\n"
+    "         stream a trace and summarize it (no run); --windows=W adds\n"
+    "         per-window round/edge-churn stats for long schedules\n"
+    "  gen    --out=T.dgt --kind=SPEC|smoothed [--n=64] [--rounds=256]\n"
+    "         [--sigma=4] [--churn=N] [--edges=3N] [--seed=7]\n"
     "         [--base=IN.dgt] [--flips=8]\n"
-    "         synthesize a trace (smoothed perturbs --base)\n"
+    "         synthesize a trace from any oblivious registry family\n"
+    "         (smoothed perturbs --base)\n"
     "\n"
     "Trace paths ending in .jsonl use the text interchange codec; all other\n"
     "paths use the binary .dgt codec.  Readers sniff the format.\n";
-
-/// Parses the "key=value key=value ..." metadata a recorded trace embeds.
-std::map<std::string, std::string> parse_metadata(const std::string& metadata) {
-  std::map<std::string, std::string> out;
-  std::istringstream in(metadata);
-  std::string item;
-  while (in >> item) {
-    const std::size_t eq = item.find('=');
-    if (eq != std::string::npos && eq > 0) {
-      out[item.substr(0, eq)] = item.substr(eq + 1);
-    }
-  }
-  return out;
-}
 
 /// Writes a JSON doc per the --json flag convention ("-"/bare to stdout).
 int emit_json(const CliArgs& args, const JsonValue& doc) {
@@ -79,6 +71,32 @@ int emit_json(const CliArgs& args, const JsonValue& doc) {
   }
   out << text << "\n";
   return 0;
+}
+
+/// Parses a record/gen --adversary/--kind value into a registry spec,
+/// filling unset keys of the churn/fresh/sigma families from the legacy
+/// numeric flags and routing the flag seed into any seeded family (so the
+/// embedded metadata spec alone reproduces the schedule).
+AdversarySpec effective_adversary_spec(const std::string& text, std::size_t edges,
+                                       std::size_t churn, std::size_t sigma,
+                                       std::uint64_t seed) {
+  AdversarySpec spec = AdversarySpec::parse(text);
+  auto inject = [&spec](const std::string& key, std::uint64_t value) {
+    if (spec.params.count(key) == 0u) spec.set(key, value);
+  };
+  if (spec.family == "churn" || spec.family == "fresh" || spec.family == "sigma") {
+    inject("edges", edges);
+    if (spec.family != "fresh") inject("churn", churn);
+    if (spec.family == "churn") inject("sigma", sigma);
+    if (spec.family == "sigma") inject("interval", sigma);
+  }
+  const AdversaryFamily* family = AdversaryRegistry::global().find(spec.family);
+  if (family != nullptr &&
+      std::any_of(family->keys.begin(), family->keys.end(),
+                  [](const AdversaryKeySpec& k) { return k.key == "seed"; })) {
+    inject("seed", seed);
+  }
+  return spec;
 }
 
 int cmd_record(const CliArgs& args) {
@@ -119,36 +137,20 @@ int cmd_record(const CliArgs& args) {
     return 2;
   }
 
-  std::unique_ptr<Adversary> inner;
-  if (kind == "churn" || kind == "fresh") {
-    ChurnConfig cc;
-    cc.n = spec.n;
-    cc.target_edges = edges;
-    cc.churn_per_round = churn;
-    cc.sigma = sigma;
-    cc.seed = seed;
-    cc.fresh_graph_each_round = kind == "fresh";
-    inner = std::make_unique<ChurnAdversary>(cc);
-  } else if (kind == "sigma") {
-    SigmaStableChurnConfig sc;
-    sc.n = spec.n;
-    sc.target_edges = edges;
-    sc.churn_per_interval = churn;
-    sc.sigma = sigma;
-    sc.seed = seed;
-    inner = std::make_unique<SigmaStableChurnAdversary>(sc);
-  } else {
-    std::fprintf(stderr, "--adversary must be churn, fresh, or sigma\n");
-    return 2;
-  }
+  const AdversarySpec aspec = effective_adversary_spec(
+      kind, edges, churn, static_cast<std::size_t>(sigma), seed);
+  AdversaryBuildContext bctx;
+  bctx.n = spec.n;
+  bctx.seed = seed;
+  const std::unique_ptr<Adversary> inner =
+      AdversaryRegistry::global().build(aspec, bctx);
 
-  // The run flags become the trace metadata so replay can default to them.
+  // The run flags become the trace metadata so replay can default to them;
+  // the canonical adversary spec makes the recording self-describing.
   std::string metadata = "algo=" + spec.algo + " n=" + std::to_string(spec.n) +
                          " k=" + std::to_string(spec.k) +
                          " sources=" + std::to_string(spec.sources) +
-                         " adversary=" + kind + " sigma=" + std::to_string(sigma) +
-                         " churn=" + std::to_string(churn) +
-                         " edges=" + std::to_string(edges) +
+                         " adversary=" + aspec.to_string() +
                          " seed=" + std::to_string(seed) +
                          " cap=" + std::to_string(spec.cap);
 
@@ -178,7 +180,8 @@ int cmd_replay(const CliArgs& args) {
   }
   TraceAdversary adversary(trace_path);
   const TraceHeader& header = adversary.trace_header();
-  const std::map<std::string, std::string> meta = parse_metadata(header.metadata);
+  const std::map<std::string, std::string> meta =
+      parse_trace_metadata(header.metadata);
   auto meta_or = [&meta](const char* key, std::int64_t def) {
     const auto it = meta.find(key);
     if (it == meta.end()) return def;
@@ -215,13 +218,73 @@ int cmd_replay(const CliArgs& args) {
   return 0;
 }
 
+/// Per-round sample kept while streaming so --windows can aggregate after
+/// the total round count is known (JSONL only reveals it in the trailer).
+/// 12 bytes/round: a 10^6-round schedule costs ~12 MB, far below the cost
+/// of materializing any single round at that scale.
+struct RoundSample {
+  std::uint32_t edges = 0;
+  std::uint32_t insertions = 0;
+  std::uint32_t removals = 0;
+};
+
+/// Aggregates samples into `window_count` near-equal round ranges.
+struct WindowStat {
+  Round first = 0, last = 0;
+  std::size_t min_edges = 0, max_edges = 0;
+  std::uint64_t edge_sum = 0, insertions = 0, deletions = 0;
+
+  [[nodiscard]] Round rounds() const { return last - first + 1; }
+  [[nodiscard]] double avg_edges() const {
+    return static_cast<double>(edge_sum) / static_cast<double>(rounds());
+  }
+  [[nodiscard]] double churn_per_round() const {
+    return static_cast<double>(insertions + deletions) /
+           static_cast<double>(rounds());
+  }
+};
+
+std::vector<WindowStat> aggregate_windows(const std::vector<RoundSample>& samples,
+                                          std::size_t window_count) {
+  std::vector<WindowStat> windows;
+  const std::size_t total = samples.size();
+  if (total == 0) return windows;
+  window_count = std::min(window_count, total);
+  for (std::size_t w = 0; w < window_count; ++w) {
+    // Round ranges [first, last] split as evenly as integer division allows.
+    const std::size_t first = w * total / window_count;
+    const std::size_t last = (w + 1) * total / window_count - 1;
+    WindowStat stat;
+    stat.first = static_cast<Round>(first + 1);
+    stat.last = static_cast<Round>(last + 1);
+    for (std::size_t i = first; i <= last; ++i) {
+      const RoundSample& s = samples[i];
+      stat.min_edges = i == first ? s.edges
+                                  : std::min<std::size_t>(stat.min_edges, s.edges);
+      stat.max_edges = std::max<std::size_t>(stat.max_edges, s.edges);
+      stat.edge_sum += s.edges;
+      stat.insertions += s.insertions;
+      stat.deletions += s.removals;
+    }
+    windows.push_back(stat);
+  }
+  return windows;
+}
+
 int cmd_info(const CliArgs& args) {
-  args.allow_only({"trace", "json"}, kTraceUsage);
+  args.allow_only({"trace", "windows", "json"}, kTraceUsage);
   const std::string trace_path = args.get_string("trace", "");
   if (trace_path.empty()) {
     std::fprintf(stderr, "trace info requires --trace=PATH\n");
     return 2;
   }
+  const std::int64_t windows_raw = args.get_int("windows", 0);
+  if (windows_raw < 0 || windows_raw > 1'000'000) {
+    std::fprintf(stderr, "--windows must be in [0, 10^6] (0 disables windowing)\n");
+    return 2;
+  }
+  const auto window_count = static_cast<std::size_t>(windows_raw);
+
   const std::unique_ptr<TraceSource> source = open_trace_source(trace_path);
   Graph g(source->header().n);
   std::uint64_t insertions = 0;
@@ -230,6 +293,7 @@ int cmd_info(const CliArgs& args) {
   std::size_t min_edges = 0;
   std::size_t max_edges = 0;
   Round rounds = 0;
+  std::vector<RoundSample> samples;
   while (source->next_round(g)) {
     ++rounds;
     const std::size_t m = g.num_edges();
@@ -238,7 +302,13 @@ int cmd_info(const CliArgs& args) {
     min_edges = rounds == 1 ? m : std::min(min_edges, m);
     max_edges = std::max(max_edges, m);
     edge_sum += m;
+    if (window_count > 0) {
+      samples.push_back({static_cast<std::uint32_t>(m),
+                         static_cast<std::uint32_t>(source->last_insertions()),
+                         static_cast<std::uint32_t>(source->last_removals())});
+    }
   }
+  const std::vector<WindowStat> windows = aggregate_windows(samples, window_count);
   const TraceHeader& header = source->header();
   const double avg_edges =
       rounds == 0 ? 0.0 : static_cast<double>(edge_sum) / static_cast<double>(rounds);
@@ -255,6 +325,23 @@ int cmd_info(const CliArgs& args) {
     doc.set("max_edges", JsonValue::number(static_cast<double>(max_edges)));
     doc.set("tc", JsonValue::number(static_cast<double>(insertions)));
     doc.set("deletions", JsonValue::number(static_cast<double>(deletions)));
+    if (window_count > 0) {
+      JsonValue window_docs = JsonValue::array();
+      for (const WindowStat& w : windows) {
+        JsonValue entry = JsonValue::object();
+        entry.set("first_round", JsonValue::number(static_cast<double>(w.first)));
+        entry.set("last_round", JsonValue::number(static_cast<double>(w.last)));
+        entry.set("min_edges", JsonValue::number(static_cast<double>(w.min_edges)));
+        entry.set("avg_edges", JsonValue::number(w.avg_edges()));
+        entry.set("max_edges", JsonValue::number(static_cast<double>(w.max_edges)));
+        entry.set("insertions",
+                  JsonValue::number(static_cast<double>(w.insertions)));
+        entry.set("deletions", JsonValue::number(static_cast<double>(w.deletions)));
+        entry.set("churn_per_round", JsonValue::number(w.churn_per_round()));
+        window_docs.push(std::move(entry));
+      }
+      doc.set("windows", std::move(window_docs));
+    }
     return emit_json(args, doc);
   }
   std::printf("trace %s\n", trace_path.c_str());
@@ -269,6 +356,19 @@ int cmd_info(const CliArgs& args) {
               static_cast<unsigned long long>(deletions));
   std::printf("  metadata  %s\n",
               header.metadata.empty() ? "(none)" : header.metadata.c_str());
+  if (window_count > 0) {
+    std::printf("  windows   %zu\n", windows.size());
+    std::printf("    %-15s %-6s %-36s %-10s %-10s %s\n", "rounds", "len",
+                "edges (min/avg/max)", "ins", "del", "churn/round");
+    for (const WindowStat& w : windows) {
+      std::printf("    %6u..%-7u %-6u min=%-6zu avg=%-8.1f max=%-8zu %-10llu "
+                  "%-10llu %.2f\n",
+                  w.first, w.last, w.rounds(), w.min_edges, w.avg_edges(),
+                  w.max_edges, static_cast<unsigned long long>(w.insertions),
+                  static_cast<unsigned long long>(w.deletions),
+                  w.churn_per_round());
+    }
+  }
   return 0;
 }
 
@@ -283,30 +383,47 @@ int cmd_gen(const CliArgs& args) {
     std::fprintf(stderr, "trace gen requires --out=PATH\n");
     return 2;
   }
-  // Validate everything before open_trace_writer truncates --out: a typo'd
-  // kind must not destroy an existing trace file.
-  if (kind != "sigma" && kind != "churn" && kind != "fresh" && kind != "smoothed") {
-    std::fprintf(stderr, "--kind must be sigma, churn, fresh, or smoothed\n");
-    return 2;
-  }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
-  if (kind == "smoothed") {
-    const std::string base_path = args.get_string("base", "");
+  const AdversarySpec kind_spec = AdversarySpec::parse(kind);
+  if (kind_spec.family == "smoothed") {
+    // Both spellings — bare `smoothed` with flags, or a full
+    // `smoothed:base=...,flips=...` spec — take the trace-to-trace
+    // transform, so the output always has exactly the base's round count
+    // (the adversary form would pad --rounds with held duplicate graphs).
+    AdversaryRegistry::global().validate(kind_spec);
+    const auto param_u64 = [&kind_spec](const char* key, std::uint64_t def) {
+      const auto it = kind_spec.params.find(key);
+      if (it == kind_spec.params.end()) return def;
+      char* end = nullptr;
+      errno = 0;
+      const long long v = std::strtoll(it->second.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || it->second.empty() || errno == ERANGE ||
+          v < 0) {
+        throw AdversarySpecError(std::string("smoothed: key '") + key +
+                                 "' expects a non-negative integer (got '" +
+                                 it->second + "')");
+      }
+      return static_cast<std::uint64_t>(v);
+    };
+    const std::string base_path = kind_spec.params.count("base") != 0u
+                                      ? kind_spec.params.at("base")
+                                      : args.get_string("base", "");
     if (base_path.empty()) {
       std::fprintf(stderr, "trace gen --kind=smoothed requires --base=PATH\n");
       return 2;
     }
     SmoothedTraceConfig sc;
-    sc.flips_per_round = static_cast<std::size_t>(args.get_int("flips", 8));
-    sc.seed = seed;
+    sc.flips_per_round = static_cast<std::size_t>(
+        param_u64("flips", static_cast<std::uint64_t>(args.get_int("flips", 8))));
+    sc.seed = param_u64("seed", seed);
     const std::unique_ptr<TraceSource> base = open_trace_source(base_path);
     const std::string metadata =
         "kind=smoothed base=" + base_path +
         " flips=" + std::to_string(sc.flips_per_round) +
-        " seed=" + std::to_string(seed);
+        " seed=" + std::to_string(sc.seed);
     std::unique_ptr<TraceWriter> writer =
-        open_trace_writer(out_path, base->header().n, seed, metadata);
+        open_trace_writer(out_path, base->header().n, sc.seed, metadata);
     smooth_trace(*base, sc, *writer);
     writer->finish();
     std::printf("smoothed %u rounds (%zu flips/round) -> %s (checksum=%s)\n",
@@ -326,36 +443,36 @@ int cmd_gen(const CliArgs& args) {
     std::fprintf(stderr, "--n >= 2 and --sigma >= 1 required\n");
     return 2;
   }
-  const std::string metadata =
-      "kind=" + kind + " n=" + std::to_string(n) + " rounds=" +
-      std::to_string(rounds) + " sigma=" + std::to_string(sigma) +
-      " churn=" + std::to_string(churn) + " edges=" + std::to_string(edges) +
-      " seed=" + std::to_string(seed);
+
+  // Build (and thereby validate) the generator before open_trace_writer
+  // truncates --out: a typo'd kind must not destroy an existing trace file.
+  const AdversarySpec aspec = effective_adversary_spec(
+      kind, edges, churn, static_cast<std::size_t>(sigma), seed);
+  AdversaryBuildContext bctx;
+  bctx.n = n;
+  bctx.seed = seed;
+  std::unique_ptr<Adversary> generator =
+      AdversaryRegistry::global().build(aspec, bctx);
+  auto* oblivious = dynamic_cast<ObliviousAdversary*>(generator.get());
+  if (oblivious == nullptr) {
+    std::fprintf(stderr,
+                 "--kind=%s is an adaptive family — its schedule is not data "
+                 "until a run exists; use `trace record --adversary=%s` to tee "
+                 "a live run instead\n",
+                 aspec.family.c_str(), aspec.family.c_str());
+    return 2;
+  }
+
+  const std::string metadata = "kind=" + aspec.to_string() +
+                               " n=" + std::to_string(n) +
+                               " rounds=" + std::to_string(rounds) +
+                               " seed=" + std::to_string(seed);
   std::unique_ptr<TraceWriter> writer =
       open_trace_writer(out_path, static_cast<std::uint32_t>(n), seed, metadata);
-
-  if (kind == "sigma") {
-    SigmaStableChurnConfig sc;
-    sc.n = n;
-    sc.target_edges = edges;
-    sc.churn_per_interval = churn;
-    sc.sigma = sigma;
-    sc.seed = seed;
-    generate_sigma_churn_trace(sc, rounds, *writer);
-  } else {  // churn | fresh (validated above)
-    ChurnConfig cc;
-    cc.n = n;
-    cc.target_edges = edges;
-    cc.churn_per_round = churn;
-    cc.sigma = sigma;
-    cc.seed = seed;
-    cc.fresh_graph_each_round = kind == "fresh";
-    ChurnAdversary adversary(cc);
-    record_schedule(adversary, rounds, *writer);
-  }
+  record_schedule(*oblivious, rounds, *writer);
   writer->finish();
   std::printf("generated %u rounds of '%s' -> %s (n=%zu, checksum=%s)\n",
-              writer->rounds(), kind.c_str(), out_path.c_str(), n,
+              writer->rounds(), aspec.to_string().c_str(), out_path.c_str(), n,
               checksum_hex(writer->checksum()).c_str());
   return 0;
 }
@@ -377,6 +494,9 @@ int trace_main(int argc, const char* const* argv) {
     if (sub == "replay") return cmd_replay(args);
     if (sub == "info") return cmd_info(args);
     if (sub == "gen") return cmd_gen(args);
+  } catch (const AdversarySpecError& e) {
+    std::fprintf(stderr, "%s\n(see `dyngossip adversaries`)\n", e.what());
+    return 2;
   } catch (const TraceError& e) {
     std::fprintf(stderr, "trace error: %s\n", e.what());
     return 1;

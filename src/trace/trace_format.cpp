@@ -1,6 +1,7 @@
 #include "trace/trace_format.hpp"
 
 #include <cstdio>
+#include <sstream>
 
 #include "common/rng.hpp"
 
@@ -16,6 +17,19 @@ std::string checksum_hex(std::uint64_t checksum) {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(checksum));
   return buf;
+}
+
+std::map<std::string, std::string> parse_trace_metadata(const std::string& metadata) {
+  std::map<std::string, std::string> out;
+  std::istringstream in(metadata);
+  std::string item;
+  while (in >> item) {
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      out[item.substr(0, eq)] = item.substr(eq + 1);
+    }
+  }
+  return out;
 }
 
 }  // namespace dyngossip

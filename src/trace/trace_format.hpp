@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
 
@@ -98,5 +99,11 @@ class TraceChecksum {
 /// Renders a checksum as the fixed-width hex string used in JSON payloads
 /// (u64 does not round-trip through a JSON double).
 [[nodiscard]] std::string checksum_hex(std::uint64_t checksum);
+
+/// Parses the "key=value key=value ..." convention recorded traces use for
+/// TraceHeader::metadata (tolerant: free-form foreign text yields an empty
+/// or partial map, never an error).
+[[nodiscard]] std::map<std::string, std::string> parse_trace_metadata(
+    const std::string& metadata);
 
 }  // namespace dyngossip

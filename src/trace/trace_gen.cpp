@@ -20,6 +20,18 @@ void generate_sigma_churn_trace(const SigmaStableChurnConfig& cfg, Round rounds,
   record_schedule(adversary, rounds, out);
 }
 
+void smooth_round(Graph& g, std::size_t flips, Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  if (n < 2) return;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    auto v = static_cast<NodeId>(rng.next_below(n - 1));
+    if (v >= u) ++v;
+    if (!g.add_edge(u, v)) g.remove_edge(u, v);
+  }
+  connect_components(g, rng);
+}
+
 void smooth_trace(TraceSource& base, const SmoothedTraceConfig& cfg,
                   TraceWriter& out) {
   const std::size_t n = base.header().n;
@@ -29,15 +41,7 @@ void smooth_trace(TraceSource& base, const SmoothedTraceConfig& cfg,
   Graph perturbed(n);
   while (base.next_round(base_graph)) {
     perturbed = base_graph;
-    if (n >= 2) {
-      for (std::size_t i = 0; i < cfg.flips_per_round; ++i) {
-        const auto u = static_cast<NodeId>(rng.next_below(n));
-        auto v = static_cast<NodeId>(rng.next_below(n - 1));
-        if (v >= u) ++v;
-        if (!perturbed.add_edge(u, v)) perturbed.remove_edge(u, v);
-      }
-      connect_components(perturbed, rng);
-    }
+    smooth_round(perturbed, cfg.flips_per_round, rng);
     out.append_round(perturbed);
   }
 }

@@ -39,6 +39,12 @@ struct SmoothedTraceConfig {
   std::uint64_t seed = 1;           ///< perturbation randomness
 };
 
+/// One smoothing step: toggles `flips` uniformly random node pairs of g
+/// (absent edges inserted, present edges deleted), then patches
+/// connectivity with random edges.  Shared by smooth_trace and the live
+/// SmoothedTraceAdversary so both realize identical schedules per seed.
+void smooth_round(Graph& g, std::size_t flips, Rng& rng);
+
 /// Writes the k-smoothed perturbation of `base` to `out`: per round,
 /// `flips_per_round` uniformly random node pairs are toggled (absent edges
 /// inserted, present edges deleted), then connectivity is patched with

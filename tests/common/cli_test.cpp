@@ -46,8 +46,8 @@ TEST(Cli, DefaultsWhenAbsent) {
 }
 
 TEST(Cli, ProgramName) {
-  const CliArgs args = parse({"./bench_table1"});
-  EXPECT_EQ(args.program(), "./bench_table1");
+  const CliArgs args = parse({"./dyngossip"});
+  EXPECT_EQ(args.program(), "./dyngossip");
 }
 
 TEST(CliDeath, UnknownFlagRejectedByAllowList) {

@@ -1,0 +1,140 @@
+// Scenario-level tests of the --adversary/--trace axis: an overridden
+// scenario reproduces a recording run's payload checksum bit-for-bit, and
+// synthetic overrides swap the schedule family without touching the
+// scenario's shape.
+#include "scenarios/adversary_axis.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_registry.hpp"
+#include "trace/run_payload.hpp"
+#include "trace/trace_adversary.hpp"
+#include "trace/trace_format.hpp"
+#include "trace/trace_writer.hpp"
+
+namespace dyngossip {
+namespace {
+
+ScenarioResult run_scenario(const std::string& name, const std::string& spec,
+                            std::size_t trials = 0) {
+  ScenarioRegistry registry;
+  register_all_scenarios(registry);
+  const Scenario* scenario = registry.find(name);
+  EXPECT_NE(scenario, nullptr);
+  ThreadPool pool(2);
+  ScenarioContext ctx(pool, trials, /*quick=*/true);
+  ctx.set_adversary_spec(spec);
+  return scenario->run(ctx);
+}
+
+class RecordedTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "axis_test_recorded.dgt";
+    // Record exactly the way `dyngossip trace record` does: run the shared
+    // dispatch against a live churn adversary, teeing the schedule, with
+    // the run flags embedded in the metadata.
+    spec_.algo = "single_source";
+    spec_.n = 32;
+    spec_.k = 64;
+    spec_.sources = 4;
+    spec_.cap = 0;
+    const std::string metadata =
+        "algo=single_source n=32 k=64 sources=4 adversary=churn seed=7 cap=0";
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    BinaryTraceWriter writer(out, 32, /*seed=*/7, metadata);
+    const std::unique_ptr<Adversary> live =
+        build_adversary(AdversarySpec::parse("churn:sigma=3"), spec_.n, 7);
+    TraceRecorder recorder(*live, writer);
+    std::uint64_t k_realized = 0;
+    const RunResult recorded = run_traced_algo(spec_, recorder, &k_realized);
+    writer.finish();
+    recorded_checksum_ =
+        checksum_hex(run_payload_checksum(spec_.n, k_realized, recorded));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  TracedRunSpec spec_;
+  std::string recorded_checksum_;
+};
+
+TEST_F(RecordedTrace, SingleSourceScenarioReproducesTheRecordingChecksum) {
+  const ScenarioResult result =
+      run_scenario("single_source", "trace:file=" + path_);
+  ASSERT_EQ(result.tables.size(), 1u);
+  const ScenarioTable& table = result.tables[0];
+  ASSERT_EQ(table.rows.size(), 1u);  // n pinned by the trace header
+  const std::vector<std::string>& row = table.rows[0];
+  EXPECT_EQ(row[2], "32");               // n from the trace
+  EXPECT_EQ(row[3], "64");               // k from the metadata
+  EXPECT_EQ(row.back(), recorded_checksum_);
+}
+
+TEST_F(RecordedTrace, ScriptedOverrideReplaysTheSameScheduleAsTrace) {
+  // scripted: materializes the whole file as a graph script; trace: streams
+  // it.  Same schedule, different machinery — the run payloads must agree
+  // with each other and with the recording.
+  const ScenarioResult t = run_scenario("single_source", "trace:file=" + path_);
+  const ScenarioResult s =
+      run_scenario("single_source", "scripted:file=" + path_);
+  ASSERT_EQ(t.tables[0].rows.size(), 1u);
+  ASSERT_EQ(s.tables[0].rows.size(), 1u);
+  EXPECT_EQ(s.tables[0].rows[0].back(), recorded_checksum_);
+  EXPECT_EQ(t.tables[0].rows[0].back(), s.tables[0].rows[0].back());
+}
+
+TEST_F(RecordedTrace, TraceOverrideIsDeterministicAcrossRuns) {
+  const ScenarioResult a = run_scenario("single_source", "trace:file=" + path_);
+  const ScenarioResult b = run_scenario("single_source", "trace:file=" + path_);
+  EXPECT_TRUE(a == b);
+}
+
+TEST_F(RecordedTrace, LeaderElectionPinsItsGridToTheTraceNodeCount) {
+  const ScenarioResult result =
+      run_scenario("leader_election", "trace:file=" + path_, /*trials=*/1);
+  ASSERT_EQ(result.tables.size(), 1u);
+  ASSERT_EQ(result.tables[0].rows.size(), 1u);  // one n, one (override) case
+  EXPECT_EQ(result.tables[0].rows[0][0], "32");
+  EXPECT_EQ(result.tables[0].rows[0][1], "trace:file=" + path_);
+}
+
+TEST(AdversaryAxis, SyntheticOverrideRunsTheRequestedFamily) {
+  const ScenarioResult result =
+      run_scenario("single_source", "sigma:interval=4,turnover=0.25");
+  ASSERT_EQ(result.tables.size(), 1u);
+  const ScenarioTable& table = result.tables[0];
+  ASSERT_EQ(table.rows.size(), 2u);  // quick grid: n in {24, 48}
+  for (const auto& row : table.rows) {
+    EXPECT_EQ(row[0], "sigma:interval=4,turnover=0.25");
+    EXPECT_EQ(row[5], "yes");  // completed
+  }
+}
+
+TEST(AdversaryAxis, ResolveRejectsUnknownSpecs) {
+  ThreadPool pool(1);
+  ScenarioContext ctx(pool, 0, /*quick=*/true);
+  ctx.set_adversary_spec("bogus:x=1");
+  EXPECT_THROW((void)AdversaryAxis::resolve(ctx), AdversarySpecError);
+  ctx.set_adversary_spec("churn:rte=1");
+  EXPECT_THROW((void)AdversaryAxis::resolve(ctx), AdversarySpecError);
+  ctx.set_adversary_spec("");
+  EXPECT_FALSE(AdversaryAxis::resolve(ctx).overridden());
+}
+
+TEST(AdversaryAxis, BuildFallsBackToTheDefaultSpecWhenNotOverridden) {
+  ThreadPool pool(1);
+  const ScenarioContext ctx(pool, 0, /*quick=*/true);
+  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  AdversarySpec def{"static", {}};
+  const std::unique_ptr<Adversary> adversary = axis.build(def, 8, 1);
+  EXPECT_EQ(adversary->num_nodes(), 8u);
+}
+
+}  // namespace
+}  // namespace dyngossip
