@@ -15,6 +15,7 @@
 
 #include "adversary/churn.hpp"
 #include "adversary/lb_adversary.hpp"
+#include "algo/registry.hpp"
 #include "common/disjoint_set.hpp"
 #include "common/dynamic_bitset.hpp"
 #include "common/rng.hpp"
@@ -27,6 +28,7 @@
 #include "graph/generators.hpp"
 #include "graph/round_view.hpp"
 #include "metrics/potential.hpp"
+#include "sim/simulator.hpp"
 
 namespace dyngossip {
 namespace {
@@ -256,6 +258,53 @@ void BM_BitsetIterateMaterialized(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitsetIterateMaterialized)->Arg(4096)->Arg(65536);
+
+/// Paired dispatch-overhead cases: one complete Algorithm-1 trial under
+/// churn, constructed directly vs dispatched through the algorithm
+/// registry (spec parse + validate + factory per trial — exactly what a
+/// scenario's per-trial job pays under an --algo override).  The pair
+/// guards against registry dispatch creeping into the per-trial hot path:
+/// the two cases must stay within noise of each other.
+ChurnConfig algo_dispatch_churn(std::size_t n, std::uint64_t seed) {
+  ChurnConfig cc;
+  cc.n = n;
+  cc.target_edges = 3 * n;
+  cc.churn_per_round = n / 8;
+  cc.sigma = 3;
+  cc.seed = seed;
+  return cc;
+}
+
+void BM_AlgoTrialDirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(2 * n);
+  std::uint64_t seed = 600;
+  for (auto _ : state) {
+    ChurnAdversary adversary(algo_dispatch_churn(n, ++seed));
+    const RunResult r = run_single_source(
+        n, k, 0, adversary, static_cast<Round>(200ull * n * k));
+    benchmark::DoNotOptimize(r.metrics.unicast.total());
+  }
+}
+BENCHMARK(BM_AlgoTrialDirect)->Arg(48)->Arg(96);
+
+void BM_AlgoTrialRegistry(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(2 * n);
+  std::uint64_t seed = 600;
+  for (auto _ : state) {
+    ChurnAdversary adversary(algo_dispatch_churn(n, ++seed));
+    AlgoBuildContext ctx;
+    ctx.n = n;
+    ctx.k = k;
+    ctx.cap = static_cast<Round>(200ull * n * k);
+    ctx.seed = seed;
+    const RunResult r =
+        run_algo(AlgoSpec::parse("single_source"), ctx, adversary);
+    benchmark::DoNotOptimize(r.metrics.unicast.total());
+  }
+}
+BENCHMARK(BM_AlgoTrialRegistry)->Arg(48)->Arg(96);
 
 void BM_BroadcastEngineRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -24,84 +24,15 @@ namespace {
 
 [[noreturn]] void fail(const std::string& msg) { throw AdversarySpecError(msg); }
 
-bool valid_name(const std::string& name) {
-  if (name.empty()) return false;
-  return std::all_of(name.begin(), name.end(), [](char c) {
-    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
-  });
-}
-
-/// Typed access to a spec's params with family-declared defaults.  Values
-/// are parsed strictly (the whole token must consume) so `rate=0.01x` is a
-/// spec error, not a silent truncation.
-class SpecReader {
+/// Typed spec-param access (the shared strict SpecValues core) plus the
+/// adversary build context's helpers.
+class SpecReader : public SpecValues {
  public:
   SpecReader(const AdversarySpec& spec, const AdversaryBuildContext& ctx)
-      : spec_(spec), ctx_(ctx) {}
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return spec_.params.count(key) != 0u;
-  }
-
-  [[nodiscard]] std::string get_string(const std::string& key,
-                                       const std::string& def) const {
-    const auto it = spec_.params.find(key);
-    return it == spec_.params.end() ? def : it->second;
-  }
-
-  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const {
-    const auto it = spec_.params.find(key);
-    if (it == spec_.params.end()) return def;
-    char* end = nullptr;
-    errno = 0;
-    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || it->second.empty() || errno == ERANGE) {
-      fail(spec_.family + ": key '" + key + "' expects an integer (got '" +
-           it->second + "')");
-    }
-    return v;
-  }
-
-  [[nodiscard]] std::size_t get_size(const std::string& key, std::size_t def) const {
-    const std::int64_t v = get_int(key, static_cast<std::int64_t>(def));
-    if (v < 0) {
-      fail(spec_.family + ": key '" + key + "' must be >= 0");
-    }
-    return static_cast<std::size_t>(v);
-  }
-
-  [[nodiscard]] double get_double(const std::string& key, double def) const {
-    const auto it = spec_.params.find(key);
-    if (it == spec_.params.end()) return def;
-    char* end = nullptr;
-    errno = 0;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == nullptr || *end != '\0' || it->second.empty() || errno == ERANGE) {
-      fail(spec_.family + ": key '" + key + "' expects a number (got '" +
-           it->second + "')");
-    }
-    return v;
-  }
-
-  /// get_double plus [0, 1] validation — the fraction-shaped keys (rate,
-  /// turnover, p) would otherwise hit UB casting a negative double to
-  /// size_t (and a fraction above 1 is meaningless for all of them).
-  [[nodiscard]] double get_fraction(const std::string& key, double def) const {
-    const double v = get_double(key, def);
-    if (!(v >= 0.0 && v <= 1.0)) {  // negated so NaN also fails
-      fail(spec_.family + ": key '" + key + "' must be in [0, 1]");
-    }
-    return v;
-  }
-
-  [[nodiscard]] bool get_bool(const std::string& key, bool def) const {
-    const auto it = spec_.params.find(key);
-    if (it == spec_.params.end()) return def;
-    if (it->second == "true" || it->second == "1") return true;
-    if (it->second == "false" || it->second == "0") return false;
-    fail(spec_.family + ": key '" + key + "' expects true/false (got '" +
-         it->second + "')");
-  }
+      : SpecValues(spec.family, spec.params,
+                   [](const std::string& msg) { fail(msg); }),
+        spec_(spec),
+        ctx_(ctx) {}
 
   /// Spec seed= wins; otherwise the context's (per-trial) seed.
   [[nodiscard]] std::uint64_t seed() const {
@@ -306,47 +237,14 @@ const AdversaryKeySpec kSeedKey{"seed", Kind::kInt, "(run seed)",
 
 AdversarySpec AdversarySpec::parse(const std::string& text) {
   AdversarySpec spec;
-  const std::size_t colon = text.find(':');
-  spec.family = text.substr(0, colon);
-  if (!valid_name(spec.family)) {
-    fail("bad adversary spec '" + text +
-         "': expected family[:key=value,key=value...]");
-  }
-  if (colon == std::string::npos) return spec;
-  const std::string rest = text.substr(colon + 1);
-  std::size_t pos = 0;
-  while (pos <= rest.size()) {
-    const std::size_t comma = rest.find(',', pos);
-    const std::string item =
-        rest.substr(pos, comma == std::string::npos ? std::string::npos
-                                                    : comma - pos);
-    const std::size_t eq = item.find('=');
-    if (eq == 0 || eq == std::string::npos || !valid_name(item.substr(0, eq))) {
-      fail("bad adversary spec '" + text + "': '" + item +
-           "' is not key=value");
-    }
-    const std::string key = item.substr(0, eq);
-    if (spec.params.count(key) != 0u) {
-      fail("bad adversary spec '" + text + "': duplicate key '" + key + "'");
-    }
-    spec.params[key] = item.substr(eq + 1);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
+  const std::string error =
+      parse_spec_text(text, "adversary", &spec.family, &spec.params);
+  if (!error.empty()) fail(error);
   return spec;
 }
 
 std::string AdversarySpec::to_string() const {
-  std::string out = family;
-  char sep = ':';
-  for (const auto& [key, value] : params) {
-    out += sep;
-    out += key;
-    out += '=';
-    out += value;
-    sep = ',';
-  }
-  return out;
+  return render_spec_text(family, params);
 }
 
 AdversarySpec& AdversarySpec::set(const std::string& key, const std::string& value) {
@@ -360,9 +258,7 @@ AdversarySpec& AdversarySpec::set(const std::string& key, std::uint64_t value) {
 }
 
 AdversarySpec& AdversarySpec::set(const std::string& key, double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);  // exact double round-trip
-  params[key] = buf;
+  params[key] = render_spec_double(value);
   return *this;
 }
 
@@ -371,19 +267,13 @@ bool operator==(const AdversarySpec& a, const AdversarySpec& b) {
 }
 
 const char* adversary_key_kind_name(AdversaryKeySpec::Kind kind) {
-  switch (kind) {
-    case Kind::kInt: return "int";
-    case Kind::kDouble: return "double";
-    case Kind::kBool: return "bool";
-    case Kind::kString: return "string";
-  }
-  return "?";
+  return spec_key_kind_name(kind);
 }
 
 // ---- AdversaryRegistry ---------------------------------------------------
 
 void AdversaryRegistry::add(AdversaryFamily family) {
-  if (!valid_name(family.name)) {
+  if (!valid_spec_name(family.name)) {
     throw std::invalid_argument("adversary family name '" + family.name +
                                 "' is invalid");
   }
@@ -435,6 +325,19 @@ void AdversaryRegistry::validate(const AdversarySpec& spec) const {
            (keys.empty() ? "none" : keys) + ")");
     }
   }
+}
+
+std::string AdversaryRegistry::describe(const std::string& name) const {
+  const AdversaryFamily* family = find(name);
+  if (family == nullptr) return "";
+  std::string out = family->description;
+  if (family->needs_run_context) {
+    out +=
+        " — buildable but not spec-replayable (the factory needs the run's "
+        "initial knowledge); to reproduce a schedule, record it and replay "
+        "through trace:file=";
+  }
+  return out;
 }
 
 std::unique_ptr<Adversary> AdversaryRegistry::build(
@@ -536,7 +439,8 @@ void register_all_adversaries(AdversaryRegistry& registry) {
         {"full", Kind::kBool, "false", "return all free edges (paper-verbatim)"},
         {"series", Kind::kBool, "false", "keep per-round instrumentation"},
         kSeedKey},
-       build_lb});
+       build_lb,
+       /*needs_run_context=*/true});
   registry.add(
       {"scripted",
        "explicit finite graph sequence, materialized from a trace file "

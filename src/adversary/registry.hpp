@@ -28,6 +28,7 @@
 
 #include "adversary/adversary.hpp"
 #include "common/dynamic_bitset.hpp"
+#include "common/spec.hpp"
 
 namespace dyngossip {
 
@@ -83,15 +84,9 @@ struct AdversaryBuildContext {
   std::vector<Graph> script;
 };
 
-/// One declared spec key of a family (documentation + validation).
-struct AdversaryKeySpec {
-  enum class Kind { kInt, kDouble, kBool, kString };
-
-  std::string key;
-  Kind kind = Kind::kInt;
-  std::string default_value;  ///< rendered in `dyngossip adversaries`
-  std::string help;
-};
+/// One declared spec key of a family (documentation + validation; the
+/// shared grammar's SpecKey, aliased for call-site clarity).
+using AdversaryKeySpec = SpecKey;
 
 [[nodiscard]] const char* adversary_key_kind_name(AdversaryKeySpec::Kind kind);
 
@@ -104,6 +99,12 @@ struct AdversaryFamily {
   std::function<std::unique_ptr<Adversary>(const AdversarySpec&,
                                            const AdversaryBuildContext&)>
       build;
+  /// True when the factory needs run-side context beyond the spec (lb:
+  /// k + initial knowledge).  Such a family is buildable inside a run but
+  /// NOT replayable from its spec alone — record the schedule and replay
+  /// it through `trace:file=` instead.  `dyngossip adversaries` prints
+  /// this caveat so it stops being folklore.
+  bool needs_run_context = false;
 };
 
 /// Name → family registry (mirrors ScenarioRegistry: explicit registration,
@@ -126,6 +127,11 @@ class AdversaryRegistry {
   /// Checks the spec against the declared families/keys without building.
   /// Throws AdversarySpecError naming the unknown family or key.
   void validate(const AdversarySpec& spec) const;
+
+  /// One-line human description of a family, with the build-vs-replay
+  /// caveat appended for context-dependent families (needs_run_context).
+  /// "" for unknown names.
+  [[nodiscard]] std::string describe(const std::string& name) const;
 
   /// Validates, then builds.  Throws AdversarySpecError on registry misuse
   /// (factories may additionally surface I/O errors, e.g. TraceError).

@@ -1,0 +1,148 @@
+#include "common/spec.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dyngossip {
+
+const char* spec_key_kind_name(SpecKey::Kind kind) {
+  switch (kind) {
+    case SpecKey::Kind::kInt: return "int";
+    case SpecKey::Kind::kDouble: return "double";
+    case SpecKey::Kind::kBool: return "bool";
+    case SpecKey::Kind::kString: return "string";
+  }
+  return "?";
+}
+
+bool valid_spec_name(const std::string& name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+  });
+}
+
+std::string parse_spec_text(const std::string& text, const char* noun,
+                            std::string* family,
+                            std::map<std::string, std::string>* params) {
+  const auto bad = [&text, noun](const std::string& detail) {
+    return "bad " + std::string(noun) + " spec '" + text + "': " + detail;
+  };
+  const std::size_t colon = text.find(':');
+  *family = text.substr(0, colon);
+  if (!valid_spec_name(*family)) {
+    return bad("expected family[:key=value,key=value...]");
+  }
+  if (colon == std::string::npos) return "";
+  const std::string rest = text.substr(colon + 1);
+  // `family:` is the explicit no-params spelling (e.g. --algo=flooding:).
+  if (rest.empty()) return "";
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    const std::size_t comma = rest.find(',', pos);
+    const std::string item =
+        rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == 0 || eq == std::string::npos || !valid_spec_name(item.substr(0, eq))) {
+      return bad("'" + item + "' is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    if (params->count(key) != 0u) {
+      return bad("duplicate key '" + key + "'");
+    }
+    (*params)[key] = item.substr(eq + 1);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return "";
+}
+
+std::string render_spec_text(const std::string& family,
+                             const std::map<std::string, std::string>& params) {
+  std::string out = family;
+  char sep = ':';
+  for (const auto& [key, value] : params) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = ',';
+  }
+  return out;
+}
+
+std::string render_spec_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);  // exact double round-trip
+  return buf;
+}
+
+void SpecValues::spec_fail(const std::string& msg) const {
+  fail_(msg);
+  // The callback's contract is to throw; enforce it rather than fall
+  // through into undefined behaviour if a caller forgets.
+  throw std::logic_error("SpecValues fail callback returned: " + msg);
+}
+
+std::string SpecValues::get_string(const std::string& key,
+                                   const std::string& def) const {
+  const auto it = params_->find(key);
+  return it == params_->end() ? def : it->second;
+}
+
+std::int64_t SpecValues::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = params_->find(key);
+  if (it == params_->end()) return def;
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty() || errno == ERANGE) {
+    spec_fail(family_ + ": key '" + key + "' expects an integer (got '" +
+              it->second + "')");
+  }
+  return v;
+}
+
+std::size_t SpecValues::get_size(const std::string& key, std::size_t def) const {
+  const std::int64_t v = get_int(key, static_cast<std::int64_t>(def));
+  if (v < 0) {
+    spec_fail(family_ + ": key '" + key + "' must be >= 0");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double SpecValues::get_double(const std::string& key, double def) const {
+  const auto it = params_->find(key);
+  if (it == params_->end()) return def;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty() || errno == ERANGE) {
+    spec_fail(family_ + ": key '" + key + "' expects a number (got '" +
+              it->second + "')");
+  }
+  return v;
+}
+
+double SpecValues::get_fraction(const std::string& key, double def) const {
+  const double v = get_double(key, def);
+  if (!(v >= 0.0 && v <= 1.0)) {  // negated so NaN also fails
+    spec_fail(family_ + ": key '" + key + "' must be in [0, 1]");
+  }
+  return v;
+}
+
+bool SpecValues::get_bool(const std::string& key, bool def) const {
+  const auto it = params_->find(key);
+  if (it == params_->end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  spec_fail(family_ + ": key '" + key + "' expects true/false (got '" +
+            it->second + "')");
+}
+
+}  // namespace dyngossip

@@ -2,7 +2,11 @@
 //
 // Runs the paper's three unicast algorithms and naive flooding on small
 // dynamic networks and prints the measured message complexity, TC(E), and
-// the adversary-competitive residual of Definition 1.3.
+// the adversary-competitive residual of Definition 1.3.  Both sides of
+// every run come from the registries: adversaries from spec strings
+// (`dyngossip adversaries`) and algorithms from run_algo (`dyngossip
+// algorithms`) — except Algorithm 2, which is called directly because the
+// demo prints its phase-split instrumentation.
 //
 //   dyngossip demo quickstart [--n=64] [--k=128] [--seed=7]
 
@@ -10,6 +14,7 @@
 #include <memory>
 
 #include "adversary/registry.hpp"
+#include "algo/registry.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "core/tokens.hpp"
@@ -39,7 +44,12 @@ int run(const CliArgs& args) {
         .set("churn", static_cast<std::uint64_t>(n / 8))
         .set("sigma", static_cast<std::uint64_t>(3));  // Thm 3.4's stability
     const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed);
-    const RunResult r = run_single_source(n, k, /*source=*/0, *adversary, cap);
+    AlgoBuildContext actx;
+    actx.n = n;
+    actx.k = k;
+    actx.cap = cap;
+    const RunResult r =
+        run_algo(AlgoSpec::parse("single_source"), actx, *adversary);
     std::printf("[1] Single-Source-Unicast vs 3-stable churn (Thm 3.1/3.4)\n%s",
                 run_summary(r.metrics, k).c_str());
     std::printf("    paper bound n^2+nk = %.0f, O(nk) round bound = %.0f\n\n",
@@ -50,23 +60,21 @@ int run(const CliArgs& args) {
   // --- 2. Multi-Source-Unicast with n/8 sources ----------------------------
   {
     const std::size_t s = std::max<std::size_t>(2, n / 8);
-    std::vector<TokenSpace::SourceSpec> specs;
-    for (std::size_t i = 0; i < s; ++i) {
-      specs.push_back({static_cast<NodeId>(i * (n / s)),
-                       std::max<std::uint32_t>(1, k / static_cast<std::uint32_t>(s))});
-    }
-    auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
     AdversarySpec spec{"churn", {}};
     spec.set("edges", static_cast<std::uint64_t>(3 * n))
         .set("churn", static_cast<std::uint64_t>(n / 8))
         .set("sigma", static_cast<std::uint64_t>(3));
     const std::unique_ptr<Adversary> adversary = build_adversary(spec, n, seed + 1);
-    const RunResult r = run_multi_source(n, space, *adversary, cap);
-    std::printf("[2] Multi-Source-Unicast, s=%zu sources (Thm 3.5/3.6)\n%s",
-                space->num_sources(),
-                run_summary(r.metrics, space->total_tokens()).c_str());
+    AlgoBuildContext actx;
+    actx.n = n;
+    actx.k = k;
+    actx.sources = s;
+    actx.cap = cap;
+    const RunResult r = run_algo(AlgoSpec::parse("multi_source"), actx, *adversary);
+    std::printf("[2] Multi-Source-Unicast, s=%zu sources (Thm 3.5/3.6)\n%s", s,
+                run_summary(r.metrics, actx.k_realized).c_str());
     std::printf("    paper bound n^2 s + nk = %.0f\n\n",
-                bounds::multi_source_messages(n, space->total_tokens(), s));
+                bounds::multi_source_messages(n, actx.k_realized, s));
   }
 
   // --- 3. Oblivious-Multi-Source (Algorithm 2): one token per node ---------
@@ -110,7 +118,12 @@ int run(const CliArgs& args) {
     bctx.initial_knowledge = &initial;
     const std::unique_ptr<Adversary> adversary =
         AdversaryRegistry::global().build(AdversarySpec{"lb", {}}, bctx);
-    const RunResult r = run_phase_flooding(n, kb, initial, *adversary, cap);
+    AlgoBuildContext actx;
+    actx.n = n;
+    actx.k = static_cast<std::uint32_t>(kb);
+    actx.cap = cap;
+    actx.initial_knowledge = &initial;
+    const RunResult r = run_algo(AlgoSpec::parse("flooding"), actx, *adversary);
     std::printf("[4] Phase flooding vs strongly adaptive LB adversary (Thm 2.3)\n%s",
                 run_summary(r.metrics, kb).c_str());
     std::printf("    amortized broadcasts=%.0f vs lower bound n^2/log^2 n = %.0f"

@@ -17,6 +17,7 @@ void register_all_scenarios(ScenarioRegistry& registry) {
   register_ablations(registry);
   register_trace_replay(registry);
   register_sigma_stable_churn(registry);
+  register_algo_matrix(registry);
 }
 
 }  // namespace dyngossip

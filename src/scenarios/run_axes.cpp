@@ -1,0 +1,209 @@
+#include "scenarios/run_axes.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/table.hpp"
+#include "sim/runner/parallel.hpp"
+#include "trace/run_payload.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace dyngossip {
+
+RunAxes RunAxes::resolve(const ScenarioContext& ctx) {
+  RunAxes axes;
+  if (ctx.has_adversary_override()) {
+    axes.adversary_spec_ = AdversarySpec::parse(ctx.adversary_spec());
+    AdversaryRegistry::global().validate(axes.adversary_spec_);
+    axes.adversary_overridden_ = true;
+  }
+  if (ctx.has_algo_override()) {
+    axes.algo_spec_ = AlgoSpec::parse(ctx.algo_spec());
+    AlgoRegistry::global().validate(axes.algo_spec_);
+    axes.algo_overridden_ = true;
+  }
+  return axes;
+}
+
+std::unique_ptr<Adversary> RunAxes::build(const AdversarySpec& def, std::size_t n,
+                                          std::uint64_t seed) const {
+  AdversaryBuildContext ctx;
+  ctx.n = n;
+  ctx.seed = seed;
+  return build(def, std::move(ctx));
+}
+
+std::unique_ptr<Adversary> RunAxes::build(const AdversarySpec& def,
+                                          AdversaryBuildContext ctx) const {
+  return AdversaryRegistry::global().build(
+      adversary_overridden_ ? adversary_spec_ : def, ctx);
+}
+
+std::optional<TracePinned> trace_pinned(const RunAxes& axes) {
+  if (!axes.adversary_overridden()) return std::nullopt;
+  // Every file-backed family fixes its node count at recording time; the
+  // scenario grid must follow the file, whichever key names it.
+  const std::string& family = axes.adversary_spec().family;
+  const char* key = family == "trace" || family == "scripted" ? "file"
+                    : family == "smoothed"                    ? "base"
+                                                              : nullptr;
+  if (key == nullptr) return std::nullopt;
+  const auto it = axes.adversary_spec().params.find(key);
+  if (it == axes.adversary_spec().params.end()) {
+    throw AdversarySpecError(family + ": requires " + key + "=... in the spec");
+  }
+  // Header + metadata only; the trace streams again during the actual runs.
+  const std::unique_ptr<TraceSource> source = open_trace_source(it->second);
+  const TraceHeader& header = source->header();
+  const std::map<std::string, std::string> meta =
+      parse_trace_metadata(header.metadata);
+  const auto meta_int = [&meta](const char* key, std::int64_t def) {
+    const auto m = meta.find(key);
+    if (m == meta.end()) return def;
+    try {
+      return static_cast<std::int64_t>(std::stoll(m->second));
+    } catch (const std::exception&) {
+      return def;  // foreign trace with free-form metadata: fall back
+    }
+  };
+  TracePinned pin;
+  pin.n = header.n;
+  pin.k = static_cast<std::uint32_t>(meta_int("k", 0));
+  pin.sources = static_cast<std::size_t>(meta_int("sources", 0));
+  pin.cap = static_cast<Round>(meta_int("cap", 0));
+  if (meta.count("algo") != 0u) pin.algo = meta.at("algo");
+  return pin;
+}
+
+std::vector<ParamSpec> scenario_axis_params() {
+  return {{"adversary", ParamSpec::Kind::kString, "(scenario default)",
+           "adversary spec override, e.g. churn:rate=0.01 — see `dyngossip "
+           "adversaries`"},
+          {"trace", ParamSpec::Kind::kString, "(none)",
+           "replay a recorded schedule: shorthand for adversary=trace:file=PATH"}};
+}
+
+std::vector<ParamSpec> scenario_algo_axis_params() {
+  std::vector<ParamSpec> params = scenario_axis_params();
+  params.push_back({"algo", ParamSpec::Kind::kString, "(scenario default)",
+                    "algorithm spec override, e.g. flooding: — see `dyngossip "
+                    "algorithms`"});
+  return params;
+}
+
+ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
+                             const AlgoSpec& default_algo,
+                             std::vector<AxisRowSpec> rows,
+                             std::uint64_t seed_base) {
+  std::string recorded_algo;
+  if (const std::optional<TracePinned> pin = trace_pinned(axes)) {
+    AxisRowSpec row;
+    row.n = pin->n;
+    row.k = pin->k != 0 ? pin->k : 128;
+    row.cap = pin->cap;
+    row.sources = pin->sources != 0 ? pin->sources : 4;
+    rows.assign(1, row);
+    recorded_algo = pin->algo;
+  }
+  const AlgoSpec algo = axes.algo_or(default_algo);
+  const std::string algo_text = algo.to_string();
+  // A static-only algorithm (spanning_tree) over a dynamic schedule would
+  // die on the protocol's own DG_CHECK inside a pool worker; reject the
+  // flag combination up front with the shared policy (which also inspects
+  // a file-backed override's recording metadata, so a static recording
+  // passes).
+  {
+    const AlgoFamily& family = *AlgoRegistry::global().find(algo.family);
+    std::string why;
+    if (axes.adversary_overridden()) {
+      if (!algo_schedule_compatible(family, axes.adversary_spec(), &why)) {
+        throw AlgoSpecError(why);
+      }
+    } else {
+      for (const AxisRowSpec& row : rows) {
+        if (!algo_schedule_compatible(family, row.def, &why)) {
+          throw AlgoSpecError(why);
+        }
+      }
+    }
+  }
+  const std::size_t trials = ctx.trials_or(1);
+
+  struct TrialOut {
+    std::uint64_t k = 0;
+    bool ok = false;
+    double msgs = 0, tc = 0, residual = 0, rounds = 0;
+    std::uint64_t checksum = 0;
+  };
+  std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(trials));
+
+  JobBatch batch;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < trials; ++i) {
+      batch.add([&out, &rows, &axes, &algo, seed_base, r, i] {
+        const AxisRowSpec& row = rows[r];
+        const std::uint64_t seed = seed_base + 37 * row.n + i;
+        // Row default consulted only when the adversary axis is NOT
+        // overridden (i.e. an --algo-only run over the scenario's own
+        // schedule family).
+        const std::unique_ptr<Adversary> adversary =
+            axes.build(row.def, row.n, seed);
+        AlgoBuildContext actx;
+        actx.n = row.n;
+        actx.k = row.k;
+        actx.sources = row.sources;
+        actx.cap = row.cap;
+        actx.seed = seed;
+        const RunResult res = run_algo(algo, actx, *adversary);
+        TrialOut& t = out[r][i];
+        t.k = actx.k_realized;
+        t.ok = res.completed;
+        t.msgs = static_cast<double>(res.metrics.total_messages());
+        t.tc = static_cast<double>(res.metrics.tc);
+        t.residual = res.metrics.competitive_residual(1.0);
+        t.rounds = static_cast<double>(res.rounds);
+        t.checksum = run_payload_checksum(row.n, actx.k_realized, res);
+      });
+    }
+  }
+  batch.run(ctx.pool());
+
+  ScenarioTable table;
+  table.title =
+      "run axes: " + algo_text + " vs " +
+      (axes.adversary_overridden() ? axes.adversary_label()
+                                   : std::string("(scenario default schedule)"));
+  table.columns = {"adversary", "algo",  "n",        "k",
+                   "trial",     "done",  "messages", "TC(E)",
+                   "residual(a=1)", "rounds", "checksum"};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const std::string adversary_text = axes.adversary_overridden()
+                                           ? axes.adversary_label()
+                                           : rows[r].def.to_string();
+    for (std::size_t i = 0; i < trials; ++i) {
+      const TrialOut& t = out[r][i];
+      table.rows.push_back(
+          {adversary_text, algo_text, std::to_string(rows[r].n),
+           std::to_string(t.k), std::to_string(i), t.ok ? "yes" : "no",
+           TablePrinter::num(t.msgs, 0), TablePrinter::num(t.tc, 0),
+           TablePrinter::num(t.residual, 0), TablePrinter::num(t.rounds, 0),
+           checksum_hex(t.checksum)});
+    }
+  }
+  table.note =
+      "Override mode: the effective algorithm spec ran against the effective\n"
+      "adversary spec.  `checksum` is the deterministic run-payload fold —\n"
+      "for a trace:file=X.dgt override it must equal the checksum of the\n"
+      "run that recorded X.dgt (`dyngossip trace record --json`).";
+  if (!recorded_algo.empty() && recorded_algo != algo_text) {
+    table.note +=
+        "\nNOTE: this schedule was recorded under '" + recorded_algo +
+        "' but replayed under '" + algo_text +
+        "' — a valid cross-algorithm replay whose checksum will NOT match\n"
+        "the recording run's.";
+  }
+  return table;
+}
+
+}  // namespace dyngossip

@@ -16,7 +16,7 @@
 #include "common/table.hpp"
 #include "core/single_source.hpp"
 #include "engine/unicast_engine.hpp"
-#include "scenarios/adversary_axis.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/simulator.hpp"
@@ -43,7 +43,7 @@ struct PriorityTrial {
   double rounds = 0, requests = 0, over_new = 0, over_idle = 0, over_contrib = 0;
 };
 
-PriorityTrial priority_trial(const AdversaryAxis& axis, std::size_t n,
+PriorityTrial priority_trial(const RunAxes& axis, std::size_t n,
                              std::uint32_t k, RequestPriority priority,
                              bool cutter, std::uint64_t seed) {
   AdversarySpec def{cutter ? "cutter" : "churn", {}};
@@ -83,7 +83,7 @@ struct WalkTrial {
   double p1_rounds = 0, walk = 0, virt = 0, total = 0;
 };
 
-WalkTrial walk_trial(const AdversaryAxis& axis, std::size_t n,
+WalkTrial walk_trial(const RunAxes& axis, std::size_t n,
                      const TokenSpacePtr& space, bool pseudocode, std::size_t i) {
   AdversarySpec def{"churn", {}};
   def.set("edges", static_cast<std::uint64_t>(4 * n))
@@ -141,7 +141,7 @@ LbTrial lb_trial(std::size_t n, std::size_t k, bool full, std::size_t i) {
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
-  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  const RunAxes axis = RunAxes::resolve(ctx);
   // A trace override pins the A/B grids to the recording's node count.
   const std::optional<TracePinned> pin = trace_pinned(axis);
 
@@ -220,7 +220,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
     }
     a_table.rows.push_back({priority_name(a_rows[r].priority),
                             axis.overridden()
-                                ? axis.label()
+                                ? axis.adversary_label()
                                 : std::string(a_rows[r].cutter ? "cutter p=0.6"
                                                                : "churn"),
                             TablePrinter::num(rounds.mean(), 0),

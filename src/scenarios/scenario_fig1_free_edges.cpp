@@ -141,6 +141,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
 }  // namespace
 
 void register_fig1_free_edges(ScenarioRegistry& registry) {
+  // Deliberately NOT on the --adversary axis: this scenario analyzes the
+  // free-edge graph itself (a static combinatorial object derived from
+  // knowledge states) — there is no schedule to swap, so an override would
+  // be meaningless rather than merely unusual.
   registry.add({"fig1_free_edges",
                 "Figure 1: free-edge graph component structure vs broadcasters",
                 {{"n", ParamSpec::Kind::kInt, "128 (64 quick)", "number of nodes"},

@@ -119,6 +119,11 @@ ScenarioResult run(const ScenarioContext& ctx) {
 }  // namespace
 
 void register_lb_broadcast(ScenarioRegistry& registry) {
+  // Deliberately NOT on the --adversary axis: the lower bound is a
+  // statement about THIS strongly adaptive adversary (the lb family) —
+  // swapping the schedule would no longer measure Theorem 2.3, and the lb
+  // adversary itself cannot be rebuilt from a spec alone (it samples K'
+  // against the run's initial knowledge; see `dyngossip adversaries`).
   registry.add({"lb_broadcast",
                 "Theorem 2.3: Omega(n^2/log^2 n) broadcast lower bound",
                 {},

@@ -13,7 +13,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/leader_election.hpp"
-#include "scenarios/adversary_axis.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/runner/parallel.hpp"
 
@@ -56,7 +56,7 @@ struct TrialOut {
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
-  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
+  const RunAxes axis = RunAxes::resolve(ctx);
   std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{32, 64} : std::vector<std::size_t>{32, 64, 128};
   // A trace override pins n to the recording's node count.
@@ -125,7 +125,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
     }
     table.rows.push_back(
         {std::to_string(spec.n),
-         axis.overridden() ? axis.label() : std::string(spec.c.name),
+         axis.overridden() ? axis.adversary_label() : std::string(spec.c.name),
          TablePrinter::num(brounds.mean(), 0),
          TablePrinter::num(bmsgs.mean(), 0), TablePrinter::num(urounds.mean(), 0),
          TablePrinter::num(umsgs.mean(), 0), TablePrinter::num(tc.mean(), 0),

@@ -11,7 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "scenarios/adversary_axis.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -140,22 +140,26 @@ ScenarioResult run_large(const ScenarioContext& ctx) {
 }
 
 ScenarioResult run(const ScenarioContext& ctx) {
-  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
-  if (axis.overridden()) {
+  const RunAxes axes = RunAxes::resolve(ctx);
+  if (axes.overridden()) {
     std::vector<AxisRowSpec> axis_rows;
     if (ctx.large()) {
       for (const std::size_t n : {1024u, 4096u, 10000u}) {
-        axis_rows.push_back(
-            {n, 256, static_cast<Round>(100 * 256 + n), /*sources=*/4});
+        AxisRowSpec row{n, 256, static_cast<Round>(100 * 256 + n),
+                        /*sources=*/4, {}};
+        row.def = churn_spec(8 * n, n / 8);
+        axis_rows.push_back(std::move(row));
       }
     } else {
       const std::size_t n = ctx.quick() ? 32 : 64;
-      axis_rows.push_back({n, static_cast<std::uint32_t>(4 * n), 0,
-                           std::max<std::size_t>(2, n / 8)});
+      AxisRowSpec row{n, static_cast<std::uint32_t>(4 * n), 0,
+                      std::max<std::size_t>(2, n / 8), {}};
+      row.def = churn_spec(3 * n, n / 8);
+      axis_rows.push_back(std::move(row));
     }
     return {"multi_source",
-            {adversary_axis_table(ctx, axis, "multi_source", std::move(axis_rows),
-                                  13'000)}};
+            {run_axes_table(ctx, axes, AlgoSpec{"multi_source", {}},
+                            std::move(axis_rows), 13'000)}};
   }
   if (ctx.large()) return run_large(ctx);
   const bool quick = ctx.quick();
@@ -308,9 +312,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_multi_source(ScenarioRegistry& registry) {
   registry.add({"multi_source",
                 "Theorems 3.5/3.6: multi-source competitive messages + rounds",
-                scenario_axis_params(),
+                scenario_algo_axis_params(),
                 run,
-                /*adversary_axis=*/true});
+                /*adversary_axis=*/true,
+                /*algo_axis=*/true});
 }
 
 }  // namespace dyngossip

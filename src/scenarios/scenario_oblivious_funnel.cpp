@@ -4,7 +4,9 @@
 //
 // Each trial runs BOTH algorithms on the same
 // committed churn schedule (one pool job), so the comparison stays paired
-// under parallel execution.
+// under parallel execution.  The shared schedule opts into the global
+// --adversary=/--trace= axis — an override swaps it for both algorithms at
+// once, keeping the comparison paired (a trace override pins n).
 
 #include <memory>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "common/mathx.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -45,9 +48,14 @@ struct TrialOut {
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
-  const std::vector<std::size_t> sizes =
+  const RunAxes axes = RunAxes::resolve(ctx);
+  std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{32, 64}
             : std::vector<std::size_t>{32, 64, 96, 128};
+  // A file-backed override fixes the node count at recording time.
+  if (const std::optional<TracePinned> pin = trace_pinned(axes)) {
+    sizes.assign(1, pin->n);
+  }
 
   struct RowSpec {
     std::size_t n;
@@ -70,16 +78,16 @@ ScenarioResult run(const ScenarioContext& ctx) {
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&out, &rows, r, i] {
+      batch.add([&out, &rows, &axes, r, i] {
         const RowSpec& row = rows[r];
         const std::size_t n = row.n;
         const std::uint64_t seed = 17'000 + 23 * n + i;
         const std::unique_ptr<Adversary> direct_adv =
-            build_adversary(churn_for(n), n, seed);
+            axes.build(churn_for(n), n, seed);
         const RunResult direct = run_multi_source(
             n, row.space, *direct_adv, static_cast<Round>(400 * n * row.k));
         const std::unique_ptr<Adversary> funnel_adv =
-            build_adversary(churn_for(n), n, seed);  // identical schedule
+            axes.build(churn_for(n), n, seed);  // identical schedule
         ObliviousMsOptions opts;
         opts.seed = seed ^ 0x9e3779b9u;
         opts.force_phase1 = true;
@@ -104,7 +112,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
   ScenarioTable table;
   table.title =
       "Theorem 3.8: oblivious n-gossip — direct vs center funnel "
-      "(same committed churn schedule for both algorithms)";
+      "(same committed " +
+      (axes.adversary_overridden() ? axes.adversary_label()
+                                   : std::string("churn")) +
+      " schedule for both algorithms)";
   table.columns = {"n",           "k=s",          "f",
                    "centers",     "direct msgs",  "funnel msgs",
                    "funnel/direct", "phase1 msgs", "phase2 msgs",
@@ -145,8 +156,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_oblivious_funnel(ScenarioRegistry& registry) {
   registry.add({"oblivious_funnel",
                 "Theorem 3.8: n-gossip, direct multi-source vs center funnel",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

@@ -18,7 +18,7 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "scenarios/adversary_axis.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -58,19 +58,26 @@ ScenarioResult run(const ScenarioContext& ctx) {
       : quick ? std::vector<std::size_t>{24, 48}
               : std::vector<std::size_t>{64, 128};
 
-  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
-  if (axis.overridden()) {
+  const RunAxes axes = RunAxes::resolve(ctx);
+  if (axes.overridden()) {
     std::vector<AxisRowSpec> axis_rows;
     for (const std::size_t n : sizes) {
       const auto k = static_cast<std::uint32_t>(large ? 256 : 2 * n);
       const Round cap = static_cast<Round>(
           large ? 100 * static_cast<std::uint64_t>(k) + n
                 : static_cast<std::uint64_t>(quick ? 40 : 100) * n * k);
-      axis_rows.push_back({n, k, cap, 4});
+      AxisRowSpec row{n, k, cap, 4, {}};
+      // Canonical sigma default (a representative grid point), consulted
+      // only under an --algo-only override.
+      row.def = AdversarySpec{"sigma", {}};
+      row.def.set("edges", static_cast<std::uint64_t>(large ? 8 * n : 3 * n))
+          .set("turnover", large ? 0.12 : 0.25)
+          .set("interval", static_cast<std::uint64_t>(4));
+      axis_rows.push_back(std::move(row));
     }
     return {"sigma_stable_churn",
-            {adversary_axis_table(ctx, axis, "single_source",
-                                  std::move(axis_rows), 11'000)}};
+            {run_axes_table(ctx, axes, AlgoSpec{"single_source", {}},
+                            std::move(axis_rows), 11'000)}};
   }
   const std::vector<Round> sigmas = {2, 4, 8};
   // Churn rate: fraction of the edge set rewired per interval.  1.0 is the
@@ -179,9 +186,10 @@ void register_sigma_stable_churn(ScenarioRegistry& registry) {
   registry.add({"sigma_stable_churn",
                 "sigma-interval-stable high-churn stress: Algorithm 1 across "
                 "sigma x churn-rate",
-                scenario_axis_params(),
+                scenario_algo_axis_params(),
                 run,
-                /*adversary_axis=*/true});
+                /*adversary_axis=*/true,
+                /*algo_axis=*/true});
 }
 
 }  // namespace dyngossip

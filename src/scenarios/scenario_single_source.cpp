@@ -5,16 +5,17 @@
 // probe the bound; every (row × trial) runs as one pool job and the
 // statistics fold in trial order, so output is bit-identical at any thread
 // count.  All adversaries come from the registry, and the scenario honours
-// the global --adversary=/--trace= axis: an override runs Algorithm 1
-// against the requested spec (or a recorded schedule) instead of the
-// default three-regime grid.
+// the global --adversary=/--trace=/--algo= axes: an override runs the
+// requested algorithm spec against the requested schedule (or the
+// scenario's default churn family) instead of the default three-regime
+// grid.
 
 #include <memory>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "scenarios/adversary_axis.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -94,15 +95,19 @@ ScenarioResult run(const ScenarioContext& ctx) {
               : static_cast<std::uint64_t>(quick ? 40 : 100) * n * k);
   };
 
-  const AdversaryAxis axis = AdversaryAxis::resolve(ctx);
-  if (axis.overridden()) {
+  const RunAxes axes = RunAxes::resolve(ctx);
+  if (axes.overridden()) {
     std::vector<AxisRowSpec> rows;
     for (const std::size_t n : sizes) {
-      rows.push_back({n, k_of(n), cap_of(n, k_of(n)), 4});
+      AxisRowSpec row{n, k_of(n), cap_of(n, k_of(n)), 4, {}};
+      // The scenario's canonical default schedule (the grid's churn case),
+      // consulted only under an --algo-only override.
+      row.def = case_spec(kCases[0], n, large ? 8 * n : 3 * n);
+      rows.push_back(std::move(row));
     }
     return {"single_source",
-            {adversary_axis_table(ctx, axis, "single_source", std::move(rows),
-                                  9'000)}};
+            {run_axes_table(ctx, axes, AlgoSpec{"single_source", {}},
+                            std::move(rows), 9'000)}};
   }
 
   // Large grids: one trial, churn only (fresh-graph resampling at n = 10^4
@@ -194,9 +199,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_single_source(ScenarioRegistry& registry) {
   registry.add({"single_source",
                 "Theorem 3.1: competitive messages, single source, 3 adversaries",
-                scenario_axis_params(),
+                scenario_algo_axis_params(),
                 run,
-                /*adversary_axis=*/true});
+                /*adversary_axis=*/true,
+                /*algo_axis=*/true});
 }
 
 }  // namespace dyngossip

@@ -4,7 +4,10 @@
 // The per-row sweep keeps sweep_seeds' SplitMix64
 // seed derivation (via derive_sweep_seeds) and folds samples in trial order
 // with Summary::of, so the statistics are bit-identical to the serial bench
-// at any thread count.
+// at any thread count.  The default churn schedule opts into the global
+// --adversary=/--trace= axis (the oblivious analysis needs an oblivious
+// schedule, but probing it against others is exactly what the axis is for;
+// a trace override pins n to the recording).
 
 #include <algorithm>
 #include <memory>
@@ -14,6 +17,7 @@
 #include "common/mathx.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -63,8 +67,13 @@ struct TrialOut {
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
-  const std::vector<std::size_t> sizes =
+  const RunAxes axes = RunAxes::resolve(ctx);
+  std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{32, 48} : std::vector<std::size_t>{32, 48, 64};
+  // A file-backed override fixes the node count at recording time.
+  if (const std::optional<TracePinned> pin = trace_pinned(axes)) {
+    sizes.assign(1, pin->n);
+  }
 
   struct RowSpec {
     std::size_t n;
@@ -88,7 +97,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
         derive_sweep_seeds(seeds, 1000 + rows[r].n * 7 + rows[r].k);
     for (std::size_t i = 0; i < seeds; ++i) {
       const std::uint64_t seed = trial_seeds[i];
-      batch.add([&out, &rows, r, i, seed] {
+      batch.add([&out, &rows, &axes, r, i, seed] {
         const RowSpec& spec = rows[r];
         const std::size_t n = spec.n;
         AdversarySpec churn{"churn", {}};
@@ -96,7 +105,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
             .set("churn",
                  static_cast<std::uint64_t>(std::max<std::size_t>(1, n / 8)))
             .set("sigma", static_cast<std::uint64_t>(3));
-        const std::unique_ptr<Adversary> adversary = build_adversary(churn, n, seed);
+        const std::unique_ptr<Adversary> adversary = axes.build(churn, n, seed);
         ObliviousMsOptions opts;
         opts.seed = seed ^ 0x5bd1e995u;
         if (spec.regime->funnel) {
@@ -121,9 +130,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
 
   ScenarioTable table;
   table.title =
-      "Table 1: amortized message complexity vs token count "
-      "(oblivious churn adversary; mean over " +
-      std::to_string(seeds) + " seeds)";
+      "Table 1: amortized message complexity vs token count (" +
+      (axes.adversary_overridden() ? axes.adversary_label()
+                                   : std::string("oblivious churn adversary")) +
+      "; mean over " + std::to_string(seeds) + " seeds)";
   table.columns = {"n", "regime", "k", "s", "centers", "measured amortized",
                    "paper bound", "meas/bound", "paper row"};
   for (std::size_t r = 0; r < rows.size(); ++r) {
@@ -156,8 +166,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_table1(ScenarioRegistry& registry) {
   registry.add({"table1",
                 "Table 1: amortized oblivious cost across four token regimes",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

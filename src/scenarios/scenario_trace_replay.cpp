@@ -36,16 +36,15 @@ constexpr Case kCases[] = {
     {"multi_source", "churn"},
 };
 
-/// The shared CLI/scenario dispatch with the scenario's source count
-/// (n/8 evenly spaced sources for multi_source rows).
-TracedRunSpec make_spec(const Case& c, std::size_t n, std::uint32_t k, Round cap) {
-  TracedRunSpec spec;
-  spec.algo = c.algo;
-  spec.n = n;
-  spec.k = k;
-  spec.sources = std::max<std::size_t>(2, n / 8);
-  spec.cap = cap;
-  return spec;
+/// The shared CLI/scenario dispatch context with the scenario's source
+/// count (n/8 evenly spaced sources for multi_source rows).
+AlgoBuildContext make_run_context(std::size_t n, std::uint32_t k, Round cap) {
+  AlgoBuildContext actx;
+  actx.n = n;
+  actx.k = k;
+  actx.sources = std::max<std::size_t>(2, n / 8);
+  actx.cap = cap;
+  return actx;
 }
 
 AdversarySpec case_adversary(const std::string& kind, std::size_t n) {
@@ -67,7 +66,8 @@ RecordReplayProbe run_trial(const Case& c, std::size_t n, std::uint32_t k,
                             Round cap, std::uint64_t seed) {
   const std::unique_ptr<Adversary> live =
       build_adversary(case_adversary(c.adversary, n), n, seed);
-  return record_replay_probe(make_spec(c, n, k, cap), *live, seed);
+  return record_replay_probe(AlgoSpec{c.algo, {}}, make_run_context(n, k, cap),
+                             *live, seed);
 }
 
 ScenarioResult run(const ScenarioContext& ctx) {

@@ -2,7 +2,10 @@
 // blind neighbor push, and Algorithm 1 against their amortized ceilings.
 //
 // Each trial runs all three algorithms on
-// the same committed churn schedule (one pool job keeps them paired).
+// the same committed churn schedule (one pool job keeps them paired).  The
+// shared schedule opts into the global --adversary=/--trace= axis — the
+// pairing is preserved because the override replaces the schedule for all
+// three algorithms at once (a trace override pins n to the recording).
 
 #include <memory>
 #include <vector>
@@ -12,6 +15,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/neighbor_exchange.hpp"
+#include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
@@ -28,14 +32,19 @@ struct TrialOut {
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
   const std::size_t seeds = ctx.trials_or(quick ? 2 : 3);
-  const std::vector<std::size_t> sizes =
+  const RunAxes axes = RunAxes::resolve(ctx);
+  std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{24, 48} : std::vector<std::size_t>{24, 48, 96};
+  // A file-backed override fixes the node count at recording time.
+  if (const std::optional<TracePinned> pin = trace_pinned(axes)) {
+    sizes.assign(1, pin->n);
+  }
 
   std::vector<std::vector<TrialOut>> out(sizes.size(), std::vector<TrialOut>(seeds));
   JobBatch batch;
   for (std::size_t r = 0; r < sizes.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&out, &sizes, r, i] {
+      batch.add([&out, &sizes, &axes, r, i] {
         const std::size_t n = sizes[r];
         const auto k = static_cast<std::uint32_t>(n);
         const std::uint64_t seed = 19'000 + 29 * n + i;
@@ -48,8 +57,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
         for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
         TrialOut& slot = out[r][i];
         {
-          const std::unique_ptr<Adversary> adversary =
-              build_adversary(churn, n, seed);
+          const std::unique_ptr<Adversary> adversary = axes.build(churn, n, seed);
           const RunResult res = run_phase_flooding(n, k, init, *adversary,
                                                    static_cast<Round>(10 * n * k));
           if (res.completed) {
@@ -60,8 +68,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
         }
         {
           // Same schedule, trivial unicast push.
-          const std::unique_ptr<Adversary> adversary =
-              build_adversary(churn, n, seed);
+          const std::unique_ptr<Adversary> adversary = axes.build(churn, n, seed);
           const RunMetrics m = run_neighbor_exchange(
               n, k, init, *adversary, static_cast<Round>(100 * n * k));
           if (m.completed) {
@@ -71,8 +78,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
         }
         {
           // Same schedule, Algorithm 1.
-          const std::unique_ptr<Adversary> adversary =
-              build_adversary(churn, n, seed);
+          const std::unique_ptr<Adversary> adversary = axes.build(churn, n, seed);
           const RunResult res = run_single_source(n, k, 0, *adversary,
                                                   static_cast<Round>(100 * n * k));
           if (res.completed) {
@@ -86,7 +92,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
   batch.run(ctx.pool());
 
   ScenarioTable table;
-  table.title = "Naive upper bounds under benign churn (k = n)";
+  table.title =
+      axes.adversary_overridden()
+          ? "Naive upper bounds under " + axes.adversary_label() + " (k = n)"
+          : "Naive upper bounds under benign churn (k = n)";
   table.columns = {"n",        "k",
                    "flooding amortized", "flood/n^2",
                    "blind push amortized", "push/n^2",
@@ -127,8 +136,9 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_upper_bounds(ScenarioRegistry& registry) {
   registry.add({"upper_bounds",
                 "Sections 1-2: naive flooding / blind push / Alg.1 ceilings",
-                {},
-                run});
+                scenario_axis_params(),
+                run,
+                /*adversary_axis=*/true});
 }
 
 }  // namespace dyngossip

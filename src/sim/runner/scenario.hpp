@@ -107,6 +107,14 @@ class ScenarioContext {
   }
   void set_adversary_spec(std::string spec) { adversary_ = std::move(spec); }
 
+  /// Global --algo= axis: an algorithm spec string (see algo/registry.hpp)
+  /// overriding the scenario's default algorithm family, or "" when the
+  /// scenario should run its own default.  Set by the CLI after validation;
+  /// only scenarios registered with algo_axis accept it.
+  [[nodiscard]] const std::string& algo_spec() const noexcept { return algo_; }
+  [[nodiscard]] bool has_algo_override() const noexcept { return !algo_.empty(); }
+  void set_algo_spec(std::string spec) { algo_ = std::move(spec); }
+
   /// Typed parameter access with defaults; exits with a message on a value
   /// that does not parse (mirrors CliArgs behaviour).
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
@@ -127,6 +135,7 @@ class ScenarioContext {
   ScenarioScale scale_;
   std::map<std::string, std::string> params_;
   std::string adversary_;
+  std::string algo_;
 };
 
 /// A registered experiment.
@@ -138,6 +147,9 @@ struct Scenario {
   /// True when the scenario honours the global --adversary=/--trace= axis
   /// (ScenarioContext::adversary_spec); the CLI rejects the flags otherwise.
   bool adversary_axis = false;
+  /// True when the scenario additionally honours the global --algo= axis
+  /// (ScenarioContext::algo_spec); the CLI rejects the flag otherwise.
+  bool algo_axis = false;
 };
 
 }  // namespace dyngossip

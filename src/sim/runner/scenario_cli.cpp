@@ -8,6 +8,7 @@
 
 #include "adversary/churn.hpp"
 #include "adversary/registry.hpp"
+#include "algo/registry.hpp"
 #include "common/cli.hpp"
 #include "sim/runner/demo_registry.hpp"
 #include "sim/runner/emit.hpp"
@@ -27,6 +28,7 @@ constexpr const char* kUsage =
     "commands:\n"
     "  list [--json]                 list registered scenarios\n"
     "  adversaries [--json]          list registered adversary families\n"
+    "  algorithms [--json]           list registered algorithm families\n"
     "  run <scenario> [flags]        run one scenario\n"
     "      --threads=N   worker threads (0 = hardware, default)\n"
     "      --trials=T    trials per configuration (0 = scenario default)\n"
@@ -38,6 +40,8 @@ constexpr const char* kUsage =
     "                    registered adversary spec (see `adversaries`)\n"
     "      --trace=FILE  replay a recorded schedule: shorthand for\n"
     "                    --adversary=trace:file=FILE\n"
+    "      --algo=SPEC   run any registered algorithm spec against the\n"
+    "                    scenario's schedule (see `algorithms`)\n"
     "      --<param>=v   scenario-specific parameter (see `list`)\n"
     "  demo <name> [flags]           run a narrated end-to-end demo\n"
     "      (see `dyngossip demo` for the catalogue)\n"
@@ -83,6 +87,7 @@ int cmd_list(const ScenarioRegistry& registry, const CliArgs& args) {
       }
       entry.set("params", std::move(params));
       entry.set("adversary_axis", JsonValue::boolean(s->adversary_axis));
+      entry.set("algo_axis", JsonValue::boolean(s->algo_axis));
       scenarios.push(std::move(entry));
     }
     doc.set("scenarios", std::move(scenarios));
@@ -100,7 +105,8 @@ int cmd_list(const ScenarioRegistry& registry, const CliArgs& args) {
       "\nglobal run flags: --threads --trials --scale --quick --csv --json;\n"
       "scenarios listing --adversary/--trace accept any spec from\n"
       "`dyngossip adversaries` (e.g. --adversary=churn:rate=0.01 or\n"
-      "--trace=run.dgt to replay a recording).\n");
+      "--trace=run.dgt to replay a recording); scenarios listing --algo\n"
+      "accept any spec from `dyngossip algorithms` (e.g. --algo=flooding:).\n");
   return 0;
 }
 
@@ -125,6 +131,7 @@ int cmd_adversaries(const CliArgs& args) {
         keys.push(std::move(spec));
       }
       entry.set("keys", std::move(keys));
+      entry.set("needs_run_context", JsonValue::boolean(f->needs_run_context));
       families.push(std::move(entry));
     }
     doc.set("families", std::move(families));
@@ -135,6 +142,12 @@ int cmd_adversaries(const CliArgs& args) {
   for (const AdversaryFamily* f : registry.list()) {
     std::printf("%-10s %s\n           e.g. %s\n", f->name.c_str(),
                 f->description.c_str(), f->example.c_str());
+    if (f->needs_run_context) {
+      std::printf("           NOTE: buildable but not spec-replayable — the "
+                  "factory needs the\n           run's initial knowledge; to "
+                  "reproduce a schedule, record it and\n           replay "
+                  "through trace:file=\n");
+    }
     for (const AdversaryKeySpec& k : f->keys) {
       std::printf("    %s=<%s>  (default %s)  %s\n", k.key.c_str(),
                   adversary_key_kind_name(k.kind), k.default_value.c_str(),
@@ -145,6 +158,59 @@ int cmd_adversaries(const CliArgs& args) {
       "\nUse with any axis-capable scenario:  dyngossip run <scenario>\n"
       "  --adversary=SPEC   (or --trace=FILE for trace:file=FILE)\n"
       "or record one:  dyngossip trace record --adversary=SPEC --out=T.dgt\n");
+  return 0;
+}
+
+int cmd_algorithms(const CliArgs& args) {
+  args.allow_only({"json"}, "dyngossip algorithms [--json]");
+  const AlgoRegistry& registry = AlgoRegistry::global();
+  if (args.get_bool("json", false)) {
+    JsonValue doc = JsonValue::object();
+    JsonValue families = JsonValue::array();
+    for (const AlgoFamily* f : registry.list()) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue::str(f->name));
+      entry.set("description", JsonValue::str(f->description));
+      entry.set("example", JsonValue::str(f->example));
+      entry.set("engine", JsonValue::str(algo_engine_name(f->engine)));
+      entry.set("requires_static", JsonValue::boolean(f->requires_static));
+      JsonValue keys = JsonValue::array();
+      for (const AlgoKeySpec& k : f->keys) {
+        JsonValue spec = JsonValue::object();
+        spec.set("key", JsonValue::str(k.key));
+        spec.set("kind", JsonValue::str(algo_key_kind_name(k.kind)));
+        spec.set("default", JsonValue::str(k.default_value));
+        spec.set("help", JsonValue::str(k.help));
+        keys.push(std::move(spec));
+      }
+      entry.set("keys", std::move(keys));
+      families.push(std::move(entry));
+    }
+    doc.set("families", std::move(families));
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  std::printf("algorithm spec grammar: family[:key=value[,key=value...]]\n\n");
+  for (const AlgoFamily* f : registry.list()) {
+    std::printf("%-17s [%s] %s\n                  e.g. %s\n", f->name.c_str(),
+                algo_engine_name(f->engine), f->description.c_str(),
+                f->example.c_str());
+    if (f->requires_static) {
+      std::printf("                  NOTE: static schedules only (the protocol "
+                  "asserts an\n                  unchanging neighborhood) — "
+                  "pair with --adversary=static:\n");
+    }
+    for (const AlgoKeySpec& k : f->keys) {
+      std::printf("    %s=<%s>  (default %s)  %s\n", k.key.c_str(),
+                  algo_key_kind_name(k.kind), k.default_value.c_str(),
+                  k.help.c_str());
+    }
+  }
+  std::printf(
+      "\nUse with any algo-axis scenario:  dyngossip run <scenario> "
+      "--algo=SPEC\n"
+      "(combine with --adversary=SPEC to pick both axes, or run the\n"
+      "`algo_matrix` scenario to cross every family at once).\n");
   return 0;
 }
 
@@ -195,6 +261,26 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
     }
   }
 
+  // The global algorithm axis: --algo=SPEC, validated up front like the
+  // adversary axis.
+  if (args.has("algo") && !scenario->algo_axis) {
+    std::fprintf(stderr,
+                 "scenario '%s' does not support the --algo axis; "
+                 "`dyngossip list` marks the scenarios that do\n",
+                 name.c_str());
+    return 2;
+  }
+  std::string algo_spec;
+  if (args.has("algo")) {
+    algo_spec = args.get_string("algo", "");
+    try {
+      AlgoRegistry::global().validate(AlgoSpec::parse(algo_spec));
+    } catch (const AlgoSpecError& e) {
+      std::fprintf(stderr, "%s\n(see `dyngossip algorithms`)\n", e.what());
+      return 2;
+    }
+  }
+
   std::vector<std::string> allowed = {"threads", "trials", "scale", "quick",
                                       "csv",     "json"};
   for (const ParamSpec& p : scenario->params) allowed.push_back(p.name);
@@ -206,7 +292,7 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   for (const ParamSpec& p : scenario->params) {
     // The axis flags are global (threaded via ScenarioContext), never
     // scenario params, even though they appear in `list` as declared specs.
-    if (p.name == "adversary" || p.name == "trace") continue;
+    if (p.name == "adversary" || p.name == "trace" || p.name == "algo") continue;
     if (args.has(p.name)) params[p.name] = args.get_string(p.name, "");
   }
   const std::int64_t trials_raw = args.get_int("trials", 0);
@@ -236,12 +322,16 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   ThreadPool pool(threads);
   ScenarioContext ctx(pool, trials, scale, std::move(params));
   ctx.set_adversary_spec(adversary_spec);
+  ctx.set_algo_spec(algo_spec);
   const auto start = std::chrono::steady_clock::now();
   ScenarioResult result;
   try {
     result = scenario->run(ctx);
   } catch (const AdversarySpecError& e) {
     std::fprintf(stderr, "adversary spec error: %s\n", e.what());
+    return 2;
+  } catch (const AlgoSpecError& e) {
+    std::fprintf(stderr, "algorithm spec error: %s\n", e.what());
     return 2;
   } catch (const TraceError& e) {
     std::fprintf(stderr, "trace error: %s\n", e.what());
@@ -403,6 +493,12 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
     for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
     const CliArgs args(static_cast<int>(rest.size()), rest.data());
     return cmd_adversaries(args);
+  }
+  if (command == "algorithms") {
+    std::vector<const char*> rest = {program};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return cmd_algorithms(args);
   }
   if (command == "run") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {

@@ -1,13 +1,8 @@
 #include "trace/run_payload.hpp"
 
-#include <algorithm>
 #include <memory>
 #include <sstream>
-#include <vector>
 
-#include "common/check.hpp"
-#include "core/tokens.hpp"
-#include "sim/simulator.hpp"
 #include "trace/trace_adversary.hpp"
 #include "trace/trace_format.hpp"
 #include "trace/trace_reader.hpp"
@@ -59,48 +54,26 @@ JsonValue run_payload_json(const std::string& algo, std::size_t n, std::uint64_t
   return doc;
 }
 
-RunResult run_traced_algo(const TracedRunSpec& spec, Adversary& adversary,
-                          std::uint64_t* k_out) {
-  DG_CHECK(spec.algo == "single_source" || spec.algo == "multi_source");
-  const Round cap =
-      spec.cap > 0
-          ? spec.cap
-          : static_cast<Round>(200ull * spec.n * std::max<std::uint32_t>(spec.k, 1));
-  if (spec.algo == "single_source") {
-    *k_out = spec.k;
-    return run_single_source(spec.n, spec.k, /*source=*/0, adversary, cap);
-  }
-  const std::size_t s = std::min(std::max<std::size_t>(1, spec.sources), spec.n);
-  std::vector<TokenSpace::SourceSpec> specs;
-  specs.reserve(s);
-  for (std::size_t i = 0; i < s; ++i) {
-    specs.push_back(
-        {static_cast<NodeId>(i * (spec.n / s)),
-         std::max<std::uint32_t>(1, spec.k / static_cast<std::uint32_t>(s))});
-  }
-  const auto space = std::make_shared<TokenSpace>(TokenSpace::contiguous(specs));
-  *k_out = space->total_tokens();
-  return run_multi_source(spec.n, space, adversary, cap);
-}
-
-RecordReplayProbe record_replay_probe(const TracedRunSpec& spec, Adversary& live,
+RecordReplayProbe record_replay_probe(const AlgoSpec& spec,
+                                      const AlgoBuildContext& ctx, Adversary& live,
                                       std::uint64_t trace_seed) {
   RecordReplayProbe probe;
 
   // Record: live adversary, schedule teed to an in-memory binary trace.
   std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
   {
-    BinaryTraceWriter writer(buffer, static_cast<std::uint32_t>(spec.n),
-                             trace_seed, spec.algo);
+    BinaryTraceWriter writer(buffer, static_cast<std::uint32_t>(ctx.n),
+                             trace_seed, spec.to_string());
     TraceRecorder recorder(live, writer);
-    std::uint64_t k_realized = 0;
-    const RunResult recorded = run_traced_algo(spec, recorder, &k_realized);
+    AlgoBuildContext run_ctx = ctx;
+    const RunResult recorded = run_algo(spec, run_ctx, recorder);
     writer.finish();
-    probe.k = k_realized;
+    probe.k = run_ctx.k_realized;
     probe.rounds = recorded.rounds;
     probe.trace_rounds = writer.rounds();
     probe.completed = recorded.completed;
-    probe.recorded_checksum = run_payload_checksum(spec.n, k_realized, recorded);
+    probe.recorded_checksum =
+        run_payload_checksum(ctx.n, run_ctx.k_realized, recorded);
   }
   // tellp sits at the end after finish(); str() would copy the whole trace.
   probe.trace_bytes = static_cast<std::size_t>(buffer.tellp());
@@ -109,9 +82,10 @@ RecordReplayProbe record_replay_probe(const TracedRunSpec& spec, Adversary& live
   {
     buffer.seekg(0);
     TraceAdversary adversary(std::make_unique<BinaryTraceReader>(buffer));
-    std::uint64_t k_realized = 0;
-    const RunResult replayed = run_traced_algo(spec, adversary, &k_realized);
-    probe.replayed_checksum = run_payload_checksum(spec.n, k_realized, replayed);
+    AlgoBuildContext run_ctx = ctx;
+    const RunResult replayed = run_algo(spec, run_ctx, adversary);
+    probe.replayed_checksum =
+        run_payload_checksum(ctx.n, run_ctx.k_realized, replayed);
   }
   return probe;
 }

@@ -1,19 +1,20 @@
-// Deterministic run-result payloads and the shared run dispatch used by
-// `dyngossip trace` and the trace scenarios.
+// Deterministic run-result payloads for `dyngossip trace` and the trace
+// scenarios.
 //
 // A payload is every metric a run produced plus a SplitMix64 fold of all of
 // them: two runs are bit-identical iff their payload checksums match, so
 // record-vs-replay checks (CI, the trace_replay scenario, sweep rows) can
-// compare one 64-bit value instead of diffing full JSON documents.  The
-// dispatch (TracedRunSpec → run) lives here too so the CLI and the
-// scenarios build identical runs — in particular the multi_source
-// token-splitting rule exists exactly once.
+// compare one 64-bit value instead of diffing full JSON documents.  The run
+// dispatch itself lives in the algorithm registry (algo/registry.hpp):
+// run_algo(spec, ctx, adversary) is the single entry point the CLI, the
+// scenarios, and the record→replay probe below all share.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "adversary/adversary.hpp"
+#include "algo/registry.hpp"
 #include "sim/config.hpp"
 #include "sim/runner/json.hpp"
 
@@ -23,25 +24,10 @@ namespace dyngossip {
 [[nodiscard]] std::uint64_t run_payload_checksum(std::size_t n, std::uint64_t k,
                                                  const RunResult& r);
 
-/// Full machine-readable record, checksum included.
+/// Full machine-readable record, checksum included.  `algo` is the
+/// canonical algorithm spec string (AlgoSpec::to_string()).
 [[nodiscard]] JsonValue run_payload_json(const std::string& algo, std::size_t n,
                                          std::uint64_t k, const RunResult& r);
-
-/// Algorithm side of a traced run (parsed from CLI flags or built by a
-/// scenario row).
-struct TracedRunSpec {
-  std::string algo = "single_source";  ///< single_source | multi_source
-  std::size_t n = 64;
-  std::uint32_t k = 128;
-  std::size_t sources = 4;  ///< multi_source: evenly spaced source nodes
-  Round cap = 0;            ///< 0: derive 200·n·k
-};
-
-/// Runs the spec'd algorithm against `adversary`.  multi_source places
-/// min(sources, n) sources at nodes i·(n/s) with k/s tokens each; *k_out
-/// receives the realized token count (k rounded down to s·(k/s)).
-[[nodiscard]] RunResult run_traced_algo(const TracedRunSpec& spec,
-                                        Adversary& adversary, std::uint64_t* k_out);
 
 /// Outcome of one in-memory record→replay round trip (see
 /// record_replay_probe).
@@ -55,12 +41,14 @@ struct RecordReplayProbe {
   bool completed = false;           ///< live run finished dissemination
 };
 
-/// Runs the spec'd algorithm against `live` while teeing the schedule to an
-/// in-memory binary trace, then replays the trace through TraceAdversary
-/// and re-runs the same algorithm off the reader.  Equal checksums certify
-/// the whole trace pipeline reproduced the run bit-identically (the
-/// trace_replay scenario's regression probe).
-[[nodiscard]] RecordReplayProbe record_replay_probe(const TracedRunSpec& spec,
+/// Runs `spec` (through the algorithm registry) against `live` while teeing
+/// the schedule to an in-memory binary trace, then replays the trace
+/// through TraceAdversary and re-runs the same algorithm off the reader.
+/// Equal checksums certify the whole trace pipeline reproduced the run
+/// bit-identically (the trace_replay scenario's regression probe).  `ctx`
+/// is copied per run so both executions start from the same inputs.
+[[nodiscard]] RecordReplayProbe record_replay_probe(const AlgoSpec& spec,
+                                                    const AlgoBuildContext& ctx,
                                                     Adversary& live,
                                                     std::uint64_t trace_seed);
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "adversary/registry.hpp"
+#include "algo/registry.hpp"
 #include "common/cli.hpp"
 #include "core/tokens.hpp"
 #include "metrics/report.hpp"
@@ -30,20 +31,23 @@ namespace {
 constexpr const char* kTraceUsage =
     "usage: dyngossip trace <record|replay|info|gen> [flags]\n"
     "\n"
-    "  record --out=T.dgt [--algo=single_source|multi_source] [--n=64]\n"
+    "  record --out=T.dgt [--algo=SPEC] [--n=64]\n"
     "         [--k=128] [--sources=4] [--adversary=SPEC] [--sigma=3]\n"
     "         [--churn=N/8] [--edges=3N] [--seed=7] [--cap=R] [--quick]\n"
     "         [--json[=PATH|-]]\n"
     "         run an algorithm against a live adversary, teeing the schedule\n"
-    "         to a trace; SPEC is any registry spec (`dyngossip adversaries`;\n"
-    "         default churn — the --sigma/--churn/--edges flags fill in\n"
-    "         unset keys of the churn/fresh/sigma families); the run flags\n"
-    "         are embedded in the trace metadata\n"
-    "  replay --trace=T.dgt [--algo=..] [--k=..] [--sources=..] [--cap=R]\n"
+    "         to a trace; --algo is any registry spec (`dyngossip\n"
+    "         algorithms`, default single_source) and --adversary any\n"
+    "         schedule spec (`dyngossip adversaries`, default churn — the\n"
+    "         --sigma/--churn/--edges flags fill in unset keys of the\n"
+    "         churn/fresh/sigma families); the run flags are embedded in the\n"
+    "         trace metadata\n"
+    "  replay --trace=T.dgt [--algo=SPEC] [--k=..] [--sources=..] [--cap=R]\n"
     "         [--json[=PATH|-]]\n"
     "         re-run an algorithm against a recorded schedule (flags default\n"
-    "         to the recorded metadata; matching flags give a bit-identical\n"
-    "         payload, which `diff` or the checksum field verifies)\n"
+    "         to the recorded metadata, including the canonical algorithm\n"
+    "         spec; matching flags give a bit-identical payload, which\n"
+    "         `diff` or the checksum field verifies)\n"
     "  info   --trace=T.dgt [--windows=W] [--json[=PATH|-]]\n"
     "         stream a trace and summarize it (no run); --windows=W adds\n"
     "         per-window round/edge-churn stats for long schedules\n"
@@ -109,29 +113,27 @@ int cmd_record(const CliArgs& args) {
     return 2;
   }
   const bool quick = args.get_bool("quick", false);
-  TracedRunSpec spec;
-  spec.algo = args.get_string("algo", "single_source");
-  spec.n = static_cast<std::size_t>(args.get_int("n", quick ? 32 : 64));
-  spec.k = static_cast<std::uint32_t>(args.get_int("k", quick ? 64 : 128));
-  spec.sources = static_cast<std::size_t>(args.get_int("sources", 4));
-  spec.cap = static_cast<Round>(args.get_int("cap", 0));
-  if (spec.algo != "single_source" && spec.algo != "multi_source") {
-    std::fprintf(stderr, "--algo must be single_source or multi_source\n");
-    return 2;
-  }
-  if (spec.n < 2 || spec.k < 1) {
+  const AlgoSpec algo = AlgoSpec::parse(args.get_string("algo", "single_source"));
+  AlgoRegistry::global().validate(algo);
+  AlgoBuildContext actx;
+  actx.n = static_cast<std::size_t>(args.get_int("n", quick ? 32 : 64));
+  actx.k = static_cast<std::uint32_t>(args.get_int("k", quick ? 64 : 128));
+  actx.sources = static_cast<std::size_t>(args.get_int("sources", 4));
+  actx.cap = static_cast<Round>(args.get_int("cap", 0));
+  if (actx.n < 2 || actx.k < 1) {
     std::fprintf(stderr, "--n >= 2 and --k >= 1 required\n");
     return 2;
   }
   const std::string kind = args.get_string("adversary", "churn");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  actx.seed = seed;
   const auto sigma = static_cast<Round>(args.get_int("sigma", 3));
   const auto churn =
       static_cast<std::size_t>(args.get_int("churn", static_cast<std::int64_t>(
                                                          std::max<std::size_t>(
-                                                             1, spec.n / 8))));
+                                                             1, actx.n / 8))));
   const auto edges = static_cast<std::size_t>(
-      args.get_int("edges", static_cast<std::int64_t>(3 * spec.n)));
+      args.get_int("edges", static_cast<std::int64_t>(3 * actx.n)));
   if (sigma < 1) {
     std::fprintf(stderr, "--sigma must be >= 1\n");
     return 2;
@@ -139,34 +141,42 @@ int cmd_record(const CliArgs& args) {
 
   const AdversarySpec aspec = effective_adversary_spec(
       kind, edges, churn, static_cast<std::size_t>(sigma), seed);
+  std::string why;
+  if (!algo_schedule_compatible(*AlgoRegistry::global().find(algo.family),
+                                aspec, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
+    return 2;
+  }
   AdversaryBuildContext bctx;
-  bctx.n = spec.n;
+  bctx.n = actx.n;
   bctx.seed = seed;
   const std::unique_ptr<Adversary> inner =
       AdversaryRegistry::global().build(aspec, bctx);
 
   // The run flags become the trace metadata so replay can default to them;
-  // the canonical adversary spec makes the recording self-describing.
-  std::string metadata = "algo=" + spec.algo + " n=" + std::to_string(spec.n) +
-                         " k=" + std::to_string(spec.k) +
-                         " sources=" + std::to_string(spec.sources) +
+  // the canonical algorithm + adversary specs make the recording
+  // self-describing.
+  std::string metadata = "algo=" + algo.to_string() +
+                         " n=" + std::to_string(actx.n) +
+                         " k=" + std::to_string(actx.k) +
+                         " sources=" + std::to_string(actx.sources) +
                          " adversary=" + aspec.to_string() +
                          " seed=" + std::to_string(seed) +
-                         " cap=" + std::to_string(spec.cap);
+                         " cap=" + std::to_string(actx.cap);
 
   std::unique_ptr<TraceWriter> writer = open_trace_writer(
-      out_path, static_cast<std::uint32_t>(spec.n), seed, std::move(metadata));
+      out_path, static_cast<std::uint32_t>(actx.n), seed, std::move(metadata));
   TraceRecorder recorder(*inner, *writer);
-  std::uint64_t k_realized = 0;
-  const RunResult r = run_traced_algo(spec, recorder, &k_realized);
+  const RunResult r = run_algo(algo, actx, recorder);
   writer->finish();
 
   if (args.has("json")) {
-    return emit_json(args, run_payload_json(spec.algo, spec.n, k_realized, r));
+    return emit_json(args,
+                     run_payload_json(algo.to_string(), actx.n, actx.k_realized, r));
   }
   std::printf("recorded %u rounds to %s (n=%zu, checksum=%s)\n", writer->rounds(),
-              out_path.c_str(), spec.n, checksum_hex(writer->checksum()).c_str());
-  std::printf("%s", run_summary(r.metrics, k_realized).c_str());
+              out_path.c_str(), actx.n, checksum_hex(writer->checksum()).c_str());
+  std::printf("%s", run_summary(r.metrics, actx.k_realized).c_str());
   return 0;
 }
 
@@ -192,29 +202,40 @@ int cmd_replay(const CliArgs& args) {
     }
   };
 
-  TracedRunSpec spec;
-  spec.algo = args.get_string(
-      "algo", meta.count("algo") != 0u ? meta.at("algo") : "single_source");
-  spec.n = header.n;
-  spec.k = static_cast<std::uint32_t>(args.get_int("k", meta_or("k", 128)));
-  spec.sources =
-      static_cast<std::size_t>(args.get_int("sources", meta_or("sources", 4)));
-  spec.cap = static_cast<Round>(args.get_int("cap", meta_or("cap", 0)));
-  if (spec.algo != "single_source" && spec.algo != "multi_source") {
-    std::fprintf(stderr, "--algo must be single_source or multi_source\n");
+  // The recording's metadata embeds the canonical algorithm spec, so a
+  // bare `trace replay` re-runs exactly the recorded algorithm; --algo=SPEC
+  // replays the schedule under a different one (cross-algorithm replay).
+  const AlgoSpec algo = AlgoSpec::parse(args.get_string(
+      "algo", meta.count("algo") != 0u ? meta.at("algo") : "single_source"));
+  AlgoRegistry::global().validate(algo);
+  // A static-only algorithm over a dynamic recording would die on the
+  // protocol's DG_CHECK; the shared policy inspects the recording's
+  // embedded adversary metadata and rejects that cleanly before running.
+  std::string why;
+  if (!algo_schedule_compatible(
+          *AlgoRegistry::global().find(algo.family),
+          AdversarySpec{"trace", {{"file", trace_path}}}, &why)) {
+    std::fprintf(stderr, "%s\n", why.c_str());
     return 2;
   }
+  AlgoBuildContext actx;
+  actx.n = header.n;
+  actx.k = static_cast<std::uint32_t>(args.get_int("k", meta_or("k", 128)));
+  actx.sources =
+      static_cast<std::size_t>(args.get_int("sources", meta_or("sources", 4)));
+  actx.cap = static_cast<Round>(args.get_int("cap", meta_or("cap", 0)));
+  actx.seed = static_cast<std::uint64_t>(meta_or("seed", 1));
 
-  std::uint64_t k_realized = 0;
-  const RunResult r = run_traced_algo(spec, adversary, &k_realized);
+  const RunResult r = run_algo(algo, actx, adversary);
 
   if (args.has("json")) {
-    return emit_json(args, run_payload_json(spec.algo, spec.n, k_realized, r));
+    return emit_json(args,
+                     run_payload_json(algo.to_string(), actx.n, actx.k_realized, r));
   }
   std::printf("replayed %u trace rounds from %s (exhausted=%s)\n",
               adversary.rounds_replayed(), trace_path.c_str(),
               adversary.exhausted() ? "yes" : "no");
-  std::printf("%s", run_summary(r.metrics, k_realized).c_str());
+  std::printf("%s", run_summary(r.metrics, actx.k_realized).c_str());
   return 0;
 }
 
@@ -496,6 +517,9 @@ int trace_main(int argc, const char* const* argv) {
     if (sub == "gen") return cmd_gen(args);
   } catch (const AdversarySpecError& e) {
     std::fprintf(stderr, "%s\n(see `dyngossip adversaries`)\n", e.what());
+    return 2;
+  } catch (const AlgoSpecError& e) {
+    std::fprintf(stderr, "%s\n(see `dyngossip algorithms`)\n", e.what());
     return 2;
   } catch (const TraceError& e) {
     std::fprintf(stderr, "trace error: %s\n", e.what());

@@ -46,11 +46,14 @@ TEST(AdversarySpec, ParsesFamilyAloneAndKeyValueLists) {
 
 TEST(AdversarySpec, RejectsMalformedText) {
   for (const char* bad :
-       {"", ":", "churn:", "churn:rate", "churn:=3", "churn:rate=1,,",
+       {"", ":", "churn:rate", "churn:=3", "churn:rate=1,,",
         "churn:rate=1,x", "Churn:rate=1", "churn:ra te=1",
         "churn:rate=1,rate=2"}) {
     EXPECT_THROW((void)AdversarySpec::parse(bad), AdversarySpecError) << bad;
   }
+  // `family:` is the explicit no-params spelling (shared grammar with the
+  // algorithm registry, where `--algo=flooding:` is idiomatic).
+  EXPECT_EQ(AdversarySpec::parse("churn:").to_string(), "churn");
 }
 
 TEST(AdversarySpec, SettersRoundTripNumbers) {
@@ -256,6 +259,23 @@ TEST_F(FileBackedFamilies, SmoothedAdversaryMatchesSmoothTraceOutput) {
   live.seekg(0);
   EXPECT_EQ(BinaryTraceReader(smoothed).header().checksum,
             BinaryTraceReader(live).header().checksum);
+}
+
+TEST(AdversaryRegistryDescribe, FlagsContextDependentFamilies) {
+  // The lb family builds inside a run (it needs k + initial knowledge) but
+  // cannot be replayed from its spec alone; describe() must surface that
+  // caveat so `dyngossip adversaries` prints it instead of leaving it
+  // folkloric.  Spec-replayable families carry no caveat.
+  const AdversaryRegistry& registry = AdversaryRegistry::global();
+  ASSERT_NE(registry.find("lb"), nullptr);
+  EXPECT_TRUE(registry.find("lb")->needs_run_context);
+  EXPECT_NE(registry.describe("lb").find("not spec-replayable"),
+            std::string::npos);
+  EXPECT_NE(registry.describe("lb").find("trace:file="), std::string::npos);
+  EXPECT_FALSE(registry.find("churn")->needs_run_context);
+  EXPECT_EQ(registry.describe("churn").find("not spec-replayable"),
+            std::string::npos);
+  EXPECT_EQ(registry.describe("no_such_family"), "");
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Scenario-level tests of the --adversary/--trace/--algo axes: an
+// overridden scenario reproduces a recording run's payload checksum
+// bit-for-bit, synthetic adversary overrides swap the schedule family
+// without touching the scenario's shape, and an --algo override runs a
+// different registered algorithm whose payload is bit-identical to the
+// hand-built run.
+#include "scenarios/run_axes.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.hpp"
+#include "sim/runner/scenario_registry.hpp"
+#include "sim/simulator.hpp"
+#include "trace/run_payload.hpp"
+#include "trace/trace_adversary.hpp"
+#include "trace/trace_format.hpp"
+#include "trace/trace_writer.hpp"
+
+namespace dyngossip {
+namespace {
+
+ScenarioResult run_scenario(const std::string& name, const std::string& spec,
+                            std::size_t trials = 0,
+                            const std::string& algo = "") {
+  ScenarioRegistry registry;
+  register_all_scenarios(registry);
+  const Scenario* scenario = registry.find(name);
+  EXPECT_NE(scenario, nullptr);
+  ThreadPool pool(2);
+  ScenarioContext ctx(pool, trials, /*quick=*/true);
+  ctx.set_adversary_spec(spec);
+  ctx.set_algo_spec(algo);
+  return scenario->run(ctx);
+}
+
+class RecordedTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "axis_test_recorded.dgt";
+    // Record exactly the way `dyngossip trace record` does: run the shared
+    // registry dispatch against a live churn adversary, teeing the
+    // schedule, with the run flags embedded in the metadata.
+    spec_ = AlgoSpec{"single_source", {}};
+    ctx_.n = 32;
+    ctx_.k = 64;
+    ctx_.sources = 4;
+    ctx_.cap = 0;
+    const std::string metadata =
+        "algo=single_source n=32 k=64 sources=4 adversary=churn seed=7 cap=0";
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    BinaryTraceWriter writer(out, 32, /*seed=*/7, metadata);
+    const std::unique_ptr<Adversary> live =
+        build_adversary(AdversarySpec::parse("churn:sigma=3"), ctx_.n, 7);
+    TraceRecorder recorder(*live, writer);
+    AlgoBuildContext run_ctx = ctx_;
+    const RunResult recorded = run_algo(spec_, run_ctx, recorder);
+    writer.finish();
+    recorded_checksum_ =
+        checksum_hex(run_payload_checksum(ctx_.n, run_ctx.k_realized, recorded));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  AlgoSpec spec_;
+  AlgoBuildContext ctx_;
+  std::string recorded_checksum_;
+};
+
+TEST_F(RecordedTrace, SingleSourceScenarioReproducesTheRecordingChecksum) {
+  const ScenarioResult result =
+      run_scenario("single_source", "trace:file=" + path_);
+  ASSERT_EQ(result.tables.size(), 1u);
+  const ScenarioTable& table = result.tables[0];
+  ASSERT_EQ(table.rows.size(), 1u);  // n pinned by the trace header
+  const std::vector<std::string>& row = table.rows[0];
+  EXPECT_EQ(row[2], "32");               // n from the trace
+  EXPECT_EQ(row[3], "64");               // k from the metadata
+  EXPECT_EQ(row.back(), recorded_checksum_);
+}
+
+TEST_F(RecordedTrace, ScriptedOverrideReplaysTheSameScheduleAsTrace) {
+  // scripted: materializes the whole file as a graph script; trace: streams
+  // it.  Same schedule, different machinery — the run payloads must agree
+  // with each other and with the recording.
+  const ScenarioResult t = run_scenario("single_source", "trace:file=" + path_);
+  const ScenarioResult s =
+      run_scenario("single_source", "scripted:file=" + path_);
+  ASSERT_EQ(t.tables[0].rows.size(), 1u);
+  ASSERT_EQ(s.tables[0].rows.size(), 1u);
+  EXPECT_EQ(s.tables[0].rows[0].back(), recorded_checksum_);
+  EXPECT_EQ(t.tables[0].rows[0].back(), s.tables[0].rows[0].back());
+}
+
+TEST_F(RecordedTrace, TraceOverrideIsDeterministicAcrossRuns) {
+  const ScenarioResult a = run_scenario("single_source", "trace:file=" + path_);
+  const ScenarioResult b = run_scenario("single_source", "trace:file=" + path_);
+  EXPECT_TRUE(a == b);
+}
+
+TEST_F(RecordedTrace, LeaderElectionPinsItsGridToTheTraceNodeCount) {
+  const ScenarioResult result =
+      run_scenario("leader_election", "trace:file=" + path_, /*trials=*/1);
+  ASSERT_EQ(result.tables.size(), 1u);
+  ASSERT_EQ(result.tables[0].rows.size(), 1u);  // one n, one (override) case
+  EXPECT_EQ(result.tables[0].rows[0][0], "32");
+  EXPECT_EQ(result.tables[0].rows[0][1], "trace:file=" + path_);
+}
+
+TEST_F(RecordedTrace, Table1PinsItsGridToTheTraceNodeCount) {
+  // PR-5 satellite: table1 now honours the adversary axis; a trace
+  // override collapses the size sweep to the recording's node count.
+  const ScenarioResult result =
+      run_scenario("table1", "trace:file=" + path_, /*trials=*/1);
+  ASSERT_EQ(result.tables.size(), 1u);
+  ASSERT_EQ(result.tables[0].rows.size(), 4u);  // one n x four regimes
+  for (const auto& row : result.tables[0].rows) EXPECT_EQ(row[0], "32");
+}
+
+TEST_F(RecordedTrace, CrossAlgorithmReplayRunsFloodingOverTheRecording) {
+  // The schedule was recorded under single_source; --algo=flooding: replays
+  // the same rounds under the local-broadcast baseline.  The checksum
+  // legitimately differs from the recording's, but the run is pinned to the
+  // recording's shape and the note flags the cross-algorithm replay.
+  const ScenarioResult result = run_scenario(
+      "single_source", "trace:file=" + path_, /*trials=*/0, "flooding:");
+  ASSERT_EQ(result.tables.size(), 1u);
+  const ScenarioTable& table = result.tables[0];
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "flooding");  // algo column (canonical spec)
+  EXPECT_NE(table.rows[0].back(), recorded_checksum_);
+  EXPECT_NE(table.note.find("recorded under 'single_source'"),
+            std::string::npos);
+}
+
+TEST_F(RecordedTrace, StaticOnlyAlgorithmRejectsADynamicRecording) {
+  // The fixture's recording ran under churn; the shared requires_static
+  // policy reads that from the metadata and fails cleanly instead of
+  // letting spanning_tree trip its DG_CHECK mid-run.
+  EXPECT_THROW((void)run_scenario("single_source", "trace:file=" + path_,
+                                  /*trials=*/0, "spanning_tree:"),
+               AlgoSpecError);
+}
+
+TEST(AdversaryAxis, SyntheticOverrideRunsTheRequestedFamily) {
+  const ScenarioResult result =
+      run_scenario("single_source", "sigma:interval=4,turnover=0.25");
+  ASSERT_EQ(result.tables.size(), 1u);
+  const ScenarioTable& table = result.tables[0];
+  ASSERT_EQ(table.rows.size(), 2u);  // quick grid: n in {24, 48}
+  for (const auto& row : table.rows) {
+    EXPECT_EQ(row[0], "sigma:interval=4,turnover=0.25");
+    EXPECT_EQ(row[5], "yes");  // completed
+  }
+}
+
+TEST(AdversaryAxis, ResolveRejectsUnknownSpecs) {
+  ThreadPool pool(1);
+  ScenarioContext ctx(pool, 0, /*quick=*/true);
+  ctx.set_adversary_spec("bogus:x=1");
+  EXPECT_THROW((void)RunAxes::resolve(ctx), AdversarySpecError);
+  ctx.set_adversary_spec("churn:rte=1");
+  EXPECT_THROW((void)RunAxes::resolve(ctx), AdversarySpecError);
+  ctx.set_adversary_spec("");
+  EXPECT_FALSE(RunAxes::resolve(ctx).overridden());
+}
+
+TEST(AdversaryAxis, BuildFallsBackToTheDefaultSpecWhenNotOverridden) {
+  ThreadPool pool(1);
+  const ScenarioContext ctx(pool, 0, /*quick=*/true);
+  const RunAxes axes = RunAxes::resolve(ctx);
+  AdversarySpec def{"static", {}};
+  const std::unique_ptr<Adversary> adversary = axes.build(def, 8, 1);
+  EXPECT_EQ(adversary->num_nodes(), 8u);
+}
+
+// ---- the --algo axis -----------------------------------------------------
+
+TEST(AlgoAxis, ResolveRejectsUnknownAlgoSpecs) {
+  ThreadPool pool(1);
+  ScenarioContext ctx(pool, 0, /*quick=*/true);
+  ctx.set_algo_spec("bogus_algo");
+  EXPECT_THROW((void)RunAxes::resolve(ctx), AlgoSpecError);
+  ctx.set_algo_spec("flooding:zorp=1");
+  EXPECT_THROW((void)RunAxes::resolve(ctx), AlgoSpecError);
+  ctx.set_algo_spec("flooding:");
+  EXPECT_TRUE(RunAxes::resolve(ctx).algo_overridden());
+  EXPECT_FALSE(RunAxes::resolve(ctx).adversary_overridden());
+}
+
+TEST(AlgoAxis, SingleSourceWithFloodingMatchesTheHandBuiltFloodingRun) {
+  // `run single_source --algo=flooding:` must produce, row for row, the
+  // payload checksum of a hand-built phase-flooding run over the same
+  // (default churn) schedule, same trial seed, same single-source task —
+  // i.e. the registry dispatch adds nothing to the run itself.
+  const ScenarioResult result =
+      run_scenario("single_source", "", /*trials=*/0, "flooding:");
+  ASSERT_EQ(result.tables.size(), 1u);
+  const ScenarioTable& table = result.tables[0];
+  ASSERT_EQ(table.rows.size(), 2u);  // quick grid: n in {24, 48}
+  for (const auto& row : table.rows) {
+    const std::size_t n = std::stoul(row[2]);
+    const auto k = static_cast<std::uint32_t>(2 * n);
+    // The scenario's quick-grid row shape and seed derivation.
+    const std::uint64_t seed = 9'000 + 37 * n + 0;
+    const Round cap = static_cast<Round>(40ull * n * k);
+    // The scenario's default churn schedule for this row.
+    AdversarySpec churn{"churn", {}};
+    churn.set("edges", static_cast<std::uint64_t>(3 * n))
+        .set("churn", static_cast<std::uint64_t>(n / 8));
+    const std::unique_ptr<Adversary> adversary = build_adversary(churn, n, seed);
+    // The flooding family's canonical single-source task: all k tokens at
+    // node 0.
+    const TokenSpace space = TokenSpace::single_source(0, k);
+    const RunResult hand = run_phase_flooding(n, k, space.initial_knowledge(n),
+                                              *adversary, cap);
+    EXPECT_EQ(row[0], churn.to_string());
+    EXPECT_EQ(row[1], "flooding");
+    EXPECT_EQ(row.back(), checksum_hex(run_payload_checksum(n, k, hand)));
+  }
+}
+
+TEST(AlgoAxis, SigmaStableChurnCompletesUnderFloodingOverride) {
+  // The acceptance row: any algorithm on any schedule.
+  const ScenarioResult result = run_scenario(
+      "sigma_stable_churn", "sigma:interval=16,turnover=0.03", 0, "flooding:");
+  ASSERT_EQ(result.tables.size(), 1u);
+  ASSERT_FALSE(result.tables[0].rows.empty());
+  for (const auto& row : result.tables[0].rows) {
+    EXPECT_EQ(row[1], "flooding");
+    EXPECT_EQ(row[5], "yes");  // completed
+    EXPECT_EQ(row.back().size(), 16u);  // checksum column is a 64-bit hex
+  }
+}
+
+TEST(AlgoAxis, StaticOnlyAlgorithmRejectsDynamicSchedules) {
+  // spanning_tree asserts an unchanging neighborhood; over the scenario's
+  // default churn schedule (or an explicit dynamic override) the axis must
+  // fail with a clean spec error instead of tripping the protocol's
+  // DG_CHECK inside a pool worker.  A static override passes.
+  EXPECT_THROW((void)run_scenario("single_source", "", 0, "spanning_tree:"),
+               AlgoSpecError);
+  EXPECT_THROW(
+      (void)run_scenario("single_source", "churn:", 0, "spanning_tree:"),
+      AlgoSpecError);
+  const ScenarioResult ok =
+      run_scenario("single_source", "static:", 0, "spanning_tree:");
+  ASSERT_FALSE(ok.tables[0].rows.empty());
+  for (const auto& row : ok.tables[0].rows) EXPECT_EQ(row[5], "yes");
+}
+
+TEST(AlgoAxis, ExplicitDefaultAlgoIsDispatchNeutral) {
+  // --algo=single_source (the scenario's own default) must not change a
+  // single byte of the override table relative to an adversary-only run.
+  const ScenarioResult with_algo = run_scenario(
+      "single_source", "sigma:interval=4,turnover=0.25", 0, "single_source");
+  const ScenarioResult without =
+      run_scenario("single_source", "sigma:interval=4,turnover=0.25");
+  EXPECT_TRUE(with_algo == without);
+}
+
+TEST(AlgoAxis, AlgoMatrixCrossesFamiliesOnASharedSchedule) {
+  ScenarioRegistry registry;
+  register_all_scenarios(registry);
+  const Scenario* scenario = registry.find("algo_matrix");
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_TRUE(scenario->algo_axis);
+  EXPECT_TRUE(scenario->adversary_axis);
+  ThreadPool pool(2);
+  ScenarioContext ctx(pool, /*trials=*/1, /*quick=*/true);
+  const ScenarioResult result = scenario->run(ctx);
+  ASSERT_EQ(result.tables.size(), 1u);
+  const ScenarioTable& table = result.tables[0];
+  // 7 families x 3 schedules, minus spanning_tree's two non-static pairs.
+  EXPECT_EQ(table.rows.size(), 7u * 3u - 2u);
+  for (const auto& row : table.rows) {
+    EXPECT_EQ(row[4], "yes") << row[0] << " vs " << row[2]
+                             << " did not complete";
+  }
+}
+
+}  // namespace
+}  // namespace dyngossip
