@@ -7,17 +7,28 @@
 // allocate-and-sort, hash-map classifier state) so the snapshot refactor's
 // win stays measurable: compare BM_RoundSnapshotLegacy vs BM_RoundSnapshotCsr
 // and BM_ClassifierRoundLegacyMap vs BM_ClassifierRound at the same size.
+//
+// Two further paired families guard the frontier work (docs/PERFORMANCE.md):
+//   BM_BitsetSparse* vs BM_KnowledgeSetSparse*  — dense bitset vs the hybrid
+//     KnowledgeSet on the xlarge regime's sparse sets (universe 10⁵, a few
+//     hundred members), where whole-word scans dominate the bitset.
+//   BM_*EngineRoundFrontier vs *FrontierSharded — one engine round at
+//     n up to 10⁵ serial vs sharded across a worker pool (the sharded case
+//     only wins on multi-core hosts; on one core it measures fork/join
+//     overhead, which is the other number worth tracking).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "adversary/churn.hpp"
 #include "adversary/lb_adversary.hpp"
 #include "algo/registry.hpp"
 #include "common/disjoint_set.hpp"
 #include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/rng.hpp"
 #include "core/flooding.hpp"
 #include "core/knowledge.hpp"
@@ -28,6 +39,7 @@
 #include "graph/generators.hpp"
 #include "graph/round_view.hpp"
 #include "metrics/potential.hpp"
+#include "sim/runner/thread_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace dyngossip {
@@ -102,7 +114,7 @@ void BM_FreeGraphAnalysis(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t k = n;
   Rng rng(6);
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
   const auto kprime = sample_kprime(n, k, 0.25, rng);
   std::vector<TokenId> intents(n);
   for (std::size_t v = 0; v < n; ++v) {
@@ -310,7 +322,7 @@ void BM_BroadcastEngineRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t k = n;
   Rng rng(7);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
   ChurnConfig cc;
   cc.n = n;
@@ -351,6 +363,172 @@ void BM_UnicastEngineRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnicastEngineRound)->Arg(128)->Arg(256);
+
+/// Paired bitset-vs-hybrid cases on the xlarge regime's characteristic
+/// shape: universe = n = 10⁵ but only a few hundred tokens known (k = 256,
+/// most nodes early in a run).  DynamicBitset pays O(universe/64) word
+/// scans per union_count/iteration regardless of membership; the sparse
+/// KnowledgeSet representation pays O(members).  This pair is the
+/// documented ≥2x win in docs/PERFORMANCE.md.
+constexpr std::size_t kSparseUniverse = 100000;
+constexpr std::size_t kSparseMembers = 256;
+
+template <typename Set>
+std::pair<Set, Set> make_sparse_pair() {
+  Rng rng(14);
+  Set a(kSparseUniverse), b(kSparseUniverse);
+  for (std::size_t i = 0; i < kSparseMembers; ++i) {
+    a.set(rng.next_below(kSparseUniverse));
+    b.set(rng.next_below(kSparseUniverse));
+  }
+  return {std::move(a), std::move(b)};
+}
+
+void BM_BitsetSparseUnionCount(benchmark::State& state) {
+  const auto [a, b] = make_sparse_pair<DynamicBitset>();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.union_count(b));
+  }
+}
+BENCHMARK(BM_BitsetSparseUnionCount);
+
+void BM_KnowledgeSetSparseUnionCount(benchmark::State& state) {
+  const auto [a, b] = make_sparse_pair<KnowledgeSet>();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.union_count(b));
+  }
+}
+BENCHMARK(BM_KnowledgeSetSparseUnionCount);
+
+void BM_BitsetSparseIterate(benchmark::State& state) {
+  const auto [a, b] = make_sparse_pair<DynamicBitset>();
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (const std::size_t pos : a.set_bits()) sum += pos;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitsetSparseIterate);
+
+void BM_KnowledgeSetSparseIterate(benchmark::State& state) {
+  const auto [a, b] = make_sparse_pair<KnowledgeSet>();
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (const std::size_t pos : a.set_bits()) sum += pos;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_KnowledgeSetSparseIterate);
+
+void BM_BitsetSparseSubtract(benchmark::State& state) {
+  const auto [a, b] = make_sparse_pair<DynamicBitset>();
+  for (auto _ : state) {
+    DynamicBitset c = a;
+    c.subtract(b);
+    benchmark::DoNotOptimize(c.count());
+  }
+}
+BENCHMARK(BM_BitsetSparseSubtract);
+
+void BM_KnowledgeSetSparseSubtract(benchmark::State& state) {
+  const auto [a, b] = make_sparse_pair<KnowledgeSet>();
+  for (auto _ : state) {
+    KnowledgeSet c = a;
+    c.subtract(b);
+    benchmark::DoNotOptimize(c.count());
+  }
+}
+BENCHMARK(BM_KnowledgeSetSparseSubtract);
+
+/// Paired serial-vs-sharded engine rounds on the frontier regime
+/// (k = 256, 8n churn edges — the xlarge scenario shape).  Throughput in
+/// rounds/sec is the headline number of docs/PERFORMANCE.md; the sharded
+/// variant pins min_parallel_nodes = 1 so sharding engages at every size.
+UnicastEngine make_frontier_engine(std::size_t n, UnicastEngineOptions opts) {
+  const std::uint32_t k = 256;
+  ChurnConfig cc;
+  cc.n = n;
+  cc.target_edges = 8 * n;
+  cc.churn_per_round = n / 8;
+  cc.sigma = 3;
+  cc.seed = 15;
+  // The adversary must outlive the engine; benchmarks run to process exit,
+  // so a per-size leak through `new` is the simplest safe lifetime.
+  auto* adversary = new ChurnAdversary(cc);
+  SingleSourceConfig cfg{n, k, 0};
+  return UnicastEngine(SingleSourceNode::make_all(cfg), *adversary,
+                       SingleSourceNode::initial_knowledge(cfg), k, opts);
+}
+
+void BM_UnicastEngineRoundFrontier(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  UnicastEngine engine = make_frontier_engine(n, {});
+  for (auto _ : state) {
+    if (engine.all_complete()) {
+      state.SkipWithError("completed before timing window ended");
+      break;
+    }
+    benchmark::DoNotOptimize(engine.step());
+  }
+}
+BENCHMARK(BM_UnicastEngineRoundFrontier)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UnicastEngineRoundFrontierSharded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  static ThreadPool pool(std::max<std::size_t>(ThreadPool::hardware_threads(), 2));
+  UnicastEngineOptions opts;
+  opts.pool = &pool;
+  opts.min_parallel_nodes = 1;
+  UnicastEngine engine = make_frontier_engine(n, opts);
+  for (auto _ : state) {
+    if (engine.all_complete()) {
+      state.SkipWithError("completed before timing window ended");
+      break;
+    }
+    benchmark::DoNotOptimize(engine.step());
+  }
+}
+BENCHMARK(BM_UnicastEngineRoundFrontierSharded)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastEngineRoundFrontier(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 256;
+  Rng rng(16);
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
+  for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
+  ChurnConfig cc;
+  cc.n = n;
+  cc.target_edges = 8 * n;
+  cc.churn_per_round = n / 8;
+  cc.seed = 17;
+  auto* adversary = new ChurnAdversary(cc);
+  BroadcastEngineOptions opts;
+  if (state.range(1) != 0) {
+    static ThreadPool pool(
+        std::max<std::size_t>(ThreadPool::hardware_threads(), 2));
+    opts.pool = &pool;
+    opts.min_parallel_nodes = 1;
+  }
+  BroadcastEngine engine(PhaseFloodingNode::make_all(n, k, init), *adversary,
+                         init, k, opts);
+  for (auto _ : state) {
+    if (engine.all_complete()) {
+      state.SkipWithError("completed before timing window ended");
+      break;
+    }
+    benchmark::DoNotOptimize(engine.step());
+  }
+}
+BENCHMARK(BM_BroadcastEngineRoundFrontier)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace dyngossip

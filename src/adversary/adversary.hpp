@@ -21,7 +21,7 @@
 #include <span>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/types.hpp"
 #include "engine/message.hpp"
 #include "graph/graph.hpp"
@@ -35,7 +35,7 @@ struct BroadcastRoundView {
   /// i_v(r): the token each node will broadcast this round (kNoToken = ⊥).
   std::span<const TokenId> intents;
   /// K_v(r-1): each node's knowledge entering the round.
-  const std::vector<DynamicBitset>* knowledge = nullptr;
+  const std::vector<KnowledgeSet>* knowledge = nullptr;
 };
 
 /// What an adaptive adversary sees in the unicast model before fixing round
@@ -50,7 +50,7 @@ struct UnicastRoundView {
   /// Every message sent in round r-1.
   const std::vector<SentRecord>* prev_messages = nullptr;
   /// K_v(r-1): each node's token knowledge entering the round.
-  const std::vector<DynamicBitset>* knowledge = nullptr;
+  const std::vector<KnowledgeSet>* knowledge = nullptr;
 };
 
 /// Base class for all adversaries.

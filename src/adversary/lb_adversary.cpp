@@ -13,16 +13,16 @@ namespace {
 /// Direction test: can u's broadcast increase v's counted knowledge?
 /// The edge direction u->v is "useless" iff i_u is ⊥ or already in
 /// K_v ∪ K'_v; an edge is free iff both directions are useless.
-[[nodiscard]] inline bool direction_useless(TokenId iu, const DynamicBitset& kv,
-                                            const DynamicBitset& kpv) {
+[[nodiscard]] inline bool direction_useless(TokenId iu, const KnowledgeSet& kv,
+                                            const KnowledgeSet& kpv) {
   return iu == kNoToken || kv.test(iu) || kpv.test(iu);
 }
 
 }  // namespace
 
 FreeGraphAnalysis analyze_free_graph(std::span<const TokenId> intents,
-                                     const std::vector<DynamicBitset>& knowledge,
-                                     const std::vector<DynamicBitset>& kprime,
+                                     const std::vector<KnowledgeSet>& knowledge,
+                                     const std::vector<KnowledgeSet>& kprime,
                                      std::vector<EdgeKey>* all_free_edges) {
   const std::size_t n = intents.size();
   DG_CHECK(knowledge.size() == n && kprime.size() == n);
@@ -88,7 +88,7 @@ FreeGraphAnalysis analyze_free_graph(std::span<const TokenId> intents,
 }
 
 LowerBoundAdversary::LowerBoundAdversary(
-    const LbAdversaryConfig& cfg, const std::vector<DynamicBitset>& initial_knowledge)
+    const LbAdversaryConfig& cfg, const std::vector<KnowledgeSet>& initial_knowledge)
     : cfg_(cfg), rng_(cfg.seed) {
   DG_CHECK(cfg_.n >= 2);
   DG_CHECK(initial_knowledge.size() == cfg_.n);

@@ -50,8 +50,8 @@ struct FreeGraphAnalysis {
 /// knowledge sets K_v and the adversary's K'_v sets.  If `all_free_edges` is
 /// non-null it additionally receives every free edge (Θ(n²) worst case).
 [[nodiscard]] FreeGraphAnalysis analyze_free_graph(
-    std::span<const TokenId> intents, const std::vector<DynamicBitset>& knowledge,
-    const std::vector<DynamicBitset>& kprime,
+    std::span<const TokenId> intents, const std::vector<KnowledgeSet>& knowledge,
+    const std::vector<KnowledgeSet>& kprime,
     std::vector<EdgeKey>* all_free_edges = nullptr);
 
 /// Lower-bound adversary parameters.
@@ -80,14 +80,14 @@ class LowerBoundAdversary final : public Adversary {
   /// impossible, i.e. the theorem's "at most k/2 tokens on average"
   /// precondition is violated badly).
   LowerBoundAdversary(const LbAdversaryConfig& cfg,
-                      const std::vector<DynamicBitset>& initial_knowledge);
+                      const std::vector<KnowledgeSet>& initial_knowledge);
 
   [[nodiscard]] std::size_t num_nodes() const override { return cfg_.n; }
 
   [[nodiscard]] const Graph& broadcast_round(const BroadcastRoundView& view) override;
 
   /// The sampled K'_v sets.
-  [[nodiscard]] const std::vector<DynamicBitset>& kprime() const noexcept {
+  [[nodiscard]] const std::vector<KnowledgeSet>& kprime() const noexcept {
     return kprime_;
   }
 
@@ -105,7 +105,7 @@ class LowerBoundAdversary final : public Adversary {
  private:
   LbAdversaryConfig cfg_;
   Rng rng_;
-  std::vector<DynamicBitset> kprime_;
+  std::vector<KnowledgeSet> kprime_;
   std::uint64_t phi0_ = 0;
   std::size_t max_components_ = 0;
   std::vector<RoundRecord> series_;

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "adversary/adversary.hpp"
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/spec.hpp"
 
 namespace dyngossip {
@@ -48,8 +48,8 @@ class AdversarySpecError : public std::runtime_error {
 /// them; to_string() renders the canonical form, so
 /// parse(s).to_string() == parse(parse(s).to_string()).to_string().
 struct AdversarySpec {
-  std::string family;
-  std::map<std::string, std::string> params;
+  std::string family;                          ///< registry key, e.g. "churn"
+  std::map<std::string, std::string> params;   ///< key=value pairs, sorted
 
   /// Parses spec text; throws AdversarySpecError with the offending part.
   [[nodiscard]] static AdversarySpec parse(const std::string& text);
@@ -78,7 +78,7 @@ struct AdversaryBuildContext {
   /// Token count (required by the lb family's K' sampling).
   std::size_t k = 0;
   /// Initial knowledge K_v(0) (required by the lb family).  Not owned.
-  const std::vector<DynamicBitset>* initial_knowledge = nullptr;
+  const std::vector<KnowledgeSet>* initial_knowledge = nullptr;
   /// Explicit round-graph script (programmatic alternative to
   /// scripted:file=...; tests use this).
   std::vector<Graph> script;
@@ -88,6 +88,7 @@ struct AdversaryBuildContext {
 /// shared grammar's SpecKey, aliased for call-site clarity).
 using AdversaryKeySpec = SpecKey;
 
+/// Human-readable name of a key kind ("int", "double", "bool", "string").
 [[nodiscard]] const char* adversary_key_kind_name(AdversaryKeySpec::Kind kind);
 
 /// A registered adversary family.
@@ -95,7 +96,8 @@ struct AdversaryFamily {
   std::string name;         ///< registry key, e.g. "churn"
   std::string description;  ///< one line for `dyngossip adversaries`
   std::string example;      ///< a representative spec string
-  std::vector<AdversaryKeySpec> keys;
+  std::vector<AdversaryKeySpec> keys;  ///< declared parameters (validated)
+  /// Factory: (validated spec, run context) → adversary instance.
   std::function<std::unique_ptr<Adversary>(const AdversarySpec&,
                                            const AdversaryBuildContext&)>
       build;

@@ -111,8 +111,10 @@ RunResult run_single_source_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   if (source >= ctx.n) fail("single_source: source must be < n");
   ctx.k_realized = ctx.k;
   SingleSourceConfig cfg{ctx.n, ctx.k, static_cast<NodeId>(source), priority};
+  UnicastEngineOptions opts;
+  opts.pool = ctx.engine_pool;
   UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
-                       SingleSourceNode::initial_knowledge(cfg), ctx.k);
+                       SingleSourceNode::initial_knowledge(cfg), ctx.k, opts);
   return finish(engine.run(cap_of(ctx)));
 }
 
@@ -123,13 +125,14 @@ RunResult run_multi_source_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   const TokenSpacePtr space =
       spread_space(ctx.n, ctx.k, r.sources(ctx.sources));
   ctx.k_realized = space->total_tokens();
-  return run_multi_source(ctx.n, space, adversary, cap_of(ctx));
+  return run_multi_source(ctx.n, space, adversary, cap_of(ctx),
+                          ctx.engine_pool);
 }
 
 /// Shared K_v(0) selection for the knowledge-shaped broadcast/push
 /// families: the context's explicit override when present, else the
 /// canonical spread placement.  *k_out is the realized token count.
-[[nodiscard]] std::vector<DynamicBitset> initial_of(const AlgoSpec& spec,
+[[nodiscard]] std::vector<KnowledgeSet> initial_of(const AlgoSpec& spec,
                                                     const AlgoBuildContext& ctx,
                                                     std::uint64_t* k_out) {
   if (ctx.initial_knowledge != nullptr) {
@@ -147,22 +150,23 @@ RunResult run_multi_source_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
 
 RunResult run_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
                               Adversary& adversary) {
-  const std::vector<DynamicBitset> initial = initial_of(spec, ctx, &ctx.k_realized);
+  const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
   return run_phase_flooding(ctx.n, static_cast<std::size_t>(ctx.k_realized),
-                            initial, adversary, cap_of(ctx));
+                            initial, adversary, cap_of(ctx), ctx.engine_pool);
 }
 
 RunResult run_random_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
                                      Adversary& adversary) {
   const SpecReader r(spec, ctx);
-  const std::vector<DynamicBitset> initial = initial_of(spec, ctx, &ctx.k_realized);
+  const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
   return run_random_flooding(ctx.n, static_cast<std::size_t>(ctx.k_realized),
-                             initial, adversary, cap_of(ctx), r.seed());
+                             initial, adversary, cap_of(ctx), r.seed(),
+                             ctx.engine_pool);
 }
 
 RunResult run_neighbor_exchange_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
                                        Adversary& adversary) {
-  const std::vector<DynamicBitset> initial = initial_of(spec, ctx, &ctx.k_realized);
+  const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
   return finish(run_neighbor_exchange(ctx.n,
                                       static_cast<std::size_t>(ctx.k_realized),
                                       initial, adversary, cap_of(ctx)));
@@ -180,6 +184,7 @@ RunResult run_oblivious_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   opts.max_rounds = cap_of(ctx);  // same 200·n·k default as every family
   opts.force_phase1 = r.get_bool("force_phase1", false);
   opts.f_override = r.get_size("f", 0);
+  opts.pool = ctx.engine_pool;
   const ObliviousMsResult result =
       run_oblivious_multi_source(ctx.n, space, adversary, opts);
   return finish(result.total);
@@ -194,7 +199,7 @@ RunResult run_spanning_tree_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   const TokenSpacePtr space = spread_space(ctx.n, ctx.k, r.sources(1));
   ctx.k_realized = space->total_tokens();
   return run_spanning_tree(ctx.n, space, adversary, cap_of(ctx),
-                           static_cast<NodeId>(root));
+                           static_cast<NodeId>(root), ctx.engine_pool);
 }
 
 using Kind = AlgoKeySpec::Kind;

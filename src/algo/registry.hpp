@@ -32,11 +32,13 @@
 
 #include "adversary/adversary.hpp"
 #include "adversary/registry.hpp"
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/spec.hpp"
 #include "sim/config.hpp"
 
 namespace dyngossip {
+
+class ThreadPool;
 
 /// Thrown on malformed algorithm spec text, unknown families/keys,
 /// out-of-range values, or a build context a family cannot honour.  A
@@ -100,7 +102,12 @@ struct AlgoBuildContext {
   /// placement).  Only the knowledge-shaped families (flooding,
   /// random_flooding, neighbor_exchange) accept it; the token-labelling
   /// families derive K_v(0) from their TokenSpace and reject an override.
-  const std::vector<DynamicBitset>* initial_knowledge = nullptr;
+  const std::vector<KnowledgeSet>* initial_knowledge = nullptr;
+  /// Worker pool for intra-round engine sharding; null keeps engines
+  /// serial.  Hand a pool here only when the trial itself runs on a
+  /// non-pool thread (sim/runner/shard_schedule.hpp decides which axis a
+  /// table parallelizes); results are bit-identical either way.
+  ThreadPool* engine_pool = nullptr;
   /// Out: realized token count (k rounded to the realized labelling, e.g.
   /// s·⌊k/s⌋ under an s-source split).  Set by every factory.
   std::uint64_t k_realized = 0;

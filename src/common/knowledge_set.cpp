@@ -1,0 +1,216 @@
+#include "common/knowledge_set.hpp"
+
+namespace dyngossip {
+namespace {
+
+/// Iterate `sparse`'s sorted array against `other` membership tests.
+/// Precondition: sparse is in the sparse representation.
+std::size_t count_members_in(const std::vector<std::uint32_t>& elems,
+                             const KnowledgeSet& other) {
+  std::size_t hits = 0;
+  for (std::uint32_t e : elems) {
+    hits += other.test(e) ? 1 : 0;
+  }
+  return hits;
+}
+
+}  // namespace
+
+KnowledgeSet::KnowledgeSet(std::size_t size, bool initially_set) : size_(size) {
+  if (initially_set && size_ > 0) {
+    dense_ = true;
+    bits_ = DynamicBitset(size_, /*initially_set=*/true);
+  }
+}
+
+void KnowledgeSet::resize(std::size_t size) {
+  if (size <= size_) return;
+  size_ = size;
+  if (dense_) {
+    bits_.resize(size_);
+  }
+  // Sparse entries stay valid; the larger universe only raises thresholds.
+}
+
+bool KnowledgeSet::set(std::size_t pos) {
+  DG_DCHECK(pos < size_);
+  if (dense_) return bits_.set(pos);
+  const auto p = static_cast<std::uint32_t>(pos);
+  if (elems_.empty() || p > elems_.back()) {
+    elems_.push_back(p);  // in-order inserts (cursor walks) stay O(1)
+  } else {
+    const auto it = std::lower_bound(elems_.begin(), elems_.end(), p);
+    if (it != elems_.end() && *it == p) return false;
+    elems_.insert(it, p);
+  }
+  maybe_promote();
+  return true;
+}
+
+bool KnowledgeSet::reset(std::size_t pos) {
+  DG_DCHECK(pos < size_);
+  if (dense_) {
+    const bool removed = bits_.reset(pos);
+    if (removed) maybe_demote();
+    return removed;
+  }
+  const auto p = static_cast<std::uint32_t>(pos);
+  const auto it = std::lower_bound(elems_.begin(), elems_.end(), p);
+  if (it == elems_.end() || *it != p) return false;
+  elems_.erase(it);
+  return true;
+}
+
+void KnowledgeSet::set_all() {
+  if (size_ == 0) return;
+  dense_ = true;
+  bits_ = DynamicBitset(size_, /*initially_set=*/true);
+  std::vector<std::uint32_t>().swap(elems_);
+}
+
+void KnowledgeSet::reset_all() {
+  dense_ = false;
+  bits_ = DynamicBitset();
+  elems_.clear();
+}
+
+void KnowledgeSet::promote() {
+  bits_ = DynamicBitset(size_);
+  for (std::uint32_t e : elems_) bits_.set(e);
+  std::vector<std::uint32_t>().swap(elems_);
+  dense_ = true;
+}
+
+void KnowledgeSet::demote() {
+  elems_.clear();
+  elems_.reserve(bits_.count());
+  for (std::size_t pos : bits_.set_bits()) {
+    elems_.push_back(static_cast<std::uint32_t>(pos));
+  }
+  bits_ = DynamicBitset();
+  dense_ = false;
+}
+
+KnowledgeSet& KnowledgeSet::operator|=(const KnowledgeSet& other) {
+  DG_CHECK(size_ == other.size_);
+  if (dense_ && other.dense_) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  for (std::size_t pos : other.set_bits()) set(pos);
+  return *this;
+}
+
+KnowledgeSet& KnowledgeSet::operator&=(const KnowledgeSet& other) {
+  DG_CHECK(size_ == other.size_);
+  if (dense_ && other.dense_) {
+    bits_ &= other.bits_;
+    maybe_demote();
+    return *this;
+  }
+  if (!dense_) {
+    std::erase_if(elems_,
+                  [&other](std::uint32_t e) { return !other.test(e); });
+    return *this;
+  }
+  // Dense ∩ sparse: the result is no larger than the sparse side, so it
+  // fits the sparse representation directly.
+  std::vector<std::uint32_t> kept;
+  kept.reserve(other.elems_.size());
+  for (std::uint32_t e : other.elems_) {
+    if (bits_.test(e)) kept.push_back(e);
+  }
+  elems_ = std::move(kept);
+  bits_ = DynamicBitset();
+  dense_ = false;
+  return *this;
+}
+
+KnowledgeSet& KnowledgeSet::subtract(const KnowledgeSet& other) {
+  DG_CHECK(size_ == other.size_);
+  if (dense_ && other.dense_) {
+    bits_.subtract(other.bits_);
+    maybe_demote();
+    return *this;
+  }
+  if (!dense_) {
+    std::erase_if(elems_,
+                  [&other](std::uint32_t e) { return other.test(e); });
+    return *this;
+  }
+  for (std::uint32_t e : other.elems_) bits_.reset(e);
+  maybe_demote();
+  return *this;
+}
+
+std::size_t KnowledgeSet::union_count(const KnowledgeSet& other) const {
+  DG_CHECK(size_ == other.size_);
+  if (dense_ && other.dense_) return bits_.union_count(other.bits_);
+  return count() + other.count() - intersect_count(other);
+}
+
+std::size_t KnowledgeSet::intersect_count(const KnowledgeSet& other) const {
+  DG_CHECK(size_ == other.size_);
+  if (dense_ && other.dense_) return bits_.intersect_count(other.bits_);
+  if (!dense_) return count_members_in(elems_, other);
+  return count_members_in(other.elems_, *this);
+}
+
+bool KnowledgeSet::contains_all(const KnowledgeSet& other) const {
+  DG_CHECK(size_ == other.size_);
+  if (dense_ && other.dense_) return bits_.contains_all(other.bits_);
+  if (other.count() > count()) return false;
+  for (std::size_t pos : other.set_bits()) {
+    if (!test(pos)) return false;
+  }
+  return true;
+}
+
+std::size_t KnowledgeSet::find_first_unset() const noexcept {
+  if (dense_) return bits_.find_first_unset();
+  // Sorted uniques: the first gap is the first index whose entry differs.
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (elems_[i] != i) return i;
+  }
+  return elems_.size() < size_ ? elems_.size() : size_;
+}
+
+std::size_t KnowledgeSet::find_next_set(std::size_t from) const noexcept {
+  if (dense_) return bits_.find_next_set(from);
+  const auto it = std::lower_bound(elems_.begin(), elems_.end(),
+                                   static_cast<std::uint32_t>(from));
+  return it == elems_.end() ? size_ : static_cast<std::size_t>(*it);
+}
+
+std::vector<std::size_t> KnowledgeSet::unset_positions() const {
+  std::vector<std::size_t> out;
+  out.reserve(size_ - count());
+  for (std::size_t pos : unset_bits()) out.push_back(pos);
+  return out;
+}
+
+std::vector<std::size_t> KnowledgeSet::set_positions() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t pos : set_bits()) out.push_back(pos);
+  return out;
+}
+
+bool operator==(const KnowledgeSet& a, const KnowledgeSet& b) {
+  if (a.size_ != b.size_ || a.count() != b.count()) return false;
+  if (a.dense_ && b.dense_) return a.bits_ == b.bits_;
+  if (!a.dense_ && !b.dense_) return a.elems_ == b.elems_;
+  // Mixed representations (hysteresis can leave equal sets split): compare
+  // member sequences, both increasing.
+  auto ca = a.set_bits().begin();
+  auto cb = b.set_bits().begin();
+  const KnowledgeSet::Cursor::End end{};
+  while (!(ca == end)) {
+    if (*ca != *cb) return false;
+    ++ca;
+    ++cb;
+  }
+  return true;
+}
+
+}  // namespace dyngossip

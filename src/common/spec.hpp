@@ -20,14 +20,17 @@ namespace dyngossip {
 /// registries alias this (AdversaryKeySpec, AlgoKeySpec) so listing code is
 /// shared shape-wise.
 struct SpecKey {
+  /// Value shape the key expects; drives CLI listing text only (parsing is
+  /// strict per-getter, see SpecValues).
   enum class Kind { kInt, kDouble, kBool, kString };
 
-  std::string key;
-  Kind kind = Kind::kInt;
+  std::string key;            ///< parameter name ([a-z0-9_]+)
+  Kind kind = Kind::kInt;     ///< declared value shape
   std::string default_value;  ///< rendered in the CLI listings
-  std::string help;
+  std::string help;           ///< one line for `dyngossip adversaries/algorithms`
 };
 
+/// Human-readable name of a SpecKey::Kind ("int", "double", ...).
 [[nodiscard]] const char* spec_key_kind_name(SpecKey::Kind kind);
 
 /// True iff `name` is a valid family or key name ([a-z0-9_]+).
@@ -56,27 +59,37 @@ struct SpecKey {
 /// message and never expected to return).
 class SpecValues {
  public:
+  /// Wraps `params` (not copied — must outlive this reader); `fail` is
+  /// called with a complete message on any malformed value and must throw.
   SpecValues(std::string family, const std::map<std::string, std::string>& params,
              std::function<void(const std::string&)> fail)
       : family_(std::move(family)), params_(&params), fail_(std::move(fail)) {}
 
+  /// True iff the spec supplied `key` explicitly.
   [[nodiscard]] bool has(const std::string& key) const {
     return params_->count(key) != 0u;
   }
 
+  /// Raw string value, or `def` when absent.
   [[nodiscard]] std::string get_string(const std::string& key,
                                        const std::string& def) const;
+  /// Strictly parsed integer, or `def` when absent; fails on trailing text.
   [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  /// get_int plus a non-negativity check (size-shaped keys).
   [[nodiscard]] std::size_t get_size(const std::string& key, std::size_t def) const;
+  /// Strictly parsed double, or `def` when absent; fails on trailing text.
   [[nodiscard]] double get_double(const std::string& key, double def) const;
   /// get_double plus [0, 1] validation — fraction-shaped keys (rate,
   /// turnover, p) would otherwise hit UB casting a negative double to
   /// size_t (and a fraction above 1 is meaningless for all of them).
   [[nodiscard]] double get_fraction(const std::string& key, double def) const;
+  /// Accepts true/false/1/0, or `def` when absent.
   [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
 
  protected:
+  /// Family name for error-message prefixes.
   [[nodiscard]] const std::string& spec_family() const noexcept { return family_; }
+  /// Routes `msg` through the fail callback (always throws).
   [[noreturn]] void spec_fail(const std::string& msg) const;
 
  private:

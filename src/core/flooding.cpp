@@ -5,7 +5,7 @@
 namespace dyngossip {
 
 PhaseFloodingNode::PhaseFloodingNode(std::size_t n, std::size_t k,
-                                     DynamicBitset initial)
+                                     KnowledgeSet initial)
     : n_(n), k_(k), known_(std::move(initial)) {
   DG_CHECK(known_.size() == k_);
   DG_CHECK(n_ >= 1);
@@ -29,7 +29,7 @@ void PhaseFloodingNode::on_receive(Round /*r*/, std::span<const TokenId> tokens)
 }
 
 std::vector<std::unique_ptr<BroadcastAlgorithm>> PhaseFloodingNode::make_all(
-    std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial) {
+    std::size_t n, std::size_t k, const std::vector<KnowledgeSet>& initial) {
   DG_CHECK(initial.size() == n);
   std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes;
   nodes.reserve(n);

@@ -13,7 +13,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "engine/broadcast_engine.hpp"
 
 namespace dyngossip {
@@ -22,22 +22,22 @@ namespace dyngossip {
 class PhaseFloodingNode final : public BroadcastAlgorithm {
  public:
   /// `initial` is K_v(0) over a k-token universe; `n` fixes phase length.
-  PhaseFloodingNode(std::size_t n, std::size_t k, DynamicBitset initial);
+  PhaseFloodingNode(std::size_t n, std::size_t k, KnowledgeSet initial);
 
   [[nodiscard]] TokenId choose_broadcast(Round r) override;
   void on_receive(Round r, std::span<const TokenId> tokens) override;
 
   /// Tokens currently known.
-  [[nodiscard]] const DynamicBitset& known() const noexcept { return known_; }
+  [[nodiscard]] const KnowledgeSet& known() const noexcept { return known_; }
 
   /// Builds n nodes from an initial knowledge assignment.
   [[nodiscard]] static std::vector<std::unique_ptr<BroadcastAlgorithm>> make_all(
-      std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial);
+      std::size_t n, std::size_t k, const std::vector<KnowledgeSet>& initial);
 
  private:
   std::size_t n_;
   std::size_t k_;
-  DynamicBitset known_;
+  KnowledgeSet known_;
 };
 
 }  // namespace dyngossip

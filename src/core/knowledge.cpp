@@ -14,7 +14,7 @@ const std::pair<NodeId, TokenId>* find_request(const RequestList& list, NodeId w
 }
 
 void carry_surviving_requests(RequestList& fresh, const RequestList& surviving,
-                              DynamicBitset& in_flight) {
+                              KnowledgeSet& in_flight) {
   std::sort(fresh.begin(), fresh.end());
   const auto fresh_end = static_cast<std::ptrdiff_t>(fresh.size());
   for (const auto& [w, tok] : surviving) {

@@ -27,7 +27,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/types.hpp"
 
 namespace dyngossip {
@@ -49,7 +49,7 @@ using RequestList = std::vector<std::pair<NodeId, TokenId>>;
 /// from `in_flight` (restoring its empty-between-rounds invariant), and
 /// leaves `fresh` sorted by neighbor.  `surviving` must be sorted.
 void carry_surviving_requests(RequestList& fresh, const RequestList& surviving,
-                              DynamicBitset& in_flight);
+                              KnowledgeSet& in_flight);
 
 /// Human-readable class name.
 [[nodiscard]] const char* edge_class_name(EdgeClass c) noexcept;

@@ -99,7 +99,7 @@ LeaderElectionResult run_leader_election_unicast(std::size_t n,
   DynamicGraphTracker tracker(n);
   Graph prev(n);
   std::vector<SentRecord> no_traffic;
-  std::vector<DynamicBitset> no_knowledge;
+  std::vector<KnowledgeSet> no_knowledge;
   for (Round r = 1; r <= max_rounds; ++r) {
     UnicastRoundView view;
     view.round = r;

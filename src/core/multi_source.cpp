@@ -7,7 +7,7 @@
 namespace dyngossip {
 
 MultiSourceNode::MultiSourceNode(NodeId self, const MultiSourceConfig& cfg,
-                                 const DynamicBitset& initial_tokens)
+                                 const KnowledgeSet& initial_tokens)
     : self_(self),
       cfg_(cfg),
       tokens_(cfg.space->total_tokens()),
@@ -17,8 +17,8 @@ MultiSourceNode::MultiSourceNode(NodeId self, const MultiSourceConfig& cfg,
   DG_CHECK(initial_tokens.size() == tokens_.size());
   per_source_.resize(cfg_.space->num_sources());
   for (auto& ps : per_source_) {
-    ps.informed = DynamicBitset(cfg_.n);
-    ps.announcers = DynamicBitset(cfg_.n);
+    ps.informed = KnowledgeSet(cfg_.n);
+    ps.announcers = KnowledgeSet(cfg_.n);
   }
   // A source knows (and is complete w.r.t.) itself at time 0; other nodes
   // discover sources through announcements.
@@ -165,7 +165,7 @@ std::vector<std::unique_ptr<UnicastAlgorithm>> MultiSourceNode::make_all(
 }
 
 std::vector<std::unique_ptr<UnicastAlgorithm>> MultiSourceNode::make_all_with(
-    const MultiSourceConfig& cfg, const std::vector<DynamicBitset>& initial) {
+    const MultiSourceConfig& cfg, const std::vector<KnowledgeSet>& initial) {
   DG_CHECK(initial.size() == cfg.n);
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
   nodes.reserve(cfg.n);

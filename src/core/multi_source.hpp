@@ -21,7 +21,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "core/knowledge.hpp"
 #include "core/tokens.hpp"
 #include "engine/unicast_engine.hpp"
@@ -40,7 +40,7 @@ class MultiSourceNode final : public UnicastAlgorithm {
   /// `initial_tokens` is K_v(0) (usually space->initial_knowledge(n)[v];
   /// Algorithm 2's phase 2 passes knowledge accumulated during phase 1).
   MultiSourceNode(NodeId self, const MultiSourceConfig& cfg,
-                  const DynamicBitset& initial_tokens);
+                  const KnowledgeSet& initial_tokens);
 
   void send(Round r, std::span<const NodeId> neighbors, Outbox& out) override;
   void on_receive(Round r, NodeId from, const Message& m) override;
@@ -56,7 +56,7 @@ class MultiSourceNode final : public UnicastAlgorithm {
   }
 
   /// Tokens currently held.
-  [[nodiscard]] const DynamicBitset& tokens() const noexcept { return tokens_; }
+  [[nodiscard]] const KnowledgeSet& tokens() const noexcept { return tokens_; }
 
   /// Instrumentation: requests sent so far, by edge class at send time.
   [[nodiscard]] std::uint64_t requests_over(EdgeClass c) const {
@@ -69,7 +69,7 @@ class MultiSourceNode final : public UnicastAlgorithm {
 
   /// Builds the n node instances from explicit initial knowledge (phase 2).
   [[nodiscard]] static std::vector<std::unique_ptr<UnicastAlgorithm>> make_all_with(
-      const MultiSourceConfig& cfg, const std::vector<DynamicBitset>& initial);
+      const MultiSourceConfig& cfg, const std::vector<KnowledgeSet>& initial);
 
  private:
   /// Lazily materialized per-source protocol state.
@@ -77,8 +77,8 @@ class MultiSourceNode final : public UnicastAlgorithm {
     bool known = false;         ///< source discovered (self, or announcement)
     bool complete = false;      ///< x ∈ I_v
     std::uint32_t held = 0;     ///< tokens of x currently held
-    DynamicBitset informed;     ///< R_v(x) — I announced my completeness to...
-    DynamicBitset announcers;   ///< S_v(x) — announced their completeness to me
+    KnowledgeSet informed;     ///< R_v(x) — I announced my completeness to...
+    KnowledgeSet announcers;   ///< S_v(x) — announced their completeness to me
   };
 
   /// Marks token t held; updates per-source counters and completeness.
@@ -86,7 +86,7 @@ class MultiSourceNode final : public UnicastAlgorithm {
 
   NodeId self_;
   MultiSourceConfig cfg_;
-  DynamicBitset tokens_;
+  KnowledgeSet tokens_;
   std::vector<PerSource> per_source_;  ///< indexed by source index
   EdgeClassifier classifier_;
   RequestList sent_requests_;          ///< sorted by neighbor id
@@ -95,7 +95,7 @@ class MultiSourceNode final : public UnicastAlgorithm {
   // Per-round scratch, reused across rounds (send() leaves in_flight_ empty).
   RequestList surviving_;
   RequestList next_requests_;
-  DynamicBitset in_flight_;
+  KnowledgeSet in_flight_;
   std::vector<NodeId> by_class_[3];
 };
 

@@ -6,7 +6,7 @@ namespace dyngossip {
 
 NeighborExchangeNode::NeighborExchangeNode(NodeId self, std::size_t n,
                                            std::size_t k,
-                                           const DynamicBitset& initial)
+                                           const KnowledgeSet& initial)
     : self_(self), k_(k), tokens_(k) {
   DG_CHECK(self < n);
   DG_CHECK(initial.size() == k);
@@ -40,7 +40,7 @@ void NeighborExchangeNode::on_receive(Round /*r*/, NodeId from, const Message& m
 }
 
 std::vector<std::unique_ptr<UnicastAlgorithm>> NeighborExchangeNode::make_all(
-    std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial) {
+    std::size_t n, std::size_t k, const std::vector<KnowledgeSet>& initial) {
   DG_CHECK(initial.size() == n);
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
   nodes.reserve(n);
@@ -51,7 +51,7 @@ std::vector<std::unique_ptr<UnicastAlgorithm>> NeighborExchangeNode::make_all(
 }
 
 RunMetrics run_neighbor_exchange(std::size_t n, std::size_t k,
-                                 const std::vector<DynamicBitset>& initial,
+                                 const std::vector<KnowledgeSet>& initial,
                                  Adversary& adversary, Round max_rounds) {
   UnicastEngine engine(NeighborExchangeNode::make_all(n, k, initial), adversary,
                        initial, k);

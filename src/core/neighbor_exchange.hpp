@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "engine/unicast_engine.hpp"
 
 namespace dyngossip {
@@ -28,22 +28,22 @@ class NeighborExchangeNode final : public UnicastAlgorithm {
  public:
   /// `initial` is K_v(0) over a k-token universe.
   NeighborExchangeNode(NodeId self, std::size_t n, std::size_t k,
-                       const DynamicBitset& initial);
+                       const KnowledgeSet& initial);
 
   void send(Round r, std::span<const NodeId> neighbors, Outbox& out) override;
   void on_receive(Round r, NodeId from, const Message& m) override;
 
   /// Tokens currently held.
-  [[nodiscard]] const DynamicBitset& tokens() const noexcept { return tokens_; }
+  [[nodiscard]] const KnowledgeSet& tokens() const noexcept { return tokens_; }
 
   /// Builds the n node instances.
   [[nodiscard]] static std::vector<std::unique_ptr<UnicastAlgorithm>> make_all(
-      std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial);
+      std::size_t n, std::size_t k, const std::vector<KnowledgeSet>& initial);
 
  private:
   NodeId self_;
   std::size_t k_;
-  DynamicBitset tokens_;
+  KnowledgeSet tokens_;
   /// held tokens in acquisition order (stable send order per target).
   std::vector<TokenId> order_;
   /// per-target cursor into order_; everything before it was already sent.
@@ -52,7 +52,7 @@ class NeighborExchangeNode final : public UnicastAlgorithm {
 
 /// Runs the baseline to completion (or the round cap).
 [[nodiscard]] RunMetrics run_neighbor_exchange(std::size_t n, std::size_t k,
-                                               const std::vector<DynamicBitset>& initial,
+                                               const std::vector<KnowledgeSet>& initial,
                                                Adversary& adversary,
                                                Round max_rounds);
 

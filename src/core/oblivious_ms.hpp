@@ -29,7 +29,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/rng.hpp"
 #include "engine/unicast_engine.hpp"
 
@@ -77,8 +77,8 @@ class WalkNode final : public UnicastAlgorithm {
   WalkConfig cfg_;
   bool is_center_;
   std::vector<TokenId> held_;
-  DynamicBitset center_informed_;  ///< neighbors I announced center-hood to
-  DynamicBitset known_centers_;    ///< nodes that announced center-hood to me
+  KnowledgeSet center_informed_;  ///< neighbors I announced center-hood to
+  KnowledgeSet known_centers_;    ///< nodes that announced center-hood to me
   Rng rng_;
   std::uint64_t virtual_steps_ = 0;
   std::uint64_t walk_steps_ = 0;

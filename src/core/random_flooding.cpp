@@ -4,7 +4,7 @@
 
 namespace dyngossip {
 
-RandomFloodingNode::RandomFloodingNode(std::size_t k, DynamicBitset initial, Rng rng)
+RandomFloodingNode::RandomFloodingNode(std::size_t k, KnowledgeSet initial, Rng rng)
     : k_(k), known_(std::move(initial)), rng_(rng) {
   DG_CHECK(known_.size() == k_);
   for (const std::size_t t : known_.set_bits()) {
@@ -25,7 +25,7 @@ void RandomFloodingNode::on_receive(Round /*r*/, std::span<const TokenId> tokens
 }
 
 std::vector<std::unique_ptr<BroadcastAlgorithm>> RandomFloodingNode::make_all(
-    std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial,
+    std::size_t n, std::size_t k, const std::vector<KnowledgeSet>& initial,
     std::uint64_t seed) {
   DG_CHECK(initial.size() == n);
   Rng master(seed);

@@ -15,7 +15,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/rng.hpp"
 #include "engine/broadcast_engine.hpp"
 
@@ -24,22 +24,22 @@ namespace dyngossip {
 /// Per-node random-flooding state machine.
 class RandomFloodingNode final : public BroadcastAlgorithm {
  public:
-  RandomFloodingNode(std::size_t k, DynamicBitset initial, Rng rng);
+  RandomFloodingNode(std::size_t k, KnowledgeSet initial, Rng rng);
 
   [[nodiscard]] TokenId choose_broadcast(Round r) override;
   void on_receive(Round r, std::span<const TokenId> tokens) override;
 
   /// Tokens currently known.
-  [[nodiscard]] const DynamicBitset& known() const noexcept { return known_; }
+  [[nodiscard]] const KnowledgeSet& known() const noexcept { return known_; }
 
   /// Builds n nodes; each gets an independent RNG stream derived from seed.
   [[nodiscard]] static std::vector<std::unique_ptr<BroadcastAlgorithm>> make_all(
-      std::size_t n, std::size_t k, const std::vector<DynamicBitset>& initial,
+      std::size_t n, std::size_t k, const std::vector<KnowledgeSet>& initial,
       std::uint64_t seed);
 
  private:
   std::size_t k_;
-  DynamicBitset known_;
+  KnowledgeSet known_;
   std::vector<TokenId> held_;  ///< known tokens as a dense list for sampling
   Rng rng_;
 };

@@ -161,9 +161,9 @@ std::vector<std::unique_ptr<UnicastAlgorithm>> SingleSourceNode::make_all(
   return nodes;
 }
 
-std::vector<DynamicBitset> SingleSourceNode::initial_knowledge(
+std::vector<KnowledgeSet> SingleSourceNode::initial_knowledge(
     const SingleSourceConfig& cfg) {
-  std::vector<DynamicBitset> knowledge(cfg.n, DynamicBitset(cfg.k));
+  std::vector<KnowledgeSet> knowledge(cfg.n, KnowledgeSet(cfg.k));
   knowledge[cfg.source].set_all();
   return knowledge;
 }

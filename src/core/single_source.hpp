@@ -20,7 +20,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "core/knowledge.hpp"
 #include "engine/unicast_engine.hpp"
 
@@ -57,7 +57,7 @@ class SingleSourceNode final : public UnicastAlgorithm {
   [[nodiscard]] bool complete() const noexcept { return tokens_.all(); }
 
   /// Tokens currently held.
-  [[nodiscard]] const DynamicBitset& tokens() const noexcept { return tokens_; }
+  [[nodiscard]] const KnowledgeSet& tokens() const noexcept { return tokens_; }
 
   /// Definition 3.2 (evaluated for the current round): incomplete with a
   /// known-complete live neighbor.
@@ -73,15 +73,15 @@ class SingleSourceNode final : public UnicastAlgorithm {
       const SingleSourceConfig& cfg);
 
   /// K_v(0): the source holds all tokens, everyone else none.
-  [[nodiscard]] static std::vector<DynamicBitset> initial_knowledge(
+  [[nodiscard]] static std::vector<KnowledgeSet> initial_knowledge(
       const SingleSourceConfig& cfg);
 
  private:
   NodeId self_;
   SingleSourceConfig cfg_;
-  DynamicBitset tokens_;          ///< K_v
-  DynamicBitset informed_;        ///< R_v: nodes I announced completeness to
-  DynamicBitset known_complete_;  ///< S_v: nodes that announced completeness
+  KnowledgeSet tokens_;          ///< K_v
+  KnowledgeSet informed_;        ///< R_v: nodes I announced completeness to
+  KnowledgeSet known_complete_;  ///< S_v: nodes that announced completeness
   EdgeClassifier classifier_;
   /// Requests I sent last round (sorted by neighbor id).
   RequestList sent_requests_;
@@ -93,7 +93,7 @@ class SingleSourceNode final : public UnicastAlgorithm {
   // Per-round scratch, reused across rounds (send() leaves in_flight_ empty).
   RequestList surviving_;            ///< last round's requests whose edge survived
   RequestList next_requests_;        ///< the round's fresh request assignment
-  DynamicBitset in_flight_;          ///< tokens known to arrive this round
+  KnowledgeSet in_flight_;          ///< tokens known to arrive this round
   std::vector<NodeId> by_class_[3];  ///< eligible edges partitioned by class
 };
 

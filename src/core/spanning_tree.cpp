@@ -7,7 +7,7 @@
 namespace dyngossip {
 
 SpanningTreeNode::SpanningTreeNode(NodeId self, const SpanningTreeConfig& cfg,
-                                   const DynamicBitset& initial_tokens)
+                                   const KnowledgeSet& initial_tokens)
     : self_(self), cfg_(cfg), tokens_(cfg.space->total_tokens()) {
   DG_CHECK(cfg_.space != nullptr);
   DG_CHECK(self < cfg_.n);
@@ -93,7 +93,7 @@ void SpanningTreeNode::on_receive(Round /*r*/, NodeId from, const Message& m) {
 
 std::vector<std::unique_ptr<UnicastAlgorithm>> SpanningTreeNode::make_all(
     const SpanningTreeConfig& cfg) {
-  const std::vector<DynamicBitset> initial = cfg.space->initial_knowledge(cfg.n);
+  const std::vector<KnowledgeSet> initial = cfg.space->initial_knowledge(cfg.n);
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
   nodes.reserve(cfg.n);
   for (NodeId v = 0; v < cfg.n; ++v) {

@@ -24,7 +24,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "core/tokens.hpp"
 #include "engine/unicast_engine.hpp"
 
@@ -41,7 +41,7 @@ struct SpanningTreeConfig {
 class SpanningTreeNode final : public UnicastAlgorithm {
  public:
   SpanningTreeNode(NodeId self, const SpanningTreeConfig& cfg,
-                   const DynamicBitset& initial_tokens);
+                   const KnowledgeSet& initial_tokens);
 
   void send(Round r, std::span<const NodeId> neighbors, Outbox& out) override;
   void on_receive(Round r, NodeId from, const Message& m) override;
@@ -61,7 +61,7 @@ class SpanningTreeNode final : public UnicastAlgorithm {
  private:
   NodeId self_;
   SpanningTreeConfig cfg_;
-  DynamicBitset tokens_;
+  KnowledgeSet tokens_;
   NodeId parent_ = kNoNode;
   bool sent_accept_ = false;
   bool flooded_join_ = false;

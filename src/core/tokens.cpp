@@ -78,8 +78,8 @@ std::size_t TokenSpace::index_of_node(NodeId node) const {
   return static_cast<std::size_t>(it - nodes_.begin());
 }
 
-std::vector<DynamicBitset> TokenSpace::initial_knowledge(std::size_t n) const {
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k_));
+std::vector<KnowledgeSet> TokenSpace::initial_knowledge(std::size_t n) const {
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k_));
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     DG_CHECK(nodes_[i] < n);
     for (const TokenId t : tokens_[i]) knowledge[nodes_[i]].set(t);

@@ -17,7 +17,7 @@
 #include <memory>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/types.hpp"
 
 namespace dyngossip {
@@ -70,7 +70,7 @@ class TokenSpace {
   [[nodiscard]] std::size_t index_of_node(NodeId node) const;
 
   /// K_v(0): each source starts with exactly its own tokens.
-  [[nodiscard]] std::vector<DynamicBitset> initial_knowledge(std::size_t n) const;
+  [[nodiscard]] std::vector<KnowledgeSet> initial_knowledge(std::size_t n) const;
 
  private:
   std::uint32_t k_ = 0;

@@ -38,7 +38,7 @@ int run(const CliArgs& args) {
   const auto rows = static_cast<std::size_t>(args.get_int("rows", 25));
 
   Rng rng(seed);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
 
   AdversarySpec spec{"lb", {}};

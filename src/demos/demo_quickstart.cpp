@@ -106,7 +106,7 @@ int run(const CliArgs& args) {
   // --- 4. Naive flooding vs the Section-2 lower-bound adversary ------------
   {
     const std::size_t kb = std::max<std::size_t>(8, n / 4);  // small k: LB runs are long
-    std::vector<DynamicBitset> initial(n, DynamicBitset(kb));
+    std::vector<KnowledgeSet> initial(n, KnowledgeSet(kb));
     Rng rng(seed + 4);
     for (std::size_t t = 0; t < kb; ++t) {
       initial[rng.next_below(n)].set(t);  // each token starts at one node

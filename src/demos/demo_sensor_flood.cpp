@@ -37,7 +37,7 @@ int run(const CliArgs& args) {
 
   // Each reading originates at one sensor.
   Rng rng(seed);
-  std::vector<DynamicBitset> readings(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> readings(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) readings[rng.next_below(n)].set(t);
 
   std::printf("Sensor mesh: %zu nodes, %zu readings to disseminate\n\n", n, k);

@@ -1,20 +1,26 @@
 #include "engine/broadcast_engine.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "graph/connectivity.hpp"
+#include "sim/runner/parallel.hpp"
+#include "sim/runner/thread_pool.hpp"
 
 namespace dyngossip {
 
 BroadcastEngine::BroadcastEngine(
     std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes, Adversary& adversary,
-    std::vector<DynamicBitset> initial_knowledge, std::size_t k,
+    std::vector<KnowledgeSet> initial_knowledge, std::size_t k,
     BroadcastEngineOptions opts)
     : nodes_(std::move(nodes)),
       adversary_(adversary),
       knowledge_(std::move(initial_knowledge)),
       k_(k),
       tracker_(nodes_.size()),
-      log_(opts.record_learning_events) {
+      log_(opts.record_learning_events),
+      pool_(opts.pool),
+      min_parallel_nodes_(opts.min_parallel_nodes) {
   DG_CHECK(!nodes_.empty());
   DG_CHECK(nodes_.size() == knowledge_.size());
   DG_CHECK(adversary_.num_nodes() == nodes_.size());
@@ -25,17 +31,46 @@ BroadcastEngine::BroadcastEngine(
   intents_.resize(nodes_.size(), kNoToken);
 }
 
+std::size_t BroadcastEngine::plan_shards() const noexcept {
+  if (pool_ == nullptr || pool_->size() < 2) return 1;
+  if (nodes_.size() < min_parallel_nodes_) return 1;
+  // 4× oversubscription so parallel_for's self-scheduling absorbs degree
+  // imbalance between node ranges.
+  return std::min(pool_->size() * 4, nodes_.size());
+}
+
 Round BroadcastEngine::step() {
   const Round r = ++round_;
   const std::size_t n = nodes_.size();
+  const std::size_t shards = plan_shards();
+  const std::size_t chunk = shards > 1 ? (n + shards - 1) / shards : n;
+  if (shards > 1) shards_.resize(shards);
 
   // 1. Nodes commit broadcast intents (before seeing the round graph).
-  for (NodeId v = 0; v < n; ++v) {
-    const TokenId t = nodes_[v]->choose_broadcast(r);
-    // Token-forwarding constraint: only held tokens may be broadcast.
-    DG_CHECK(t == kNoToken || (t < k_ && knowledge_[v].test(t)));
-    intents_[v] = t;
-    if (t != kNoToken) ++metrics_.broadcasts;
+  // intents_[v] is written only by v's shard; counters are per-shard and
+  // folded in shard order, so totals match the serial loop exactly.
+  if (shards > 1) {
+    parallel_for(*pool_, shards, [&](std::size_t s) {
+      Shard& sh = shards_[s];
+      sh.broadcasts = 0;
+      const auto lo = static_cast<NodeId>(s * chunk);
+      const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
+      for (NodeId v = lo; v < hi; ++v) {
+        const TokenId t = nodes_[v]->choose_broadcast(r);
+        // Token-forwarding constraint: only held tokens may be broadcast.
+        DG_CHECK(t == kNoToken || (t < k_ && knowledge_[v].test(t)));
+        intents_[v] = t;
+        if (t != kNoToken) ++sh.broadcasts;
+      }
+    });
+    for (const Shard& sh : shards_) metrics_.broadcasts += sh.broadcasts;
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      const TokenId t = nodes_[v]->choose_broadcast(r);
+      DG_CHECK(t == kNoToken || (t < k_ && knowledge_[v].test(t)));
+      intents_[v] = t;
+      if (t != kNoToken) ++metrics_.broadcasts;
+    }
   }
 
   // 2. The (possibly strongly adaptive) adversary fixes the round graph.
@@ -52,22 +87,53 @@ Round BroadcastEngine::step() {
   metrics_.deletions += diff.removed.size();
 
   // 3 + 4. Deliver broadcasts; record learnings before handing tokens to the
-  // algorithms so the mirror stays authoritative.
-  for (NodeId v = 0; v < n; ++v) {
-    inbox_scratch_.clear();
-    for (const NodeId u : view_.neighbors(v)) {
-      if (intents_[u] != kNoToken) inbox_scratch_.push_back(intents_[u]);
-    }
-    if (inbox_scratch_.empty()) continue;
-    const bool was_complete = knowledge_[v].all();
-    for (const TokenId t : inbox_scratch_) {
-      if (knowledge_[v].set(t)) {
-        ++metrics_.learnings;
-        log_.add(v, t, r);
+  // algorithms so the mirror stays authoritative.  Each recipient's inbox
+  // depends only on frozen intents and its own knowledge, so recipient
+  // shards are independent; the sharded path needs batch learning counts,
+  // so individual event recording keeps the serial loop.
+  if (shards > 1 && !log_.recording_events()) {
+    parallel_for(*pool_, shards, [&](std::size_t s) {
+      Shard& sh = shards_[s];
+      sh.learnings = 0;
+      sh.newly_complete = 0;
+      const auto lo = static_cast<NodeId>(s * chunk);
+      const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
+      for (NodeId v = lo; v < hi; ++v) {
+        sh.inbox.clear();
+        for (const NodeId u : view_.neighbors(v)) {
+          if (intents_[u] != kNoToken) sh.inbox.push_back(intents_[u]);
+        }
+        if (sh.inbox.empty()) continue;
+        const bool was_complete = knowledge_[v].all();
+        for (const TokenId t : sh.inbox) {
+          if (knowledge_[v].set(t)) ++sh.learnings;
+        }
+        if (!was_complete && knowledge_[v].all()) ++sh.newly_complete;
+        nodes_[v]->on_receive(r, sh.inbox);
       }
+    });
+    for (const Shard& sh : shards_) {
+      metrics_.learnings += sh.learnings;
+      complete_nodes_ += sh.newly_complete;
+      log_.add_batch(sh.learnings, r);
     }
-    if (!was_complete && knowledge_[v].all()) ++complete_nodes_;
-    nodes_[v]->on_receive(r, inbox_scratch_);
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      inbox_scratch_.clear();
+      for (const NodeId u : view_.neighbors(v)) {
+        if (intents_[u] != kNoToken) inbox_scratch_.push_back(intents_[u]);
+      }
+      if (inbox_scratch_.empty()) continue;
+      const bool was_complete = knowledge_[v].all();
+      for (const TokenId t : inbox_scratch_) {
+        if (knowledge_[v].set(t)) {
+          ++metrics_.learnings;
+          log_.add(v, t, r);
+        }
+      }
+      if (!was_complete && knowledge_[v].all()) ++complete_nodes_;
+      nodes_[v]->on_receive(r, inbox_scratch_);
+    }
   }
 
   metrics_.rounds = r;

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "adversary/adversary.hpp"
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/types.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/dynamic_tracker.hpp"
@@ -30,6 +30,8 @@
 #include "metrics/learning_log.hpp"
 
 namespace dyngossip {
+
+class ThreadPool;
 
 /// Per-node algorithm interface for the local-broadcast model.
 ///
@@ -55,6 +57,15 @@ class BroadcastAlgorithm {
 struct BroadcastEngineOptions {
   /// Record individual learning events (O(nk) memory) in the learning log.
   bool record_learning_events = false;
+  /// Worker pool for intra-round sharding; null (or a 1-worker pool) keeps
+  /// the fully serial path.  Same contract as UnicastEngineOptions::pool:
+  /// node algorithms must touch only node-local state, and the engine must
+  /// run on a non-pool thread (see sim/runner/shard_schedule.hpp for the
+  /// trial-vs-intra-round policy).  Results are bit-identical to the serial
+  /// engine at any thread count.
+  ThreadPool* pool = nullptr;
+  /// Minimum node count before sharding engages.
+  std::size_t min_parallel_nodes = 4096;
 };
 
 /// Drives n BroadcastAlgorithm instances against an adversary.
@@ -66,7 +77,7 @@ class BroadcastEngine {
   /// `initial_knowledge[v]` is K_v(0); all bitsets must have universe k.
   BroadcastEngine(std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes,
                   Adversary& adversary,
-                  std::vector<DynamicBitset> initial_knowledge, std::size_t k,
+                  std::vector<KnowledgeSet> initial_knowledge, std::size_t k,
                   BroadcastEngineOptions opts = {});
 
   /// Executes one round; returns its number.
@@ -82,7 +93,7 @@ class BroadcastEngine {
   }
 
   /// Authoritative knowledge of node v.
-  [[nodiscard]] const DynamicBitset& knowledge_of(NodeId v) const {
+  [[nodiscard]] const KnowledgeSet& knowledge_of(NodeId v) const {
     return knowledge_[v];
   }
 
@@ -102,18 +113,33 @@ class BroadcastEngine {
   void set_round_hook(RoundHook hook) { hook_ = std::move(hook); }
 
  private:
+  /// Per-shard scratch: intent counter for the choose phase, inbox buffer
+  /// plus learning counters for the delivery phase.  Reused across rounds.
+  struct Shard {
+    std::uint64_t broadcasts = 0;
+    std::uint64_t learnings = 0;
+    std::size_t newly_complete = 0;
+    std::vector<TokenId> inbox;
+  };
+
+  /// Number of node shards this round (1 = serial path).
+  [[nodiscard]] std::size_t plan_shards() const noexcept;
+
   std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes_;
   Adversary& adversary_;
-  std::vector<DynamicBitset> knowledge_;
+  std::vector<KnowledgeSet> knowledge_;
   std::size_t k_;
   std::size_t complete_nodes_ = 0;
   DynamicGraphTracker tracker_;
   RunMetrics metrics_;
   LearningLog log_;
   Round round_ = 0;
+  ThreadPool* pool_;
+  std::size_t min_parallel_nodes_;
   RoundHook hook_;
   std::vector<TokenId> intents_;       // scratch: i_v(r)
   std::vector<TokenId> inbox_scratch_; // scratch: per-node deliveries
+  std::vector<Shard> shards_;          // scratch: sharded-path counters
   RoundGraphView view_;                // scratch: CSR snapshot of G_r
   ConnectivityChecker connectivity_;   // scratch: BFS buffers for the G_r check
 };

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/runner/parallel.hpp"
+#include "sim/runner/thread_pool.hpp"
 
 namespace dyngossip {
 
 UnicastEngine::UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> nodes,
                              Adversary& adversary,
-                             std::vector<DynamicBitset> initial_knowledge,
+                             std::vector<KnowledgeSet> initial_knowledge,
                              std::size_t k, UnicastEngineOptions opts)
     : nodes_(std::move(nodes)),
       adversary_(adversary),
@@ -18,6 +20,8 @@ UnicastEngine::UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> node
       start_offset_(opts.start_round - 1),
       round_(opts.start_round - 1),
       max_payloads_per_edge_(opts.max_payloads_per_edge),
+      pool_(opts.pool),
+      min_parallel_nodes_(opts.min_parallel_nodes),
       prev_graph_(0) {
   DG_CHECK(!nodes_.empty());
   DG_CHECK(nodes_.size() == knowledge_.size());
@@ -37,6 +41,112 @@ UnicastEngine::UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> node
     tracker_ = owned_tracker_.get();
   }
   prev_graph_ = Graph(nodes_.size());  // G_{start-1} as seen by the adversary view
+}
+
+std::size_t UnicastEngine::plan_shards() const noexcept {
+  if (pool_ == nullptr || pool_->size() < 2) return 1;
+  if (nodes_.size() < min_parallel_nodes_) return 1;
+  // 4× oversubscription: parallel_for self-schedules shard indices, so
+  // extra shards absorb per-node cost imbalance (hub nodes, dense rows).
+  return std::min(pool_->size() * 4, nodes_.size());
+}
+
+void UnicastEngine::validate_sent(NodeId v, std::vector<SentRecord>& sink,
+                                  std::size_t mark, MessageCounts& counts) {
+  const std::size_t n = nodes_.size();
+  for (std::size_t i = mark; i < sink.size(); ++i) {
+    const SentRecord& rec = sink[i];
+    DG_CHECK(rec.to < n && rec.to != v);
+    const std::size_t arc = view_.arc_index(v, rec.to);
+    DG_CHECK(arc != kNoArc);  // may only address current neighbors
+    // Token-forwarding: only held tokens may be shipped.
+    if (rec.msg.type == MsgType::kToken) {
+      DG_CHECK(rec.msg.token < k_ && knowledge_[v].test(rec.msg.token));
+    }
+    // Race-free across shards: the arcs of sender v form one contiguous
+    // CSR block and v belongs to exactly one shard.
+    const std::uint32_t used = ++arc_budget_[arc];
+    DG_CHECK(used <= max_payloads_per_edge_);
+    counts.add(rec.msg.type);
+  }
+}
+
+void UnicastEngine::send_phase_sharded(Round r, std::size_t shards) {
+  const std::size_t n = nodes_.size();
+  const std::size_t chunk = (n + shards - 1) / shards;
+  send_shards_.resize(shards);
+  parallel_for(*pool_, shards, [&](std::size_t s) {
+    SendShard& sh = send_shards_[s];
+    sh.traffic.clear();
+    sh.counts = MessageCounts{};
+    const auto lo = static_cast<NodeId>(s * chunk);
+    const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
+    for (NodeId v = lo; v < hi; ++v) {
+      const std::span<const NodeId> neigh = view_.neighbors(v);
+      Outbox out(v, sh.traffic);
+      const std::size_t mark = sh.traffic.size();
+      nodes_[v]->send(r, neigh, out);
+      validate_sent(v, sh.traffic, mark, sh.counts);
+    }
+  });
+  // Deterministic reduction: shards cover [0, n) in increasing node order,
+  // so appending per-shard outboxes in shard order reproduces the serial
+  // traffic buffer byte-for-byte.
+  std::size_t total = 0;
+  for (const SendShard& sh : send_shards_) total += sh.traffic.size();
+  traffic_.clear();
+  traffic_.reserve(total);
+  for (const SendShard& sh : send_shards_) {
+    traffic_.insert(traffic_.end(), sh.traffic.begin(), sh.traffic.end());
+    metrics_.unicast += sh.counts;
+  }
+}
+
+void UnicastEngine::deliver_sharded(Round r, std::size_t shards) {
+  const std::size_t n = nodes_.size();
+  // Serial stable bucketization by recipient (counts → prefix sums →
+  // order-preserving scatter): each recipient then sees its records in the
+  // exact subsequence the serial delivery loop would hand it, which is all
+  // that node-local on_receive state can observe.
+  recipient_begin_.assign(n + 1, 0);
+  for (const SentRecord& rec : traffic_) ++recipient_begin_[rec.to + 1];
+  for (std::size_t v = 0; v < n; ++v) {
+    recipient_begin_[v + 1] += recipient_begin_[v];
+  }
+  record_of_.resize(traffic_.size());
+  recipient_cursor_.assign(recipient_begin_.begin(), recipient_begin_.end());
+  for (std::size_t i = 0; i < traffic_.size(); ++i) {
+    record_of_[recipient_cursor_[traffic_[i].to]++] = i;
+  }
+  const std::size_t chunk = (n + shards - 1) / shards;
+  deliver_shards_.resize(shards);
+  parallel_for(*pool_, shards, [&](std::size_t s) {
+    DeliverShard& sh = deliver_shards_[s];
+    sh = DeliverShard{};
+    const auto lo = static_cast<NodeId>(s * chunk);
+    const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
+    for (NodeId v = lo; v < hi; ++v) {
+      for (std::size_t j = recipient_begin_[v]; j < recipient_begin_[v + 1]; ++j) {
+        const SentRecord& rec = traffic_[record_of_[j]];
+        if (rec.msg.type == MsgType::kToken) {
+          const bool was_complete = knowledge_[v].all();
+          if (knowledge_[v].set(rec.msg.token)) {
+            ++sh.learnings;
+            if (!was_complete && knowledge_[v].all()) ++sh.newly_complete;
+          } else {
+            ++sh.duplicates;
+          }
+        }
+        nodes_[v]->on_receive(r, rec.from, rec.msg);
+      }
+    }
+  });
+  for (const DeliverShard& sh : deliver_shards_) {
+    metrics_.learnings += sh.learnings;
+    metrics_.duplicate_token_deliveries += sh.duplicates;
+    complete_nodes_ += sh.newly_complete;
+    log_.add_batch(sh.learnings, r);
+  }
 }
 
 Round UnicastEngine::step() {
@@ -59,45 +169,44 @@ Round UnicastEngine::step() {
   metrics_.tc += diff.inserted.size();
   metrics_.deletions += diff.removed.size();
 
+  const std::size_t shards = plan_shards();
+
   // 2. Send step: each node sees its sorted neighbor span (served by the
   // CSR snapshot — no per-node allocation or sort) and queues per-neighbor
-  // payloads into the shared traffic buffer.
-  traffic_.clear();
+  // payloads.  Sharded: per-shard outboxes, merged in node order.
   arc_budget_.assign(view_.num_arcs(), 0);
-  for (NodeId v = 0; v < n; ++v) {
-    const std::span<const NodeId> neigh = view_.neighbors(v);
-    Outbox out(v, traffic_);
-    const std::size_t mark = traffic_.size();
-    nodes_[v]->send(r, neigh, out);
-    for (std::size_t i = mark; i < traffic_.size(); ++i) {
-      const SentRecord& rec = traffic_[i];
-      DG_CHECK(rec.to < n && rec.to != v);
-      const std::size_t arc = view_.arc_index(v, rec.to);
-      DG_CHECK(arc != kNoArc);  // may only address current neighbors
-      // Token-forwarding: only held tokens may be shipped.
-      if (rec.msg.type == MsgType::kToken) {
-        DG_CHECK(rec.msg.token < k_ && knowledge_[v].test(rec.msg.token));
-      }
-      const std::uint32_t used = ++arc_budget_[arc];
-      DG_CHECK(used <= max_payloads_per_edge_);
-      metrics_.unicast.add(rec.msg.type);
+  if (shards > 1) {
+    send_phase_sharded(r, shards);
+  } else {
+    traffic_.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const std::span<const NodeId> neigh = view_.neighbors(v);
+      Outbox out(v, traffic_);
+      const std::size_t mark = traffic_.size();
+      nodes_[v]->send(r, neigh, out);
+      validate_sent(v, traffic_, mark, metrics_.unicast);
     }
   }
 
   // 3 + 4. End-of-round delivery; learnings recorded against the mirror
-  // before algorithms observe the payloads.
-  for (const SentRecord& rec : traffic_) {
-    if (rec.msg.type == MsgType::kToken) {
-      const bool was_complete = knowledge_[rec.to].all();
-      if (knowledge_[rec.to].set(rec.msg.token)) {
-        ++metrics_.learnings;
-        log_.add(rec.to, rec.msg.token, r);
-        if (!was_complete && knowledge_[rec.to].all()) ++complete_nodes_;
-      } else {
-        ++metrics_.duplicate_token_deliveries;
+  // before algorithms observe the payloads.  The sharded path needs batch
+  // learning counts, so individual event recording keeps the serial loop.
+  if (shards > 1 && !log_.recording_events()) {
+    deliver_sharded(r, shards);
+  } else {
+    for (const SentRecord& rec : traffic_) {
+      if (rec.msg.type == MsgType::kToken) {
+        const bool was_complete = knowledge_[rec.to].all();
+        if (knowledge_[rec.to].set(rec.msg.token)) {
+          ++metrics_.learnings;
+          log_.add(rec.to, rec.msg.token, r);
+          if (!was_complete && knowledge_[rec.to].all()) ++complete_nodes_;
+        } else {
+          ++metrics_.duplicate_token_deliveries;
+        }
       }
+      nodes_[rec.to]->on_receive(r, rec.from, rec.msg);
     }
-    nodes_[rec.to]->on_receive(r, rec.from, rec.msg);
   }
 
   metrics_.rounds = r - start_offset_;  // rounds executed by THIS engine/phase

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "adversary/adversary.hpp"
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/types.hpp"
 #include "engine/message.hpp"
 #include "graph/connectivity.hpp"
@@ -34,6 +34,8 @@
 #include "metrics/learning_log.hpp"
 
 namespace dyngossip {
+
+class ThreadPool;
 
 /// Outbox handed to a node during its send step; delivery is end-of-round.
 ///
@@ -88,6 +90,21 @@ struct UnicastEngineOptions {
   std::uint32_t max_payloads_per_edge = 4;
   /// Record individual learning events (O(nk) memory).
   bool record_learning_events = false;
+  /// Worker pool for intra-round sharding; null (or a 1-worker pool) keeps
+  /// the fully serial path.  Sharding requires that node algorithms touch
+  /// only node-local state in send()/on_receive() (true for every algorithm
+  /// in this repo), and the engine must run on a non-pool thread: the pool
+  /// is a leaf executor (see sim/runner/thread_pool.hpp), so hand engines a
+  /// pool only when trials are NOT already parallelized across it
+  /// (sim/runner/shard_schedule.hpp implements that policy).  Results are
+  /// bit-identical to the serial engine at any thread count: the per-shard
+  /// outboxes are merged in node order and delivery preserves each
+  /// recipient's serial record subsequence.
+  ThreadPool* pool = nullptr;
+  /// Minimum node count before sharding engages (below it fork/join
+  /// overhead dominates a round).  Tests lower this to force sharding at
+  /// small n.
+  std::size_t min_parallel_nodes = 4096;
 };
 
 /// Drives n UnicastAlgorithm instances against an adversary.
@@ -100,7 +117,7 @@ class UnicastEngine {
 
   /// `initial_knowledge[v]` is K_v(0) over a k-token universe.
   UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> nodes,
-                Adversary& adversary, std::vector<DynamicBitset> initial_knowledge,
+                Adversary& adversary, std::vector<KnowledgeSet> initial_knowledge,
                 std::size_t k, UnicastEngineOptions opts = {});
 
   /// Executes one round; returns its number.
@@ -120,7 +137,7 @@ class UnicastEngine {
   }
 
   /// Authoritative knowledge of node v.
-  [[nodiscard]] const DynamicBitset& knowledge_of(NodeId v) const {
+  [[nodiscard]] const KnowledgeSet& knowledge_of(NodeId v) const {
     return knowledge_[v];
   }
 
@@ -149,9 +166,35 @@ class UnicastEngine {
   void set_round_hook(RoundHook hook) { hook_ = std::move(hook); }
 
  private:
+  /// Per-shard send-phase scratch (outbox + message counters), reused
+  /// across rounds; merged in shard (= node) order after the joins.
+  struct SendShard {
+    std::vector<SentRecord> traffic;
+    MessageCounts counts;
+  };
+
+  /// Per-shard delivery-phase counters, folded into the engine totals
+  /// after the join.
+  struct DeliverShard {
+    std::uint64_t learnings = 0;
+    std::uint64_t duplicates = 0;
+    std::size_t newly_complete = 0;
+  };
+
+  /// Number of node shards this round (1 = serial path).
+  [[nodiscard]] std::size_t plan_shards() const noexcept;
+
+  /// Validates and accounts the records a node appended to `sink` since
+  /// `mark` (shared by the serial and sharded send paths).
+  void validate_sent(NodeId v, std::vector<SentRecord>& sink, std::size_t mark,
+                     MessageCounts& counts);
+
+  void send_phase_sharded(Round r, std::size_t shards);
+  void deliver_sharded(Round r, std::size_t shards);
+
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes_;
   Adversary& adversary_;
-  std::vector<DynamicBitset> knowledge_;
+  std::vector<KnowledgeSet> knowledge_;
   std::size_t k_;
   std::size_t complete_nodes_ = 0;
   std::unique_ptr<DynamicGraphTracker> owned_tracker_;
@@ -161,6 +204,8 @@ class UnicastEngine {
   Round start_offset_;
   Round round_;
   std::uint32_t max_payloads_per_edge_;
+  ThreadPool* pool_;
+  std::size_t min_parallel_nodes_;
   RoundHook hook_;
   Graph prev_graph_;
   std::vector<SentRecord> prev_messages_;
@@ -169,6 +214,12 @@ class UnicastEngine {
   ConnectivityChecker connectivity_;      ///< BFS buffers for the G_r check
   std::vector<SentRecord> traffic_;       ///< round-r records (swapped into prev)
   std::vector<std::uint32_t> arc_budget_; ///< payload counts per directed arc
+  // Sharded-path scratch, reused across rounds.
+  std::vector<SendShard> send_shards_;
+  std::vector<DeliverShard> deliver_shards_;
+  std::vector<std::size_t> recipient_begin_;   ///< bucket offsets per recipient
+  std::vector<std::size_t> recipient_cursor_;  ///< scatter cursor per recipient
+  std::vector<std::size_t> record_of_;         ///< traffic indices, bucketed
 };
 
 }  // namespace dyngossip

@@ -35,6 +35,17 @@ class LearningLog {
     if (record_events_) events_.push_back({v, t, r});
   }
 
+  /// Registers `count` events that all happened in round r without storing
+  /// them individually (sharded delivery folds per-shard counters; engines
+  /// fall back to per-event add() when recording is enabled).
+  void add_batch(std::uint64_t count, Round r) {
+    count_ += count;
+    if (count > 0) last_round_ = r;
+  }
+
+  /// True iff individual events are being stored.
+  [[nodiscard]] bool recording_events() const noexcept { return record_events_; }
+
   /// Total learnings so far.
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
 

@@ -5,8 +5,8 @@
 
 namespace dyngossip {
 
-std::uint64_t potential(const std::vector<DynamicBitset>& knowledge,
-                        const std::vector<DynamicBitset>& kprime) {
+std::uint64_t potential(const std::vector<KnowledgeSet>& knowledge,
+                        const std::vector<KnowledgeSet>& kprime) {
   DG_CHECK(knowledge.size() == kprime.size());
   std::uint64_t phi = 0;
   for (std::size_t v = 0; v < knowledge.size(); ++v) {
@@ -15,9 +15,9 @@ std::uint64_t potential(const std::vector<DynamicBitset>& knowledge,
   return phi;
 }
 
-std::vector<DynamicBitset> sample_kprime(std::size_t n, std::size_t k, double p,
+std::vector<KnowledgeSet> sample_kprime(std::size_t n, std::size_t k, double p,
                                          Rng& rng) {
-  std::vector<DynamicBitset> kprime(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> kprime(n, KnowledgeSet(k));
   for (std::size_t v = 0; v < n; ++v) {
     for (std::size_t t = 0; t < k; ++t) {
       if (rng.bernoulli(p)) kprime[v].set(t);

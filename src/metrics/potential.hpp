@@ -11,18 +11,18 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/dynamic_bitset.hpp"
+#include "common/knowledge_set.hpp"
 #include "common/rng.hpp"
 
 namespace dyngossip {
 
 /// Φ = Σ_v |knowledge[v] ∪ kprime[v]| (sizes must agree).
-[[nodiscard]] std::uint64_t potential(const std::vector<DynamicBitset>& knowledge,
-                                      const std::vector<DynamicBitset>& kprime);
+[[nodiscard]] std::uint64_t potential(const std::vector<KnowledgeSet>& knowledge,
+                                      const std::vector<KnowledgeSet>& kprime);
 
 /// Samples the adversary's K'_v sets: each of k tokens joins each set
 /// independently with probability `p` (the proof uses p = 1/4).
-[[nodiscard]] std::vector<DynamicBitset> sample_kprime(std::size_t n, std::size_t k,
+[[nodiscard]] std::vector<KnowledgeSet> sample_kprime(std::size_t n, std::size_t k,
                                                        double p, Rng& rng);
 
 }  // namespace dyngossip

@@ -6,6 +6,7 @@
 
 #include "common/table.hpp"
 #include "sim/runner/parallel.hpp"
+#include "sim/runner/shard_schedule.hpp"
 #include "trace/run_payload.hpp"
 #include "trace/trace_reader.hpp"
 
@@ -138,10 +139,17 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
   };
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(trials));
 
+  // One parallelism axis per table (the pool is a leaf executor): fan
+  // trials across the pool when they can fill it, otherwise run trials
+  // serially here and let each engine shard its rounds across the pool.
+  ThreadPool* engine_pool = prefer_intra_round_sharding(rows.size() * trials,
+                                                        ctx.pool())
+                                ? &ctx.pool()
+                                : nullptr;
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < trials; ++i) {
-      batch.add([&out, &rows, &axes, &algo, seed_base, r, i] {
+      batch.add([&out, &rows, &axes, &algo, seed_base, engine_pool, r, i] {
         const AxisRowSpec& row = rows[r];
         const std::uint64_t seed = seed_base + 37 * row.n + i;
         // Row default consulted only when the adversary axis is NOT
@@ -155,6 +163,7 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
         actx.sources = row.sources;
         actx.cap = row.cap;
         actx.seed = seed;
+        actx.engine_pool = engine_pool;
         const RunResult res = run_algo(algo, actx, *adversary);
         TrialOut& t = out[r][i];
         t.k = actx.k_realized;
@@ -167,7 +176,12 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
       });
     }
   }
-  batch.run(ctx.pool());
+  if (engine_pool != nullptr) {
+    // Serial trial loop on this (non-pool) thread; engines own the pool.
+    for (std::size_t j = 0; j < batch.size(); ++j) batch.run_job(j);
+  } else {
+    batch.run(ctx.pool());
+  }
 
   ScenarioTable table;
   table.title =

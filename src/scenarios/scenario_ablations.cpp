@@ -115,7 +115,7 @@ struct LbTrial {
 
 LbTrial lb_trial(std::size_t n, std::size_t k, bool full, std::size_t i) {
   Rng rng(37'000 + i);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
   AdversarySpec spec{"lb", {}};
   if (full) spec.set("full", "true");

@@ -64,7 +64,7 @@ ScenarioTable run_one_size(const ScenarioContext& ctx, std::size_t n,
         Rng rng(sm);
         // Fresh K' and a random sparse knowledge state for each trial.
         const auto kprime = sample_kprime(n, k, 0.25, rng);
-        std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
+        std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
         std::vector<TokenId> intents(n, kNoToken);
         for (const auto v : rng.sample_without_replacement(n, beta)) {
           const auto t = static_cast<TokenId>(rng.next_below(k));

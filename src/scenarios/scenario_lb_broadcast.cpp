@@ -22,8 +22,8 @@
 namespace dyngossip {
 namespace {
 
-std::vector<DynamicBitset> one_per_token(std::size_t n, std::size_t k, Rng& rng) {
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+std::vector<KnowledgeSet> one_per_token(std::size_t n, std::size_t k, Rng& rng) {
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
   return init;
 }

@@ -19,6 +19,7 @@
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
 #include "sim/runner/parallel.hpp"
+#include "sim/runner/shard_schedule.hpp"
 #include "sim/simulator.hpp"
 
 namespace dyngossip {
@@ -61,12 +62,14 @@ struct TrialOut {
 };
 
 TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
-                   std::size_t target_edges, std::uint64_t seed) {
+                   std::size_t target_edges, std::uint64_t seed,
+                   ThreadPool* engine_pool) {
   const std::unique_ptr<Adversary> adversary =
       build_adversary(case_spec(c, n, target_edges), n, seed);
   // p=1 never completes: evaluate the bound on a shorter horizon.
   const Round horizon = c.cut_p >= 1.0 ? static_cast<Round>(50 * n) : cap;
-  const RunResult r = run_single_source(n, k, 0, *adversary, horizon);
+  const RunResult r =
+      run_single_source(n, k, 0, *adversary, horizon, engine_pool);
   TrialOut out;
   out.tokens = static_cast<double>(r.metrics.unicast.token);
   out.completeness = static_cast<double>(r.metrics.unicast.completeness);
@@ -81,11 +84,15 @@ TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
 
 ScenarioResult run(const ScenarioContext& ctx) {
   const bool quick = ctx.quick();
-  const bool large = ctx.large();
+  const bool xlarge = ctx.xlarge();
+  // xlarge shares the large-regime shape (k = 256, 8n-edge churn, one
+  // trial); it just pushes n to the 10^5 frontier.
+  const bool large = ctx.large() || xlarge;
   const std::vector<std::size_t> sizes =
-      large   ? std::vector<std::size_t>{1024, 4096, 10000}
-      : quick ? std::vector<std::size_t>{24, 48}
-              : std::vector<std::size_t>{24, 48, 96};
+      xlarge      ? std::vector<std::size_t>{100000}
+      : ctx.large() ? std::vector<std::size_t>{1024, 4096, 10000}
+      : quick     ? std::vector<std::size_t>{24, 48}
+                  : std::vector<std::size_t>{24, 48, 96};
   const auto k_of = [large](std::size_t n) {
     return static_cast<std::uint32_t>(large ? 256 : 2 * n);
   };
@@ -136,26 +143,40 @@ ScenarioResult run(const ScenarioContext& ctx) {
     }
   }
 
+  // One parallelism axis (the pool is a leaf executor): trial jobs when
+  // they can fill the pool, intra-round engine sharding otherwise (the
+  // large/xlarge one-trial grids).
+  ThreadPool* engine_pool =
+      prefer_intra_round_sharding(rows.size() * seeds, ctx.pool())
+          ? &ctx.pool()
+          : nullptr;
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&out, &rows, r, i] {
+      batch.add([&out, &rows, engine_pool, r, i] {
         const RowSpec& spec = rows[r];
         const std::uint64_t seed = 9'000 + 13 * spec.n + i;
-        out[r][i] =
-            run_trial(spec.c, spec.n, spec.k, spec.cap, spec.target_edges, seed);
+        out[r][i] = run_trial(spec.c, spec.n, spec.k, spec.cap,
+                              spec.target_edges, seed, engine_pool);
       });
     }
   }
-  batch.run(ctx.pool());
+  if (engine_pool != nullptr) {
+    for (std::size_t j = 0; j < batch.size(); ++j) batch.run_job(j);
+  } else {
+    batch.run(ctx.pool());
+  }
 
   ScenarioTable table;
   table.title =
-      large ? "Theorem 3.1 at scale: 1-adversary-competitive messages, single "
-              "source (n up to 10^4; k = 256, 8n-edge churn)"
-            : "Theorem 3.1: 1-adversary-competitive messages, single source "
-              "(bound: total - TC(E) <= O(n^2 + nk); k = 2n)";
+      xlarge ? "Theorem 3.1 at the frontier: 1-adversary-competitive "
+               "messages, single source (n = 10^5; k = 256, 8n-edge churn)"
+      : large
+          ? "Theorem 3.1 at scale: 1-adversary-competitive messages, single "
+            "source (n up to 10^4; k = 256, 8n-edge churn)"
+          : "Theorem 3.1: 1-adversary-competitive messages, single source "
+            "(bound: total - TC(E) <= O(n^2 + nk); k = 2n)";
   table.columns = {"adversary", "n",     "k",        "done",
                    "tokens",    "completeness", "requests", "TC(E)",
                    "residual",  "residual/(n^2+nk)", "rounds"};

@@ -53,7 +53,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
             .set("churn", static_cast<std::uint64_t>(n / 8))
             .set("sigma", static_cast<std::uint64_t>(3));
         Rng rng(seed);
-        std::vector<DynamicBitset> init(n, DynamicBitset(k));
+        std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
         for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
         TrialOut& slot = out[r][i];
         {

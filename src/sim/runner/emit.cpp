@@ -31,10 +31,11 @@ JsonValue scenario_result_to_json(const ScenarioResult& result, const RunInfo& i
   run.set("trials", JsonValue::number(static_cast<double>(info.trials)));
   run.set("threads", JsonValue::number(static_cast<double>(info.threads)));
   run.set("quick", JsonValue::boolean(info.quick));
-  run.set("scale", JsonValue::str(info.scale == ScenarioScale::kQuick ? "quick"
-                                  : info.scale == ScenarioScale::kLarge
-                                      ? "large"
-                                      : "default"));
+  run.set("scale",
+          JsonValue::str(info.scale == ScenarioScale::kQuick    ? "quick"
+                         : info.scale == ScenarioScale::kLarge  ? "large"
+                         : info.scale == ScenarioScale::kXLarge ? "xlarge"
+                                                                : "default"));
   run.set("elapsed_seconds", JsonValue::number(info.elapsed_seconds));
   doc.set("run", std::move(run));
   return doc;

@@ -19,6 +19,8 @@ bool parse_scenario_scale(const std::string& text, ScenarioScale* out) {
     *out = ScenarioScale::kDefault;
   } else if (text == "large") {
     *out = ScenarioScale::kLarge;
+  } else if (text == "xlarge") {
+    *out = ScenarioScale::kXLarge;
   } else {
     return false;
   }

@@ -52,10 +52,18 @@ inline bool operator!=(const ScenarioResult& a, const ScenarioResult& b) {
 /// Grid-size axis of a scenario run.  `quick` shrinks the default grids to
 /// CI-smoke settings; `large` stretches the flagship scenarios to
 /// n ~ 10⁴ (single trial, churn-style adversaries) to exercise the
-/// flat-snapshot engine path at scale.
-enum class ScenarioScale : std::uint8_t { kQuick = 0, kDefault = 1, kLarge = 2 };
+/// flat-snapshot engine path at scale; `xlarge` pushes single_source /
+/// sigma_stable_churn to n = 10⁵, where intra-round engine sharding and the
+/// sparse KnowledgeSet representation carry the run.
+enum class ScenarioScale : std::uint8_t {
+  kQuick = 0,
+  kDefault = 1,
+  kLarge = 2,
+  kXLarge = 3,
+};
 
-/// Parses "quick" / "default" / "large"; returns false on anything else.
+/// Parses "quick" / "default" / "large" / "xlarge"; returns false on
+/// anything else.
 [[nodiscard]] bool parse_scenario_scale(const std::string& text, ScenarioScale* out);
 
 /// Execution context handed to a scenario's run function.
@@ -92,6 +100,12 @@ class ScenarioContext {
   /// Scale-up mode: n ~ 10⁴ grids on the scenarios that support them.
   [[nodiscard]] bool large() const noexcept {
     return scale_ == ScenarioScale::kLarge;
+  }
+
+  /// Frontier mode: n = 10⁵ grids on the flagship scenarios (scenarios
+  /// without an xlarge grid treat it as large).
+  [[nodiscard]] bool xlarge() const noexcept {
+    return scale_ == ScenarioScale::kXLarge;
   }
 
   /// Global --adversary=/--trace= axis: an adversary spec string (see

@@ -32,7 +32,8 @@ constexpr const char* kUsage =
     "  run <scenario> [flags]        run one scenario\n"
     "      --threads=N   worker threads (0 = hardware, default)\n"
     "      --trials=T    trials per configuration (0 = scenario default)\n"
-    "      --scale=S     grid size: quick | default | large (n ~ 10^4)\n"
+    "      --scale=S     grid size: quick | default | large (n ~ 10^4) |\n"
+    "                    xlarge (n = 10^5, flagship scenarios)\n"
     "      --quick       alias for --scale=quick\n"
     "      --csv         CSV instead of aligned tables\n"
     "      --json[=PATH] machine-readable record (PATH or '-' for stdout)\n"
@@ -309,7 +310,7 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   if (args.has("scale")) {
     const std::string text = args.get_string("scale", "default");
     if (!parse_scenario_scale(text, &scale)) {
-      std::fprintf(stderr, "--scale must be quick, default, or large (got '%s')\n",
+      std::fprintf(stderr, "--scale must be quick, default, large, or xlarge (got '%s')\n",
                    text.c_str());
       return 2;
     }

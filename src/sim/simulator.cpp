@@ -29,43 +29,57 @@ namespace {
 }  // namespace
 
 RunResult run_single_source(std::size_t n, std::uint32_t k, NodeId source,
-                            Adversary& adversary, Round max_rounds) {
+                            Adversary& adversary, Round max_rounds,
+                            ThreadPool* pool) {
   SingleSourceConfig cfg{n, k, source};
+  UnicastEngineOptions opts;
+  opts.pool = pool;
   UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
-                       SingleSourceNode::initial_knowledge(cfg), k);
+                       SingleSourceNode::initial_knowledge(cfg), k, opts);
   return finish(engine.run(max_rounds));
 }
 
 RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
-                           Adversary& adversary, Round max_rounds) {
+                           Adversary& adversary, Round max_rounds,
+                           ThreadPool* pool) {
   MultiSourceConfig cfg{n, space};
+  UnicastEngineOptions opts;
+  opts.pool = pool;
   UnicastEngine engine(MultiSourceNode::make_all(cfg), adversary,
-                       space->initial_knowledge(n), space->total_tokens());
+                       space->initial_knowledge(n), space->total_tokens(), opts);
   return finish(engine.run(max_rounds));
 }
 
 RunResult run_spanning_tree(std::size_t n, const TokenSpacePtr& space,
-                            Adversary& adversary, Round max_rounds, NodeId root) {
+                            Adversary& adversary, Round max_rounds, NodeId root,
+                            ThreadPool* pool) {
   SpanningTreeConfig cfg{n, space, root};
+  UnicastEngineOptions opts;
+  opts.pool = pool;
   UnicastEngine engine(SpanningTreeNode::make_all(cfg), adversary,
-                       space->initial_knowledge(n), space->total_tokens());
+                       space->initial_knowledge(n), space->total_tokens(), opts);
   return finish(engine.run(max_rounds));
 }
 
 RunResult run_phase_flooding(std::size_t n, std::size_t k,
-                             const std::vector<DynamicBitset>& initial,
-                             Adversary& adversary, Round max_rounds) {
+                             const std::vector<KnowledgeSet>& initial,
+                             Adversary& adversary, Round max_rounds,
+                             ThreadPool* pool) {
+  BroadcastEngineOptions opts;
+  opts.pool = pool;
   BroadcastEngine engine(PhaseFloodingNode::make_all(n, k, initial), adversary,
-                         initial, k);
+                         initial, k, opts);
   return finish(engine.run(max_rounds));
 }
 
 RunResult run_random_flooding(std::size_t n, std::size_t k,
-                              const std::vector<DynamicBitset>& initial,
+                              const std::vector<KnowledgeSet>& initial,
                               Adversary& adversary, Round max_rounds,
-                              std::uint64_t seed) {
+                              std::uint64_t seed, ThreadPool* pool) {
+  BroadcastEngineOptions opts;
+  opts.pool = pool;
   BroadcastEngine engine(RandomFloodingNode::make_all(n, k, initial, seed),
-                         adversary, initial, k);
+                         adversary, initial, k, opts);
   return finish(engine.run(max_rounds));
 }
 
@@ -91,7 +105,8 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
       static_cast<double>(s) <= bounds::source_threshold(n) && !opts.force_phase1;
   if (small_s) {
     result.skipped_phase1 = true;
-    const RunResult direct = run_multi_source(n, space, adversary, max_rounds);
+    const RunResult direct =
+        run_multi_source(n, space, adversary, max_rounds, opts.pool);
     result.phase2 = direct.metrics;
     result.total = direct.metrics;
     result.completed = direct.completed;
@@ -143,6 +158,7 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
   DynamicGraphTracker tracker(n);
   UnicastEngineOptions ueopts;
   ueopts.tracker = &tracker;
+  ueopts.pool = opts.pool;
   UnicastEngine phase1(std::move(walkers), adversary,
                        space->initial_knowledge(n), k, ueopts);
 
@@ -186,12 +202,13 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
   // topology tracker and adversary state carry over).
   auto phase2_space = std::make_shared<TokenSpace>(k, std::move(ownership));
   MultiSourceConfig mcfg{n, phase2_space};
-  std::vector<DynamicBitset> carried;
+  std::vector<KnowledgeSet> carried;
   carried.reserve(n);
   for (NodeId v = 0; v < n; ++v) carried.push_back(phase1.knowledge_of(v));
 
   UnicastEngineOptions p2opts;
   p2opts.tracker = &tracker;
+  p2opts.pool = opts.pool;
   p2opts.start_round = phase1.round() + 1;
   // Build the nodes before handing `carried` to the engine (argument
   // evaluation order must not race with the move).

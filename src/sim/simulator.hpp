@@ -14,31 +14,42 @@
 
 namespace dyngossip {
 
+class ThreadPool;
+
+// Every entry point takes an optional worker pool for intra-round engine
+// sharding (null: serial engine).  See UnicastEngineOptions::pool for the
+// contract; results are bit-identical at any thread count.
+
 /// Runs Algorithm 1 (Single-Source-Unicast): all k tokens start at `source`.
 [[nodiscard]] RunResult run_single_source(std::size_t n, std::uint32_t k,
                                           NodeId source, Adversary& adversary,
-                                          Round max_rounds);
+                                          Round max_rounds,
+                                          ThreadPool* pool = nullptr);
 
 /// Runs Multi-Source-Unicast over an arbitrary token labelling.
 [[nodiscard]] RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
-                                         Adversary& adversary, Round max_rounds);
+                                         Adversary& adversary, Round max_rounds,
+                                         ThreadPool* pool = nullptr);
 
 /// Runs the static spanning-tree baseline (static adversary required).
 [[nodiscard]] RunResult run_spanning_tree(std::size_t n, const TokenSpacePtr& space,
                                           Adversary& adversary, Round max_rounds,
-                                          NodeId root = 0);
+                                          NodeId root = 0,
+                                          ThreadPool* pool = nullptr);
 
 /// Runs naive phase flooding (local broadcast) from an arbitrary initial
 /// knowledge assignment.
 [[nodiscard]] RunResult run_phase_flooding(std::size_t n, std::size_t k,
-                                           const std::vector<DynamicBitset>& initial,
-                                           Adversary& adversary, Round max_rounds);
+                                           const std::vector<KnowledgeSet>& initial,
+                                           Adversary& adversary, Round max_rounds,
+                                           ThreadPool* pool = nullptr);
 
 /// Runs uniform-random flooding (local broadcast).
 [[nodiscard]] RunResult run_random_flooding(std::size_t n, std::size_t k,
-                                            const std::vector<DynamicBitset>& initial,
+                                            const std::vector<KnowledgeSet>& initial,
                                             Adversary& adversary, Round max_rounds,
-                                            std::uint64_t seed);
+                                            std::uint64_t seed,
+                                            ThreadPool* pool = nullptr);
 
 /// Algorithm 2 options.
 struct ObliviousMsOptions {
@@ -52,6 +63,9 @@ struct ObliviousMsOptions {
   /// saturates the formula at f = n, collapsing phase 1; benches drop the
   /// polylog factor to reproduce the asymptotic *shape* (see EXPERIMENTS.md).
   std::size_t f_override = 0;
+  /// Worker pool for intra-round sharding of both phase engines (null:
+  /// serial).  Same contract as UnicastEngineOptions::pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs Algorithm 2 (Oblivious-Multi-Source-Unicast).  The adversary must

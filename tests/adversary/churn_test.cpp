@@ -65,8 +65,8 @@ TEST(Churn, ObliviousIgnoresViews) {
   // Identical seeds with totally different views must produce identical
   // schedules — the defining property of the oblivious adversary.
   ChurnAdversary a(base_config()), b(base_config());
-  std::vector<DynamicBitset> knowledge_a(20, DynamicBitset(4, true));
-  std::vector<DynamicBitset> knowledge_b(20, DynamicBitset(4));
+  std::vector<KnowledgeSet> knowledge_a(20, KnowledgeSet(4, true));
+  std::vector<KnowledgeSet> knowledge_b(20, KnowledgeSet(4));
   std::vector<SentRecord> traffic_b{{0, 1, Message::request(2)}};
   Graph prev(20);
   for (Round r = 1; r <= 30; ++r) {

@@ -18,8 +18,8 @@ namespace {
 TEST(FreeGraph, AllSilentIsOneComponent) {
   constexpr std::size_t n = 8, k = 4;
   std::vector<TokenId> intents(n, kNoToken);
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
-  std::vector<DynamicBitset> kprime(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
+  std::vector<KnowledgeSet> kprime(n, KnowledgeSet(k));
   const FreeGraphAnalysis a = analyze_free_graph(intents, knowledge, kprime);
   EXPECT_EQ(a.components, 1u);
   EXPECT_EQ(a.broadcasters, 0u);
@@ -32,9 +32,9 @@ TEST(FreeGraph, UsefulBroadcasterIsIsolated) {
   constexpr std::size_t n = 6, k = 2;
   std::vector<TokenId> intents(n, kNoToken);
   intents[0] = 0;
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
   knowledge[0].set(0);  // token forwarding: the broadcaster holds it
-  std::vector<DynamicBitset> kprime(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> kprime(n, KnowledgeSet(k));
   const FreeGraphAnalysis a = analyze_free_graph(intents, knowledge, kprime);
   EXPECT_EQ(a.components, 2u);
   EXPECT_EQ(a.broadcasters, 1u);
@@ -46,9 +46,9 @@ TEST(FreeGraph, KPrimeAbsorbsBroadcast) {
   constexpr std::size_t n = 6, k = 2;
   std::vector<TokenId> intents(n, kNoToken);
   intents[0] = 0;
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
   knowledge[0].set(0);
-  std::vector<DynamicBitset> kprime(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> kprime(n, KnowledgeSet(k));
   for (auto& kp : kprime) kp.set(0);
   const FreeGraphAnalysis a = analyze_free_graph(intents, knowledge, kprime);
   EXPECT_EQ(a.components, 1u);
@@ -58,8 +58,8 @@ TEST(FreeGraph, KnownTokenIsUseless) {
   // Everyone already knows token 0: broadcasting it creates no non-free edge.
   constexpr std::size_t n = 5, k = 1;
   std::vector<TokenId> intents(n, 0);
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k, /*initially_set=*/true));
-  std::vector<DynamicBitset> kprime(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k, /*initially_set=*/true));
+  std::vector<KnowledgeSet> kprime(n, KnowledgeSet(k));
   const FreeGraphAnalysis a = analyze_free_graph(intents, knowledge, kprime);
   EXPECT_EQ(a.components, 1u);
   EXPECT_EQ(a.broadcasters, n);
@@ -68,8 +68,8 @@ TEST(FreeGraph, KnownTokenIsUseless) {
 TEST(FreeGraph, FullFreeEdgeListMatchesForestComponents) {
   Rng rng(7);
   constexpr std::size_t n = 24, k = 16;
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
-  std::vector<DynamicBitset> kprime = sample_kprime(n, k, 0.25, rng);
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
+  std::vector<KnowledgeSet> kprime = sample_kprime(n, k, 0.25, rng);
   std::vector<TokenId> intents(n, kNoToken);
   for (std::size_t v = 0; v < n; ++v) {
     if (rng.bernoulli(0.5)) {
@@ -95,8 +95,8 @@ class SparseAssignmentTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(SparseAssignmentTest, SparseBroadcastersSingleComponent) {
   Rng rng(GetParam());
   constexpr std::size_t n = 128, k = 64;
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
-  const std::vector<DynamicBitset> kprime = sample_kprime(n, k, 0.25, rng);
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
+  const std::vector<KnowledgeSet> kprime = sample_kprime(n, k, 0.25, rng);
   // Lemma 2.2 sparsity: β <= n / (c log n); c = 4 at n = 128 gives β <= 4.
   const auto beta = static_cast<std::size_t>(
       bounds::sparse_broadcaster_threshold(n, 4.0));
@@ -121,8 +121,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SparseAssignmentTest,
 TEST(FreeGraph, ComponentsLogarithmicUnderDenseBroadcast) {
   Rng rng(55);
   constexpr std::size_t n = 128, k = 128;
-  std::vector<DynamicBitset> knowledge(n, DynamicBitset(k));
-  const std::vector<DynamicBitset> kprime = sample_kprime(n, k, 0.25, rng);
+  std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(k));
+  const std::vector<KnowledgeSet> kprime = sample_kprime(n, k, 0.25, rng);
   std::size_t worst = 0;
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<TokenId> intents(n);
@@ -139,10 +139,10 @@ TEST(FreeGraph, ComponentsLogarithmicUnderDenseBroadcast) {
 
 // --- The adversary itself ---------------------------------------------------
 
-std::vector<DynamicBitset> one_per_token(std::size_t n, std::size_t k,
+std::vector<KnowledgeSet> one_per_token(std::size_t n, std::size_t k,
                                          std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
   return init;
 }
@@ -170,7 +170,7 @@ TEST(LowerBoundAdversary, RoundGraphsAreConnected) {
   LowerBoundAdversary adversary(cfg, init);
   // Drive the adversary with arbitrary token assignments.
   Rng rng(9);
-  std::vector<DynamicBitset> knowledge = init;
+  std::vector<KnowledgeSet> knowledge = init;
   for (Round r = 1; r <= 40; ++r) {
     std::vector<TokenId> intents(n, kNoToken);
     for (std::size_t v = 0; v < n; ++v) {
@@ -215,7 +215,7 @@ TEST(LowerBoundAdversary, SparseRoundsMakeZeroPotentialProgress) {
   const auto sparse = static_cast<std::uint32_t>(
       bounds::sparse_broadcaster_threshold(n, 4.0));
   std::uint64_t final_phi = potential(
-      std::vector<DynamicBitset>(n, DynamicBitset(k, true)), adversary.kprime());
+      std::vector<KnowledgeSet>(n, KnowledgeSet(k, true)), adversary.kprime());
   EXPECT_EQ(final_phi, static_cast<std::uint64_t>(n) * k);
   for (std::size_t i = 0; i + 1 < series.size(); ++i) {
     const auto delta = static_cast<std::int64_t>(series[i + 1].phi_before) -
@@ -236,7 +236,7 @@ TEST(LowerBoundAdversary, DenseInitialKnowledgeWithinTheoremPremise) {
   // succeed and the run must complete under throttle.
   constexpr std::size_t n = 32, k = 16;
   Rng rng(31);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t v = 0; v < n; ++v) {
     for (std::size_t t = 0; t < k; ++t) {
       if (rng.bernoulli(0.45)) init[v].set(t);
@@ -260,7 +260,7 @@ TEST(LowerBoundAdversaryDeath, SaturatedInitialKnowledgeRejected) {
   // If everyone already knows everything, Φ(0) = nk > 0.8nk can never be
   // met: the constructor must refuse (the theorem premise is violated).
   constexpr std::size_t n = 8, k = 8;
-  std::vector<DynamicBitset> init(n, DynamicBitset(k, /*initially_set=*/true));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k, /*initially_set=*/true));
   LbAdversaryConfig cfg;
   cfg.n = n;
   cfg.k = k;
@@ -277,7 +277,7 @@ TEST(LowerBoundAdversary, FullFreeGraphModeAlsoConnected) {
   cfg.seed = 22;
   cfg.full_free_graph = true;
   LowerBoundAdversary adversary(cfg, init);
-  std::vector<DynamicBitset> knowledge = init;
+  std::vector<KnowledgeSet> knowledge = init;
   std::vector<TokenId> intents(n, kNoToken);
   BroadcastRoundView view;
   view.round = 1;

@@ -92,7 +92,7 @@ TEST(PathShuffle, DeterministicPerRound) {
 TEST(PathShuffle, FloodingCompletesDespiteThinConnectivity) {
   constexpr std::size_t n = 12, k = 4;
   PathShuffleAdversary adversary(n, 9);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[t].set(t);
   const RunResult r = run_phase_flooding(n, k, init, adversary,
                                          static_cast<Round>(10 * n * k));

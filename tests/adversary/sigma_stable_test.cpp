@@ -90,7 +90,7 @@ TEST(SigmaStable, HighChurnActuallyTurnsOverTheEdgeSet) {
 
 TEST(SigmaStable, DeterministicAndOblivious) {
   SigmaStableChurnAdversary a(base_config()), b(base_config());
-  std::vector<DynamicBitset> knowledge(24, DynamicBitset(4, true));
+  std::vector<KnowledgeSet> knowledge(24, KnowledgeSet(4, true));
   for (Round r = 1; r <= 60; ++r) {
     UnicastRoundView va;
     va.round = r;

@@ -263,7 +263,7 @@ TEST(AlgoFamilies, PriorityKnobPinsTheAblationVariant) {
 TEST(AlgoFamilies, InitialKnowledgeOverrideIsHonoredWhereItMakesSense) {
   // flooding accepts an explicit K_v(0); the token-labelling families
   // reject it instead of silently diverging from their TokenSpace.
-  std::vector<DynamicBitset> init(kN, DynamicBitset(kK));
+  std::vector<KnowledgeSet> init(kN, KnowledgeSet(kK));
   for (std::size_t t = 0; t < kK; ++t) init[t % kN].set(t);
   auto hand_adv = churn_adversary();
   const RunResult hand = run_phase_flooding(kN, kK, init, *hand_adv, kCap);

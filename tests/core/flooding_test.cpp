@@ -12,17 +12,17 @@
 namespace dyngossip {
 namespace {
 
-std::vector<DynamicBitset> one_per_token(std::size_t n, std::size_t k,
+std::vector<KnowledgeSet> one_per_token(std::size_t n, std::size_t k,
                                          std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
   return init;
 }
 
 TEST(PhaseFlooding, BroadcastChoiceFollowsPhases) {
   constexpr std::size_t n = 4, k = 3;
-  DynamicBitset init(k);
+  KnowledgeSet init(k);
   init.set(1);
   PhaseFloodingNode node(n, k, init);
   // Phase 0 (rounds 1..4): token 0 unknown -> silent.
@@ -96,7 +96,7 @@ TEST(RandomFlooding, CompletesOnStaticAndChurn) {
 }
 
 TEST(RandomFlooding, SilentWithoutTokens) {
-  RandomFloodingNode node(4, DynamicBitset(4), Rng(3));
+  RandomFloodingNode node(4, KnowledgeSet(4), Rng(3));
   EXPECT_EQ(node.choose_broadcast(1), kNoToken);
   const TokenId received[] = {2};
   node.on_receive(1, received);
@@ -104,7 +104,7 @@ TEST(RandomFlooding, SilentWithoutTokens) {
 }
 
 TEST(RandomFlooding, OnlyBroadcastsKnownTokens) {
-  DynamicBitset init(8);
+  KnowledgeSet init(8);
   init.set(3);
   init.set(5);
   RandomFloodingNode node(8, init, Rng(4));

@@ -13,7 +13,7 @@ namespace {
 /// Test stub: broadcasts a fixed token while held, else stays silent.
 class StubBroadcaster : public BroadcastAlgorithm {
  public:
-  StubBroadcaster(std::size_t k, DynamicBitset initial, TokenId speak)
+  StubBroadcaster(std::size_t k, KnowledgeSet initial, TokenId speak)
       : known_(std::move(initial)), speak_(speak), k_(k) {}
 
   TokenId choose_broadcast(Round /*r*/) override {
@@ -24,13 +24,13 @@ class StubBroadcaster : public BroadcastAlgorithm {
   }
 
  private:
-  DynamicBitset known_;
+  KnowledgeSet known_;
   TokenId speak_;
   std::size_t k_;
 };
 
-std::vector<DynamicBitset> one_holder(std::size_t n, std::size_t k, NodeId holder) {
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+std::vector<KnowledgeSet> one_holder(std::size_t n, std::size_t k, NodeId holder) {
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[holder].set(t);
   return init;
 }
@@ -58,7 +58,7 @@ TEST(BroadcastEngine, SilenceCostsNothing) {
   constexpr std::size_t n = 3, k = 1;
   StaticAdversary adversary(path_graph(n));
   // Nobody holds token 0 => everyone silent forever.
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   init[0].set(0);
   std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes;
   for (std::size_t v = 0; v < n; ++v) {
@@ -137,7 +137,7 @@ class CheatingBroadcaster : public BroadcastAlgorithm {
 
 TEST(BroadcastEngineDeath, TokenForwardingEnforced) {
   StaticAdversary adversary(path_graph(2));
-  std::vector<DynamicBitset> init(2, DynamicBitset(1));  // nobody holds token 0
+  std::vector<KnowledgeSet> init(2, KnowledgeSet(1));  // nobody holds token 0
   std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes;
   nodes.push_back(std::make_unique<CheatingBroadcaster>());
   nodes.push_back(std::make_unique<CheatingBroadcaster>());
@@ -147,7 +147,7 @@ TEST(BroadcastEngineDeath, TokenForwardingEnforced) {
 
 TEST(BroadcastEngine, AlreadyCompleteRunsZeroRounds) {
   StaticAdversary adversary(path_graph(2));
-  std::vector<DynamicBitset> init(2, DynamicBitset(1, /*initially_set=*/true));
+  std::vector<KnowledgeSet> init(2, KnowledgeSet(1, /*initially_set=*/true));
   std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes;
   nodes.push_back(std::make_unique<StubBroadcaster>(1, init[0], 0));
   nodes.push_back(std::make_unique<StubBroadcaster>(1, init[1], 0));

@@ -17,7 +17,7 @@ namespace {
 /// per token (relay flooding over unicast).
 class StubRelay : public UnicastAlgorithm {
  public:
-  StubRelay(std::size_t k, DynamicBitset initial) : known_(std::move(initial)) {
+  StubRelay(std::size_t k, KnowledgeSet initial) : known_(std::move(initial)) {
     (void)k;
   }
 
@@ -37,18 +37,18 @@ class StubRelay : public UnicastAlgorithm {
   }
 
  private:
-  DynamicBitset known_;
+  KnowledgeSet known_;
   std::unordered_map<NodeId, std::unordered_set<TokenId>> sent_;
 };
 
-std::vector<DynamicBitset> one_holder(std::size_t n, std::size_t k, NodeId holder) {
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+std::vector<KnowledgeSet> one_holder(std::size_t n, std::size_t k, NodeId holder) {
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[holder].set(t);
   return init;
 }
 
 std::vector<std::unique_ptr<UnicastAlgorithm>> relays(
-    std::size_t n, std::size_t k, const std::vector<DynamicBitset>& init) {
+    std::size_t n, std::size_t k, const std::vector<KnowledgeSet>& init) {
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
   for (std::size_t v = 0; v < n; ++v) {
     nodes.push_back(std::make_unique<StubRelay>(k, init[v]));
@@ -117,7 +117,7 @@ class BadTarget : public UnicastAlgorithm {
 
 TEST(UnicastEngineDeath, NonNeighborTargetRejected) {
   StaticAdversary adversary(path_graph(3));
-  std::vector<DynamicBitset> init(3, DynamicBitset(1));
+  std::vector<KnowledgeSet> init(3, KnowledgeSet(1));
   init[0].set(0);
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
   nodes.push_back(std::make_unique<BadTarget>());
@@ -138,7 +138,7 @@ class BandwidthHog : public UnicastAlgorithm {
 
 TEST(UnicastEngineDeath, BandwidthCapEnforced) {
   StaticAdversary adversary(path_graph(2));
-  std::vector<DynamicBitset> init(2, DynamicBitset(1));
+  std::vector<KnowledgeSet> init(2, KnowledgeSet(1));
   init[0].set(0);
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
   nodes.push_back(std::make_unique<BandwidthHog>());
@@ -158,7 +158,7 @@ class TokenFabricator : public UnicastAlgorithm {
 
 TEST(UnicastEngineDeath, TokenForwardingEnforced) {
   StaticAdversary adversary(path_graph(2));
-  std::vector<DynamicBitset> init(2, DynamicBitset(1));  // nobody holds 0
+  std::vector<KnowledgeSet> init(2, KnowledgeSet(1));  // nobody holds 0
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes;
   nodes.push_back(std::make_unique<TokenFabricator>());
   nodes.push_back(std::make_unique<TokenFabricator>());
@@ -190,7 +190,7 @@ TEST(UnicastEngine, SharedTrackerAndStartRoundContinuation) {
   EXPECT_EQ(tracker.topological_changes(), 2u);  // the path's 2 edges
 
   // A second engine continues the same execution: no re-counted insertions.
-  std::vector<DynamicBitset> mid;
+  std::vector<KnowledgeSet> mid;
   for (NodeId v = 0; v < n; ++v) mid.push_back(first.knowledge_of(v));
   UnicastEngineOptions o2;
   o2.tracker = &tracker;

@@ -79,7 +79,7 @@ TEST(Determinism, ObliviousTwoPhaseReproducible) {
 TEST(Determinism, RandomizedFloodingReproducibleUnderSeed) {
   auto run = [](std::uint64_t alg_seed) {
     RotatingStarAdversary adversary(16, 5);
-    std::vector<DynamicBitset> init(16, DynamicBitset(8));
+    std::vector<KnowledgeSet> init(16, KnowledgeSet(8));
     for (std::size_t t = 0; t < 8; ++t) init[t].set(t);
     return run_random_flooding(16, 8, init, adversary, 100'000, alg_seed);
   };
@@ -110,7 +110,7 @@ TEST(Regression, PinnedSingleSourceTrace) {
 }
 
 TEST(Determinism, LbAdversaryKPrimeFixedBySeed) {
-  std::vector<DynamicBitset> init(16, DynamicBitset(8));
+  std::vector<KnowledgeSet> init(16, KnowledgeSet(8));
   for (std::size_t t = 0; t < 8; ++t) init[t].set(t);
   LbAdversaryConfig cfg;
   cfg.n = 16;

@@ -90,8 +90,8 @@ TEST(LearningLog, CountsAlwaysEventsOptionally) {
 }
 
 TEST(Potential, ComputesUnionSizes) {
-  std::vector<DynamicBitset> knowledge(2, DynamicBitset(4));
-  std::vector<DynamicBitset> kprime(2, DynamicBitset(4));
+  std::vector<KnowledgeSet> knowledge(2, KnowledgeSet(4));
+  std::vector<KnowledgeSet> kprime(2, KnowledgeSet(4));
   knowledge[0].set(0);
   knowledge[0].set(1);
   kprime[0].set(1);

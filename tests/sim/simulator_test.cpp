@@ -40,7 +40,7 @@ TEST(Simulator, SpanningTreeSmoke) {
 
 TEST(Simulator, FloodingSmoke) {
   StaticAdversary adversary(path_graph(6));
-  std::vector<DynamicBitset> init(6, DynamicBitset(3));
+  std::vector<KnowledgeSet> init(6, KnowledgeSet(3));
   init[0].set(0);
   init[2].set(1);
   init[5].set(2);

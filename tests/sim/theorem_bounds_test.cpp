@@ -17,10 +17,10 @@
 namespace dyngossip {
 namespace {
 
-std::vector<DynamicBitset> one_per_token(std::size_t n, std::size_t k,
+std::vector<KnowledgeSet> one_per_token(std::size_t n, std::size_t k,
                                          std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<DynamicBitset> init(n, DynamicBitset(k));
+  std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[rng.next_below(n)].set(t);
   return init;
 }
