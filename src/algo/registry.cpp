@@ -113,6 +113,8 @@ RunResult run_single_source_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   SingleSourceConfig cfg{ctx.n, ctx.k, static_cast<NodeId>(source), priority};
   UnicastEngineOptions opts;
   opts.pool = ctx.engine_pool;
+  opts.faults = ctx.faults;
+  opts.run_timeout_seconds = ctx.trial_timeout_seconds;
   UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
                        SingleSourceNode::initial_knowledge(cfg), ctx.k, opts);
   return finish(engine.run(cap_of(ctx)));
@@ -126,7 +128,8 @@ RunResult run_multi_source_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
       spread_space(ctx.n, ctx.k, r.sources(ctx.sources));
   ctx.k_realized = space->total_tokens();
   return run_multi_source(ctx.n, space, adversary, cap_of(ctx),
-                          ctx.engine_pool);
+                          ctx.engine_pool, ctx.faults,
+                          ctx.trial_timeout_seconds);
 }
 
 /// Shared K_v(0) selection for the knowledge-shaped broadcast/push
@@ -152,7 +155,8 @@ RunResult run_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
                               Adversary& adversary) {
   const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
   return run_phase_flooding(ctx.n, static_cast<std::size_t>(ctx.k_realized),
-                            initial, adversary, cap_of(ctx), ctx.engine_pool);
+                            initial, adversary, cap_of(ctx), ctx.engine_pool,
+                            ctx.faults, ctx.trial_timeout_seconds);
 }
 
 RunResult run_random_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
@@ -161,15 +165,16 @@ RunResult run_random_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx
   const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
   return run_random_flooding(ctx.n, static_cast<std::size_t>(ctx.k_realized),
                              initial, adversary, cap_of(ctx), r.seed(),
-                             ctx.engine_pool);
+                             ctx.engine_pool, ctx.faults,
+                             ctx.trial_timeout_seconds);
 }
 
 RunResult run_neighbor_exchange_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
                                        Adversary& adversary) {
   const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
-  return finish(run_neighbor_exchange(ctx.n,
-                                      static_cast<std::size_t>(ctx.k_realized),
-                                      initial, adversary, cap_of(ctx)));
+  return finish(run_neighbor_exchange(
+      ctx.n, static_cast<std::size_t>(ctx.k_realized), initial, adversary,
+      cap_of(ctx), ctx.engine_pool, ctx.faults, ctx.trial_timeout_seconds));
 }
 
 RunResult run_oblivious_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
@@ -185,6 +190,8 @@ RunResult run_oblivious_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   opts.force_phase1 = r.get_bool("force_phase1", false);
   opts.f_override = r.get_size("f", 0);
   opts.pool = ctx.engine_pool;
+  opts.faults = ctx.faults;
+  opts.timeout_seconds = ctx.trial_timeout_seconds;
   const ObliviousMsResult result =
       run_oblivious_multi_source(ctx.n, space, adversary, opts);
   return finish(result.total);
@@ -199,7 +206,8 @@ RunResult run_spanning_tree_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   const TokenSpacePtr space = spread_space(ctx.n, ctx.k, r.sources(1));
   ctx.k_realized = space->total_tokens();
   return run_spanning_tree(ctx.n, space, adversary, cap_of(ctx),
-                           static_cast<NodeId>(root), ctx.engine_pool);
+                           static_cast<NodeId>(root), ctx.engine_pool,
+                           ctx.faults, ctx.trial_timeout_seconds);
 }
 
 using Kind = AlgoKeySpec::Kind;

@@ -38,6 +38,7 @@
 
 namespace dyngossip {
 
+class FaultPlan;
 class ThreadPool;
 
 /// Thrown on malformed algorithm spec text, unknown families/keys,
@@ -108,6 +109,13 @@ struct AlgoBuildContext {
   /// non-pool thread (sim/runner/shard_schedule.hpp decides which axis a
   /// table parallelizes); results are bit-identical either way.
   ThreadPool* engine_pool = nullptr;
+  /// Per-trial fault plan (not owned; null: fault-free).  Forwarded to the
+  /// engine(s) the family builds; decisions are position-keyed so results
+  /// stay bit-identical at any thread count (see fault/fault_plan.hpp).
+  FaultPlan* faults = nullptr;
+  /// Wall-clock budget per run in seconds (0: none); over-budget runs
+  /// return RunStatus::kTimeout.
+  double trial_timeout_seconds = 0.0;
   /// Out: realized token count (k rounded to the realized labelling, e.g.
   /// s·⌊k/s⌋ under an s-source split).  Set by every factory.
   std::uint64_t k_realized = 0;

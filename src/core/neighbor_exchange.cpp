@@ -52,9 +52,15 @@ std::vector<std::unique_ptr<UnicastAlgorithm>> NeighborExchangeNode::make_all(
 
 RunMetrics run_neighbor_exchange(std::size_t n, std::size_t k,
                                  const std::vector<KnowledgeSet>& initial,
-                                 Adversary& adversary, Round max_rounds) {
+                                 Adversary& adversary, Round max_rounds,
+                                 ThreadPool* pool, FaultPlan* faults,
+                                 double timeout_seconds) {
+  UnicastEngineOptions opts;
+  opts.pool = pool;
+  opts.faults = faults;
+  opts.run_timeout_seconds = timeout_seconds;
   UnicastEngine engine(NeighborExchangeNode::make_all(n, k, initial), adversary,
-                       initial, k);
+                       initial, k, opts);
   return engine.run(max_rounds);
 }
 

@@ -1,8 +1,10 @@
 #include "engine/broadcast_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.hpp"
+#include "fault/fault_plan.hpp"
 #include "graph/connectivity.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/thread_pool.hpp"
@@ -20,7 +22,11 @@ BroadcastEngine::BroadcastEngine(
       tracker_(nodes_.size()),
       log_(opts.record_learning_events),
       pool_(opts.pool),
-      min_parallel_nodes_(opts.min_parallel_nodes) {
+      min_parallel_nodes_(opts.min_parallel_nodes),
+      faults_(opts.faults),
+      fault_active_(opts.faults != nullptr && opts.faults->active()),
+      fault_amnesia_(fault_active_ && opts.faults->amnesia()),
+      run_timeout_seconds_(opts.run_timeout_seconds) {
   DG_CHECK(!nodes_.empty());
   DG_CHECK(nodes_.size() == knowledge_.size());
   DG_CHECK(adversary_.num_nodes() == nodes_.size());
@@ -46,6 +52,35 @@ Round BroadcastEngine::step() {
   const std::size_t chunk = shards > 1 ? (n + shards - 1) / shards : n;
   if (shards > 1) shards_.resize(shards);
 
+  // 0. Fault plane: advance liveness serially before the sharded intent
+  // phase; amnesia wipes the mirrors of nodes that crashed this round.
+  if (fault_active_) {
+    faults_->begin_round(r);
+    if (fault_amnesia_) {
+      for (const NodeId v : faults_->crashed_this_round()) {
+        if (knowledge_[v].all()) --complete_nodes_;
+        knowledge_[v].reset_all();
+        if (knowledge_[v].all()) ++complete_nodes_;  // k = 0 universe only
+      }
+    }
+  }
+
+  // Per-node intent under the fault plane: a crashed node is silent (its
+  // algorithm is not even polled), and under amnesia an intent for a token
+  // absent from the wiped mirror becomes silence instead of an invariant
+  // failure (post-recovery algorithm state legitimately diverges).
+  const auto intend = [this](NodeId v, Round round) -> TokenId {
+    if (fault_active_ && !faults_->is_live(v)) return kNoToken;
+    TokenId t = nodes_[v]->choose_broadcast(round);
+    DG_CHECK(t == kNoToken || t < k_);
+    if (t != kNoToken && !knowledge_[v].test(t)) {
+      // Token-forwarding constraint: only held tokens may be broadcast.
+      DG_CHECK(fault_amnesia_);
+      t = kNoToken;
+    }
+    return t;
+  };
+
   // 1. Nodes commit broadcast intents (before seeing the round graph).
   // intents_[v] is written only by v's shard; counters are per-shard and
   // folded in shard order, so totals match the serial loop exactly.
@@ -56,9 +91,7 @@ Round BroadcastEngine::step() {
       const auto lo = static_cast<NodeId>(s * chunk);
       const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
       for (NodeId v = lo; v < hi; ++v) {
-        const TokenId t = nodes_[v]->choose_broadcast(r);
-        // Token-forwarding constraint: only held tokens may be broadcast.
-        DG_CHECK(t == kNoToken || (t < k_ && knowledge_[v].test(t)));
+        const TokenId t = intend(v, r);
         intents_[v] = t;
         if (t != kNoToken) ++sh.broadcasts;
       }
@@ -66,8 +99,7 @@ Round BroadcastEngine::step() {
     for (const Shard& sh : shards_) metrics_.broadcasts += sh.broadcasts;
   } else {
     for (NodeId v = 0; v < n; ++v) {
-      const TokenId t = nodes_[v]->choose_broadcast(r);
-      DG_CHECK(t == kNoToken || (t < k_ && knowledge_[v].test(t)));
+      const TokenId t = intend(v, r);
       intents_[v] = t;
       if (t != kNoToken) ++metrics_.broadcasts;
     }
@@ -86,6 +118,30 @@ Round BroadcastEngine::step() {
   metrics_.tc += diff.inserted.size();
   metrics_.deletions += diff.removed.size();
 
+  // Per-recipient inbox under the fault plane: a crashed recipient receives
+  // nothing; each (broadcaster, recipient) edge rolls one position-keyed
+  // fate — dropped, delivered, or delivered twice.  The fault-free path is
+  // the exact legacy loop.
+  const auto build_inbox = [this, r](NodeId v, std::vector<TokenId>& inbox) {
+    inbox.clear();
+    if (fault_active_ && !faults_->is_live(v)) return;  // crashed: deaf
+    const bool delivery_faults =
+        fault_active_ && faults_->has_delivery_faults();
+    for (const NodeId u : view_.neighbors(v)) {
+      const TokenId t = intents_[u];
+      if (t == kNoToken) continue;
+      if (delivery_faults) {
+        const FaultPlan::Fate fate =
+            faults_->delivery_fate(r, view_.arc_index(u, v), 0);
+        if (fate == FaultPlan::Fate::kDrop) continue;
+        inbox.push_back(t);
+        if (fate == FaultPlan::Fate::kDuplicate) inbox.push_back(t);
+      } else {
+        inbox.push_back(t);
+      }
+    }
+  };
+
   // 3 + 4. Deliver broadcasts; record learnings before handing tokens to the
   // algorithms so the mirror stays authoritative.  Each recipient's inbox
   // depends only on frozen intents and its own knowledge, so recipient
@@ -99,10 +155,7 @@ Round BroadcastEngine::step() {
       const auto lo = static_cast<NodeId>(s * chunk);
       const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
       for (NodeId v = lo; v < hi; ++v) {
-        sh.inbox.clear();
-        for (const NodeId u : view_.neighbors(v)) {
-          if (intents_[u] != kNoToken) sh.inbox.push_back(intents_[u]);
-        }
+        build_inbox(v, sh.inbox);
         if (sh.inbox.empty()) continue;
         const bool was_complete = knowledge_[v].all();
         for (const TokenId t : sh.inbox) {
@@ -119,10 +172,7 @@ Round BroadcastEngine::step() {
     }
   } else {
     for (NodeId v = 0; v < n; ++v) {
-      inbox_scratch_.clear();
-      for (const NodeId u : view_.neighbors(v)) {
-        if (intents_[u] != kNoToken) inbox_scratch_.push_back(intents_[u]);
-      }
+      build_inbox(v, inbox_scratch_);
       if (inbox_scratch_.empty()) continue;
       const bool was_complete = knowledge_[v].all();
       for (const TokenId t : inbox_scratch_) {
@@ -141,9 +191,71 @@ Round BroadcastEngine::step() {
   return r;
 }
 
+bool BroadcastEngine::run_complete() const {
+  if (!fault_active_) return all_complete();
+  if (faults_->live_count() == 0) return false;
+  const auto n = static_cast<NodeId>(knowledge_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (faults_->is_live(v) && !knowledge_[v].all()) return false;
+  }
+  return true;
+}
+
+double BroadcastEngine::coverage() const {
+  const std::uint64_t universe =
+      static_cast<std::uint64_t>(knowledge_.size()) * k_;
+  if (universe == 0) return 1.0;
+  std::uint64_t known = 0;
+  for (const KnowledgeSet& kn : knowledge_) known += kn.count();
+  return static_cast<double>(known) / static_cast<double>(universe);
+}
+
 RunMetrics BroadcastEngine::run(Round max_rounds) {
-  while (!all_complete() && round_ < max_rounds) step();
-  metrics_.completed = all_complete();
+  // Mirrors UnicastEngine::run_until: the fault-free loop is the legacy
+  // one; fault-active runs add stall detection and the all-down
+  // short-circuit, and a wall-clock watchdog caps pathological trials.
+  const Round stall_window =
+      fault_active_
+          ? std::max<Round>(256, static_cast<Round>(2 * nodes_.size()))
+          : 0;
+  std::uint64_t last_learnings = metrics_.learnings;
+  Round quiet_rounds = 0;
+  bool stalled = false;
+  bool all_down = false;
+  bool timed_out = false;
+  const auto started = std::chrono::steady_clock::now();
+  std::uint32_t ticks = 0;
+  while (!run_complete() && round_ < max_rounds) {
+    if (fault_active_ && faults_->live_count() == 0 &&
+        !faults_->can_recover()) {
+      all_down = true;
+      break;
+    }
+    step();
+    if (fault_active_) {
+      if (metrics_.learnings != last_learnings) {
+        last_learnings = metrics_.learnings;
+        quiet_rounds = 0;
+      } else if (++quiet_rounds >= stall_window) {
+        stalled = true;
+        break;
+      }
+    }
+    if (run_timeout_seconds_ > 0.0 && (++ticks % 32u) == 0u &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= run_timeout_seconds_) {
+      timed_out = true;
+      break;
+    }
+  }
+  metrics_.completed = run_complete();
+  metrics_.status = metrics_.completed ? RunStatus::kCompleted
+                    : timed_out        ? RunStatus::kTimeout
+                    : stalled          ? RunStatus::kStalled
+                    : all_down         ? RunStatus::kAllDown
+                                       : RunStatus::kRoundCap;
+  metrics_.coverage = coverage();
   return metrics_;
 }
 

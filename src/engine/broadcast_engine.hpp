@@ -31,6 +31,7 @@
 
 namespace dyngossip {
 
+class FaultPlan;
 class ThreadPool;
 
 /// Per-node algorithm interface for the local-broadcast model.
@@ -66,6 +67,13 @@ struct BroadcastEngineOptions {
   ThreadPool* pool = nullptr;
   /// Minimum node count before sharding engages.
   std::size_t min_parallel_nodes = 4096;
+  /// Per-trial fault plan (not owned).  Null or inactive keeps the exact
+  /// fault-free code path; decisions are position-keyed (fault/fault_plan.hpp)
+  /// so faulty runs stay bit-identical at any thread count.
+  FaultPlan* faults = nullptr;
+  /// Wall-clock budget for run() in seconds (0: none); over-budget runs
+  /// stop with RunStatus::kTimeout.
+  double run_timeout_seconds = 0.0;
 };
 
 /// Drives n BroadcastAlgorithm instances against an adversary.
@@ -91,6 +99,15 @@ class BroadcastEngine {
   [[nodiscard]] bool all_complete() const noexcept {
     return complete_nodes_ == knowledge_.size();
   }
+
+  /// Run-level completion: all_complete() on the fault-free path; under an
+  /// active fault plan, at least one live node exists and every live node
+  /// is complete (crashed nodes don't count until recovery).
+  [[nodiscard]] bool run_complete() const;
+
+  /// Fraction of (node, token) pairs currently known (1.0 for an empty
+  /// universe).
+  [[nodiscard]] double coverage() const;
 
   /// Authoritative knowledge of node v.
   [[nodiscard]] const KnowledgeSet& knowledge_of(NodeId v) const {
@@ -136,6 +153,10 @@ class BroadcastEngine {
   Round round_ = 0;
   ThreadPool* pool_;
   std::size_t min_parallel_nodes_;
+  FaultPlan* faults_;
+  bool fault_active_;   ///< faults_ != null && faults_->active()
+  bool fault_amnesia_;  ///< fault_active_ && amnesia wipes on crash
+  double run_timeout_seconds_;
   RoundHook hook_;
   std::vector<TokenId> intents_;       // scratch: i_v(r)
   std::vector<TokenId> inbox_scratch_; // scratch: per-node deliveries

@@ -1,8 +1,10 @@
 #include "engine/unicast_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/thread_pool.hpp"
 
@@ -22,6 +24,10 @@ UnicastEngine::UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> node
       max_payloads_per_edge_(opts.max_payloads_per_edge),
       pool_(opts.pool),
       min_parallel_nodes_(opts.min_parallel_nodes),
+      faults_(opts.faults),
+      fault_active_(opts.faults != nullptr && opts.faults->active()),
+      fault_amnesia_(fault_active_ && opts.faults->amnesia()),
+      run_timeout_seconds_(opts.run_timeout_seconds),
       prev_graph_(0) {
   DG_CHECK(!nodes_.empty());
   DG_CHECK(nodes_.size() == knowledge_.size());
@@ -54,6 +60,7 @@ std::size_t UnicastEngine::plan_shards() const noexcept {
 void UnicastEngine::validate_sent(NodeId v, std::vector<SentRecord>& sink,
                                   std::size_t mark, MessageCounts& counts) {
   const std::size_t n = nodes_.size();
+  std::size_t w = mark;
   for (std::size_t i = mark; i < sink.size(); ++i) {
     const SentRecord& rec = sink[i];
     DG_CHECK(rec.to < n && rec.to != v);
@@ -61,14 +68,24 @@ void UnicastEngine::validate_sent(NodeId v, std::vector<SentRecord>& sink,
     DG_CHECK(arc != kNoArc);  // may only address current neighbors
     // Token-forwarding: only held tokens may be shipped.
     if (rec.msg.type == MsgType::kToken) {
-      DG_CHECK(rec.msg.token < k_ && knowledge_[v].test(rec.msg.token));
+      DG_CHECK(rec.msg.token < k_);
+      if (!knowledge_[v].test(rec.msg.token)) {
+        // Under amnesia a recovered node's algorithm state legitimately
+        // diverges from its wiped knowledge mirror; such sends are filtered
+        // (not counted, not delivered) instead of tripping the invariant.
+        DG_CHECK(fault_amnesia_);
+        continue;
+      }
     }
     // Race-free across shards: the arcs of sender v form one contiguous
     // CSR block and v belongs to exactly one shard.
     const std::uint32_t used = ++arc_budget_[arc];
     DG_CHECK(used <= max_payloads_per_edge_);
     counts.add(rec.msg.type);
+    if (w != i) sink[w] = sink[i];
+    ++w;
   }
+  sink.resize(w);
 }
 
 void UnicastEngine::send_phase_sharded(Round r, std::size_t shards) {
@@ -82,6 +99,7 @@ void UnicastEngine::send_phase_sharded(Round r, std::size_t shards) {
     const auto lo = static_cast<NodeId>(s * chunk);
     const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
     for (NodeId v = lo; v < hi; ++v) {
+      if (fault_active_ && !faults_->is_live(v)) continue;  // crashed: silent
       const std::span<const NodeId> neigh = view_.neighbors(v);
       Outbox out(v, sh.traffic);
       const std::size_t mark = sh.traffic.size();
@@ -125,19 +143,28 @@ void UnicastEngine::deliver_sharded(Round r, std::size_t shards) {
     sh = DeliverShard{};
     const auto lo = static_cast<NodeId>(s * chunk);
     const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
+    constexpr auto kDrop = static_cast<std::uint8_t>(FaultPlan::Fate::kDrop);
+    constexpr auto kDup =
+        static_cast<std::uint8_t>(FaultPlan::Fate::kDuplicate);
     for (NodeId v = lo; v < hi; ++v) {
       for (std::size_t j = recipient_begin_[v]; j < recipient_begin_[v + 1]; ++j) {
-        const SentRecord& rec = traffic_[record_of_[j]];
-        if (rec.msg.type == MsgType::kToken) {
-          const bool was_complete = knowledge_[v].all();
-          if (knowledge_[v].set(rec.msg.token)) {
-            ++sh.learnings;
-            if (!was_complete && knowledge_[v].all()) ++sh.newly_complete;
-          } else {
-            ++sh.duplicates;
+        const std::size_t idx = record_of_[j];
+        const SentRecord& rec = traffic_[idx];
+        const std::uint8_t fate = fault_active_ ? fate_[idx] : 0;
+        if (fate == kDrop) continue;
+        const int copies = fate == kDup ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+          if (rec.msg.type == MsgType::kToken) {
+            const bool was_complete = knowledge_[v].all();
+            if (knowledge_[v].set(rec.msg.token)) {
+              ++sh.learnings;
+              if (!was_complete && knowledge_[v].all()) ++sh.newly_complete;
+            } else {
+              ++sh.duplicates;
+            }
           }
+          nodes_[v]->on_receive(r, rec.from, rec.msg);
         }
-        nodes_[v]->on_receive(r, rec.from, rec.msg);
       }
     }
   });
@@ -152,6 +179,21 @@ void UnicastEngine::deliver_sharded(Round r, std::size_t shards) {
 Round UnicastEngine::step() {
   const Round r = ++round_;
   const std::size_t n = nodes_.size();
+
+  // 0. Fault plane: advance the liveness mask into round r (serial, before
+  // any sharded phase — the mask is the plan's only mutable state).  Nodes
+  // that crashed this round lose their knowledge under amnesia; otherwise
+  // they retain it and merely stop participating until recovery.
+  if (fault_active_) {
+    faults_->begin_round(r);
+    if (fault_amnesia_) {
+      for (const NodeId v : faults_->crashed_this_round()) {
+        if (knowledge_[v].all()) --complete_nodes_;
+        knowledge_[v].reset_all();
+        if (knowledge_[v].all()) ++complete_nodes_;  // k = 0 universe only
+      }
+    }
+  }
 
   // 1. Adversary fixes G_r with full visibility of state and history.  The
   // returned reference is adversary-owned and stays valid through the round;
@@ -180,11 +222,34 @@ Round UnicastEngine::step() {
   } else {
     traffic_.clear();
     for (NodeId v = 0; v < n; ++v) {
+      if (fault_active_ && !faults_->is_live(v)) continue;  // crashed: silent
       const std::span<const NodeId> neigh = view_.neighbors(v);
       Outbox out(v, traffic_);
       const std::size_t mark = traffic_.size();
       nodes_[v]->send(r, neigh, out);
       validate_sent(v, traffic_, mark, metrics_.unicast);
+    }
+  }
+
+  // 2b. Fault plane: seal each record's delivery fate in one serial pass.
+  // Fates are position-keyed hashes of (round, arc, per-arc sequence) — not
+  // of evaluation order — so the sharded delivery below observes the same
+  // fates the serial loop would.  A payload addressed to a crashed node is
+  // dropped outright; drops still cost the sender (counted at send time).
+  if (fault_active_) {
+    fate_.assign(traffic_.size(), 0);
+    const bool delivery_faults = faults_->has_delivery_faults();
+    if (delivery_faults) arc_seq_.assign(view_.num_arcs(), 0);
+    for (std::size_t i = 0; i < traffic_.size(); ++i) {
+      const SentRecord& rec = traffic_[i];
+      if (!faults_->is_live(rec.to)) {
+        fate_[i] = static_cast<std::uint8_t>(FaultPlan::Fate::kDrop);
+        continue;
+      }
+      if (!delivery_faults) continue;
+      const std::size_t arc = view_.arc_index(rec.from, rec.to);
+      fate_[i] = static_cast<std::uint8_t>(
+          faults_->delivery_fate(r, arc, arc_seq_[arc]++));
     }
   }
 
@@ -194,18 +259,27 @@ Round UnicastEngine::step() {
   if (shards > 1 && !log_.recording_events()) {
     deliver_sharded(r, shards);
   } else {
-    for (const SentRecord& rec : traffic_) {
-      if (rec.msg.type == MsgType::kToken) {
-        const bool was_complete = knowledge_[rec.to].all();
-        if (knowledge_[rec.to].set(rec.msg.token)) {
-          ++metrics_.learnings;
-          log_.add(rec.to, rec.msg.token, r);
-          if (!was_complete && knowledge_[rec.to].all()) ++complete_nodes_;
-        } else {
-          ++metrics_.duplicate_token_deliveries;
+    constexpr auto kDrop = static_cast<std::uint8_t>(FaultPlan::Fate::kDrop);
+    constexpr auto kDup =
+        static_cast<std::uint8_t>(FaultPlan::Fate::kDuplicate);
+    for (std::size_t i = 0; i < traffic_.size(); ++i) {
+      const SentRecord& rec = traffic_[i];
+      const std::uint8_t fate = fault_active_ ? fate_[i] : 0;
+      if (fate == kDrop) continue;
+      const int copies = fate == kDup ? 2 : 1;
+      for (int c = 0; c < copies; ++c) {
+        if (rec.msg.type == MsgType::kToken) {
+          const bool was_complete = knowledge_[rec.to].all();
+          if (knowledge_[rec.to].set(rec.msg.token)) {
+            ++metrics_.learnings;
+            log_.add(rec.to, rec.msg.token, r);
+            if (!was_complete && knowledge_[rec.to].all()) ++complete_nodes_;
+          } else {
+            ++metrics_.duplicate_token_deliveries;
+          }
         }
+        nodes_[rec.to]->on_receive(r, rec.from, rec.msg);
       }
-      nodes_[rec.to]->on_receive(r, rec.from, rec.msg);
     }
   }
 
@@ -218,14 +292,79 @@ Round UnicastEngine::step() {
   return r;
 }
 
+bool UnicastEngine::run_complete() const {
+  if (!fault_active_) return all_complete();
+  if (faults_->live_count() == 0) return false;
+  const auto n = static_cast<NodeId>(knowledge_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (faults_->is_live(v) && !knowledge_[v].all()) return false;
+  }
+  return true;
+}
+
+double UnicastEngine::coverage() const {
+  const std::uint64_t universe =
+      static_cast<std::uint64_t>(knowledge_.size()) * k_;
+  if (universe == 0) return 1.0;
+  std::uint64_t known = 0;
+  for (const KnowledgeSet& kn : knowledge_) known += kn.count();
+  return static_cast<double>(known) / static_cast<double>(universe);
+}
+
 RunMetrics UnicastEngine::run(Round max_rounds) {
-  return run_until([](const UnicastEngine& e) { return e.all_complete(); },
+  return run_until([](const UnicastEngine& e) { return e.run_complete(); },
                    max_rounds);
 }
 
 RunMetrics UnicastEngine::run_until(const StopPredicate& done, Round max_rounds) {
-  while (!done(*this) && round_ < max_rounds) step();
-  metrics_.completed = all_complete();
+  // Fault-free runs keep the legacy loop exactly; fault-active runs add
+  // stall detection (a lossy plan must terminate as kStalled, not spin a
+  // dead execution to the 200·n·k cap) and the all-down short-circuit.
+  // The stall window is generous — request/answer protocols legitimately
+  // go many rounds between learnings.
+  const Round stall_window =
+      fault_active_
+          ? std::max<Round>(256, static_cast<Round>(2 * nodes_.size()))
+          : 0;
+  std::uint64_t last_learnings = metrics_.learnings;
+  Round quiet_rounds = 0;
+  bool stalled = false;
+  bool all_down = false;
+  bool timed_out = false;
+  const auto started = std::chrono::steady_clock::now();
+  std::uint32_t ticks = 0;
+  while (!done(*this) && round_ < max_rounds) {
+    if (fault_active_ && faults_->live_count() == 0 &&
+        !faults_->can_recover()) {
+      all_down = true;
+      break;
+    }
+    step();
+    if (fault_active_) {
+      if (metrics_.learnings != last_learnings) {
+        last_learnings = metrics_.learnings;
+        quiet_rounds = 0;
+      } else if (++quiet_rounds >= stall_window) {
+        stalled = true;
+        break;
+      }
+    }
+    // Wall-clock watchdog, amortized to one clock read per 32 rounds.
+    if (run_timeout_seconds_ > 0.0 && (++ticks % 32u) == 0u &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+                .count() >= run_timeout_seconds_) {
+      timed_out = true;
+      break;
+    }
+  }
+  metrics_.completed = run_complete();
+  metrics_.status = metrics_.completed ? RunStatus::kCompleted
+                    : timed_out        ? RunStatus::kTimeout
+                    : stalled          ? RunStatus::kStalled
+                    : all_down         ? RunStatus::kAllDown
+                                       : RunStatus::kRoundCap;
+  metrics_.coverage = coverage();
   return metrics_;
 }
 

@@ -35,6 +35,7 @@
 
 namespace dyngossip {
 
+class FaultPlan;
 class ThreadPool;
 
 /// Outbox handed to a node during its send step; delivery is end-of-round.
@@ -105,6 +106,15 @@ struct UnicastEngineOptions {
   /// overhead dominates a round).  Tests lower this to force sharding at
   /// small n.
   std::size_t min_parallel_nodes = 4096;
+  /// Per-trial fault plan (not owned; multi-phase executions share one).
+  /// Null or inactive keeps the exact fault-free code path.  All fault
+  /// decisions are position-keyed (see fault/fault_plan.hpp), so faulty
+  /// runs stay bit-identical at any thread count.
+  FaultPlan* faults = nullptr;
+  /// Wall-clock budget for run()/run_until() in seconds (0: none).  An
+  /// over-budget run stops with RunStatus::kTimeout — by construction a
+  /// non-reproducible outcome (it depends on the host, not the seed).
+  double run_timeout_seconds = 0.0;
 };
 
 /// Drives n UnicastAlgorithm instances against an adversary.
@@ -135,6 +145,16 @@ class UnicastEngine {
   [[nodiscard]] bool all_complete() const noexcept {
     return complete_nodes_ == knowledge_.size();
   }
+
+  /// The run-level completion predicate: all_complete() on the fault-free
+  /// path; under an active fault plan, at least one node is live and every
+  /// live node knows all k tokens (crashed nodes don't count toward
+  /// completion until recovery).
+  [[nodiscard]] bool run_complete() const;
+
+  /// Fraction of (node, token) pairs currently known (1.0 for an empty
+  /// universe) — the residual-coverage metric of a degraded run.
+  [[nodiscard]] double coverage() const;
 
   /// Authoritative knowledge of node v.
   [[nodiscard]] const KnowledgeSet& knowledge_of(NodeId v) const {
@@ -206,6 +226,10 @@ class UnicastEngine {
   std::uint32_t max_payloads_per_edge_;
   ThreadPool* pool_;
   std::size_t min_parallel_nodes_;
+  FaultPlan* faults_;
+  bool fault_active_;    ///< faults_ != null && faults_->active()
+  bool fault_amnesia_;   ///< fault_active_ && amnesia wipes on crash
+  double run_timeout_seconds_;
   RoundHook hook_;
   Graph prev_graph_;
   std::vector<SentRecord> prev_messages_;
@@ -214,6 +238,10 @@ class UnicastEngine {
   ConnectivityChecker connectivity_;      ///< BFS buffers for the G_r check
   std::vector<SentRecord> traffic_;       ///< round-r records (swapped into prev)
   std::vector<std::uint32_t> arc_budget_; ///< payload counts per directed arc
+  // Fault-path scratch (touched only when fault_active_), reused across
+  // rounds: per-record delivery fates and per-arc delivery sequences.
+  std::vector<std::uint8_t> fate_;        ///< FaultPlan::Fate per traffic record
+  std::vector<std::uint32_t> arc_seq_;    ///< delivery sequence per directed arc
   // Sharded-path scratch, reused across rounds.
   std::vector<SendShard> send_shards_;
   std::vector<DeliverShard> deliver_shards_;

@@ -1,5 +1,21 @@
 #include "metrics/accounting.hpp"
 
-// Header-only arithmetic; this translation unit exists so the module has a
-// stable home for future out-of-line additions and for build-system symmetry.
-namespace dyngossip {}
+namespace dyngossip {
+
+const char* run_status_name(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kRoundCap:
+      return "round_cap";
+    case RunStatus::kStalled:
+      return "stalled";
+    case RunStatus::kAllDown:
+      return "all_down";
+    case RunStatus::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+}  // namespace dyngossip

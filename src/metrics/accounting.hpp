@@ -61,6 +61,21 @@ struct MessageCounts {
   }
 };
 
+/// Why a run terminated.  Replaces the bare completed flag as the
+/// authoritative outcome so degraded executions (the fault plane, starved
+/// schedules, wall-clock watchdogs) are classified instead of collapsing
+/// into an indistinguishable cap-out.
+enum class RunStatus : std::uint8_t {
+  kCompleted = 0,  ///< every (live) node knows all k tokens
+  kRoundCap = 1,   ///< hit the round limit while still making progress
+  kStalled = 2,    ///< fault plane: no learning for a full stall window
+  kAllDown = 3,    ///< fault plane: every node crashed, no recovery possible
+  kTimeout = 4,    ///< wall-clock watchdog budget exceeded (--trial-timeout)
+};
+
+/// Stable lower_snake name ("completed", "round_cap", ...) for tables/JSON.
+[[nodiscard]] const char* run_status_name(RunStatus status) noexcept;
+
 /// Everything one simulation run measures.
 struct RunMetrics {
   MessageCounts unicast;                       ///< per-type unicast counts
@@ -72,6 +87,14 @@ struct RunMetrics {
   std::uint64_t virtual_steps = 0;             ///< Algorithm 2 self-loop steps
   Round rounds = 0;                            ///< rounds executed
   bool completed = false;                      ///< all nodes know all tokens
+  /// Termination classification (kCompleted iff completed; engines set it
+  /// in run()/run_until()).  Not folded into run_payload_checksum — the
+  /// payload fold predates it and stays byte-stable across PRs.
+  RunStatus status = RunStatus::kRoundCap;
+  /// Residual coverage at termination: the fraction of (node, token) pairs
+  /// known (1.0 on completion; defined as 1.0 for an empty n·k universe).
+  /// Partial progress becomes a measured outcome, not a silent cap-out.
+  double coverage = 0.0;
 
   /// Total messages under the run's communication mode (whichever of the
   /// two counters is in use; mixed use never occurs in one run).

@@ -18,6 +18,7 @@ void register_all_scenarios(ScenarioRegistry& registry) {
   register_trace_replay(registry);
   register_sigma_stable_churn(registry);
   register_algo_matrix(registry);
+  register_fault_sweep(registry);
 }
 
 }  // namespace dyngossip

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/table.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/shard_schedule.hpp"
 #include "trace/run_payload.hpp"
@@ -24,6 +25,11 @@ RunAxes RunAxes::resolve(const ScenarioContext& ctx) {
     AlgoRegistry::global().validate(axes.algo_spec_);
     axes.algo_overridden_ = true;
   }
+  if (ctx.has_fault_override()) {
+    axes.fault_spec_ = FaultSpec::parse(ctx.fault_spec());
+    axes.fault_overridden_ = true;
+  }
+  axes.trial_timeout_ = ctx.trial_timeout();
   return axes;
 }
 
@@ -93,6 +99,17 @@ std::vector<ParamSpec> scenario_algo_axis_params() {
   return params;
 }
 
+std::vector<ParamSpec> scenario_fault_axis_params() {
+  std::vector<ParamSpec> params = scenario_algo_axis_params();
+  params.push_back({"fault", ParamSpec::Kind::kString, "(fault-free)",
+                    "fault spec, e.g. fault:drop=0.05,crash=0.001 — see "
+                    "`dyngossip faults`"});
+  params.push_back({"trial-timeout", ParamSpec::Kind::kDouble, "0",
+                    "wall-clock budget per trial in seconds (0: none); "
+                    "over-budget trials report status=timeout"});
+  return params;
+}
+
 ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
                              const AlgoSpec& default_algo,
                              std::vector<AxisRowSpec> rows,
@@ -135,6 +152,8 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
     std::uint64_t k = 0;
     bool ok = false;
     double msgs = 0, tc = 0, residual = 0, rounds = 0;
+    RunStatus status = RunStatus::kRoundCap;
+    double coverage = 0;
     std::uint64_t checksum = 0;
   };
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(trials));
@@ -157,6 +176,10 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
         // schedule family).
         const std::unique_ptr<Adversary> adversary =
             axes.build(row.def, row.n, seed);
+        // Per-trial fault plan, seeded from the trial seed (a spec seed=
+        // pin wins inside the plan) — decisions are position-keyed, so the
+        // outcome is identical whichever parallelism axis runs this trial.
+        FaultPlan plan(axes.fault_spec(), row.n, seed);
         AlgoBuildContext actx;
         actx.n = row.n;
         actx.k = row.k;
@@ -164,6 +187,8 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
         actx.cap = row.cap;
         actx.seed = seed;
         actx.engine_pool = engine_pool;
+        actx.faults = &plan;
+        actx.trial_timeout_seconds = axes.trial_timeout();
         const RunResult res = run_algo(algo, actx, *adversary);
         TrialOut& t = out[r][i];
         t.k = actx.k_realized;
@@ -172,6 +197,8 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
         t.tc = static_cast<double>(res.metrics.tc);
         t.residual = res.metrics.competitive_residual(1.0);
         t.rounds = static_cast<double>(res.rounds);
+        t.status = res.metrics.status;
+        t.coverage = res.metrics.coverage;
         t.checksum = run_payload_checksum(row.n, actx.k_realized, res);
       });
     }
@@ -188,9 +215,15 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
       "run axes: " + algo_text + " vs " +
       (axes.adversary_overridden() ? axes.adversary_label()
                                    : std::string("(scenario default schedule)"));
+  if (axes.fault_overridden()) {
+    table.title += " under " + axes.fault_spec().to_string();
+  }
+  // Column order is load-bearing for CI's jq gates: "done" must stay at
+  // index 5 and "checksum" must stay last, so status/coverage slot in
+  // between "rounds" and "checksum".
   table.columns = {"adversary", "algo",  "n",        "k",
                    "trial",     "done",  "messages", "TC(E)",
-                   "residual(a=1)", "rounds", "checksum"};
+                   "residual(a=1)", "rounds", "status", "coverage", "checksum"};
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const std::string adversary_text = axes.adversary_overridden()
                                            ? axes.adversary_label()
@@ -202,6 +235,7 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
            std::to_string(t.k), std::to_string(i), t.ok ? "yes" : "no",
            TablePrinter::num(t.msgs, 0), TablePrinter::num(t.tc, 0),
            TablePrinter::num(t.residual, 0), TablePrinter::num(t.rounds, 0),
+           run_status_name(t.status), TablePrinter::num(t.coverage, 4),
            checksum_hex(t.checksum)});
     }
   }

@@ -27,6 +27,7 @@
 
 #include "adversary/registry.hpp"
 #include "algo/registry.hpp"
+#include "fault/fault_spec.hpp"
 #include "sim/runner/scenario.hpp"
 
 namespace dyngossip {
@@ -39,10 +40,10 @@ class RunAxes {
   /// malformed or unknown spec.
   [[nodiscard]] static RunAxes resolve(const ScenarioContext& ctx);
 
-  /// True when either axis is overridden (the flagships switch to the
-  /// shared override table in that case).
+  /// True when any axis is overridden (the flagships switch to the shared
+  /// override table in that case).
   [[nodiscard]] bool overridden() const noexcept {
-    return adversary_overridden_ || algo_overridden_;
+    return adversary_overridden_ || algo_overridden_ || fault_overridden_;
   }
 
   [[nodiscard]] bool adversary_overridden() const noexcept {
@@ -69,6 +70,16 @@ class RunAxes {
     return algo_overridden_ ? algo_spec_ : def;
   }
 
+  [[nodiscard]] bool fault_overridden() const noexcept {
+    return fault_overridden_;
+  }
+  /// The fault override spec (inactive default when !fault_overridden()).
+  [[nodiscard]] const FaultSpec& fault_spec() const noexcept {
+    return fault_spec_;
+  }
+  /// Per-trial wall-clock budget in seconds (0: none), from the context.
+  [[nodiscard]] double trial_timeout() const noexcept { return trial_timeout_; }
+
   /// Builds the effective adversary: the override when set, else `def`.
   /// `seed` is the trial seed (an explicit seed= in either spec wins).
   [[nodiscard]] std::unique_ptr<Adversary> build(const AdversarySpec& def,
@@ -82,8 +93,11 @@ class RunAxes {
  private:
   bool adversary_overridden_ = false;
   bool algo_overridden_ = false;
+  bool fault_overridden_ = false;
   AdversarySpec adversary_spec_;
   AlgoSpec algo_spec_;
+  FaultSpec fault_spec_;
+  double trial_timeout_ = 0.0;
 };
 
 /// Run shape pinned by a file-backed adversary override (trace, scripted,
@@ -119,6 +133,10 @@ struct AxisRowSpec {
 /// scenario_axis_params plus the --algo axis (the algorithm-backed
 /// flagships and the matrix scenario).
 [[nodiscard]] std::vector<ParamSpec> scenario_algo_axis_params();
+
+/// scenario_algo_axis_params plus the --fault axis (the flagships that run
+/// through run_axes_table, which injects a per-trial FaultPlan).
+[[nodiscard]] std::vector<ParamSpec> scenario_fault_axis_params();
 
 /// The shared override table: runs the effective algorithm (the --algo
 /// override, else `default_algo`) against the effective adversary (the

@@ -312,10 +312,11 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_multi_source(ScenarioRegistry& registry) {
   registry.add({"multi_source",
                 "Theorems 3.5/3.6: multi-source competitive messages + rounds",
-                scenario_algo_axis_params(),
+                scenario_fault_axis_params(),
                 run,
                 /*adversary_axis=*/true,
-                /*algo_axis=*/true});
+                /*algo_axis=*/true,
+                /*fault_axis=*/true});
 }
 
 }  // namespace dyngossip

@@ -211,10 +211,11 @@ void register_sigma_stable_churn(ScenarioRegistry& registry) {
   registry.add({"sigma_stable_churn",
                 "sigma-interval-stable high-churn stress: Algorithm 1 across "
                 "sigma x churn-rate",
-                scenario_algo_axis_params(),
+                scenario_fault_axis_params(),
                 run,
                 /*adversary_axis=*/true,
-                /*algo_axis=*/true});
+                /*algo_axis=*/true,
+                /*fault_axis=*/true});
 }
 
 }  // namespace dyngossip

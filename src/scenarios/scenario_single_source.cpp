@@ -220,10 +220,11 @@ ScenarioResult run(const ScenarioContext& ctx) {
 void register_single_source(ScenarioRegistry& registry) {
   registry.add({"single_source",
                 "Theorem 3.1: competitive messages, single source, 3 adversaries",
-                scenario_algo_axis_params(),
+                scenario_fault_axis_params(),
                 run,
                 /*adversary_axis=*/true,
-                /*algo_axis=*/true});
+                /*algo_axis=*/true,
+                /*fault_axis=*/true});
 }
 
 }  // namespace dyngossip

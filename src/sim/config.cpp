@@ -14,7 +14,11 @@ RunMetrics merge_metrics(const RunMetrics& a, const RunMetrics& b) {
       a.duplicate_token_deliveries + b.duplicate_token_deliveries;
   m.virtual_steps = a.virtual_steps + b.virtual_steps;
   m.rounds = a.rounds + b.rounds;
-  m.completed = b.completed;  // completion is decided by the final phase
+  // Completion, status, and residual coverage reflect the execution's end
+  // state, which the final phase decides.
+  m.completed = b.completed;
+  m.status = b.status;
+  m.coverage = b.coverage;
   return m;
 }
 

@@ -129,6 +129,22 @@ class ScenarioContext {
   [[nodiscard]] bool has_algo_override() const noexcept { return !algo_.empty(); }
   void set_algo_spec(std::string spec) { algo_ = std::move(spec); }
 
+  /// Global --fault= axis: a fault spec string (see fault/fault_spec.hpp)
+  /// injecting drop/crash/duplicate faults into every trial, or "" for the
+  /// fault-free default.  Set by the CLI after validation; only scenarios
+  /// registered with fault_axis accept it.
+  [[nodiscard]] const std::string& fault_spec() const noexcept { return fault_; }
+  [[nodiscard]] bool has_fault_override() const noexcept {
+    return !fault_.empty();
+  }
+  void set_fault_spec(std::string spec) { fault_ = std::move(spec); }
+
+  /// Global --trial-timeout= axis: a wall-clock budget per trial in seconds
+  /// (0: none).  Over-budget trials stop with RunStatus::kTimeout — a
+  /// host-dependent, non-reproducible outcome by design.
+  [[nodiscard]] double trial_timeout() const noexcept { return trial_timeout_; }
+  void set_trial_timeout(double seconds) { trial_timeout_ = seconds; }
+
   /// Typed parameter access with defaults; exits with a message on a value
   /// that does not parse (mirrors CliArgs behaviour).
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
@@ -150,6 +166,8 @@ class ScenarioContext {
   std::map<std::string, std::string> params_;
   std::string adversary_;
   std::string algo_;
+  std::string fault_;
+  double trial_timeout_ = 0.0;
 };
 
 /// A registered experiment.
@@ -164,6 +182,9 @@ struct Scenario {
   /// True when the scenario additionally honours the global --algo= axis
   /// (ScenarioContext::algo_spec); the CLI rejects the flag otherwise.
   bool algo_axis = false;
+  /// True when the scenario additionally honours the global --fault= axis
+  /// (ScenarioContext::fault_spec); the CLI rejects the flag otherwise.
+  bool fault_axis = false;
 };
 
 }  // namespace dyngossip

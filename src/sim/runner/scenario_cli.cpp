@@ -10,6 +10,7 @@
 #include "adversary/registry.hpp"
 #include "algo/registry.hpp"
 #include "common/cli.hpp"
+#include "fault/fault_spec.hpp"
 #include "sim/runner/demo_registry.hpp"
 #include "sim/runner/emit.hpp"
 #include "sim/runner/parallel_sweep.hpp"
@@ -29,6 +30,7 @@ constexpr const char* kUsage =
     "  list [--json]                 list registered scenarios\n"
     "  adversaries [--json]          list registered adversary families\n"
     "  algorithms [--json]           list registered algorithm families\n"
+    "  faults [--json]               describe the fault-injection spec grammar\n"
     "  run <scenario> [flags]        run one scenario\n"
     "      --threads=N   worker threads (0 = hardware, default)\n"
     "      --trials=T    trials per configuration (0 = scenario default)\n"
@@ -43,6 +45,10 @@ constexpr const char* kUsage =
     "                    --adversary=trace:file=FILE\n"
     "      --algo=SPEC   run any registered algorithm spec against the\n"
     "                    scenario's schedule (see `algorithms`)\n"
+    "      --fault=SPEC  inject drop/crash/duplicate faults into every\n"
+    "                    trial (see `faults`)\n"
+    "      --trial-timeout=S  wall-clock budget per trial in seconds;\n"
+    "                    over-budget trials report status=timeout\n"
     "      --<param>=v   scenario-specific parameter (see `list`)\n"
     "  demo <name> [flags]           run a narrated end-to-end demo\n"
     "      (see `dyngossip demo` for the catalogue)\n"
@@ -89,6 +95,7 @@ int cmd_list(const ScenarioRegistry& registry, const CliArgs& args) {
       entry.set("params", std::move(params));
       entry.set("adversary_axis", JsonValue::boolean(s->adversary_axis));
       entry.set("algo_axis", JsonValue::boolean(s->algo_axis));
+      entry.set("fault_axis", JsonValue::boolean(s->fault_axis));
       scenarios.push(std::move(entry));
     }
     doc.set("scenarios", std::move(scenarios));
@@ -215,6 +222,49 @@ int cmd_algorithms(const CliArgs& args) {
   return 0;
 }
 
+int cmd_faults(const CliArgs& args) {
+  args.allow_only({"json"}, "dyngossip faults [--json]");
+  const FaultFamilyDoc& doc_info = fault_family_doc();
+  if (args.get_bool("json", false)) {
+    JsonValue doc = JsonValue::object();
+    JsonValue families = JsonValue::array();
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue::str(doc_info.name));
+    entry.set("description", JsonValue::str(doc_info.description));
+    entry.set("example", JsonValue::str(doc_info.example));
+    JsonValue keys = JsonValue::array();
+    for (const SpecKey& k : *doc_info.keys) {
+      JsonValue spec = JsonValue::object();
+      spec.set("key", JsonValue::str(k.key));
+      spec.set("kind", JsonValue::str(spec_key_kind_name(k.kind)));
+      spec.set("default", JsonValue::str(k.default_value));
+      spec.set("help", JsonValue::str(k.help));
+      keys.push(std::move(spec));
+    }
+    entry.set("keys", std::move(keys));
+    families.push(std::move(entry));
+    doc.set("families", std::move(families));
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  std::printf("fault spec grammar: fault:key=value[,key=value...]\n"
+              "(the leading 'fault:' may be omitted: --fault=drop=0.05)\n\n");
+  std::printf("%-10s %s\n           e.g. %s\n", doc_info.name.c_str(),
+              doc_info.description.c_str(), doc_info.example.c_str());
+  for (const SpecKey& k : *doc_info.keys) {
+    std::printf("    %s=<%s>  (default %s)  %s\n", k.key.c_str(),
+                spec_key_kind_name(k.kind), k.default_value.c_str(),
+                k.help.c_str());
+  }
+  std::printf(
+      "\nUse with any fault-axis scenario:  dyngossip run <scenario> "
+      "--fault=SPEC\n"
+      "All fault decisions are position-keyed on (round, arc) / (round, node)\n"
+      "under a SplitMix64 stream, so a faulty run is bit-identical at any\n"
+      "thread count and reproducible from (spec, trial seed) alone.\n");
+  return 0;
+}
+
 int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
                      const CliArgs& args) {
   const Scenario* scenario = registry.find(name);
@@ -282,6 +332,31 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
     }
   }
 
+  // The global fault axis: --fault=SPEC / --trial-timeout=S, validated up
+  // front like the other axes.
+  if ((args.has("fault") || args.has("trial-timeout")) && !scenario->fault_axis) {
+    std::fprintf(stderr,
+                 "scenario '%s' does not support the --fault/--trial-timeout "
+                 "axis; `dyngossip list` marks the scenarios that do\n",
+                 name.c_str());
+    return 2;
+  }
+  std::string fault_spec;
+  if (args.has("fault")) {
+    fault_spec = args.get_string("fault", "");
+    try {
+      (void)FaultSpec::parse(fault_spec);
+    } catch (const FaultSpecError& e) {
+      std::fprintf(stderr, "%s\n(see `dyngossip faults`)\n", e.what());
+      return 2;
+    }
+  }
+  const double trial_timeout = args.get_double("trial-timeout", 0.0);
+  if (trial_timeout < 0.0) {
+    std::fprintf(stderr, "--trial-timeout must be >= 0 seconds\n");
+    return 2;
+  }
+
   std::vector<std::string> allowed = {"threads", "trials", "scale", "quick",
                                       "csv",     "json"};
   for (const ParamSpec& p : scenario->params) allowed.push_back(p.name);
@@ -293,7 +368,10 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   for (const ParamSpec& p : scenario->params) {
     // The axis flags are global (threaded via ScenarioContext), never
     // scenario params, even though they appear in `list` as declared specs.
-    if (p.name == "adversary" || p.name == "trace" || p.name == "algo") continue;
+    if (p.name == "adversary" || p.name == "trace" || p.name == "algo" ||
+        p.name == "fault" || p.name == "trial-timeout") {
+      continue;
+    }
     if (args.has(p.name)) params[p.name] = args.get_string(p.name, "");
   }
   const std::int64_t trials_raw = args.get_int("trials", 0);
@@ -324,6 +402,8 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   ScenarioContext ctx(pool, trials, scale, std::move(params));
   ctx.set_adversary_spec(adversary_spec);
   ctx.set_algo_spec(algo_spec);
+  ctx.set_fault_spec(fault_spec);
+  ctx.set_trial_timeout(trial_timeout);
   const auto start = std::chrono::steady_clock::now();
   ScenarioResult result;
   try {
@@ -333,6 +413,9 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
     return 2;
   } catch (const AlgoSpecError& e) {
     std::fprintf(stderr, "algorithm spec error: %s\n", e.what());
+    return 2;
+  } catch (const FaultSpecError& e) {
+    std::fprintf(stderr, "fault spec error: %s\n", e.what());
     return 2;
   } catch (const TraceError& e) {
     std::fprintf(stderr, "trace error: %s\n", e.what());
@@ -500,6 +583,12 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
     for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
     const CliArgs args(static_cast<int>(rest.size()), rest.data());
     return cmd_algorithms(args);
+  }
+  if (command == "faults") {
+    std::vector<const char*> rest = {program};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return cmd_faults(args);
   }
   if (command == "run") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {

@@ -30,10 +30,13 @@ namespace {
 
 RunResult run_single_source(std::size_t n, std::uint32_t k, NodeId source,
                             Adversary& adversary, Round max_rounds,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, FaultPlan* faults,
+                            double timeout_seconds) {
   SingleSourceConfig cfg{n, k, source};
   UnicastEngineOptions opts;
   opts.pool = pool;
+  opts.faults = faults;
+  opts.run_timeout_seconds = timeout_seconds;
   UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
                        SingleSourceNode::initial_knowledge(cfg), k, opts);
   return finish(engine.run(max_rounds));
@@ -41,10 +44,13 @@ RunResult run_single_source(std::size_t n, std::uint32_t k, NodeId source,
 
 RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
                            Adversary& adversary, Round max_rounds,
-                           ThreadPool* pool) {
+                           ThreadPool* pool, FaultPlan* faults,
+                           double timeout_seconds) {
   MultiSourceConfig cfg{n, space};
   UnicastEngineOptions opts;
   opts.pool = pool;
+  opts.faults = faults;
+  opts.run_timeout_seconds = timeout_seconds;
   UnicastEngine engine(MultiSourceNode::make_all(cfg), adversary,
                        space->initial_knowledge(n), space->total_tokens(), opts);
   return finish(engine.run(max_rounds));
@@ -52,10 +58,13 @@ RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
 
 RunResult run_spanning_tree(std::size_t n, const TokenSpacePtr& space,
                             Adversary& adversary, Round max_rounds, NodeId root,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, FaultPlan* faults,
+                            double timeout_seconds) {
   SpanningTreeConfig cfg{n, space, root};
   UnicastEngineOptions opts;
   opts.pool = pool;
+  opts.faults = faults;
+  opts.run_timeout_seconds = timeout_seconds;
   UnicastEngine engine(SpanningTreeNode::make_all(cfg), adversary,
                        space->initial_knowledge(n), space->total_tokens(), opts);
   return finish(engine.run(max_rounds));
@@ -64,9 +73,12 @@ RunResult run_spanning_tree(std::size_t n, const TokenSpacePtr& space,
 RunResult run_phase_flooding(std::size_t n, std::size_t k,
                              const std::vector<KnowledgeSet>& initial,
                              Adversary& adversary, Round max_rounds,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, FaultPlan* faults,
+                             double timeout_seconds) {
   BroadcastEngineOptions opts;
   opts.pool = pool;
+  opts.faults = faults;
+  opts.run_timeout_seconds = timeout_seconds;
   BroadcastEngine engine(PhaseFloodingNode::make_all(n, k, initial), adversary,
                          initial, k, opts);
   return finish(engine.run(max_rounds));
@@ -75,9 +87,12 @@ RunResult run_phase_flooding(std::size_t n, std::size_t k,
 RunResult run_random_flooding(std::size_t n, std::size_t k,
                               const std::vector<KnowledgeSet>& initial,
                               Adversary& adversary, Round max_rounds,
-                              std::uint64_t seed, ThreadPool* pool) {
+                              std::uint64_t seed, ThreadPool* pool,
+                              FaultPlan* faults, double timeout_seconds) {
   BroadcastEngineOptions opts;
   opts.pool = pool;
+  opts.faults = faults;
+  opts.run_timeout_seconds = timeout_seconds;
   BroadcastEngine engine(RandomFloodingNode::make_all(n, k, initial, seed),
                          adversary, initial, k, opts);
   return finish(engine.run(max_rounds));
@@ -106,7 +121,8 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
   if (small_s) {
     result.skipped_phase1 = true;
     const RunResult direct =
-        run_multi_source(n, space, adversary, max_rounds, opts.pool);
+        run_multi_source(n, space, adversary, max_rounds, opts.pool,
+                         opts.faults, opts.timeout_seconds);
     result.phase2 = direct.metrics;
     result.total = direct.metrics;
     result.completed = direct.completed;
@@ -159,6 +175,8 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
   UnicastEngineOptions ueopts;
   ueopts.tracker = &tracker;
   ueopts.pool = opts.pool;
+  ueopts.faults = opts.faults;
+  ueopts.run_timeout_seconds = opts.timeout_seconds;
   UnicastEngine phase1(std::move(walkers), adversary,
                        space->initial_knowledge(n), k, ueopts);
 
@@ -209,6 +227,8 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
   UnicastEngineOptions p2opts;
   p2opts.tracker = &tracker;
   p2opts.pool = opts.pool;
+  p2opts.faults = opts.faults;
+  p2opts.run_timeout_seconds = opts.timeout_seconds;
   p2opts.start_round = phase1.round() + 1;
   // Build the nodes before handing `carried` to the engine (argument
   // evaluation order must not race with the move).

@@ -14,42 +14,56 @@
 
 namespace dyngossip {
 
+class FaultPlan;
 class ThreadPool;
 
 // Every entry point takes an optional worker pool for intra-round engine
 // sharding (null: serial engine).  See UnicastEngineOptions::pool for the
-// contract; results are bit-identical at any thread count.
+// contract; results are bit-identical at any thread count.  The optional
+// `faults` plan (null: fault-free) and `timeout_seconds` wall-clock budget
+// (0: none) are forwarded to the engine; multi-phase executions share one
+// plan so liveness history is continuous across phases.
 
 /// Runs Algorithm 1 (Single-Source-Unicast): all k tokens start at `source`.
 [[nodiscard]] RunResult run_single_source(std::size_t n, std::uint32_t k,
                                           NodeId source, Adversary& adversary,
                                           Round max_rounds,
-                                          ThreadPool* pool = nullptr);
+                                          ThreadPool* pool = nullptr,
+                                          FaultPlan* faults = nullptr,
+                                          double timeout_seconds = 0.0);
 
 /// Runs Multi-Source-Unicast over an arbitrary token labelling.
 [[nodiscard]] RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
                                          Adversary& adversary, Round max_rounds,
-                                         ThreadPool* pool = nullptr);
+                                         ThreadPool* pool = nullptr,
+                                         FaultPlan* faults = nullptr,
+                                         double timeout_seconds = 0.0);
 
 /// Runs the static spanning-tree baseline (static adversary required).
 [[nodiscard]] RunResult run_spanning_tree(std::size_t n, const TokenSpacePtr& space,
                                           Adversary& adversary, Round max_rounds,
                                           NodeId root = 0,
-                                          ThreadPool* pool = nullptr);
+                                          ThreadPool* pool = nullptr,
+                                          FaultPlan* faults = nullptr,
+                                          double timeout_seconds = 0.0);
 
 /// Runs naive phase flooding (local broadcast) from an arbitrary initial
 /// knowledge assignment.
 [[nodiscard]] RunResult run_phase_flooding(std::size_t n, std::size_t k,
                                            const std::vector<KnowledgeSet>& initial,
                                            Adversary& adversary, Round max_rounds,
-                                           ThreadPool* pool = nullptr);
+                                           ThreadPool* pool = nullptr,
+                                           FaultPlan* faults = nullptr,
+                                           double timeout_seconds = 0.0);
 
 /// Runs uniform-random flooding (local broadcast).
 [[nodiscard]] RunResult run_random_flooding(std::size_t n, std::size_t k,
                                             const std::vector<KnowledgeSet>& initial,
                                             Adversary& adversary, Round max_rounds,
                                             std::uint64_t seed,
-                                            ThreadPool* pool = nullptr);
+                                            ThreadPool* pool = nullptr,
+                                            FaultPlan* faults = nullptr,
+                                            double timeout_seconds = 0.0);
 
 /// Algorithm 2 options.
 struct ObliviousMsOptions {
@@ -66,6 +80,12 @@ struct ObliviousMsOptions {
   /// Worker pool for intra-round sharding of both phase engines (null:
   /// serial).  Same contract as UnicastEngineOptions::pool.
   ThreadPool* pool = nullptr;
+  /// Per-trial fault plan shared by both phase engines (not owned; null:
+  /// fault-free).  Phase 2 continues phase 1's liveness history because the
+  /// plan keys liveness on absolute round numbers.
+  FaultPlan* faults = nullptr;
+  /// Wall-clock budget in seconds for the whole two-phase run (0: none).
+  double timeout_seconds = 0.0;
 };
 
 /// Runs Algorithm 2 (Oblivious-Multi-Source-Unicast).  The adversary must

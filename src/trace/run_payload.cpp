@@ -37,6 +37,8 @@ JsonValue run_payload_json(const std::string& algo, std::size_t n, std::uint64_t
   doc.set("n", num(n));
   doc.set("k", num(k));
   doc.set("completed", JsonValue::boolean(r.completed));
+  doc.set("status", JsonValue::str(run_status_name(r.metrics.status)));
+  doc.set("coverage", JsonValue::number(r.metrics.coverage));
   doc.set("rounds", num(r.rounds));
   JsonValue unicast = JsonValue::object();
   unicast.set("token", num(r.metrics.unicast.token));

@@ -21,8 +21,14 @@ const Graph& TraceAdversary::next_graph(Round r) {
   DG_CHECK(r == last_round_ + 1);
   last_round_ = r;
   if (!exhausted_ && !source_->next_round(current_)) exhausted_ = true;
-  if (exhausted_) {
-    DG_CHECK(opts_.hold_last_graph && "run stepped past the end of its trace");
+  if (exhausted_ && !opts_.hold_last_graph) {
+    // A recoverable input problem, not a programming error: the recording is
+    // shorter than this run needs.  Surface a fix instead of aborting.
+    throw TraceError(
+        "run stepped past the end of its trace at round " + std::to_string(r) +
+        " (recording holds " + std::to_string(source_->rounds_read()) +
+        " rounds); re-record with a higher --cap, or replay with "
+        "hold_last_graph to freeze the final topology");
   }
   return current_;
 }

@@ -15,6 +15,8 @@
 #include "algo/registry.hpp"
 #include "common/cli.hpp"
 #include "core/tokens.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_spec.hpp"
 #include "metrics/report.hpp"
 #include "sim/runner/json.hpp"
 #include "sim/simulator.hpp"
@@ -34,7 +36,7 @@ constexpr const char* kTraceUsage =
     "  record --out=T.dgt [--algo=SPEC] [--n=64]\n"
     "         [--k=128] [--sources=4] [--adversary=SPEC] [--sigma=3]\n"
     "         [--churn=N/8] [--edges=3N] [--seed=7] [--cap=R] [--quick]\n"
-    "         [--json[=PATH|-]]\n"
+    "         [--fault=SPEC] [--json[=PATH|-]]\n"
     "         run an algorithm against a live adversary, teeing the schedule\n"
     "         to a trace; --algo is any registry spec (`dyngossip\n"
     "         algorithms`, default single_source) and --adversary any\n"
@@ -43,11 +45,11 @@ constexpr const char* kTraceUsage =
     "         churn/fresh/sigma families); the run flags are embedded in the\n"
     "         trace metadata\n"
     "  replay --trace=T.dgt [--algo=SPEC] [--k=..] [--sources=..] [--cap=R]\n"
-    "         [--json[=PATH|-]]\n"
+    "         [--fault=SPEC] [--json[=PATH|-]]\n"
     "         re-run an algorithm against a recorded schedule (flags default\n"
     "         to the recorded metadata, including the canonical algorithm\n"
-    "         spec; matching flags give a bit-identical payload, which\n"
-    "         `diff` or the checksum field verifies)\n"
+    "         and fault specs; matching flags give a bit-identical payload,\n"
+    "         which `diff` or the checksum field verifies)\n"
     "  info   --trace=T.dgt [--windows=W] [--json[=PATH|-]]\n"
     "         stream a trace and summarize it (no run); --windows=W adds\n"
     "         per-window round/edge-churn stats for long schedules\n"
@@ -105,7 +107,7 @@ AdversarySpec effective_adversary_spec(const std::string& text, std::size_t edge
 
 int cmd_record(const CliArgs& args) {
   args.allow_only({"out", "algo", "n", "k", "sources", "adversary", "sigma", "churn",
-                   "edges", "seed", "cap", "quick", "json"},
+                   "edges", "seed", "cap", "quick", "fault", "json"},
                   kTraceUsage);
   const std::string out_path = args.get_string("out", "");
   if (out_path.empty()) {
@@ -153,6 +155,15 @@ int cmd_record(const CliArgs& args) {
   const std::unique_ptr<Adversary> inner =
       AdversaryRegistry::global().build(aspec, bctx);
 
+  // Fault plane: the recording run can itself execute under a fault plan
+  // (position-keyed off the run seed, so the recording is reproducible);
+  // the canonical spec rides in the metadata so replay defaults to it.
+  const std::string fault_text = args.get_string("fault", "");
+  FaultSpec fspec;
+  if (!fault_text.empty()) fspec = FaultSpec::parse(fault_text);
+  FaultPlan plan(fspec, actx.n, seed);
+  if (!fault_text.empty()) actx.faults = &plan;
+
   // The run flags become the trace metadata so replay can default to them;
   // the canonical algorithm + adversary specs make the recording
   // self-describing.
@@ -163,6 +174,7 @@ int cmd_record(const CliArgs& args) {
                          " adversary=" + aspec.to_string() +
                          " seed=" + std::to_string(seed) +
                          " cap=" + std::to_string(actx.cap);
+  if (!fault_text.empty()) metadata += " fault=" + fspec.to_string();
 
   std::unique_ptr<TraceWriter> writer = open_trace_writer(
       out_path, static_cast<std::uint32_t>(actx.n), seed, std::move(metadata));
@@ -182,7 +194,8 @@ int cmd_record(const CliArgs& args) {
 
 int cmd_replay(const CliArgs& args) {
   // No --n: the node count is the trace header's, never a flag.
-  args.allow_only({"trace", "algo", "k", "sources", "cap", "json"}, kTraceUsage);
+  args.allow_only({"trace", "algo", "k", "sources", "cap", "fault", "json"},
+                  kTraceUsage);
   const std::string trace_path = args.get_string("trace", "");
   if (trace_path.empty()) {
     std::fprintf(stderr, "trace replay requires --trace=PATH\n");
@@ -225,6 +238,16 @@ int cmd_replay(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("sources", meta_or("sources", 4)));
   actx.cap = static_cast<Round>(args.get_int("cap", meta_or("cap", 0)));
   actx.seed = static_cast<std::uint64_t>(meta_or("seed", 1));
+
+  // Fault replay defaults to the recording's embedded spec (so a recording
+  // made under faults reproduces bit-identically); --fault=SPEC overrides,
+  // and --fault= (empty) strips it for a fault-free cross-replay.
+  const std::string fault_text = args.get_string(
+      "fault", meta.count("fault") != 0u ? meta.at("fault") : "");
+  FaultSpec fspec;
+  if (!fault_text.empty()) fspec = FaultSpec::parse(fault_text);
+  FaultPlan plan(fspec, actx.n, actx.seed);
+  if (!fault_text.empty()) actx.faults = &plan;
 
   const RunResult r = run_algo(algo, actx, adversary);
 
@@ -520,6 +543,9 @@ int trace_main(int argc, const char* const* argv) {
     return 2;
   } catch (const AlgoSpecError& e) {
     std::fprintf(stderr, "%s\n(see `dyngossip algorithms`)\n", e.what());
+    return 2;
+  } catch (const FaultSpecError& e) {
+    std::fprintf(stderr, "%s\n(see `dyngossip faults`)\n", e.what());
     return 2;
   } catch (const TraceError& e) {
     std::fprintf(stderr, "trace error: %s\n", e.what());

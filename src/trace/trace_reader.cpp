@@ -36,7 +36,15 @@ namespace {
 
 bool TraceReaderBase::next_round(Graph& g) {
   if (finished_) return false;
-  DG_CHECK(g.num_nodes() == header_.n);
+  if (g.num_nodes() != header_.n) {
+    // A caller/recording mismatch (e.g. a scenario grid sized differently
+    // from the trace), not a programming error: report both sides.
+    throw TraceError("trace is over n=" + std::to_string(header_.n) +
+                     " nodes but the consumer stepped a graph on n=" +
+                     std::to_string(g.num_nodes()) +
+                     "; size the run from the trace header (see "
+                     "`dyngossip trace info`)");
+  }
 
   auto seal = [this] {
     read_trailer(rounds_read_, checksum_.value());

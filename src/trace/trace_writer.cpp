@@ -1,6 +1,7 @@
 #include "trace/trace_writer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.hpp"
 #include "sim/runner/json.hpp"
@@ -111,10 +112,30 @@ void TraceWriter::commit_delta(std::span<const EdgeKey> insertions,
   write_block(insertions, removals);
 }
 
+void TraceWriter::publish_on_finish(std::ofstream& file, std::string tmp_path,
+                                    std::string final_path) {
+  DG_CHECK(!finished_ && staged_file_ == nullptr);
+  staged_file_ = &file;
+  tmp_path_ = std::move(tmp_path);
+  final_path_ = std::move(final_path);
+}
+
 void TraceWriter::finish() {
   if (finished_) return;
   finished_ = true;
   write_trailer();
+  if (staged_file_ != nullptr) {
+    // Publish atomically: the sealed trace appears at the final path in one
+    // rename, so readers never observe a header without its trailer.
+    std::ofstream* file = staged_file_;
+    staged_file_ = nullptr;
+    file->close();
+    if (file->fail()) throw TraceError("trace close failed: " + tmp_path_);
+    if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+      throw TraceError("cannot publish trace: rename " + tmp_path_ + " -> " +
+                       final_path_ + " failed");
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -281,15 +302,23 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
 std::unique_ptr<TraceWriter> open_trace_writer(const std::string& path,
                                                std::uint32_t n, std::uint64_t seed,
                                                std::string metadata) {
+  // Stage into `<path>.tmp` and let finish() rename it into place: a crash
+  // (or kill) mid-recording never leaves a truncated trace at `path`.
+  const std::string tmp = path + ".tmp";
   auto file = std::make_unique<std::ofstream>(
-      path, std::ios::binary | std::ios::trunc | std::ios::out);
-  if (!*file) throw TraceError("cannot open trace file for writing: " + path);
+      tmp, std::ios::binary | std::ios::trunc | std::ios::out);
+  if (!*file) throw TraceError("cannot open trace file for writing: " + tmp);
+  std::ofstream& stream = *file;
+  std::unique_ptr<TraceWriter> writer;
   if (has_suffix(path, ".jsonl")) {
-    return std::make_unique<JsonlTraceWriter>(std::move(file), n, seed,
-                                              std::move(metadata));
+    writer = std::make_unique<JsonlTraceWriter>(std::move(file), n, seed,
+                                                std::move(metadata));
+  } else {
+    writer = std::make_unique<BinaryTraceWriter>(std::move(file), n, seed,
+                                                 std::move(metadata));
   }
-  return std::make_unique<BinaryTraceWriter>(std::move(file), n, seed,
-                                             std::move(metadata));
+  writer->publish_on_finish(stream, tmp, path);
+  return writer;
 }
 
 }  // namespace dyngossip

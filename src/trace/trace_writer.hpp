@@ -41,8 +41,17 @@ class TraceWriter {
   void append_delta(std::span<const EdgeKey> insertions,
                     std::span<const EdgeKey> removals);
 
-  /// Seals the trace (idempotent).  No appends afterwards.
+  /// Seals the trace (idempotent).  No appends afterwards.  A file-backed
+  /// writer staged by open_trace_writer also publishes its temporary file
+  /// to the final path here (atomic rename), so a crash mid-recording
+  /// leaves at worst a stale `.tmp` — never a truncated trace at the real
+  /// path.
   void finish();
+
+  /// Factory plumbing: registers tmp→final publication on finish().  `file`
+  /// must be the writer's own stream, already open at `tmp_path`.
+  void publish_on_finish(std::ofstream& file, std::string tmp_path,
+                         std::string final_path);
 
   /// Rounds appended so far.
   [[nodiscard]] std::uint32_t rounds() const noexcept { return rounds_; }
@@ -76,6 +85,9 @@ class TraceWriter {
 
   std::uint32_t rounds_ = 0;
   bool finished_ = false;
+  std::ofstream* staged_file_ = nullptr;  ///< non-null: rename on finish()
+  std::string tmp_path_;
+  std::string final_path_;
   TraceChecksum checksum_;
   std::vector<EdgeKey> prev_edges_;  ///< sorted edges of the last round
   std::vector<EdgeKey> cur_edges_;   ///< diff scratch

@@ -13,6 +13,8 @@
 #include "core/single_source.hpp"
 #include "engine/broadcast_engine.hpp"
 #include "engine/unicast_engine.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_spec.hpp"
 #include "sim/runner/thread_pool.hpp"
 #include "trace/run_payload.hpp"
 
@@ -47,12 +49,28 @@ ChurnConfig churn_config(std::size_t n) {
   return cc;
 }
 
-Snapshot run_unicast(std::size_t n, std::uint32_t k, ThreadPool* pool) {
+/// A spec that exercises every fault path at once: loss, duplication, and
+/// crash/recovery.  Decisions are position-keyed off the plan seed, so the
+/// same spec + seed must behave identically at every thread count.
+FaultSpec identity_fault_spec() {
+  FaultSpec spec;
+  spec.drop = 0.1;
+  spec.dup = 0.05;
+  spec.crash = 0.01;
+  spec.recover = 0.2;
+  return spec;
+}
+
+Snapshot run_unicast(std::size_t n, std::uint32_t k, ThreadPool* pool,
+                     const FaultSpec* fault = nullptr) {
   ChurnAdversary adversary(churn_config(n));
+  // The plan is per-run state (liveness history) — never shared across runs.
+  FaultPlan plan(fault != nullptr ? *fault : FaultSpec{}, n, 123);
   SingleSourceConfig cfg{n, k, 0};
   UnicastEngineOptions opts;
   opts.pool = pool;
   opts.min_parallel_nodes = 1;  // shard even at test-sized n
+  if (fault != nullptr) opts.faults = &plan;
   UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
                        SingleSourceNode::initial_knowledge(cfg), k, opts);
   RunResult res;
@@ -70,13 +88,16 @@ Snapshot run_unicast(std::size_t n, std::uint32_t k, ThreadPool* pool) {
   return snap;
 }
 
-Snapshot run_broadcast(std::size_t n, std::size_t k, ThreadPool* pool) {
+Snapshot run_broadcast(std::size_t n, std::size_t k, ThreadPool* pool,
+                       const FaultSpec* fault = nullptr) {
   ChurnAdversary adversary(churn_config(n));
+  FaultPlan plan(fault != nullptr ? *fault : FaultSpec{}, n, 123);
   std::vector<KnowledgeSet> init(n, KnowledgeSet(k));
   for (std::size_t t = 0; t < k; ++t) init[t % n].set(t);
   BroadcastEngineOptions opts;
   opts.pool = pool;
   opts.min_parallel_nodes = 1;
+  if (fault != nullptr) opts.faults = &plan;
   BroadcastEngine engine(PhaseFloodingNode::make_all(n, k, init), adversary,
                          init, k, opts);
   RunResult res;
@@ -116,6 +137,38 @@ TEST(ShardedIdentity, BroadcastMatchesSerialAtEveryThreadCount) {
   expect_identical(serial, run_broadcast(n, k, &pool2), "2 threads");
   ThreadPool pool8(8);
   expect_identical(serial, run_broadcast(n, k, &pool8), "8 threads");
+}
+
+TEST(ShardedIdentity, FaultedUnicastMatchesSerialAtEveryThreadCount) {
+  // Fault decisions are position-keyed hashes of (round, arc/node, seq),
+  // never of evaluation order — so a faulted run must stay bit-identical
+  // whichever shard (or thread count) evaluates each delivery.
+  const std::size_t n = 96;
+  const std::uint32_t k = 64;
+  const FaultSpec fault = identity_fault_spec();
+  const Snapshot serial = run_unicast(n, k, nullptr, &fault);
+  ASSERT_FALSE(serial.knowledge.empty());
+  // The spec must actually perturb the run, or this test gates nothing.
+  EXPECT_NE(serial.checksum, run_unicast(n, k, nullptr).checksum);
+
+  ThreadPool pool2(2);
+  expect_identical(serial, run_unicast(n, k, &pool2, &fault), "2 threads");
+  ThreadPool pool8(8);
+  expect_identical(serial, run_unicast(n, k, &pool8, &fault), "8 threads");
+}
+
+TEST(ShardedIdentity, FaultedBroadcastMatchesSerialAtEveryThreadCount) {
+  const std::size_t n = 96;
+  const std::size_t k = 64;
+  const FaultSpec fault = identity_fault_spec();
+  const Snapshot serial = run_broadcast(n, k, nullptr, &fault);
+  ASSERT_FALSE(serial.knowledge.empty());
+  EXPECT_NE(serial.checksum, run_broadcast(n, k, nullptr).checksum);
+
+  ThreadPool pool2(2);
+  expect_identical(serial, run_broadcast(n, k, &pool2, &fault), "2 threads");
+  ThreadPool pool8(8);
+  expect_identical(serial, run_broadcast(n, k, &pool8, &fault), "8 threads");
 }
 
 TEST(ShardedIdentity, OneWorkerPoolStaysSerial) {

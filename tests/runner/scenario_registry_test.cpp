@@ -58,17 +58,17 @@ TEST(ScenarioRegistry, ListIsNameSorted) {
   EXPECT_EQ(scenarios[2]->name, "zeta");
 }
 
-TEST(ScenarioCatalogue, RegistersFourteenScenariosIdempotently) {
+TEST(ScenarioCatalogue, RegistersFifteenScenariosIdempotently) {
   ScenarioRegistry registry;
   register_all_scenarios(registry);
-  EXPECT_EQ(registry.size(), 14u);
+  EXPECT_EQ(registry.size(), 15u);
   register_all_scenarios(registry);  // second call must be a no-op, not a throw
-  EXPECT_EQ(registry.size(), 14u);
+  EXPECT_EQ(registry.size(), 15u);
   for (const char* name :
        {"single_source", "single_source_time", "multi_source", "oblivious_funnel",
         "table1", "lb_broadcast", "fig1_free_edges", "static_baseline",
         "upper_bounds", "leader_election", "ablations", "trace_replay",
-        "sigma_stable_churn", "algo_matrix"}) {
+        "sigma_stable_churn", "algo_matrix", "fault_sweep"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }
