@@ -115,6 +115,7 @@ RunResult run_single_source_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   opts.pool = ctx.engine_pool;
   opts.faults = ctx.faults;
   opts.run_timeout_seconds = ctx.trial_timeout_seconds;
+  opts.telemetry = ctx.telemetry;
   UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
                        SingleSourceNode::initial_knowledge(cfg), ctx.k, opts);
   return finish(engine.run(cap_of(ctx)));
@@ -129,7 +130,7 @@ RunResult run_multi_source_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   ctx.k_realized = space->total_tokens();
   return run_multi_source(ctx.n, space, adversary, cap_of(ctx),
                           ctx.engine_pool, ctx.faults,
-                          ctx.trial_timeout_seconds);
+                          ctx.trial_timeout_seconds, ctx.telemetry);
 }
 
 /// Shared K_v(0) selection for the knowledge-shaped broadcast/push
@@ -156,7 +157,8 @@ RunResult run_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
   return run_phase_flooding(ctx.n, static_cast<std::size_t>(ctx.k_realized),
                             initial, adversary, cap_of(ctx), ctx.engine_pool,
-                            ctx.faults, ctx.trial_timeout_seconds);
+                            ctx.faults, ctx.trial_timeout_seconds,
+                            ctx.telemetry);
 }
 
 RunResult run_random_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
@@ -166,7 +168,7 @@ RunResult run_random_flooding_family(const AlgoSpec& spec, AlgoBuildContext& ctx
   return run_random_flooding(ctx.n, static_cast<std::size_t>(ctx.k_realized),
                              initial, adversary, cap_of(ctx), r.seed(),
                              ctx.engine_pool, ctx.faults,
-                             ctx.trial_timeout_seconds);
+                             ctx.trial_timeout_seconds, ctx.telemetry);
 }
 
 RunResult run_neighbor_exchange_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
@@ -174,7 +176,8 @@ RunResult run_neighbor_exchange_family(const AlgoSpec& spec, AlgoBuildContext& c
   const std::vector<KnowledgeSet> initial = initial_of(spec, ctx, &ctx.k_realized);
   return finish(run_neighbor_exchange(
       ctx.n, static_cast<std::size_t>(ctx.k_realized), initial, adversary,
-      cap_of(ctx), ctx.engine_pool, ctx.faults, ctx.trial_timeout_seconds));
+      cap_of(ctx), ctx.engine_pool, ctx.faults, ctx.trial_timeout_seconds,
+      ctx.telemetry));
 }
 
 RunResult run_oblivious_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
@@ -192,6 +195,7 @@ RunResult run_oblivious_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   opts.pool = ctx.engine_pool;
   opts.faults = ctx.faults;
   opts.timeout_seconds = ctx.trial_timeout_seconds;
+  opts.telemetry = ctx.telemetry;
   const ObliviousMsResult result =
       run_oblivious_multi_source(ctx.n, space, adversary, opts);
   return finish(result.total);
@@ -207,7 +211,8 @@ RunResult run_spanning_tree_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
   ctx.k_realized = space->total_tokens();
   return run_spanning_tree(ctx.n, space, adversary, cap_of(ctx),
                            static_cast<NodeId>(root), ctx.engine_pool,
-                           ctx.faults, ctx.trial_timeout_seconds);
+                           ctx.faults, ctx.trial_timeout_seconds,
+                           ctx.telemetry);
 }
 
 using Kind = AlgoKeySpec::Kind;

@@ -35,6 +35,7 @@
 #include "common/knowledge_set.hpp"
 #include "common/spec.hpp"
 #include "sim/config.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dyngossip {
 
@@ -116,6 +117,10 @@ struct AlgoBuildContext {
   /// Wall-clock budget per run in seconds (0: none); over-budget runs
   /// return RunStatus::kTimeout.
   double trial_timeout_seconds = 0.0;
+  /// Observer plane (telemetry/telemetry.hpp) forwarded to every engine the
+  /// family builds (both phases of a two-phase run).  Null members keep the
+  /// exact legacy code path; attached observers never change results.
+  Telemetry telemetry;
   /// Out: realized token count (k rounded to the realized labelling, e.g.
   /// s·⌊k/s⌋ under an s-source split).  Set by every factory.
   std::uint64_t k_realized = 0;

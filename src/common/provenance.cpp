@@ -1,0 +1,61 @@
+#include "common/provenance.hpp"
+
+namespace dyngossip {
+
+namespace {
+
+#ifndef DYNGOSSIP_GIT_DESCRIBE
+#define DYNGOSSIP_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DYNGOSSIP_BUILD_TYPE
+#define DYNGOSSIP_BUILD_TYPE "unknown"
+#endif
+#ifndef DYNGOSSIP_SANITIZE_FLAGS
+#define DYNGOSSIP_SANITIZE_FLAGS ""
+#endif
+
+#define DG_STR2(x) #x
+#define DG_STR(x) DG_STR2(x)
+
+[[nodiscard]] std::string compiler_id() {
+#if defined(__clang__)
+  return "clang-" DG_STR(__clang_major__) "." DG_STR(
+      __clang_minor__) "." DG_STR(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc-" DG_STR(__GNUC__) "." DG_STR(__GNUC_MINOR__) "." DG_STR(
+      __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const Provenance& build_provenance() {
+  static const Provenance p = {DYNGOSSIP_GIT_DESCRIBE, compiler_id(),
+                               DYNGOSSIP_BUILD_TYPE, DYNGOSSIP_SANITIZE_FLAGS};
+  return p;
+}
+
+std::string provenance_compact() {
+  const Provenance& p = build_provenance();
+  std::string out = p.git_describe + "+" + p.compiler + "+" + p.build_type;
+  if (!p.sanitize.empty()) out += "+" + p.sanitize;
+  // Trace metadata is a space-separated key=value list; a describe string
+  // can never contain spaces, but guard against a foreign build type.
+  for (char& c : out) {
+    if (c == ' ') c = '_';
+  }
+  return out;
+}
+
+std::string version_line() {
+  const Provenance& p = build_provenance();
+  std::string line = "dyngossip " + p.git_describe + " (" + p.compiler + ", " +
+                     p.build_type;
+  if (!p.sanitize.empty()) line += ", sanitize=" + p.sanitize;
+  line += ")";
+  return line;
+}
+
+}  // namespace dyngossip

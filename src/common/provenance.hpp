@@ -1,0 +1,37 @@
+// Build provenance: who built this binary, from what, and how.
+//
+// Every uploaded artifact (scenario JSON records, .dgt traces, probe
+// series) should be attributable to the exact build that produced it.  The
+// values are baked in at configure time (CMake passes them as compile
+// definitions on this translation unit only, so a new git describe
+// recompiles one file): git describe, compiler id/version, build type, and
+// the sanitizer flags.  `dyngossip version` prints them; the scenario
+// emitters embed them under the volatile "run" key (so payload diffs stay
+// clean); trace recordings carry the space-free compact form in their
+// metadata string.
+#pragma once
+
+#include <string>
+
+namespace dyngossip {
+
+/// The baked-in build facts (each "unknown"/empty when not configured).
+struct Provenance {
+  std::string git_describe;  ///< `git describe --always --dirty --tags`
+  std::string compiler;      ///< e.g. "gcc-12.2.0"
+  std::string build_type;    ///< CMAKE_BUILD_TYPE, e.g. "Release"
+  std::string sanitize;      ///< DYNGOSSIP_SANITIZE, "" when off
+};
+
+/// The provenance of this binary.
+[[nodiscard]] const Provenance& build_provenance();
+
+/// One space-free token for trace metadata (`build=` values cannot contain
+/// spaces): "<git>+<compiler>+<build_type>[+<sanitize>]".
+[[nodiscard]] std::string provenance_compact();
+
+/// The `dyngossip version` line, e.g.
+/// "dyngossip 0aa489b (gcc-12.2.0, Release)".
+[[nodiscard]] std::string version_line();
+
+}  // namespace dyngossip

@@ -54,11 +54,12 @@ RunMetrics run_neighbor_exchange(std::size_t n, std::size_t k,
                                  const std::vector<KnowledgeSet>& initial,
                                  Adversary& adversary, Round max_rounds,
                                  ThreadPool* pool, FaultPlan* faults,
-                                 double timeout_seconds) {
+                                 double timeout_seconds, Telemetry telemetry) {
   UnicastEngineOptions opts;
   opts.pool = pool;
   opts.faults = faults;
   opts.run_timeout_seconds = timeout_seconds;
+  opts.telemetry = telemetry;
   UnicastEngine engine(NeighborExchangeNode::make_all(n, k, initial), adversary,
                        initial, k, opts);
   return engine.run(max_rounds);

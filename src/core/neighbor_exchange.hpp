@@ -59,6 +59,7 @@ class NeighborExchangeNode final : public UnicastAlgorithm {
                                                Round max_rounds,
                                                ThreadPool* pool = nullptr,
                                                FaultPlan* faults = nullptr,
-                                               double timeout_seconds = 0.0);
+                                               double timeout_seconds = 0.0,
+                                               Telemetry telemetry = {});
 
 }  // namespace dyngossip

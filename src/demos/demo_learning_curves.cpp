@@ -18,7 +18,8 @@
 #include "core/single_source.hpp"
 #include "demos/demos.hpp"
 #include "engine/unicast_engine.hpp"
-#include "metrics/series.hpp"
+#include "metrics/accounting.hpp"
+#include "telemetry/series.hpp"
 
 namespace dyngossip {
 namespace {
@@ -36,9 +37,10 @@ void run_one(const char* name, std::size_t n, std::uint32_t k, Adversary& advers
   std::ofstream out(path);
   recorder.write_csv(out);
 
-  std::printf("%-14s rounds=%-6u msgs=%-8llu learnings=%-6llu TC=%-7llu "
-              "max burst=%llu/round -> %s\n",
-              name, m.rounds, static_cast<unsigned long long>(m.total_messages()),
+  std::printf("%-14s status=%-9s coverage=%-6.4f rounds=%-6u msgs=%-8llu "
+              "learnings=%-6llu TC=%-7llu max burst=%llu/round -> %s\n",
+              name, run_status_name(m.status), m.coverage, m.rounds,
+              static_cast<unsigned long long>(m.total_messages()),
               static_cast<unsigned long long>(m.learnings),
               static_cast<unsigned long long>(m.tc),
               static_cast<unsigned long long>(recorder.max_learning_burst()),

@@ -8,6 +8,8 @@
 #include "graph/connectivity.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/thread_pool.hpp"
+#include "telemetry/round_probe.hpp"
+#include "telemetry/timeline.hpp"
 
 namespace dyngossip {
 
@@ -26,7 +28,8 @@ BroadcastEngine::BroadcastEngine(
       faults_(opts.faults),
       fault_active_(opts.faults != nullptr && opts.faults->active()),
       fault_amnesia_(fault_active_ && opts.faults->amnesia()),
-      run_timeout_seconds_(opts.run_timeout_seconds) {
+      run_timeout_seconds_(opts.run_timeout_seconds),
+      telemetry_(opts.telemetry) {
   DG_CHECK(!nodes_.empty());
   DG_CHECK(nodes_.size() == knowledge_.size());
   DG_CHECK(adversary_.num_nodes() == nodes_.size());
@@ -47,6 +50,7 @@ std::size_t BroadcastEngine::plan_shards() const noexcept {
 
 Round BroadcastEngine::step() {
   const Round r = ++round_;
+  const TimelineSpan round_span(telemetry_.timeline, "round", "round");
   const std::size_t n = nodes_.size();
   const std::size_t shards = plan_shards();
   const std::size_t chunk = shards > 1 ? (n + shards - 1) / shards : n;
@@ -84,8 +88,11 @@ Round BroadcastEngine::step() {
   // 1. Nodes commit broadcast intents (before seeing the round graph).
   // intents_[v] is written only by v's shard; counters are per-shard and
   // folded in shard order, so totals match the serial loop exactly.
+  {
+  const TimelineSpan intent_span(telemetry_.timeline, "intent_phase", "phase");
   if (shards > 1) {
     parallel_for(*pool_, shards, [&](std::size_t s) {
+      const TimelineSpan span(telemetry_.timeline, "intent_shard", "shard");
       Shard& sh = shards_[s];
       sh.broadcasts = 0;
       const auto lo = static_cast<NodeId>(s * chunk);
@@ -104,6 +111,7 @@ Round BroadcastEngine::step() {
       if (t != kNoToken) ++metrics_.broadcasts;
     }
   }
+  }
 
   // 2. The (possibly strongly adaptive) adversary fixes the round graph.
   BroadcastRoundView view;
@@ -121,10 +129,25 @@ Round BroadcastEngine::step() {
   // Per-recipient inbox under the fault plane: a crashed recipient receives
   // nothing; each (broadcaster, recipient) edge rolls one position-keyed
   // fate — dropped, delivered, or delivered twice.  The fault-free path is
-  // the exact legacy loop.
-  const auto build_inbox = [this, r](NodeId v, std::vector<TokenId>& inbox) {
+  // the exact legacy loop.  `dropped`/`duplicated` are probe-only tallies
+  // (a crashed-deaf recipient's suppressed deliveries count as drops, a
+  // duplicate fate counts its extra copy) — pure reads of the same
+  // position-keyed fates, so a probed faulty run delivers exactly what the
+  // unprobed one does.
+  const bool probe_counting = telemetry_.probe != nullptr && fault_active_;
+  const auto build_inbox = [this, r, probe_counting](
+                               NodeId v, std::vector<TokenId>& inbox,
+                               std::uint64_t& dropped,
+                               std::uint64_t& duplicated) {
     inbox.clear();
-    if (fault_active_ && !faults_->is_live(v)) return;  // crashed: deaf
+    if (fault_active_ && !faults_->is_live(v)) {  // crashed: deaf
+      if (probe_counting) {
+        for (const NodeId u : view_.neighbors(v)) {
+          if (intents_[u] != kNoToken) ++dropped;
+        }
+      }
+      return;
+    }
     const bool delivery_faults =
         fault_active_ && faults_->has_delivery_faults();
     for (const NodeId u : view_.neighbors(v)) {
@@ -133,9 +156,15 @@ Round BroadcastEngine::step() {
       if (delivery_faults) {
         const FaultPlan::Fate fate =
             faults_->delivery_fate(r, view_.arc_index(u, v), 0);
-        if (fate == FaultPlan::Fate::kDrop) continue;
+        if (fate == FaultPlan::Fate::kDrop) {
+          if (probe_counting) ++dropped;
+          continue;
+        }
         inbox.push_back(t);
-        if (fate == FaultPlan::Fate::kDuplicate) inbox.push_back(t);
+        if (fate == FaultPlan::Fate::kDuplicate) {
+          if (probe_counting) ++duplicated;
+          inbox.push_back(t);
+        }
       } else {
         inbox.push_back(t);
       }
@@ -147,15 +176,21 @@ Round BroadcastEngine::step() {
   // depends only on frozen intents and its own knowledge, so recipient
   // shards are independent; the sharded path needs batch learning counts,
   // so individual event recording keeps the serial loop.
+  {
+  const TimelineSpan deliver_span(telemetry_.timeline, "deliver_phase",
+                                  "phase");
   if (shards > 1 && !log_.recording_events()) {
     parallel_for(*pool_, shards, [&](std::size_t s) {
+      const TimelineSpan span(telemetry_.timeline, "deliver_shard", "shard");
       Shard& sh = shards_[s];
       sh.learnings = 0;
       sh.newly_complete = 0;
+      sh.dropped = 0;
+      sh.duplicated = 0;
       const auto lo = static_cast<NodeId>(s * chunk);
       const auto hi = static_cast<NodeId>(std::min(n, (s + 1) * chunk));
       for (NodeId v = lo; v < hi; ++v) {
-        build_inbox(v, sh.inbox);
+        build_inbox(v, sh.inbox, sh.dropped, sh.duplicated);
         if (sh.inbox.empty()) continue;
         const bool was_complete = knowledge_[v].all();
         for (const TokenId t : sh.inbox) {
@@ -169,10 +204,14 @@ Round BroadcastEngine::step() {
       metrics_.learnings += sh.learnings;
       complete_nodes_ += sh.newly_complete;
       log_.add_batch(sh.learnings, r);
+      if (probe_counting) {
+        probe_dropped_ += sh.dropped;
+        probe_duplicated_ += sh.duplicated;
+      }
     }
   } else {
     for (NodeId v = 0; v < n; ++v) {
-      build_inbox(v, inbox_scratch_);
+      build_inbox(v, inbox_scratch_, probe_dropped_, probe_duplicated_);
       if (inbox_scratch_.empty()) continue;
       const bool was_complete = knowledge_[v].all();
       for (const TokenId t : inbox_scratch_) {
@@ -185,10 +224,41 @@ Round BroadcastEngine::step() {
       nodes_[v]->on_receive(r, inbox_scratch_);
     }
   }
+  }
 
   metrics_.rounds = r;
+  if (telemetry_.probe != nullptr) {
+    probe_edges_ = g.num_edges();
+    probe_observe(r, probe_edges_, /*flush=*/false);
+  }
   if (hook_) hook_(r, g, metrics_);
   return r;
+}
+
+void BroadcastEngine::probe_observe(Round r, std::uint64_t edges, bool flush) {
+  RoundProbe& probe = *telemetry_.probe;
+  if (!flush && !probe.wants(r)) return;  // deltas keep accumulating
+  if (flush && probe.last_round() == static_cast<std::uint64_t>(r)) return;
+  RoundProbeSample s;
+  s.round = r;
+  s.coverage = coverage();
+  s.learned = metrics_.learnings - probe_prev_.learnings;
+  s.sent = metrics_.total_messages() - probe_prev_.total_messages();
+  s.dropped = probe_dropped_;
+  s.duplicated = probe_duplicated_;
+  s.requests = metrics_.unicast.request - probe_prev_.unicast.request;
+  s.served = metrics_.unicast.token - probe_prev_.unicast.token;
+  s.edges_inserted = metrics_.tc - probe_prev_.tc;
+  s.edges_removed = metrics_.deletions - probe_prev_.deletions;
+  s.edges = edges;
+  s.crashed = fault_active_
+                  ? static_cast<std::uint64_t>(nodes_.size() -
+                                               faults_->live_count())
+                  : 0;
+  probe.record(s);
+  probe_prev_ = metrics_;
+  probe_dropped_ = 0;
+  probe_duplicated_ = 0;
 }
 
 bool BroadcastEngine::run_complete() const {
@@ -256,6 +326,11 @@ RunMetrics BroadcastEngine::run(Round max_rounds) {
                     : all_down         ? RunStatus::kAllDown
                                        : RunStatus::kRoundCap;
   metrics_.coverage = coverage();
+  // Final flush sample so per-round sums reconcile with the totals at any
+  // sampling stride (a no-op when the last round was already sampled).
+  if (telemetry_.probe != nullptr && round_ > 0) {
+    probe_observe(round_, probe_edges_, /*flush=*/true);
+  }
   return metrics_;
 }
 

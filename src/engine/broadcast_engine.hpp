@@ -28,6 +28,7 @@
 #include "graph/round_view.hpp"
 #include "metrics/accounting.hpp"
 #include "metrics/learning_log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dyngossip {
 
@@ -74,6 +75,11 @@ struct BroadcastEngineOptions {
   /// Wall-clock budget for run() in seconds (0: none); over-budget runs
   /// stop with RunStatus::kTimeout.
   double run_timeout_seconds = 0.0;
+  /// Observer plane (telemetry/telemetry.hpp): an optional per-round probe
+  /// and an optional wall-clock timeline, both non-owning.  Null pointers
+  /// keep the exact legacy code path; attached observers only READ engine
+  /// state, so payload checksums are byte-identical either way.
+  Telemetry telemetry;
 };
 
 /// Drives n BroadcastAlgorithm instances against an adversary.
@@ -136,11 +142,20 @@ class BroadcastEngine {
     std::uint64_t broadcasts = 0;
     std::uint64_t learnings = 0;
     std::size_t newly_complete = 0;
+    // Probe-only fault-fate counts (written only when a probe is attached),
+    // folded in shard order like the metric counters.
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
     std::vector<TokenId> inbox;
   };
 
   /// Number of node shards this round (1 = serial path).
   [[nodiscard]] std::size_t plan_shards() const noexcept;
+
+  /// Records one probe sample at round r when the probe's stride says so
+  /// (`flush` forces a final sample so per-round sums stay exact at any
+  /// stride).  Only called with a probe attached.
+  void probe_observe(Round r, std::uint64_t edges, bool flush);
 
   std::vector<std::unique_ptr<BroadcastAlgorithm>> nodes_;
   Adversary& adversary_;
@@ -157,6 +172,15 @@ class BroadcastEngine {
   bool fault_active_;   ///< faults_ != null && faults_->active()
   bool fault_amnesia_;  ///< fault_active_ && amnesia wipes on crash
   double run_timeout_seconds_;
+  Telemetry telemetry_;
+  // Probe bookkeeping (touched only when telemetry_.probe != nullptr):
+  // metrics snapshot at the last recorded sample (samples carry per-round
+  // deltas), fault-fate counters accumulated across stride-skipped rounds,
+  // and the last round graph's edge count for the final flush sample.
+  RunMetrics probe_prev_;
+  std::uint64_t probe_dropped_ = 0;
+  std::uint64_t probe_duplicated_ = 0;
+  std::uint64_t probe_edges_ = 0;
   RoundHook hook_;
   std::vector<TokenId> intents_;       // scratch: i_v(r)
   std::vector<TokenId> inbox_scratch_; // scratch: per-node deliveries

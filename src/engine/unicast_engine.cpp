@@ -7,6 +7,8 @@
 #include "fault/fault_plan.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/thread_pool.hpp"
+#include "telemetry/round_probe.hpp"
+#include "telemetry/timeline.hpp"
 
 namespace dyngossip {
 
@@ -28,6 +30,7 @@ UnicastEngine::UnicastEngine(std::vector<std::unique_ptr<UnicastAlgorithm>> node
       fault_active_(opts.faults != nullptr && opts.faults->active()),
       fault_amnesia_(fault_active_ && opts.faults->amnesia()),
       run_timeout_seconds_(opts.run_timeout_seconds),
+      telemetry_(opts.telemetry),
       prev_graph_(0) {
   DG_CHECK(!nodes_.empty());
   DG_CHECK(nodes_.size() == knowledge_.size());
@@ -93,6 +96,7 @@ void UnicastEngine::send_phase_sharded(Round r, std::size_t shards) {
   const std::size_t chunk = (n + shards - 1) / shards;
   send_shards_.resize(shards);
   parallel_for(*pool_, shards, [&](std::size_t s) {
+    const TimelineSpan span(telemetry_.timeline, "send_shard", "shard");
     SendShard& sh = send_shards_[s];
     sh.traffic.clear();
     sh.counts = MessageCounts{};
@@ -139,6 +143,7 @@ void UnicastEngine::deliver_sharded(Round r, std::size_t shards) {
   const std::size_t chunk = (n + shards - 1) / shards;
   deliver_shards_.resize(shards);
   parallel_for(*pool_, shards, [&](std::size_t s) {
+    const TimelineSpan span(telemetry_.timeline, "deliver_shard", "shard");
     DeliverShard& sh = deliver_shards_[s];
     sh = DeliverShard{};
     const auto lo = static_cast<NodeId>(s * chunk);
@@ -179,6 +184,7 @@ void UnicastEngine::deliver_sharded(Round r, std::size_t shards) {
 Round UnicastEngine::step() {
   const Round r = ++round_;
   const std::size_t n = nodes_.size();
+  const TimelineSpan round_span(telemetry_.timeline, "round", "round");
 
   // 0. Fault plane: advance the liveness mask into round r (serial, before
   // any sharded phase — the mask is the plan's only mutable state).  Nodes
@@ -216,18 +222,21 @@ Round UnicastEngine::step() {
   // 2. Send step: each node sees its sorted neighbor span (served by the
   // CSR snapshot — no per-node allocation or sort) and queues per-neighbor
   // payloads.  Sharded: per-shard outboxes, merged in node order.
-  arc_budget_.assign(view_.num_arcs(), 0);
-  if (shards > 1) {
-    send_phase_sharded(r, shards);
-  } else {
-    traffic_.clear();
-    for (NodeId v = 0; v < n; ++v) {
-      if (fault_active_ && !faults_->is_live(v)) continue;  // crashed: silent
-      const std::span<const NodeId> neigh = view_.neighbors(v);
-      Outbox out(v, traffic_);
-      const std::size_t mark = traffic_.size();
-      nodes_[v]->send(r, neigh, out);
-      validate_sent(v, traffic_, mark, metrics_.unicast);
+  {
+    const TimelineSpan span(telemetry_.timeline, "send_phase", "phase");
+    arc_budget_.assign(view_.num_arcs(), 0);
+    if (shards > 1) {
+      send_phase_sharded(r, shards);
+    } else {
+      traffic_.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        if (fault_active_ && !faults_->is_live(v)) continue;  // crashed: silent
+        const std::span<const NodeId> neigh = view_.neighbors(v);
+        Outbox out(v, traffic_);
+        const std::size_t mark = traffic_.size();
+        nodes_[v]->send(r, neigh, out);
+        validate_sent(v, traffic_, mark, metrics_.unicast);
+      }
     }
   }
 
@@ -253,43 +262,89 @@ Round UnicastEngine::step() {
     }
   }
 
+  // Probe-only fate accounting: a pure read of the sealed fates (never the
+  // plan), so a probed faulty run delivers exactly what the unprobed one
+  // does.
+  if (telemetry_.probe != nullptr && fault_active_) {
+    constexpr auto kDropF = static_cast<std::uint8_t>(FaultPlan::Fate::kDrop);
+    constexpr auto kDupF =
+        static_cast<std::uint8_t>(FaultPlan::Fate::kDuplicate);
+    for (const std::uint8_t fate : fate_) {
+      probe_dropped_ += fate == kDropF ? 1 : 0;
+      probe_duplicated_ += fate == kDupF ? 1 : 0;
+    }
+  }
+
   // 3 + 4. End-of-round delivery; learnings recorded against the mirror
   // before algorithms observe the payloads.  The sharded path needs batch
   // learning counts, so individual event recording keeps the serial loop.
-  if (shards > 1 && !log_.recording_events()) {
-    deliver_sharded(r, shards);
-  } else {
-    constexpr auto kDrop = static_cast<std::uint8_t>(FaultPlan::Fate::kDrop);
-    constexpr auto kDup =
-        static_cast<std::uint8_t>(FaultPlan::Fate::kDuplicate);
-    for (std::size_t i = 0; i < traffic_.size(); ++i) {
-      const SentRecord& rec = traffic_[i];
-      const std::uint8_t fate = fault_active_ ? fate_[i] : 0;
-      if (fate == kDrop) continue;
-      const int copies = fate == kDup ? 2 : 1;
-      for (int c = 0; c < copies; ++c) {
-        if (rec.msg.type == MsgType::kToken) {
-          const bool was_complete = knowledge_[rec.to].all();
-          if (knowledge_[rec.to].set(rec.msg.token)) {
-            ++metrics_.learnings;
-            log_.add(rec.to, rec.msg.token, r);
-            if (!was_complete && knowledge_[rec.to].all()) ++complete_nodes_;
-          } else {
-            ++metrics_.duplicate_token_deliveries;
+  {
+    const TimelineSpan span(telemetry_.timeline, "deliver_phase", "phase");
+    if (shards > 1 && !log_.recording_events()) {
+      deliver_sharded(r, shards);
+    } else {
+      constexpr auto kDrop = static_cast<std::uint8_t>(FaultPlan::Fate::kDrop);
+      constexpr auto kDup =
+          static_cast<std::uint8_t>(FaultPlan::Fate::kDuplicate);
+      for (std::size_t i = 0; i < traffic_.size(); ++i) {
+        const SentRecord& rec = traffic_[i];
+        const std::uint8_t fate = fault_active_ ? fate_[i] : 0;
+        if (fate == kDrop) continue;
+        const int copies = fate == kDup ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+          if (rec.msg.type == MsgType::kToken) {
+            const bool was_complete = knowledge_[rec.to].all();
+            if (knowledge_[rec.to].set(rec.msg.token)) {
+              ++metrics_.learnings;
+              log_.add(rec.to, rec.msg.token, r);
+              if (!was_complete && knowledge_[rec.to].all()) ++complete_nodes_;
+            } else {
+              ++metrics_.duplicate_token_deliveries;
+            }
           }
+          nodes_[rec.to]->on_receive(r, rec.from, rec.msg);
         }
-        nodes_[rec.to]->on_receive(r, rec.from, rec.msg);
       }
     }
   }
 
   metrics_.rounds = r - start_offset_;  // rounds executed by THIS engine/phase
+  if (telemetry_.probe != nullptr) {
+    probe_edges_ = g.num_edges();
+    probe_observe(r, probe_edges_, /*flush=*/false);
+  }
   if (hook_) hook_(r, g, metrics_);
   // Swap (not move) so both buffers recycle; copy-assignment into the
   // retained previous graph reuses its adjacency capacity.
   std::swap(prev_messages_, traffic_);
   prev_graph_ = g;
   return r;
+}
+
+void UnicastEngine::probe_observe(Round r, std::uint64_t edges, bool flush) {
+  RoundProbe& probe = *telemetry_.probe;
+  if (!flush && !probe.wants(r)) return;  // deltas keep accumulating
+  if (flush && probe.last_round() == static_cast<std::uint64_t>(r)) return;
+  RoundProbeSample s;
+  s.round = r;
+  s.coverage = coverage();
+  s.learned = metrics_.learnings - probe_prev_.learnings;
+  s.sent = metrics_.total_messages() - probe_prev_.total_messages();
+  s.dropped = probe_dropped_;
+  s.duplicated = probe_duplicated_;
+  s.requests = metrics_.unicast.request - probe_prev_.unicast.request;
+  s.served = metrics_.unicast.token - probe_prev_.unicast.token;
+  s.edges_inserted = metrics_.tc - probe_prev_.tc;
+  s.edges_removed = metrics_.deletions - probe_prev_.deletions;
+  s.edges = edges;
+  s.crashed = fault_active_
+                  ? static_cast<std::uint64_t>(nodes_.size() -
+                                               faults_->live_count())
+                  : 0;
+  probe.record(s);
+  probe_prev_ = metrics_;
+  probe_dropped_ = 0;
+  probe_duplicated_ = 0;
 }
 
 bool UnicastEngine::run_complete() const {
@@ -365,6 +420,11 @@ RunMetrics UnicastEngine::run_until(const StopPredicate& done, Round max_rounds)
                     : all_down         ? RunStatus::kAllDown
                                        : RunStatus::kRoundCap;
   metrics_.coverage = coverage();
+  // Final flush sample so per-round sums reconcile with the totals at any
+  // sampling stride (a no-op when the last round was already sampled).
+  if (telemetry_.probe != nullptr && round_ > start_offset_) {
+    probe_observe(round_, probe_edges_, /*flush=*/true);
+  }
   return metrics_;
 }
 

@@ -32,6 +32,7 @@
 #include "graph/round_view.hpp"
 #include "metrics/accounting.hpp"
 #include "metrics/learning_log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dyngossip {
 
@@ -115,6 +116,11 @@ struct UnicastEngineOptions {
   /// over-budget run stops with RunStatus::kTimeout — by construction a
   /// non-reproducible outcome (it depends on the host, not the seed).
   double run_timeout_seconds = 0.0;
+  /// Observer plane (telemetry/telemetry.hpp): an optional per-round probe
+  /// and an optional wall-clock timeline, both non-owning.  Null pointers
+  /// keep the exact legacy code path; attached observers only READ engine
+  /// state, so payload checksums are byte-identical either way.
+  Telemetry telemetry;
 };
 
 /// Drives n UnicastAlgorithm instances against an adversary.
@@ -212,6 +218,11 @@ class UnicastEngine {
   void send_phase_sharded(Round r, std::size_t shards);
   void deliver_sharded(Round r, std::size_t shards);
 
+  /// Records one probe sample at round r when the probe's stride says so
+  /// (`flush` forces a final sample so per-round sums stay exact at any
+  /// stride).  Only called with a probe attached.
+  void probe_observe(Round r, std::uint64_t edges, bool flush);
+
   std::vector<std::unique_ptr<UnicastAlgorithm>> nodes_;
   Adversary& adversary_;
   std::vector<KnowledgeSet> knowledge_;
@@ -230,6 +241,15 @@ class UnicastEngine {
   bool fault_active_;    ///< faults_ != null && faults_->active()
   bool fault_amnesia_;   ///< fault_active_ && amnesia wipes on crash
   double run_timeout_seconds_;
+  Telemetry telemetry_;
+  // Probe bookkeeping (touched only when telemetry_.probe != nullptr):
+  // metrics snapshot at the last recorded sample (samples carry per-round
+  // deltas), fault-fate counters accumulated across stride-skipped rounds,
+  // and the last round graph's edge count for the final flush sample.
+  RunMetrics probe_prev_;
+  std::uint64_t probe_dropped_ = 0;
+  std::uint64_t probe_duplicated_ = 0;
+  std::uint64_t probe_edges_ = 0;
   RoundHook hook_;
   Graph prev_graph_;
   std::vector<SentRecord> prev_messages_;

@@ -20,6 +20,8 @@ std::string run_summary(const RunMetrics& metrics, std::uint64_t k) {
   std::ostringstream os;
   os << "rounds=" << metrics.rounds
      << (metrics.completed ? " (completed)" : " (NOT completed)") << "\n";
+  os << "status=" << run_status_name(metrics.status)
+     << " coverage=" << TablePrinter::num(metrics.coverage, 4) << "\n";
   if (metrics.broadcasts > 0) {
     os << "local broadcasts: " << TablePrinter::big(metrics.broadcasts) << "\n";
   }

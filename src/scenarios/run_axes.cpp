@@ -8,6 +8,7 @@
 #include "fault/fault_plan.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/shard_schedule.hpp"
+#include "telemetry/round_probe.hpp"
 #include "trace/run_payload.hpp"
 #include "trace/trace_reader.hpp"
 
@@ -155,8 +156,19 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
     RunStatus status = RunStatus::kRoundCap;
     double coverage = 0;
     std::uint64_t checksum = 0;
+    RunMetrics metrics;  ///< full totals for the probe reconciliation row
   };
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(trials));
+
+  // Observer plane: one pre-allocated probe per trial (jobs fill their own
+  // slot, so pool workers never contend), registered with the sink in
+  // deterministic row/trial order after the batch.
+  ProbeSink* const sink = ctx.probe_sink();
+  TimelineRecorder* const timeline = ctx.timeline();
+  std::vector<RoundProbe> probes;
+  if (sink != nullptr) {
+    probes.assign(rows.size() * trials, RoundProbe(sink->spec().every));
+  }
 
   // One parallelism axis per table (the pool is a leaf executor): fan
   // trials across the pool when they can fill it, otherwise run trials
@@ -168,7 +180,8 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < trials; ++i) {
-      batch.add([&out, &rows, &axes, &algo, seed_base, engine_pool, r, i] {
+      batch.add([&out, &rows, &axes, &algo, &probes, sink, timeline, seed_base,
+                 engine_pool, trials, r, i] {
         const AxisRowSpec& row = rows[r];
         const std::uint64_t seed = seed_base + 37 * row.n + i;
         // Row default consulted only when the adversary axis is NOT
@@ -189,6 +202,8 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
         actx.engine_pool = engine_pool;
         actx.faults = &plan;
         actx.trial_timeout_seconds = axes.trial_timeout();
+        if (sink != nullptr) actx.telemetry.probe = &probes[r * trials + i];
+        actx.telemetry.timeline = timeline;
         const RunResult res = run_algo(algo, actx, *adversary);
         TrialOut& t = out[r][i];
         t.k = actx.k_realized;
@@ -200,6 +215,7 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
         t.status = res.metrics.status;
         t.coverage = res.metrics.coverage;
         t.checksum = run_payload_checksum(row.n, actx.k_realized, res);
+        t.metrics = res.metrics;
       });
     }
   }
@@ -237,6 +253,12 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
            TablePrinter::num(t.residual, 0), TablePrinter::num(t.rounds, 0),
            run_status_name(t.status), TablePrinter::num(t.coverage, 4),
            checksum_hex(t.checksum)});
+      if (sink != nullptr) {
+        sink->add_series(algo_text + " " + adversary_text +
+                             " n=" + std::to_string(rows[r].n) +
+                             " trial=" + std::to_string(i),
+                         probes[r * trials + i].samples(), t.metrics);
+      }
     }
   }
   table.note =

@@ -24,6 +24,7 @@
 #include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/runner/parallel.hpp"
+#include "telemetry/round_probe.hpp"
 #include "trace/run_payload.hpp"
 #include "trace/trace_format.hpp"
 
@@ -114,13 +115,24 @@ ScenarioResult run(const ScenarioContext& ctx) {
     bool ok = false;
     double msgs = 0, rounds = 0, amortized = 0;
     std::uint64_t checksum = 0;
+    RunMetrics metrics;  ///< full totals for the probe reconciliation row
   };
   std::vector<std::vector<TrialOut>> out(cells.size(), std::vector<TrialOut>(trials));
+
+  // Observer plane: one pre-allocated probe per cell trial, registered in
+  // deterministic (cell, trial) order after the batch.
+  ProbeSink* const sink = ctx.probe_sink();
+  TimelineRecorder* const timeline = ctx.timeline();
+  std::vector<RoundProbe> probes;
+  if (sink != nullptr) {
+    probes.assign(cells.size() * trials, RoundProbe(sink->spec().every));
+  }
 
   JobBatch batch;
   for (std::size_t c = 0; c < cells.size(); ++c) {
     for (std::size_t i = 0; i < trials; ++i) {
-      batch.add([&out, &cells, n, k, cap, c, i] {
+      batch.add([&out, &cells, &probes, sink, timeline, n, k, cap, trials, c,
+                 i] {
         const Cell& cell = cells[c];
         // The seed depends on (n, trial) only — every algorithm family in
         // an adversary column faces the SAME oblivious schedule.
@@ -133,6 +145,8 @@ ScenarioResult run(const ScenarioContext& ctx) {
         actx.sources = 4;
         actx.cap = cap;
         actx.seed = seed;
+        if (sink != nullptr) actx.telemetry.probe = &probes[c * trials + i];
+        actx.telemetry.timeline = timeline;
         const RunResult res = run_algo(*cell.algo, actx, *adversary);
         TrialOut& t = out[c][i];
         t.k = actx.k_realized;
@@ -141,6 +155,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
         t.rounds = static_cast<double>(res.rounds);
         t.amortized = res.amortized(actx.k_realized);
         t.checksum = run_payload_checksum(n, actx.k_realized, res);
+        t.metrics = res.metrics;
       });
     }
   }
@@ -163,6 +178,12 @@ ScenarioResult run(const ScenarioContext& ctx) {
                             TablePrinter::num(t.rounds, 0),
                             TablePrinter::num(t.amortized, 1),
                             checksum_hex(t.checksum)});
+      if (sink != nullptr) {
+        sink->add_series(cell.algo->to_string() + " " +
+                             cell.sched->to_string() +
+                             " trial=" + std::to_string(i),
+                         probes[c * trials + i].samples(), t.metrics);
+      }
     }
   }
   table.note =

@@ -34,6 +34,7 @@
 #include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/runner/parallel.hpp"
+#include "telemetry/round_probe.hpp"
 #include "trace/run_payload.hpp"
 #include "trace/trace_format.hpp"
 
@@ -92,6 +93,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
     RunStatus status = RunStatus::kRoundCap;
     double coverage = 0, msgs = 0, rounds = 0;
     std::uint64_t checksum = 0;
+    RunMetrics metrics;  ///< full totals for the probe reconciliation row
   };
   // out[a][g][i]: algorithm a, regime g, trial i.  base[a][i]: the
   // fault-free (no plan at all) reference checksum for the zero-fault gate.
@@ -103,6 +105,21 @@ ScenarioResult run(const ScenarioContext& ctx) {
 
   const auto trial_seed = [n](std::size_t i) {
     return static_cast<std::uint64_t>(91'000 + 37 * n + i);
+  };
+
+  // Observer plane: one pre-allocated probe per faulted trial (the
+  // fault-free baselines are controls, not series), registered in
+  // deterministic (algo, regime, trial) order after the batch.
+  ProbeSink* const sink = ctx.probe_sink();
+  TimelineRecorder* const timeline = ctx.timeline();
+  std::vector<RoundProbe> probes;
+  if (sink != nullptr) {
+    probes.assign(algos.size() * regimes.size() * trials,
+                  RoundProbe(sink->spec().every));
+  }
+  const auto probe_slot = [&regimes, trials](std::size_t a, std::size_t g,
+                                             std::size_t i) {
+    return (a * regimes.size() + g) * trials + i;
   };
 
   JobBatch batch;
@@ -123,8 +140,8 @@ ScenarioResult run(const ScenarioContext& ctx) {
         base[a][i] = run_payload_checksum(n, actx.k_realized, res);
       });
       for (std::size_t g = 0; g < regimes.size(); ++g) {
-        batch.add([&out, &algos, &regimes, &sched, &trial_seed, n, k, cap, a,
-                   g, i] {
+        batch.add([&out, &algos, &regimes, &sched, &trial_seed, &probes,
+                   &probe_slot, sink, timeline, n, k, cap, a, g, i] {
           const Regime& regime = regimes[g];
           const std::uint64_t seed = trial_seed(i);
           // Same (n, trial) seed for schedule AND fault stream across every
@@ -143,6 +160,10 @@ ScenarioResult run(const ScenarioContext& ctx) {
           actx.cap = cap;
           actx.seed = seed;
           actx.faults = &plan;
+          if (sink != nullptr) {
+            actx.telemetry.probe = &probes[probe_slot(a, g, i)];
+          }
+          actx.telemetry.timeline = timeline;
           const RunResult res = run_algo(algos[a], actx, *adversary);
           TrialOut& t = out[a][g][i];
           t.k = actx.k_realized;
@@ -152,6 +173,7 @@ ScenarioResult run(const ScenarioContext& ctx) {
           t.msgs = static_cast<double>(res.metrics.total_messages());
           t.rounds = static_cast<double>(res.rounds);
           t.checksum = run_payload_checksum(n, actx.k_realized, res);
+          t.metrics = res.metrics;
         });
       }
     }
@@ -184,6 +206,13 @@ ScenarioResult run(const ScenarioContext& ctx) {
         k_real = t.k;
         fold.fold(t.checksum);
         if (t.checksum != base[a][i]) zero_fault_matches = false;
+        if (sink != nullptr) {
+          sink->add_series(
+              algos[a].to_string() + " drop=" + TablePrinter::num(regime.drop, 3) +
+                  " crash=" + TablePrinter::num(regime.crash, 3) +
+                  " trial=" + std::to_string(i),
+              probes[probe_slot(a, g, i)].samples(), t.metrics);
+        }
       }
       const auto ft = static_cast<double>(trials);
       const bool zero_fault = regime.drop == 0.0 && regime.crash == 0.0;

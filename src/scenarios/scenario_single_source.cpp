@@ -21,6 +21,7 @@
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/shard_schedule.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/round_probe.hpp"
 
 namespace dyngossip {
 namespace {
@@ -59,17 +60,18 @@ struct TrialOut {
   bool ok = false;
   double tokens = 0, completeness = 0, requests = 0, tc = 0;
   double residual = 0, norm = 0, rounds = 0;
+  RunMetrics metrics;  ///< full totals for the probe reconciliation row
 };
 
 TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
                    std::size_t target_edges, std::uint64_t seed,
-                   ThreadPool* engine_pool) {
+                   ThreadPool* engine_pool, Telemetry telemetry) {
   const std::unique_ptr<Adversary> adversary =
       build_adversary(case_spec(c, n, target_edges), n, seed);
   // p=1 never completes: evaluate the bound on a shorter horizon.
   const Round horizon = c.cut_p >= 1.0 ? static_cast<Round>(50 * n) : cap;
-  const RunResult r =
-      run_single_source(n, k, 0, *adversary, horizon, engine_pool);
+  const RunResult r = run_single_source(n, k, 0, *adversary, horizon,
+                                        engine_pool, nullptr, 0.0, telemetry);
   TrialOut out;
   out.tokens = static_cast<double>(r.metrics.unicast.token);
   out.completeness = static_cast<double>(r.metrics.unicast.completeness);
@@ -79,6 +81,7 @@ TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
   out.norm = out.residual / bounds::single_source_messages(n, k);
   out.rounds = static_cast<double>(r.rounds);
   out.ok = r.completed;
+  out.metrics = r.metrics;
   return out;
 }
 
@@ -151,14 +154,28 @@ ScenarioResult run(const ScenarioContext& ctx) {
           ? &ctx.pool()
           : nullptr;
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
+
+  // Observer plane: one pre-allocated probe per trial, registered with the
+  // sink in deterministic row/trial order after the batch.
+  ProbeSink* const sink = ctx.probe_sink();
+  TimelineRecorder* const timeline = ctx.timeline();
+  std::vector<RoundProbe> probes;
+  if (sink != nullptr) {
+    probes.assign(rows.size() * seeds, RoundProbe(sink->spec().every));
+  }
+
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&out, &rows, engine_pool, r, i] {
+      batch.add([&out, &rows, &probes, sink, timeline, engine_pool, seeds, r,
+                 i] {
         const RowSpec& spec = rows[r];
         const std::uint64_t seed = 9'000 + 13 * spec.n + i;
+        Telemetry telemetry;
+        if (sink != nullptr) telemetry.probe = &probes[r * seeds + i];
+        telemetry.timeline = timeline;
         out[r][i] = run_trial(spec.c, spec.n, spec.k, spec.cap,
-                              spec.target_edges, seed, engine_pool);
+                              spec.target_edges, seed, engine_pool, telemetry);
       });
     }
   }
@@ -194,6 +211,12 @@ ScenarioResult run(const ScenarioContext& ctx) {
       norm.add(t.norm);
       rounds.add(t.rounds);
       completed += t.ok ? 1 : 0;
+      if (sink != nullptr) {
+        sink->add_series("single_source " + std::string(spec.c.name) +
+                             " n=" + std::to_string(spec.n) +
+                             " trial=" + std::to_string(i),
+                         probes[r * seeds + i].samples(), t.metrics);
+      }
     }
     table.rows.push_back(
         {spec.c.name, std::to_string(spec.n), std::to_string(spec.k),

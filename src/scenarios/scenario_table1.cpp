@@ -23,6 +23,7 @@
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/parallel_sweep.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/round_probe.hpp"
 
 namespace dyngossip {
 namespace {
@@ -62,6 +63,7 @@ struct TrialOut {
   double sample = 0.0;  // amortized cost; 0 when the run did not complete
   std::size_t centers = 0;
   bool ok = false;
+  RunMetrics metrics;  ///< merged two-phase totals for the probe series
 };
 
 ScenarioResult run(const ScenarioContext& ctx) {
@@ -91,13 +93,24 @@ ScenarioResult run(const ScenarioContext& ctx) {
   }
 
   std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
+
+  // Observer plane: one pre-allocated probe per trial, registered with the
+  // sink in deterministic row/trial order after the batch.
+  ProbeSink* const sink = ctx.probe_sink();
+  TimelineRecorder* const timeline = ctx.timeline();
+  std::vector<RoundProbe> probes;
+  if (sink != nullptr) {
+    probes.assign(rows.size() * seeds, RoundProbe(sink->spec().every));
+  }
+
   JobBatch batch;
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const std::vector<std::uint64_t> trial_seeds =
         derive_sweep_seeds(seeds, 1000 + rows[r].n * 7 + rows[r].k);
     for (std::size_t i = 0; i < seeds; ++i) {
       const std::uint64_t seed = trial_seeds[i];
-      batch.add([&out, &rows, &axes, r, i, seed] {
+      batch.add([&out, &rows, &axes, &probes, sink, timeline, seeds, r, i,
+                 seed] {
         const RowSpec& spec = rows[r];
         const std::size_t n = spec.n;
         AdversarySpec churn{"churn", {}};
@@ -115,9 +128,12 @@ ScenarioResult run(const ScenarioContext& ctx) {
                          powd(static_cast<double>(spec.k), 0.25),
                      2.0, static_cast<double>(n) / 2.0));
         }
+        if (sink != nullptr) opts.telemetry.probe = &probes[r * seeds + i];
+        opts.telemetry.timeline = timeline;
         const ObliviousMsResult result =
             run_oblivious_multi_source(n, spec.space, *adversary, opts);
         TrialOut& t = out[r][i];
+        t.metrics = result.total;
         if (!result.completed) return;  // sample stays 0, as in the bench
         t.ok = true;
         t.centers = result.num_centers;
@@ -144,6 +160,12 @@ ScenarioResult run(const ScenarioContext& ctx) {
     for (std::size_t i = 0; i < seeds; ++i) {
       samples.push_back(out[r][i].sample);
       if (out[r][i].ok) centers_seen = out[r][i].centers;
+      if (sink != nullptr) {
+        sink->add_series("table1 n=" + std::to_string(spec.n) +
+                             " k=" + std::to_string(spec.k) +
+                             " trial=" + std::to_string(i),
+                         probes[r * seeds + i].samples(), out[r][i].metrics);
+      }
     }
     const Summary measured = Summary::of(std::move(samples));
     const double bound = bounds::table1_amortized(spec.n, spec.k);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/provenance.hpp"
 #include "common/table.hpp"
 
 namespace dyngossip {
@@ -37,6 +38,16 @@ JsonValue scenario_result_to_json(const ScenarioResult& result, const RunInfo& i
                          : info.scale == ScenarioScale::kXLarge ? "xlarge"
                                                                 : "default"));
   run.set("elapsed_seconds", JsonValue::number(info.elapsed_seconds));
+  // Build provenance lives inside "run" so payload diffs (`jq 'del(.run)'`)
+  // stay clean across toolchains while every emitted record still pins the
+  // binary that produced it.
+  const Provenance& prov = build_provenance();
+  JsonValue build = JsonValue::object();
+  build.set("git", JsonValue::str(prov.git_describe));
+  build.set("compiler", JsonValue::str(prov.compiler));
+  build.set("build_type", JsonValue::str(prov.build_type));
+  build.set("sanitize", JsonValue::str(prov.sanitize));
+  run.set("build", std::move(build));
   doc.set("run", std::move(run));
   return doc;
 }

@@ -19,6 +19,9 @@
 
 namespace dyngossip {
 
+class ProbeSink;
+class TimelineRecorder;
+
 /// One declared scenario parameter (documentation + CLI validation).
 struct ParamSpec {
   enum class Kind { kInt, kDouble, kBool, kString };
@@ -145,6 +148,18 @@ class ScenarioContext {
   [[nodiscard]] double trial_timeout() const noexcept { return trial_timeout_; }
   void set_trial_timeout(double seconds) { trial_timeout_ = seconds; }
 
+  /// Global --probe= axis: the sink collecting per-round series from every
+  /// instrumented trial, or null (the default) for the exact legacy code
+  /// path.  Set by the CLI after parsing the probe spec; scenarios that
+  /// pre-date the observer plane simply never register series.
+  [[nodiscard]] ProbeSink* probe_sink() const noexcept { return probe_sink_; }
+  void set_probe_sink(ProbeSink* sink) { probe_sink_ = sink; }
+
+  /// Global --timeline= axis: the wall-clock span recorder shared by the
+  /// engines and the thread pool, or null (the default).
+  [[nodiscard]] TimelineRecorder* timeline() const noexcept { return timeline_; }
+  void set_timeline(TimelineRecorder* timeline) { timeline_ = timeline; }
+
   /// Typed parameter access with defaults; exits with a message on a value
   /// that does not parse (mirrors CliArgs behaviour).
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
@@ -168,6 +183,8 @@ class ScenarioContext {
   std::string algo_;
   std::string fault_;
   double trial_timeout_ = 0.0;
+  ProbeSink* probe_sink_ = nullptr;
+  TimelineRecorder* timeline_ = nullptr;
 };
 
 /// A registered experiment.

@@ -1,21 +1,28 @@
 #include "sim/runner/scenario_cli.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <vector>
 
 #include "adversary/churn.hpp"
 #include "adversary/registry.hpp"
 #include "algo/registry.hpp"
 #include "common/cli.hpp"
+#include "common/provenance.hpp"
 #include "fault/fault_spec.hpp"
+#include "metrics/accounting.hpp"
 #include "sim/runner/demo_registry.hpp"
 #include "sim/runner/emit.hpp"
 #include "sim/runner/parallel_sweep.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/probe_spec.hpp"
+#include "telemetry/round_probe.hpp"
+#include "telemetry/timeline.hpp"
 #include "trace/trace_cli.hpp"
 #include "trace/trace_format.hpp"
 
@@ -31,6 +38,10 @@ constexpr const char* kUsage =
     "  adversaries [--json]          list registered adversary families\n"
     "  algorithms [--json]           list registered algorithm families\n"
     "  faults [--json]               describe the fault-injection spec grammar\n"
+    "  probes [--json]               describe the probe (observability) spec\n"
+    "                                grammar and the --timeline axis\n"
+    "  version [--json]              print build provenance (git describe,\n"
+    "                                compiler, build type, sanitizers)\n"
     "  run <scenario> [flags]        run one scenario\n"
     "      --threads=N   worker threads (0 = hardware, default)\n"
     "      --trials=T    trials per configuration (0 = scenario default)\n"
@@ -49,6 +60,10 @@ constexpr const char* kUsage =
     "                    trial (see `faults`)\n"
     "      --trial-timeout=S  wall-clock budget per trial in seconds;\n"
     "                    over-budget trials report status=timeout\n"
+    "      --probe=SPEC  emit per-round series from every instrumented\n"
+    "                    trial (see `probes`); never perturbs the run\n"
+    "      --timeline=FILE  write a chrome://tracing / Perfetto trace of\n"
+    "                    rounds, phases, shard jobs, and pool queue waits\n"
     "      --<param>=v   scenario-specific parameter (see `list`)\n"
     "  demo <name> [flags]           run a narrated end-to-end demo\n"
     "      (see `dyngossip demo` for the catalogue)\n"
@@ -265,6 +280,68 @@ int cmd_faults(const CliArgs& args) {
   return 0;
 }
 
+int cmd_probes(const CliArgs& args) {
+  args.allow_only({"json"}, "dyngossip probes [--json]");
+  const ProbeFamilyDoc doc_info = probe_family_doc();
+  if (args.get_bool("json", false)) {
+    JsonValue doc = JsonValue::object();
+    JsonValue families = JsonValue::array();
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue::str(doc_info.name));
+    entry.set("description", JsonValue::str(doc_info.description));
+    entry.set("example", JsonValue::str(doc_info.example));
+    JsonValue keys = JsonValue::array();
+    for (const SpecKey& k : *doc_info.keys) {
+      JsonValue spec = JsonValue::object();
+      spec.set("key", JsonValue::str(k.key));
+      spec.set("kind", JsonValue::str(spec_key_kind_name(k.kind)));
+      spec.set("default", JsonValue::str(k.default_value));
+      spec.set("help", JsonValue::str(k.help));
+      keys.push(std::move(spec));
+    }
+    entry.set("keys", std::move(keys));
+    families.push(std::move(entry));
+    doc.set("families", std::move(families));
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  std::printf("probe spec grammar: round_series:key=value[,key=value...]\n"
+              "(the leading 'round_series:' may be omitted: "
+              "--probe=out=series.csv)\n\n");
+  std::printf("%-12s %s\n             e.g. %s\n", doc_info.name.c_str(),
+              doc_info.description.c_str(), doc_info.example.c_str());
+  for (const SpecKey& k : *doc_info.keys) {
+    std::printf("    %s=<%s>  (default %s)  %s\n", k.key.c_str(),
+                spec_key_kind_name(k.kind), k.default_value.c_str(),
+                k.help.c_str());
+  }
+  std::printf(
+      "\nUse with any scenario:  dyngossip run <scenario> --probe=SPEC\n"
+      "Probes only observe: a probed run's payload checksum is byte-identical\n"
+      "to the unprobed run's, and series are bit-identical at any thread\n"
+      "count.  The sibling --timeline=FILE axis records wall-clock spans\n"
+      "(rounds, phases, shard jobs, pool queue waits) as chrome://tracing\n"
+      "trace-event JSON — wall time is host-dependent by nature, but the\n"
+      "recorder never perturbs results either.\n");
+  return 0;
+}
+
+int cmd_version(const CliArgs& args) {
+  args.allow_only({"json"}, "dyngossip version [--json]");
+  const Provenance& prov = build_provenance();
+  if (args.get_bool("json", false)) {
+    JsonValue doc = JsonValue::object();
+    doc.set("git", JsonValue::str(prov.git_describe));
+    doc.set("compiler", JsonValue::str(prov.compiler));
+    doc.set("build_type", JsonValue::str(prov.build_type));
+    doc.set("sanitize", JsonValue::str(prov.sanitize));
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  std::printf("%s\n", version_line().c_str());
+  return 0;
+}
+
 int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
                      const CliArgs& args) {
   const Scenario* scenario = registry.find(name);
@@ -357,8 +434,32 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
     return 2;
   }
 
-  std::vector<std::string> allowed = {"threads", "trials", "scale", "quick",
-                                      "csv",     "json"};
+  // The global observability axes: --probe=SPEC / --timeline=FILE.  Unlike
+  // the perturbing axes these apply to every scenario (one that pre-dates
+  // the observer plane just emits an empty series file).
+  bool probe_on = false;
+  ProbeSpec probe_spec;
+  if (args.has("probe")) {
+    try {
+      probe_spec = ProbeSpec::parse(args.get_string("probe", ""));
+      probe_on = true;
+    } catch (const ProbeSpecError& e) {
+      std::fprintf(stderr, "%s\n(see `dyngossip probes`)\n", e.what());
+      return 2;
+    }
+  }
+  std::string timeline_path;
+  if (args.has("timeline")) {
+    timeline_path = args.get_string("timeline", "");
+    if (timeline_path.empty()) {
+      std::fprintf(stderr, "--timeline requires a file path\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::string> allowed = {"threads", "trials",  "scale",
+                                      "quick",   "csv",     "json",
+                                      "probe",   "timeline"};
   for (const ParamSpec& p : scenario->params) allowed.push_back(p.name);
   args.allow_only(allowed, "dyngossip run " + name +
                                " [--threads=N] [--trials=T] [--scale=S]"
@@ -398,12 +499,21 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
     }
   }
 
+  // The recorder outlives the pool (declared first) so workers can never
+  // touch a dead recorder during pool teardown.
+  TimelineRecorder recorder;
+  ProbeSink sink(probe_spec);
   ThreadPool pool(threads);
   ScenarioContext ctx(pool, trials, scale, std::move(params));
   ctx.set_adversary_spec(adversary_spec);
   ctx.set_algo_spec(algo_spec);
   ctx.set_fault_spec(fault_spec);
   ctx.set_trial_timeout(trial_timeout);
+  if (probe_on) ctx.set_probe_sink(&sink);
+  if (!timeline_path.empty()) {
+    ctx.set_timeline(&recorder);
+    pool.set_timeline(&recorder);
+  }
   const auto start = std::chrono::steady_clock::now();
   ScenarioResult result;
   try {
@@ -427,6 +537,25 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   info.quick = scale == ScenarioScale::kQuick;
   info.scale = scale;
   info.elapsed_seconds = seconds_since(start);
+
+  if (probe_on) {
+    const std::string error = sink.write();
+    if (!error.empty()) {
+      std::fprintf(stderr, "probe: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[dyngossip] probe: %zu series -> %s\n",
+                 sink.series_count(), sink.spec().out.c_str());
+  }
+  if (!timeline_path.empty()) {
+    const std::string error = recorder.write_file(timeline_path);
+    if (!error.empty()) {
+      std::fprintf(stderr, "timeline: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[dyngossip] timeline: %zu events -> %s\n",
+                 recorder.event_count(), timeline_path.c_str());
+  }
 
   if (args.has("json")) {
     const std::string path = args.get_string("json", "-");
@@ -500,9 +629,18 @@ int cmd_speedup(const CliArgs& args) {
   const double min_speedup = args.get_double("min", 0.0);
 
   // A representative paper workload: Algorithm 1 under churn, one full run
-  // per trial.  Self-contained per call, so safe at any thread count.
+  // per trial.  Self-contained per call, so safe at any thread count; the
+  // status/coverage slots are keyed by the trial's SplitMix64-derived seed
+  // (seeds are distinct, each trial owns one slot), so parallel writes never
+  // race and the serial pass simply rewrites identical values.
+  constexpr std::uint64_t kBaseSeed = 0x5eedfeed;
   const auto k = static_cast<std::uint32_t>(2 * n);
-  const auto measure = [n, k](std::uint64_t seed) {
+  const std::vector<std::uint64_t> trial_seeds =
+      derive_sweep_seeds(trials, kBaseSeed);
+  std::vector<RunStatus> statuses(trials, RunStatus::kCompleted);
+  std::vector<double> coverages(trials, 0.0);
+  const auto measure = [n, k, &trial_seeds, &statuses,
+                        &coverages](std::uint64_t seed) {
     ChurnConfig cc;
     cc.n = n;
     cc.target_edges = 3 * n;
@@ -512,10 +650,15 @@ int cmd_speedup(const CliArgs& args) {
     ChurnAdversary adversary(cc);
     const RunResult r = run_single_source(n, k, 0, adversary,
                                           static_cast<Round>(100 * n * k));
+    const auto slot = static_cast<std::size_t>(
+        std::find(trial_seeds.begin(), trial_seeds.end(), seed) -
+        trial_seeds.begin());
+    if (slot < trial_seeds.size()) {
+      statuses[slot] = r.metrics.status;
+      coverages[slot] = r.metrics.coverage;
+    }
     return static_cast<double>(r.metrics.unicast.total());
   };
-
-  constexpr std::uint64_t kBaseSeed = 0x5eedfeed;
   const auto t_serial = std::chrono::steady_clock::now();
   const Summary serial = sweep_seeds(trials, kBaseSeed, measure);
   const double serial_s = seconds_since(t_serial);
@@ -538,6 +681,21 @@ int cmd_speedup(const CliArgs& args) {
   doc.set("bit_identical", JsonValue::boolean(identical));
   doc.set("checksum_serial", JsonValue::str(checksum_hex(serial.checksum)));
   doc.set("checksum_parallel", JsonValue::str(checksum_hex(parallel.checksum)));
+  // Run health (satellite of the observer plane): how each trial ended and
+  // the worst residual coverage — all "completed" / 1.0 on this fault-free
+  // workload, but the keys keep the record shape uniform with faulty runs.
+  std::map<std::string, std::size_t> status_counts;
+  double min_coverage = 1.0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    ++status_counts[run_status_name(statuses[i])];
+    min_coverage = std::min(min_coverage, coverages[i]);
+  }
+  JsonValue status_json = JsonValue::object();
+  for (const auto& [status, count] : status_counts) {
+    status_json.set(status, JsonValue::number(static_cast<double>(count)));
+  }
+  doc.set("status_counts", std::move(status_json));
+  doc.set("min_coverage", JsonValue::number(min_coverage));
   std::cout << doc.dump(2) << "\n";
 
   if (!identical) {
@@ -589,6 +747,18 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
     for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
     const CliArgs args(static_cast<int>(rest.size()), rest.data());
     return cmd_faults(args);
+  }
+  if (command == "probes") {
+    std::vector<const char*> rest = {program};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return cmd_probes(args);
+  }
+  if (command == "version" || command == "--version") {
+    std::vector<const char*> rest = {program};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    const CliArgs args(static_cast<int>(rest.size()), rest.data());
+    return cmd_version(args);
   }
   if (command == "run") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/timeline.hpp"
+
 namespace dyngossip {
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
@@ -24,10 +26,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    Job job;
+    job.task = std::move(task);
+    if (timeline_ != nullptr) job.enqueued_at = TimelineRecorder::now();
+    queue_.push_back(std::move(job));
     ++in_flight_;
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::set_timeline(TimelineRecorder* timeline) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  timeline_ = timeline;
 }
 
 void ThreadPool::wait_idle() {
@@ -42,15 +52,21 @@ std::size_t ThreadPool::hardware_threads() noexcept {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Job job;
+    TimelineRecorder* timeline = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop_front();
+      timeline = timeline_;
     }
-    task();
+    if (timeline != nullptr) {
+      timeline->span("queue_wait", "pool", job.enqueued_at,
+                     TimelineRecorder::now());
+    }
+    job.task();
     {
       const std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -9,6 +9,7 @@
 // any thread count.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,6 +19,8 @@
 #include <vector>
 
 namespace dyngossip {
+
+class TimelineRecorder;
 
 /// Fixed pool of worker threads executing submitted tasks FIFO.
 class ThreadPool {
@@ -44,11 +47,26 @@ class ThreadPool {
   /// max(1, std::thread::hardware_concurrency()).
   [[nodiscard]] static std::size_t hardware_threads() noexcept;
 
+  /// Attaches a timeline recorder (null detaches): each task's time from
+  /// submit to pop is recorded as a "queue_wait" span on the worker that
+  /// picked it up.  Call only while the pool is idle — the pointer is read
+  /// under the queue lock but attachment itself is not synchronized with
+  /// in-flight work.
+  void set_timeline(TimelineRecorder* timeline);
+
  private:
+  /// A queued task plus its submit timestamp (stamped only while a timeline
+  /// is attached; otherwise the clock is never read).
+  struct Job {
+    std::function<void()> task;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
+  TimelineRecorder* timeline_ = nullptr;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

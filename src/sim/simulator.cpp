@@ -31,12 +31,13 @@ namespace {
 RunResult run_single_source(std::size_t n, std::uint32_t k, NodeId source,
                             Adversary& adversary, Round max_rounds,
                             ThreadPool* pool, FaultPlan* faults,
-                            double timeout_seconds) {
+                            double timeout_seconds, Telemetry telemetry) {
   SingleSourceConfig cfg{n, k, source};
   UnicastEngineOptions opts;
   opts.pool = pool;
   opts.faults = faults;
   opts.run_timeout_seconds = timeout_seconds;
+  opts.telemetry = telemetry;
   UnicastEngine engine(SingleSourceNode::make_all(cfg), adversary,
                        SingleSourceNode::initial_knowledge(cfg), k, opts);
   return finish(engine.run(max_rounds));
@@ -45,12 +46,13 @@ RunResult run_single_source(std::size_t n, std::uint32_t k, NodeId source,
 RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
                            Adversary& adversary, Round max_rounds,
                            ThreadPool* pool, FaultPlan* faults,
-                           double timeout_seconds) {
+                           double timeout_seconds, Telemetry telemetry) {
   MultiSourceConfig cfg{n, space};
   UnicastEngineOptions opts;
   opts.pool = pool;
   opts.faults = faults;
   opts.run_timeout_seconds = timeout_seconds;
+  opts.telemetry = telemetry;
   UnicastEngine engine(MultiSourceNode::make_all(cfg), adversary,
                        space->initial_knowledge(n), space->total_tokens(), opts);
   return finish(engine.run(max_rounds));
@@ -59,12 +61,13 @@ RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
 RunResult run_spanning_tree(std::size_t n, const TokenSpacePtr& space,
                             Adversary& adversary, Round max_rounds, NodeId root,
                             ThreadPool* pool, FaultPlan* faults,
-                            double timeout_seconds) {
+                            double timeout_seconds, Telemetry telemetry) {
   SpanningTreeConfig cfg{n, space, root};
   UnicastEngineOptions opts;
   opts.pool = pool;
   opts.faults = faults;
   opts.run_timeout_seconds = timeout_seconds;
+  opts.telemetry = telemetry;
   UnicastEngine engine(SpanningTreeNode::make_all(cfg), adversary,
                        space->initial_knowledge(n), space->total_tokens(), opts);
   return finish(engine.run(max_rounds));
@@ -74,11 +77,12 @@ RunResult run_phase_flooding(std::size_t n, std::size_t k,
                              const std::vector<KnowledgeSet>& initial,
                              Adversary& adversary, Round max_rounds,
                              ThreadPool* pool, FaultPlan* faults,
-                             double timeout_seconds) {
+                             double timeout_seconds, Telemetry telemetry) {
   BroadcastEngineOptions opts;
   opts.pool = pool;
   opts.faults = faults;
   opts.run_timeout_seconds = timeout_seconds;
+  opts.telemetry = telemetry;
   BroadcastEngine engine(PhaseFloodingNode::make_all(n, k, initial), adversary,
                          initial, k, opts);
   return finish(engine.run(max_rounds));
@@ -88,11 +92,13 @@ RunResult run_random_flooding(std::size_t n, std::size_t k,
                               const std::vector<KnowledgeSet>& initial,
                               Adversary& adversary, Round max_rounds,
                               std::uint64_t seed, ThreadPool* pool,
-                              FaultPlan* faults, double timeout_seconds) {
+                              FaultPlan* faults, double timeout_seconds,
+                              Telemetry telemetry) {
   BroadcastEngineOptions opts;
   opts.pool = pool;
   opts.faults = faults;
   opts.run_timeout_seconds = timeout_seconds;
+  opts.telemetry = telemetry;
   BroadcastEngine engine(RandomFloodingNode::make_all(n, k, initial, seed),
                          adversary, initial, k, opts);
   return finish(engine.run(max_rounds));
@@ -122,7 +128,7 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
     result.skipped_phase1 = true;
     const RunResult direct =
         run_multi_source(n, space, adversary, max_rounds, opts.pool,
-                         opts.faults, opts.timeout_seconds);
+                         opts.faults, opts.timeout_seconds, opts.telemetry);
     result.phase2 = direct.metrics;
     result.total = direct.metrics;
     result.completed = direct.completed;
@@ -177,6 +183,7 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
   ueopts.pool = opts.pool;
   ueopts.faults = opts.faults;
   ueopts.run_timeout_seconds = opts.timeout_seconds;
+  ueopts.telemetry = opts.telemetry;
   UnicastEngine phase1(std::move(walkers), adversary,
                        space->initial_knowledge(n), k, ueopts);
 
@@ -229,6 +236,7 @@ ObliviousMsResult run_oblivious_multi_source(std::size_t n,
   p2opts.pool = opts.pool;
   p2opts.faults = opts.faults;
   p2opts.run_timeout_seconds = opts.timeout_seconds;
+  p2opts.telemetry = opts.telemetry;
   p2opts.start_round = phase1.round() + 1;
   // Build the nodes before handing `carried` to the engine (argument
   // evaluation order must not race with the move).

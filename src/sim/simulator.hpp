@@ -11,6 +11,7 @@
 
 #include "adversary/adversary.hpp"
 #include "sim/config.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dyngossip {
 
@@ -22,7 +23,9 @@ class ThreadPool;
 // contract; results are bit-identical at any thread count.  The optional
 // `faults` plan (null: fault-free) and `timeout_seconds` wall-clock budget
 // (0: none) are forwarded to the engine; multi-phase executions share one
-// plan so liveness history is continuous across phases.
+// plan so liveness history is continuous across phases.  The optional
+// `telemetry` observer plane (telemetry/telemetry.hpp) forwards to every
+// phase engine; null members keep the exact legacy code path.
 
 /// Runs Algorithm 1 (Single-Source-Unicast): all k tokens start at `source`.
 [[nodiscard]] RunResult run_single_source(std::size_t n, std::uint32_t k,
@@ -30,14 +33,16 @@ class ThreadPool;
                                           Round max_rounds,
                                           ThreadPool* pool = nullptr,
                                           FaultPlan* faults = nullptr,
-                                          double timeout_seconds = 0.0);
+                                          double timeout_seconds = 0.0,
+                                          Telemetry telemetry = {});
 
 /// Runs Multi-Source-Unicast over an arbitrary token labelling.
 [[nodiscard]] RunResult run_multi_source(std::size_t n, const TokenSpacePtr& space,
                                          Adversary& adversary, Round max_rounds,
                                          ThreadPool* pool = nullptr,
                                          FaultPlan* faults = nullptr,
-                                         double timeout_seconds = 0.0);
+                                         double timeout_seconds = 0.0,
+                                         Telemetry telemetry = {});
 
 /// Runs the static spanning-tree baseline (static adversary required).
 [[nodiscard]] RunResult run_spanning_tree(std::size_t n, const TokenSpacePtr& space,
@@ -45,7 +50,8 @@ class ThreadPool;
                                           NodeId root = 0,
                                           ThreadPool* pool = nullptr,
                                           FaultPlan* faults = nullptr,
-                                          double timeout_seconds = 0.0);
+                                          double timeout_seconds = 0.0,
+                                          Telemetry telemetry = {});
 
 /// Runs naive phase flooding (local broadcast) from an arbitrary initial
 /// knowledge assignment.
@@ -54,7 +60,8 @@ class ThreadPool;
                                            Adversary& adversary, Round max_rounds,
                                            ThreadPool* pool = nullptr,
                                            FaultPlan* faults = nullptr,
-                                           double timeout_seconds = 0.0);
+                                           double timeout_seconds = 0.0,
+                                           Telemetry telemetry = {});
 
 /// Runs uniform-random flooding (local broadcast).
 [[nodiscard]] RunResult run_random_flooding(std::size_t n, std::size_t k,
@@ -63,7 +70,8 @@ class ThreadPool;
                                             std::uint64_t seed,
                                             ThreadPool* pool = nullptr,
                                             FaultPlan* faults = nullptr,
-                                            double timeout_seconds = 0.0);
+                                            double timeout_seconds = 0.0,
+                                            Telemetry telemetry = {});
 
 /// Algorithm 2 options.
 struct ObliviousMsOptions {
@@ -86,6 +94,10 @@ struct ObliviousMsOptions {
   FaultPlan* faults = nullptr;
   /// Wall-clock budget in seconds for the whole two-phase run (0: none).
   double timeout_seconds = 0.0;
+  /// Observer plane shared by both phase engines (null members: legacy
+  /// path).  Probe samples carry phase-continuous round numbers, so the
+  /// per-round series of a two-phase run reconciles with the merged totals.
+  Telemetry telemetry;
 };
 
 /// Runs Algorithm 2 (Oblivious-Multi-Source-Unicast).  The adversary must

@@ -1,0 +1,138 @@
+#include "telemetry/round_probe.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+namespace dyngossip {
+
+namespace {
+
+/// Shortest decimal rendering that round-trips the exact double, so
+/// coverage reads `0.875`, never `0.87500000000000004` — and two runs that
+/// produced the same double always serialize the same bytes.
+[[nodiscard]] std::string render_double(double value) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+/// Minimal JSON string escaping (labels are CLI-controlled ASCII, but a
+/// quote in a spec string must not corrupt the row).
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_field(std::string& row, const char* key, std::uint64_t value) {
+  row += ",\"";
+  row += key;
+  row += "\":";
+  row += std::to_string(value);
+}
+
+}  // namespace
+
+bool operator==(const RoundProbeSample& a, const RoundProbeSample& b) {
+  return a.round == b.round && a.coverage == b.coverage &&
+         a.learned == b.learned && a.sent == b.sent && a.dropped == b.dropped &&
+         a.duplicated == b.duplicated && a.requests == b.requests &&
+         a.served == b.served && a.edges_inserted == b.edges_inserted &&
+         a.edges_removed == b.edges_removed && a.edges == b.edges &&
+         a.crashed == b.crashed;
+}
+
+void ProbeSink::add_series(std::string label,
+                           std::vector<RoundProbeSample> samples,
+                           const RunMetrics& totals) {
+  series_.push_back({std::move(label), std::move(samples), totals});
+}
+
+void ProbeSink::write_to(std::ostream& os) const {
+  if (spec_.format == ProbeSpec::Format::kCsv) {
+    os << "series,round,coverage,learned,sent,dropped,duplicated,requests,"
+          "served,edges_inserted,edges_removed,edges,crashed\n";
+    for (const Series& s : series_) {
+      for (const RoundProbeSample& r : s.samples) {
+        os << s.label << ',' << r.round << ',' << render_double(r.coverage)
+           << ',' << r.learned << ',' << r.sent << ',' << r.dropped << ','
+           << r.duplicated << ',' << r.requests << ',' << r.served << ','
+           << r.edges_inserted << ',' << r.edges_removed << ',' << r.edges
+           << ',' << r.crashed << '\n';
+      }
+    }
+    return;
+  }
+  for (const Series& s : series_) {
+    const std::string label = json_escape(s.label);
+    for (const RoundProbeSample& r : s.samples) {
+      std::string row = "{\"type\":\"round\",\"series\":\"" + label + "\"";
+      append_field(row, "round", r.round);
+      row += ",\"coverage\":" + render_double(r.coverage);
+      append_field(row, "learned", r.learned);
+      append_field(row, "sent", r.sent);
+      append_field(row, "dropped", r.dropped);
+      append_field(row, "duplicated", r.duplicated);
+      append_field(row, "requests", r.requests);
+      append_field(row, "served", r.served);
+      append_field(row, "edges_inserted", r.edges_inserted);
+      append_field(row, "edges_removed", r.edges_removed);
+      append_field(row, "edges", r.edges);
+      append_field(row, "crashed", r.crashed);
+      row += "}\n";
+      os << row;
+    }
+    std::string total = "{\"type\":\"total\",\"series\":\"" + label + "\"";
+    append_field(total, "rounds", s.totals.rounds);
+    append_field(total, "sent", s.totals.total_messages());
+    append_field(total, "requests", s.totals.unicast.request);
+    append_field(total, "served", s.totals.unicast.token);
+    append_field(total, "learned", s.totals.learnings);
+    append_field(total, "duplicates", s.totals.duplicate_token_deliveries);
+    append_field(total, "tc", s.totals.tc);
+    append_field(total, "deletions", s.totals.deletions);
+    total += ",\"status\":\"";
+    total += run_status_name(s.totals.status);
+    total += "\",\"coverage\":" + render_double(s.totals.coverage);
+    total += "}\n";
+    os << total;
+  }
+}
+
+std::string ProbeSink::write() const {
+  if (spec_.out == "-") {
+    write_to(std::cout);
+    std::cout.flush();
+    return "";
+  }
+  std::ofstream out(spec_.out, std::ios::binary);
+  if (!out) return "cannot open probe output file '" + spec_.out + "'";
+  write_to(out);
+  out.flush();
+  if (!out) return "failed writing probe output file '" + spec_.out + "'";
+  return "";
+}
+
+}  // namespace dyngossip

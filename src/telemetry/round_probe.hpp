@@ -1,0 +1,115 @@
+// Per-round probe: the structured series the `--probe=round_series:` axis
+// emits.
+//
+// A RoundProbe is a passive per-trial collector the engines fill with one
+// sample per (sampled) round; a ProbeSink owns every trial's series for a
+// run and serializes them as JSONL or CSV.  Samples are *deltas* per round
+// (learned, sent, dropped, ...) except the gauges (coverage, edges,
+// crashed), so per-series sums reconcile exactly with the run's RunMetrics
+// totals — the invariant tests/telemetry/ and CI gate on.
+//
+// Determinism: engines fill a probe from the same merged-in-shard-order
+// counters the payload checksum folds, and sinks serialize series in the
+// deterministic trial order the scenario registers them, so probe output is
+// bit-identical at any thread count (the telemetry extension of
+// tests/engine/sharded_identity_test.cpp's guarantee).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/accounting.hpp"
+#include "telemetry/probe_spec.hpp"
+
+namespace dyngossip {
+
+/// One sampled round.  Counters are per-round increments (accumulated
+/// across skipped rounds when the stride > 1); coverage/edges/crashed are
+/// gauges at the end of the round.
+struct RoundProbeSample {
+  std::uint64_t round = 0;        ///< absolute round number
+  double coverage = 0.0;          ///< fraction of (node, token) pairs known
+  std::uint64_t learned = 0;      ///< token-learning events
+  std::uint64_t sent = 0;         ///< messages sent (unicast + broadcast)
+  std::uint64_t dropped = 0;      ///< deliveries lost to the fault plane
+  std::uint64_t duplicated = 0;   ///< deliveries duplicated by the fault plane
+  std::uint64_t requests = 0;     ///< request messages issued
+  std::uint64_t served = 0;       ///< token payloads delivered (request answers)
+  std::uint64_t edges_inserted = 0;  ///< adversary insertions (TC increment)
+  std::uint64_t edges_removed = 0;   ///< adversary deletions
+  std::uint64_t edges = 0;        ///< |E_r| after the rewiring
+  std::uint64_t crashed = 0;      ///< nodes down at the end of the round
+};
+
+[[nodiscard]] bool operator==(const RoundProbeSample& a,
+                              const RoundProbeSample& b);
+
+/// Passive per-trial collector.  The engine asks wants(r) before paying for
+/// a sample (coverage is an O(n) scan) and records one when it says yes; a
+/// final flush sample at the last round keeps the sums exact at any stride.
+class RoundProbe {
+ public:
+  explicit RoundProbe(std::uint64_t every = 1) : every_(every == 0 ? 1 : every) {}
+
+  /// True when round r is on the sampling stride.
+  [[nodiscard]] bool wants(std::uint64_t round) const noexcept {
+    return round % every_ == 0;
+  }
+
+  void record(const RoundProbeSample& sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] const std::vector<RoundProbeSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t last_round() const noexcept {
+    return samples_.empty() ? 0 : samples_.back().round;
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::uint64_t every_ = 1;
+  std::vector<RoundProbeSample> samples_;
+};
+
+/// Owns every registered series of a run and serializes them per the spec.
+/// add_series is called serially in deterministic trial order (after the
+/// trial batch completes), never from pool workers.
+class ProbeSink {
+ public:
+  explicit ProbeSink(ProbeSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const ProbeSpec& spec() const noexcept { return spec_; }
+
+  /// Registers one trial's series plus its end-of-run totals (the
+  /// reconciliation row: sum of per-round counters == these totals).
+  void add_series(std::string label, std::vector<RoundProbeSample> samples,
+                  const RunMetrics& totals);
+
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return series_.size();
+  }
+
+  /// Serializes every series in registration order to `os` (JSONL: one
+  /// object per row, a "round" row per sample and one "total" row per
+  /// series; CSV: a header plus round rows).
+  void write_to(std::ostream& os) const;
+
+  /// Writes to spec().out ("-": stdout).  Returns "" on success, else an
+  /// error message.
+  [[nodiscard]] std::string write() const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<RoundProbeSample> samples;
+    RunMetrics totals;
+  };
+
+  ProbeSpec spec_;
+  std::vector<Series> series_;
+};
+
+}  // namespace dyngossip

@@ -1,4 +1,4 @@
-#include "metrics/series.hpp"
+#include "telemetry/series.hpp"
 
 #include <algorithm>
 

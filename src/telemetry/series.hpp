@@ -1,10 +1,14 @@
-// Per-round time-series recording.
+// Per-round time-series recording (the telemetry plane's hook-based
+// recorder).
 //
 // Attachable to either engine's round hook, the recorder samples the
 // cumulative metrics after every round and exports the increments as CSV —
 // the raw material for learning-curve and message-rate figures (e.g. the
 // per-round throttling the Section-2 adversary induces, or the phase-1 /
-// phase-2 hand-off of Algorithm 2).
+// phase-2 hand-off of Algorithm 2).  For the structured `--probe=` axis
+// (per-round deltas, fault counters, JSONL) see telemetry/round_probe.hpp;
+// this recorder stays as the lightweight cumulative-CSV form the
+// learning_curves demo exports.
 #pragma once
 
 #include <ostream>

@@ -1,0 +1,74 @@
+#include "telemetry/timeline.hpp"
+
+#include <fstream>
+
+namespace dyngossip {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t TimelineRecorder::tid_locked(std::thread::id id) {
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto tid = static_cast<std::uint32_t>(tids_.size() + 1);
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void TimelineRecorder::span(const std::string& name, const char* category,
+                            Clock::time_point begin, Clock::time_point end) {
+  const auto us = [this](Clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(t - origin_)
+        .count();
+  };
+  const std::int64_t ts = us(begin);
+  const std::int64_t dur = us(end) - ts;
+  const std::scoped_lock lock(mu_);
+  events_.push_back({name, category, tid_locked(std::this_thread::get_id()),
+                     ts, dur < 0 ? 0 : dur});
+}
+
+std::size_t TimelineRecorder::event_count() const {
+  const std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void TimelineRecorder::write_json(std::ostream& os) const {
+  const std::scoped_lock lock(mu_);
+  os << "[\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << e.category << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+  }
+  os << "\n]\n";
+}
+
+std::string TimelineRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return "cannot open timeline file '" + path + "'";
+  write_json(out);
+  out.flush();
+  if (!out) return "failed writing timeline file '" + path + "'";
+  return "";
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,93 @@
+// Wall-clock timelines: `--timeline=FILE` writes chrome://tracing
+// trace-event JSON (also loadable in Perfetto) with spans for rounds,
+// exchange phases, per-shard jobs, and ThreadPool queue waits — the
+// intra-round sharding made inspectable in a profiler UI.
+//
+// Unlike the probe axis, timelines measure *wall time* and are therefore
+// never byte-reproducible; what the recorder guarantees instead is that it
+// NEVER perturbs the run's results: spans only read the steady clock and
+// append to a mutex-guarded buffer, and every call site is gated on the
+// recorder pointer, so a run without `--timeline=` takes the exact legacy
+// code path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dyngossip {
+
+/// Thread-safe trace-event collector.  Spans complete (ph "X") on record,
+/// so no begin/end pairing state is needed; write_json emits the JSON
+/// array format chrome://tracing and Perfetto both ingest.
+class TimelineRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TimelineRecorder() : origin_(Clock::now()) {}
+
+  [[nodiscard]] static Clock::time_point now() noexcept { return Clock::now(); }
+
+  /// Records one completed span [begin, end] on the calling thread's track.
+  /// `category` groups spans in the UI ("round", "phase", "shard", "pool").
+  void span(const std::string& name, const char* category,
+            Clock::time_point begin, Clock::time_point end);
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Emits the trace-event JSON array (one displayTimeUnit-free document;
+  /// timestamps are microseconds since the recorder was created).
+  void write_json(std::ostream& os) const;
+
+  /// Writes to `path`.  Returns "" on success, else an error message.
+  [[nodiscard]] std::string write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    std::uint32_t tid;
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+  };
+
+  [[nodiscard]] std::uint32_t tid_locked(std::thread::id id);
+
+  Clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::vector<Event> events_;
+};
+
+/// RAII span over a static name: times its own scope when a recorder is
+/// attached, does nothing but copy three pointers when `recorder` is null —
+/// cheap enough to sit inside the engines' per-round path unguarded.
+class TimelineSpan {
+ public:
+  TimelineSpan(TimelineRecorder* recorder, const char* name,
+               const char* category)
+      : recorder_(recorder), name_(name), category_(category) {
+    if (recorder_ != nullptr) begin_ = TimelineRecorder::now();
+  }
+  ~TimelineSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->span(name_, category_, begin_, TimelineRecorder::now());
+    }
+  }
+
+  TimelineSpan(const TimelineSpan&) = delete;
+  TimelineSpan& operator=(const TimelineSpan&) = delete;
+
+ private:
+  TimelineRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  TimelineRecorder::Clock::time_point begin_;
+};
+
+}  // namespace dyngossip

@@ -14,6 +14,7 @@
 #include "adversary/registry.hpp"
 #include "algo/registry.hpp"
 #include "common/cli.hpp"
+#include "common/provenance.hpp"
 #include "core/tokens.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/fault_spec.hpp"
@@ -175,6 +176,9 @@ int cmd_record(const CliArgs& args) {
                          " seed=" + std::to_string(seed) +
                          " cap=" + std::to_string(actx.cap);
   if (!fault_text.empty()) metadata += " fault=" + fspec.to_string();
+  // Provenance rides along as one more key=value token (compact form has no
+  // spaces); replay ignores unknown keys, so old readers are unaffected.
+  metadata += " build=" + provenance_compact();
 
   std::unique_ptr<TraceWriter> writer = open_trace_writer(
       out_path, static_cast<std::uint32_t>(actx.n), seed, std::move(metadata));

@@ -1,0 +1,133 @@
+// Series ↔ aggregate reconciliation: for every registered algorithm family,
+// the per-round probe deltas must sum exactly to the run's RunMetrics
+// totals, and attaching a probe must not perturb the run (payload checksum
+// identical to the unprobed run) — the observation contract CI gates on.
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adversary/registry.hpp"
+#include "algo/registry.hpp"
+#include "telemetry/round_probe.hpp"
+#include "trace/run_payload.hpp"
+
+namespace dyngossip {
+namespace {
+
+struct ProbedRun {
+  RunResult result;
+  std::uint64_t checksum = 0;
+  std::uint64_t k_realized = 0;
+};
+
+AdversarySpec schedule_for(const AlgoFamily& family, std::size_t n) {
+  // spanning_tree asserts an unchanging neighborhood; everyone else gets
+  // the flagship churn regime.
+  if (family.requires_static) return AdversarySpec{"static", {}};
+  AdversarySpec spec{"churn", {}};
+  spec.set("edges", static_cast<std::uint64_t>(3 * n))
+      .set("churn", static_cast<std::uint64_t>(n / 8))
+      .set("sigma", std::uint64_t{3});
+  return spec;
+}
+
+AlgoSpec spec_for(const AlgoFamily& family) {
+  AlgoSpec spec{family.name, {}};
+  // Force the funnel's walk phase so the test covers the two-phase path
+  // (bare `oblivious` at test sizes takes the small-s == multi_source
+  // shortcut).
+  if (family.name == "oblivious") {
+    spec.set("force_phase1", "true").set("f", std::uint64_t{8});
+  }
+  return spec;
+}
+
+ProbedRun run_family(const AlgoFamily& family, RoundProbe* probe,
+                     std::uint64_t every = 1) {
+  const std::size_t n = 32;
+  AlgoBuildContext actx;
+  actx.n = n;
+  actx.k = 64;
+  actx.sources = 4;
+  actx.cap = 20'000;
+  actx.seed = 7;
+  if (probe != nullptr) {
+    *probe = RoundProbe(every);
+    actx.telemetry.probe = probe;
+  }
+  const AlgoSpec algo = spec_for(family);
+  const std::unique_ptr<Adversary> adversary =
+      build_adversary(schedule_for(family, n), n, actx.seed);
+  ProbedRun out;
+  out.result = run_algo(algo, actx, *adversary);
+  out.k_realized = actx.k_realized;
+  out.checksum = run_payload_checksum(n, actx.k_realized, out.result);
+  return out;
+}
+
+void expect_reconciled(const RoundProbe& probe, const RunMetrics& totals,
+                       const std::string& family) {
+  std::uint64_t sent = 0, learned = 0, requests = 0, served = 0;
+  std::uint64_t inserted = 0, removed = 0, dup = 0;
+  std::uint64_t last_round = 0;
+  for (const RoundProbeSample& s : probe.samples()) {
+    EXPECT_GT(s.round, last_round) << family << ": rounds must be increasing";
+    last_round = s.round;
+    sent += s.sent;
+    learned += s.learned;
+    requests += s.requests;
+    served += s.served;
+    inserted += s.edges_inserted;
+    removed += s.edges_removed;
+    dup += s.duplicated;
+  }
+  EXPECT_EQ(sent, totals.total_messages()) << family;
+  EXPECT_EQ(learned, totals.learnings) << family;
+  EXPECT_EQ(requests, totals.unicast.request) << family;
+  EXPECT_EQ(served, totals.unicast.token) << family;
+  EXPECT_EQ(inserted, totals.tc) << family;
+  EXPECT_EQ(removed, totals.deletions) << family;
+  // `duplicated` counts FAULT-PLANE duplications (not the algorithm-level
+  // duplicate_token_deliveries totals field); these runs are fault-free.
+  EXPECT_EQ(dup, 0u) << family;
+  EXPECT_EQ(last_round, static_cast<std::uint64_t>(totals.rounds)) << family;
+  if (!probe.samples().empty()) {
+    EXPECT_NEAR(probe.samples().back().coverage, totals.coverage, 1e-12)
+        << family;
+  }
+}
+
+TEST(ProbeReconciliation, EveryFamilySumsToTotals) {
+  for (const AlgoFamily* family : AlgoRegistry::global().list()) {
+    RoundProbe probe;
+    const ProbedRun probed = run_family(*family, &probe);
+    ASSERT_FALSE(probe.samples().empty()) << family->name;
+    expect_reconciled(probe, probed.result.metrics, family->name);
+  }
+}
+
+TEST(ProbeReconciliation, ProbeNeverPerturbsThePayload) {
+  for (const AlgoFamily* family : AlgoRegistry::global().list()) {
+    RoundProbe probe;
+    const ProbedRun plain = run_family(*family, nullptr);
+    const ProbedRun probed = run_family(*family, &probe);
+    EXPECT_EQ(plain.checksum, probed.checksum) << family->name;
+    EXPECT_EQ(plain.k_realized, probed.k_realized) << family->name;
+  }
+}
+
+TEST(ProbeReconciliation, StrideAccumulatesSkippedRounds) {
+  // At every=3 most rounds are skipped; the deltas accumulate across the
+  // gap and a final flush sample covers the tail, so sums stay EXACT.
+  for (const AlgoFamily* family : AlgoRegistry::global().list()) {
+    RoundProbe probe;
+    const ProbedRun probed = run_family(*family, &probe, /*every=*/3);
+    ASSERT_FALSE(probe.samples().empty()) << family->name;
+    expect_reconciled(probe, probed.result.metrics, family->name);
+  }
+}
+
+}  // namespace
+}  // namespace dyngossip

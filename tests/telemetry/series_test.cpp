@@ -1,5 +1,5 @@
 // Tests for the per-round series recorder.
-#include "metrics/series.hpp"
+#include "telemetry/series.hpp"
 
 #include <sstream>
 

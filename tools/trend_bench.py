@@ -15,6 +15,16 @@ Typical CI usage, comparing a fresh run against a downloaded baseline:
 
 The generous default threshold absorbs shared-runner noise; tighten it for
 dedicated hardware.
+
+With --probe, each record is paired (in order) with the per-round coverage
+series its run emitted via --probe=round_series:out=PATH, and the table
+gains a coverage-vs-round trend column: the mean number of rounds each
+trial needed to reach 90% coverage, oldest vs newest.  Wall time says how
+fast the run was; this column says how fast the *protocol* was.
+
+    dyngossip run table1 --quick --probe=round_series:out=new.jsonl --json=new.json
+    python3 tools/trend_bench.py baseline.json new.json \
+        --probe baseline.jsonl --probe new.jsonl
 """
 
 from __future__ import annotations
@@ -40,7 +50,63 @@ def load_record(path: str) -> dict:
 
 def payload(record: dict) -> object:
     """The deterministic part of a record (everything but run metadata)."""
-    return {k: v for k, v in record.items() if k not in ("run", "_path")}
+    return {k: v for k, v in record.items()
+            if k != "run" and not k.startswith("_")}
+
+
+COVERAGE_TARGET = 0.9
+
+
+def load_probe(path: str) -> dict[str, list[tuple[int, float]]]:
+    """Parses a probe JSONL file into {series: [(round, coverage), ...]}."""
+    series: dict[str, list[tuple[int, float]]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as err:
+                    sys.exit(f"trend_bench: {path}:{line_no}: not JSONL: {err}")
+                if row.get("type") != "round":
+                    continue
+                series.setdefault(row["series"], []).append(
+                    (int(row["round"]), float(row["coverage"])))
+    except OSError as err:
+        sys.exit(f"trend_bench: cannot read {path}: {err}")
+    return series
+
+
+def mean_rounds_to_coverage(series: dict[str, list[tuple[int, float]]],
+                            target: float = COVERAGE_TARGET) -> float | None:
+    """Mean (across series) first sampled round reaching `target` coverage.
+
+    A series that never reaches the target contributes its last round — a
+    floor, so incomplete runs still trend instead of dropping out.
+    """
+    rounds = []
+    for samples in series.values():
+        if not samples:
+            continue
+        hit = next((r for r, cov in samples if cov >= target), samples[-1][0])
+        rounds.append(hit)
+    if not rounds:
+        return None
+    return sum(rounds) / len(rounds)
+
+
+def coverage_trend(old_path: str | None, new_path: str | None) -> str:
+    """The coverage-vs-round trend cell: mean rounds-to-90% old -> new."""
+    if old_path is None or new_path is None:
+        return "-"
+    old_r = mean_rounds_to_coverage(load_probe(old_path))
+    new_r = mean_rounds_to_coverage(load_probe(new_path))
+    if old_r is None or new_r is None:
+        return "(no series)"
+    delta = ((new_r - old_r) / old_r * 100.0) if old_r > 0 else 0.0
+    return f"r90 {old_r:.1f} -> {new_r:.1f} ({delta:+.1f}%)"
 
 
 def payload_delta(old: dict, new: dict) -> list[str]:
@@ -75,17 +141,27 @@ def main() -> int:
                              "percent (default: %(default)s)")
     parser.add_argument("--require-payload-match", action="store_true",
                         help="fail when the deterministic payload changed")
+    parser.add_argument("--probe", action="append", metavar="SERIES.jsonl",
+                        help="per-round coverage series (probe JSONL), one "
+                             "per record in the same order; adds a "
+                             "coverage-vs-round trend column")
     args = parser.parse_args()
     if len(args.records) < 2:
         parser.error("need at least two records to trend")
+    if args.probe and len(args.probe) != len(args.records):
+        parser.error(f"--probe given {len(args.probe)} time(s) for "
+                     f"{len(args.records)} records; pass one per record")
 
     by_scenario: dict[str, list[dict]] = {}
-    for path in args.records:
+    for i, path in enumerate(args.records):
         record = load_record(path)
+        record["_probe"] = args.probe[i] if args.probe else None
         by_scenario.setdefault(record["scenario"], []).append(record)
 
     failures = []
     header = f"{'scenario':<22} {'base s':>9} {'new s':>9} {'delta':>8}  payload"
+    if args.probe:
+        header += f"  {'coverage (rounds to 90%)'}"
     print(header)
     print("-" * len(header))
     for scenario, records in sorted(by_scenario.items()):
@@ -99,8 +175,11 @@ def main() -> int:
         delta_pct = ((new_s - old_s) / old_s * 100.0) if old_s > 0 else 0.0
         deltas = payload_delta(payload(old), payload(new))
         payload_txt = "identical" if not deltas else "; ".join(deltas)
-        print(f"{scenario:<22} {old_s:>9.3f} {new_s:>9.3f} {delta_pct:>+7.1f}%"
-              f"  {payload_txt}")
+        line = (f"{scenario:<22} {old_s:>9.3f} {new_s:>9.3f} "
+                f"{delta_pct:>+7.1f}%  {payload_txt}")
+        if args.probe:
+            line += f"  {coverage_trend(old['_probe'], new['_probe'])}"
+        print(line)
         if delta_pct > args.max_regress:
             failures.append(f"{scenario}: wall time regressed "
                             f"{delta_pct:+.1f}% (> {args.max_regress}%)")
