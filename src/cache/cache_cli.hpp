@@ -1,0 +1,19 @@
+// `dyngossip cache <info|verify|gc>` — operator tooling for the
+// content-addressed result cache (cache/result_cache.hpp).
+//
+//   info    entry count, byte size, staging files, index presence
+//   verify  walk every entry and report exactly which would miss and why
+//           (exit 1 when any entry is corrupt — the CI cleanliness gate)
+//   gc      remove staging files and corrupt entries (--all: everything),
+//           then rewrite the index
+//
+// All three take --dir=PATH (required) and --json.
+#pragma once
+
+namespace dyngossip {
+
+/// Entry point for the `cache` command (argv starting at the program name,
+/// argv[1] == "cache").  Returns a process exit code.
+[[nodiscard]] int cache_main(int argc, const char* const* argv);
+
+}  // namespace dyngossip

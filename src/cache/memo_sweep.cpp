@@ -1,0 +1,79 @@
+#include "cache/memo_sweep.hpp"
+
+#include <utility>
+
+#include "sim/runner/parallel.hpp"
+#include "sim/runner/shard_schedule.hpp"
+
+namespace dyngossip {
+
+bool cacheable_adversary_family(const std::string& family) noexcept {
+  return family != "trace" && family != "scripted" && family != "smoothed" &&
+         family != "lb";
+}
+
+RunKey make_run_key(std::string algo, std::string adversary, std::string fault,
+                    std::size_t n, std::uint32_t k, std::size_t sources,
+                    Round cap, std::uint64_t seed) {
+  RunKey key;
+  key.algo = std::move(algo);
+  key.adversary = std::move(adversary);
+  key.fault = std::move(fault);
+  key.n = n;
+  key.k = k;
+  key.sources = sources;
+  key.cap = cap;
+  key.seed = seed;
+  return key;
+}
+
+std::vector<MemoOutcome> memoized_sweep(const std::vector<KeyedTrial>& trials,
+                                        ResultCache* cache, ThreadPool& pool) {
+  std::vector<MemoOutcome> out(trials.size());
+  std::vector<std::size_t> misses;
+  misses.reserve(trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (cache != nullptr && trials[i].cacheable) {
+      if (std::optional<CachedResult> hit = cache->lookup(trials[i].key)) {
+        out[i].row = *hit;
+        out[i].from_cache = true;
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  // One parallelism axis, decided over the trials that actually run: fan
+  // misses across the pool when they can fill it, otherwise run them
+  // serially here and let each engine shard its rounds across the pool.
+  // Either axis is bit-identical (the shard_schedule invariant), so a warm
+  // run flipping the decision never changes the rows.
+  ThreadPool* engine_pool =
+      prefer_intra_round_sharding(misses.size(), pool) ? &pool : nullptr;
+  JobBatch batch;
+  for (const std::size_t idx : misses) {
+    batch.add([&out, &trials, engine_pool, idx] {
+      out[idx].row = trials[idx].run(engine_pool);
+    });
+  }
+  if (engine_pool != nullptr) {
+    for (std::size_t j = 0; j < batch.size(); ++j) batch.run_job(j);
+  } else {
+    batch.run(pool);
+  }
+
+  if (cache != nullptr) {
+    bool stored = false;
+    for (const std::size_t idx : misses) {
+      const KeyedTrial& trial = trials[idx];
+      if (trial.cacheable && cache_should_store(out[idx].row.metrics.status)) {
+        cache->store(trial.key, out[idx].row);
+        stored = true;
+      }
+    }
+    if (stored) cache->write_index();
+  }
+  return out;
+}
+
+}  // namespace dyngossip

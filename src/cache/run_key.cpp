@@ -1,0 +1,37 @@
+#include "cache/run_key.hpp"
+
+#include "common/provenance.hpp"
+
+namespace dyngossip {
+
+RunKey::RunKey() : schema(kCacheSchemaVersion) {}
+
+std::string RunKey::canonical_text() const {
+  std::string text = "dg" + std::to_string(schema);
+  text += "|algo=" + algo;
+  text += "|adv=" + adversary;
+  text += "|fault=" + fault;
+  text += "|n=" + std::to_string(n);
+  text += "|k=" + std::to_string(k);
+  text += "|s=" + std::to_string(sources);
+  text += "|cap=" + std::to_string(cap);
+  text += "|seed=" + std::to_string(seed);
+  return text;
+}
+
+std::uint64_t RunKey::digest() const { return fnv1a64(canonical_text()); }
+
+bool operator==(const RunKey& a, const RunKey& b) {
+  return a.canonical_text() == b.canonical_text();
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace dyngossip

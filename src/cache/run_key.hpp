@@ -1,0 +1,59 @@
+// RunKey — the canonical identity of one deterministic trial.
+//
+// Every experiment in this repo is a pure function of canonical spec
+// strings: (algo spec × adversary spec × fault spec × n, k, sources, cap ×
+// trial seed) fully determines the run's payload checksum, verified
+// bit-for-bit by the trace/axis/fault identity gates since PRs 3–7.  A
+// RunKey spells that tuple out once, canonically (specs rendered by their
+// registries' to_string, so `churn:rate=0.5` typed by a user and the same
+// spec built through setters key identically), prefixed with the cache
+// schema version from common/provenance — entries written by another cache
+// generation can never be returned for a current key.
+//
+// The content address is a 64-bit FNV-1a digest of the canonical text.  The
+// digest names the on-disk entry; the entry stores the full text, and every
+// lookup compares it byte-for-byte, so a digest collision degrades to a
+// miss, never to a wrong row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// Identity of one trial.  Specs are canonical registry renderings
+/// (AlgoSpec/AdversarySpec/FaultSpec::to_string()); `seed` is the trial
+/// seed handed to the adversary/fault/algorithm builders.
+struct RunKey {
+  std::string algo;       ///< canonical algorithm spec
+  std::string adversary;  ///< canonical adversary spec
+  std::string fault;      ///< canonical fault spec ("fault" when inactive)
+  std::size_t n = 0;
+  std::uint32_t k = 0;
+  std::size_t sources = 0;
+  Round cap = 0;          ///< effective round cap (0: the 200·n·k default)
+  std::uint64_t seed = 0;
+  /// Cache generation the key addresses; defaults to this binary's
+  /// kCacheSchemaVersion.  Tests pin foreign versions to prove mismatch
+  /// behaviour.
+  std::uint32_t schema;
+
+  RunKey();
+
+  /// The canonical single-line rendering, e.g.
+  /// "dg1|algo=single_source|adv=churn:churn=3,edges=72|fault=fault|n=24|
+  ///  k=48|s=4|cap=46080|seed=9313".
+  [[nodiscard]] std::string canonical_text() const;
+
+  /// FNV-1a 64-bit digest of canonical_text() — the entry's content address.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+[[nodiscard]] bool operator==(const RunKey& a, const RunKey& b);
+
+/// FNV-1a 64-bit over arbitrary bytes (exposed for tests).
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
+
+}  // namespace dyngossip

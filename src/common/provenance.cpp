@@ -54,7 +54,7 @@ std::string version_line() {
   std::string line = "dyngossip " + p.git_describe + " (" + p.compiler + ", " +
                      p.build_type;
   if (!p.sanitize.empty()) line += ", sanitize=" + p.sanitize;
-  line += ")";
+  line += ", cache-schema=" + std::to_string(kCacheSchemaVersion) + ")";
   return line;
 }
 

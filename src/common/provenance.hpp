@@ -11,6 +11,7 @@
 // metadata string.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace dyngossip {
@@ -25,6 +26,16 @@ struct Provenance {
 
 /// The provenance of this binary.
 [[nodiscard]] const Provenance& build_provenance();
+
+/// Result-cache generation this binary reads and writes (src/cache/).  Bump
+/// whenever a change alters what a cached row means — the RunKey grammar,
+/// the serialized entry fields, or any engine change that can move a
+/// deterministic run's payload checksum.  The version is folded into every
+/// RunKey, so entries from another generation simply miss (never corrupt a
+/// read), and it rides in `dyngossip version` and scenario JSON
+/// `.run.build` so provenance identifies which cache generation produced a
+/// row.
+inline constexpr std::uint32_t kCacheSchemaVersion = 1;
 
 /// One space-free token for trace metadata (`build=` values cannot contain
 /// spaces): "<git>+<compiler>+<build_type>[+<sanitize>]".

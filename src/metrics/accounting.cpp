@@ -1,5 +1,7 @@
 #include "metrics/accounting.hpp"
 
+#include <string>
+
 namespace dyngossip {
 
 const char* run_status_name(RunStatus status) noexcept {
@@ -16,6 +18,19 @@ const char* run_status_name(RunStatus status) noexcept {
       return "timeout";
   }
   return "unknown";
+}
+
+bool run_status_from_name(const std::string& name, RunStatus* out) noexcept {
+  static constexpr RunStatus kAll[] = {RunStatus::kCompleted, RunStatus::kRoundCap,
+                                       RunStatus::kStalled, RunStatus::kAllDown,
+                                       RunStatus::kTimeout};
+  for (const RunStatus status : kAll) {
+    if (name == run_status_name(status)) {
+      *out = status;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace dyngossip

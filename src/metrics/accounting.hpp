@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "engine/message.hpp"
 
@@ -75,6 +76,11 @@ enum class RunStatus : std::uint8_t {
 
 /// Stable lower_snake name ("completed", "round_cap", ...) for tables/JSON.
 [[nodiscard]] const char* run_status_name(RunStatus status) noexcept;
+
+/// Inverse of run_status_name; returns false on an unknown name (cache
+/// entries from a foreign or corrupted file must miss, not abort).
+[[nodiscard]] bool run_status_from_name(const std::string& name,
+                                        RunStatus* out) noexcept;
 
 /// Everything one simulation run measures.
 struct RunMetrics {

@@ -4,10 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "cache/memo_sweep.hpp"
 #include "common/table.hpp"
 #include "fault/fault_plan.hpp"
-#include "sim/runner/parallel.hpp"
-#include "sim/runner/shard_schedule.hpp"
 #include "telemetry/round_probe.hpp"
 #include "trace/run_payload.hpp"
 #include "trace/trace_reader.hpp"
@@ -149,20 +148,9 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
   }
   const std::size_t trials = ctx.trials_or(1);
 
-  struct TrialOut {
-    std::uint64_t k = 0;
-    bool ok = false;
-    double msgs = 0, tc = 0, residual = 0, rounds = 0;
-    RunStatus status = RunStatus::kRoundCap;
-    double coverage = 0;
-    std::uint64_t checksum = 0;
-    RunMetrics metrics;  ///< full totals for the probe reconciliation row
-  };
-  std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(trials));
-
   // Observer plane: one pre-allocated probe per trial (jobs fill their own
   // slot, so pool workers never contend), registered with the sink in
-  // deterministic row/trial order after the batch.
+  // deterministic row/trial order after the sweep.
   ProbeSink* const sink = ctx.probe_sink();
   TimelineRecorder* const timeline = ctx.timeline();
   std::vector<RoundProbe> probes;
@@ -170,20 +158,28 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
     probes.assign(rows.size() * trials, RoundProbe(sink->spec().every));
   }
 
-  // One parallelism axis per table (the pool is a leaf executor): fan
-  // trials across the pool when they can fill it, otherwise run trials
-  // serially here and let each engine shard its rounds across the pool.
-  ThreadPool* engine_pool = prefer_intra_round_sharding(rows.size() * trials,
-                                                        ctx.pool())
-                                ? &ctx.pool()
-                                : nullptr;
-  JobBatch batch;
+  // Keyed trials for the memoized sweep scheduler: each trial's identity is
+  // its canonical (algo × adversary × fault × shape × seed) tuple, so a
+  // warm re-run serves rows straight from the cache.  Attached observers
+  // force cold runs (series must cover every trial); file-backed adversary
+  // families are never cacheable (the key cannot pin the file's content).
+  const std::string fault_text = axes.fault_spec().to_string();
+  std::vector<KeyedTrial> sweep;
+  sweep.reserve(rows.size() * trials);
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < trials; ++i) {
-      batch.add([&out, &rows, &axes, &algo, &probes, sink, timeline, seed_base,
-                 engine_pool, trials, r, i] {
+      const AxisRowSpec& row = rows[r];
+      const std::uint64_t seed = seed_base + 37 * row.n + i;
+      const AdversarySpec& adv =
+          axes.adversary_overridden() ? axes.adversary_spec() : row.def;
+      KeyedTrial trial;
+      trial.key = make_run_key(algo_text, adv.to_string(), fault_text, row.n,
+                               row.k, row.sources, row.cap, seed);
+      trial.cacheable = sink == nullptr && timeline == nullptr &&
+                        cacheable_adversary_family(adv.family);
+      trial.run = [&rows, &axes, &algo, &probes, sink, timeline, trials, seed,
+                   r, i](ThreadPool* engine_pool) {
         const AxisRowSpec& row = rows[r];
-        const std::uint64_t seed = seed_base + 37 * row.n + i;
         // Row default consulted only when the adversary axis is NOT
         // overridden (i.e. an --algo-only run over the scenario's own
         // schedule family).
@@ -205,26 +201,13 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
         if (sink != nullptr) actx.telemetry.probe = &probes[r * trials + i];
         actx.telemetry.timeline = timeline;
         const RunResult res = run_algo(algo, actx, *adversary);
-        TrialOut& t = out[r][i];
-        t.k = actx.k_realized;
-        t.ok = res.completed;
-        t.msgs = static_cast<double>(res.metrics.total_messages());
-        t.tc = static_cast<double>(res.metrics.tc);
-        t.residual = res.metrics.competitive_residual(1.0);
-        t.rounds = static_cast<double>(res.rounds);
-        t.status = res.metrics.status;
-        t.coverage = res.metrics.coverage;
-        t.checksum = run_payload_checksum(row.n, actx.k_realized, res);
-        t.metrics = res.metrics;
-      });
+        return make_cached_result(row.n, actx.k_realized, res);
+      };
+      sweep.push_back(std::move(trial));
     }
   }
-  if (engine_pool != nullptr) {
-    // Serial trial loop on this (non-pool) thread; engines own the pool.
-    for (std::size_t j = 0; j < batch.size(); ++j) batch.run_job(j);
-  } else {
-    batch.run(ctx.pool());
-  }
+  const std::vector<MemoOutcome> out =
+      memoized_sweep(sweep, ctx.cache(), ctx.pool());
 
   ScenarioTable table;
   table.title =
@@ -245,14 +228,17 @@ ScenarioTable run_axes_table(const ScenarioContext& ctx, const RunAxes& axes,
                                            ? axes.adversary_label()
                                            : rows[r].def.to_string();
     for (std::size_t i = 0; i < trials; ++i) {
-      const TrialOut& t = out[r][i];
+      const CachedResult& t = out[r * trials + i].row;
       table.rows.push_back(
           {adversary_text, algo_text, std::to_string(rows[r].n),
-           std::to_string(t.k), std::to_string(i), t.ok ? "yes" : "no",
-           TablePrinter::num(t.msgs, 0), TablePrinter::num(t.tc, 0),
-           TablePrinter::num(t.residual, 0), TablePrinter::num(t.rounds, 0),
-           run_status_name(t.status), TablePrinter::num(t.coverage, 4),
-           checksum_hex(t.checksum)});
+           std::to_string(t.k_realized), std::to_string(i),
+           t.metrics.completed ? "yes" : "no",
+           TablePrinter::num(static_cast<double>(t.metrics.total_messages()), 0),
+           TablePrinter::num(static_cast<double>(t.metrics.tc), 0),
+           TablePrinter::num(t.metrics.competitive_residual(1.0), 0),
+           TablePrinter::num(static_cast<double>(t.metrics.rounds), 0),
+           run_status_name(t.metrics.status),
+           TablePrinter::num(t.metrics.coverage, 4), checksum_hex(t.checksum)});
       if (sink != nullptr) {
         sink->add_series(algo_text + " " + adversary_text +
                              " n=" + std::to_string(rows[r].n) +

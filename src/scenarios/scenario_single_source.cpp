@@ -13,13 +13,13 @@
 #include <memory>
 #include <vector>
 
+#include "cache/memo_sweep.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "fault/fault_spec.hpp"
 #include "scenarios/run_axes.hpp"
 #include "scenarios/scenarios.hpp"
 #include "sim/bounds.hpp"
-#include "sim/runner/parallel.hpp"
-#include "sim/runner/shard_schedule.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/round_probe.hpp"
 
@@ -56,33 +56,15 @@ AdversarySpec case_spec(const Case& c, std::size_t n, std::size_t target_edges) 
   return spec;
 }
 
-struct TrialOut {
-  bool ok = false;
-  double tokens = 0, completeness = 0, requests = 0, tc = 0;
-  double residual = 0, norm = 0, rounds = 0;
-  RunMetrics metrics;  ///< full totals for the probe reconciliation row
-};
-
-TrialOut run_trial(const Case& c, std::size_t n, std::uint32_t k, Round cap,
-                   std::size_t target_edges, std::uint64_t seed,
-                   ThreadPool* engine_pool, Telemetry telemetry) {
+CachedResult run_trial(const Case& c, std::size_t n, std::uint32_t k,
+                       Round horizon, std::size_t target_edges,
+                       std::uint64_t seed, ThreadPool* engine_pool,
+                       Telemetry telemetry) {
   const std::unique_ptr<Adversary> adversary =
       build_adversary(case_spec(c, n, target_edges), n, seed);
-  // p=1 never completes: evaluate the bound on a shorter horizon.
-  const Round horizon = c.cut_p >= 1.0 ? static_cast<Round>(50 * n) : cap;
   const RunResult r = run_single_source(n, k, 0, *adversary, horizon,
                                         engine_pool, nullptr, 0.0, telemetry);
-  TrialOut out;
-  out.tokens = static_cast<double>(r.metrics.unicast.token);
-  out.completeness = static_cast<double>(r.metrics.unicast.completeness);
-  out.requests = static_cast<double>(r.metrics.unicast.request);
-  out.tc = static_cast<double>(r.metrics.tc);
-  out.residual = r.metrics.competitive_residual(1.0);
-  out.norm = out.residual / bounds::single_source_messages(n, k);
-  out.rounds = static_cast<double>(r.rounds);
-  out.ok = r.completed;
-  out.metrics = r.metrics;
-  return out;
+  return make_cached_result(n, k, r);
 }
 
 ScenarioResult run(const ScenarioContext& ctx) {
@@ -146,17 +128,8 @@ ScenarioResult run(const ScenarioContext& ctx) {
     }
   }
 
-  // One parallelism axis (the pool is a leaf executor): trial jobs when
-  // they can fill the pool, intra-round engine sharding otherwise (the
-  // large/xlarge one-trial grids).
-  ThreadPool* engine_pool =
-      prefer_intra_round_sharding(rows.size() * seeds, ctx.pool())
-          ? &ctx.pool()
-          : nullptr;
-  std::vector<std::vector<TrialOut>> out(rows.size(), std::vector<TrialOut>(seeds));
-
   // Observer plane: one pre-allocated probe per trial, registered with the
-  // sink in deterministic row/trial order after the batch.
+  // sink in deterministic row/trial order after the sweep.
   ProbeSink* const sink = ctx.probe_sink();
   TimelineRecorder* const timeline = ctx.timeline();
   std::vector<RoundProbe> probes;
@@ -164,26 +137,40 @@ ScenarioResult run(const ScenarioContext& ctx) {
     probes.assign(rows.size() * seeds, RoundProbe(sink->spec().every));
   }
 
-  JobBatch batch;
+  // The memoized sweep: every trial is keyed by its canonical
+  // (algo × adversary × shape × seed) tuple, so a --cache= re-run serves
+  // the grid from disk and skips straight to aggregation.  Attached
+  // observers force cold runs (series must cover every trial).
+  const std::string fault_text = FaultSpec{}.to_string();
+  std::vector<KeyedTrial> sweep;
+  sweep.reserve(rows.size() * seeds);
   for (std::size_t r = 0; r < rows.size(); ++r) {
     for (std::size_t i = 0; i < seeds; ++i) {
-      batch.add([&out, &rows, &probes, sink, timeline, engine_pool, seeds, r,
-                 i] {
+      const RowSpec& spec = rows[r];
+      const std::uint64_t seed = 9'000 + 13 * spec.n + i;
+      // p=1 never completes: evaluate the bound on a shorter horizon (the
+      // horizon the trial really runs is what the key must pin).
+      const Round horizon =
+          spec.c.cut_p >= 1.0 ? static_cast<Round>(50 * spec.n) : spec.cap;
+      KeyedTrial trial;
+      trial.key = make_run_key(
+          "single_source", case_spec(spec.c, spec.n, spec.target_edges).to_string(),
+          fault_text, spec.n, spec.k, 1, horizon, seed);
+      trial.cacheable = sink == nullptr && timeline == nullptr;
+      trial.run = [&rows, &probes, sink, timeline, seeds, seed, horizon, r,
+                   i](ThreadPool* engine_pool) {
         const RowSpec& spec = rows[r];
-        const std::uint64_t seed = 9'000 + 13 * spec.n + i;
         Telemetry telemetry;
         if (sink != nullptr) telemetry.probe = &probes[r * seeds + i];
         telemetry.timeline = timeline;
-        out[r][i] = run_trial(spec.c, spec.n, spec.k, spec.cap,
-                              spec.target_edges, seed, engine_pool, telemetry);
-      });
+        return run_trial(spec.c, spec.n, spec.k, horizon, spec.target_edges,
+                         seed, engine_pool, telemetry);
+      };
+      sweep.push_back(std::move(trial));
     }
   }
-  if (engine_pool != nullptr) {
-    for (std::size_t j = 0; j < batch.size(); ++j) batch.run_job(j);
-  } else {
-    batch.run(ctx.pool());
-  }
+  const std::vector<MemoOutcome> out =
+      memoized_sweep(sweep, ctx.cache(), ctx.pool());
 
   ScenarioTable table;
   table.title =
@@ -202,20 +189,21 @@ ScenarioResult run(const ScenarioContext& ctx) {
     RunningStat tokens, completeness, requests, tc, residual, norm, rounds;
     std::size_t completed = 0;
     for (std::size_t i = 0; i < seeds; ++i) {
-      const TrialOut& t = out[r][i];
-      tokens.add(t.tokens);
-      completeness.add(t.completeness);
-      requests.add(t.requests);
-      tc.add(t.tc);
-      residual.add(t.residual);
-      norm.add(t.norm);
-      rounds.add(t.rounds);
-      completed += t.ok ? 1 : 0;
+      const RunMetrics& m = out[r * seeds + i].row.metrics;
+      tokens.add(static_cast<double>(m.unicast.token));
+      completeness.add(static_cast<double>(m.unicast.completeness));
+      requests.add(static_cast<double>(m.unicast.request));
+      tc.add(static_cast<double>(m.tc));
+      const double res = m.competitive_residual(1.0);
+      residual.add(res);
+      norm.add(res / bounds::single_source_messages(spec.n, spec.k));
+      rounds.add(static_cast<double>(m.rounds));
+      completed += m.completed ? 1 : 0;
       if (sink != nullptr) {
         sink->add_series("single_source " + std::string(spec.c.name) +
                              " n=" + std::to_string(spec.n) +
                              " trial=" + std::to_string(i),
-                         probes[r * seeds + i].samples(), t.metrics);
+                         probes[r * seeds + i].samples(), m);
       }
     }
     table.rows.push_back(

@@ -1,0 +1,11 @@
+// `dyngossip serve` / `dyngossip request` — the unix-socket transport
+// around serve/server.hpp (protocol in serve/protocol.hpp).
+#pragma once
+
+namespace dyngossip {
+
+/// Entry point for the `serve` and `request` commands (argv starting at the
+/// program name, argv[1] selecting which).  Returns a process exit code.
+[[nodiscard]] int serve_main(int argc, const char* const* argv);
+
+}  // namespace dyngossip

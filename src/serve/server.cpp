@@ -1,0 +1,254 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "adversary/registry.hpp"
+#include "algo/registry.hpp"
+#include "cache/memo_sweep.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_spec.hpp"
+
+namespace dyngossip {
+
+std::uint64_t FairScheduler::open_session() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  queues_.emplace_back(id, std::deque<std::function<void()>>());
+  return id;
+}
+
+void FairScheduler::close_session(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].first != session) continue;
+    if (!queues_[i].second.empty()) {
+      // Still-queued trials may be deduped onto by other sessions; keep the
+      // queue in the rotation until its tickets drain it, then let next()
+      // retire it.
+      closing_.insert(session);
+      return;
+    }
+    queues_.erase(queues_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (rr_ > i) --rr_;
+    if (!queues_.empty()) rr_ %= queues_.size();
+    return;
+  }
+}
+
+void FairScheduler::enqueue(std::uint64_t session,
+                            std::function<void()> trial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, queue] : queues_) {
+    if (id == session) {
+      queue.push_back(std::move(trial));
+      return;
+    }
+  }
+}
+
+std::function<void()> FairScheduler::next() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retire queues whose session closed after they drained.
+  for (std::size_t i = 0; i < queues_.size();) {
+    if (queues_[i].second.empty() && closing_.count(queues_[i].first) != 0) {
+      closing_.erase(queues_[i].first);
+      queues_.erase(queues_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (rr_ > i) --rr_;
+    } else {
+      ++i;
+    }
+  }
+  if (queues_.empty()) return {};
+  rr_ %= queues_.size();
+  // One full rotation starting at the cursor: the first session with work
+  // wins, and the cursor moves past it so its siblings go first next time.
+  for (std::size_t step = 0; step < queues_.size(); ++step) {
+    const std::size_t at = (rr_ + step) % queues_.size();
+    if (queues_[at].second.empty()) continue;
+    std::function<void()> trial = std::move(queues_[at].second.front());
+    queues_[at].second.pop_front();
+    rr_ = (at + 1) % queues_.size();
+    return trial;
+  }
+  return {};
+}
+
+namespace {
+
+/// Validates + canonicalizes the request's spec strings so cache keys match
+/// the `dyngossip run` tables byte-for-byte.  Throws with a client-facing
+/// message.
+struct ResolvedSweep {
+  AlgoSpec algo;
+  AdversarySpec adversary;
+  FaultSpec fault;
+  std::string algo_text;
+  std::string adversary_text;
+  std::string fault_text;
+};
+
+[[nodiscard]] ResolvedSweep resolve_sweep(const SweepRequest& req) {
+  ResolvedSweep r;
+  r.algo = AlgoSpec::parse(req.algo);
+  AlgoRegistry::global().validate(r.algo);
+  r.adversary = AdversarySpec::parse(req.adversary);
+  AdversaryRegistry::global().validate(r.adversary);
+  r.fault = FaultSpec::parse(req.fault);
+  std::string why;
+  if (!algo_schedule_compatible(*AlgoRegistry::global().find(r.algo.family),
+                                r.adversary, &why)) {
+    throw AlgoSpecError(why);
+  }
+  r.algo_text = r.algo.to_string();
+  r.adversary_text = r.adversary.to_string();
+  r.fault_text = r.fault.to_string();
+  return r;
+}
+
+}  // namespace
+
+void SweepService::run_sweep(
+    const SweepRequest& req,
+    const std::function<void(const std::string&)>& emit) {
+  ResolvedSweep sweep;
+  try {
+    sweep = resolve_sweep(req);
+  } catch (const std::exception& e) {
+    emit(encode_error(e.what()));
+    return;
+  }
+  const bool cacheable = cacheable_adversary_family(sweep.adversary.family);
+
+  // One slot per trial, resolved in admission order.  `pending` is null for
+  // rows served straight from the cache.
+  struct Slot {
+    std::uint64_t seed = 0;
+    bool cached = false;
+    std::shared_ptr<Pending> pending;
+    CachedResult row;
+  };
+  std::vector<Slot> slots(req.trials);
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  const std::uint64_t session = scheduler_.open_session();
+
+  for (std::size_t i = 0; i < req.trials; ++i) {
+    Slot& slot = slots[i];
+    slot.seed = req.seed_base + i;
+    const RunKey key =
+        make_run_key(sweep.algo_text, sweep.adversary_text, sweep.fault_text,
+                     req.n, req.k, req.sources, req.cap, slot.seed);
+
+    if (cacheable && cache_ != nullptr) {
+      if (std::optional<CachedResult> hit = cache_->lookup(key)) {
+        slot.row = *hit;
+        slot.cached = true;
+        ++hits;
+        continue;
+      }
+    }
+
+    bool owner = true;
+    if (cacheable) {
+      // In-flight dedup: a second session requesting a key another session
+      // is already computing just waits on the same Pending — its row
+      // counts as a hit (it never re-ran).
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      const auto it = inflight_.find(key.digest());
+      if (it != inflight_.end() &&
+          it->second->key_text == key.canonical_text()) {
+        slot.pending = it->second;
+        slot.cached = true;
+        ++hits;
+        continue;
+      }
+      slot.pending = std::make_shared<Pending>();
+      slot.pending->key_text = key.canonical_text();
+      inflight_[key.digest()] = slot.pending;
+    } else {
+      slot.pending = std::make_shared<Pending>();
+      slot.pending->key_text = key.canonical_text();
+      owner = true;
+    }
+    ++misses;
+
+    const std::shared_ptr<Pending> pending = slot.pending;
+    const std::uint64_t digest = key.digest();
+    // The trial body (engines stay serial: the pool's workers are busy
+    // running tickets, so intra-round sharding would nest the pool).
+    scheduler_.enqueue(session, [this, pending, digest, sweep, req, cacheable,
+                                 seed = slot.seed, owner] {
+      CachedResult row;
+      std::string error;
+      try {
+        const std::unique_ptr<Adversary> adversary =
+            AdversaryRegistry::global().build(sweep.adversary, [&] {
+              AdversaryBuildContext actx;
+              actx.n = req.n;
+              actx.seed = seed;
+              return actx;
+            }());
+        FaultPlan plan(sweep.fault, req.n, seed);
+        AlgoBuildContext actx;
+        actx.n = req.n;
+        actx.k = req.k;
+        actx.sources = req.sources;
+        actx.cap = req.cap;
+        actx.seed = seed;
+        actx.engine_pool = nullptr;
+        actx.faults = &plan;
+        const RunResult res = run_algo(sweep.algo, actx, *adversary);
+        row = make_cached_result(req.n, actx.k_realized, res);
+        if (cacheable && cache_ != nullptr &&
+            cache_should_store(row.metrics.status)) {
+          RunKey key = make_run_key(sweep.algo_text, sweep.adversary_text,
+                                    sweep.fault_text, req.n, req.k,
+                                    req.sources, req.cap, seed);
+          cache_->store(key, row);
+        }
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+      if (cacheable && owner) {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        const auto it = inflight_.find(digest);
+        if (it != inflight_.end() && it->second == pending) {
+          inflight_.erase(it);
+        }
+      }
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->done = true;
+      pending->failed = !error.empty();
+      pending->error = error;
+      pending->row = row;
+      pending->cv.notify_all();
+    });
+    pool_.submit([this] {
+      if (std::function<void()> trial = scheduler_.next()) trial();
+    });
+  }
+
+  emit(encode_accepted(req));
+  for (std::size_t i = 0; i < req.trials; ++i) {
+    Slot& slot = slots[i];
+    if (slot.pending != nullptr) {
+      std::unique_lock<std::mutex> lock(slot.pending->mu);
+      slot.pending->cv.wait(lock, [&] { return slot.pending->done; });
+      if (slot.pending->failed) {
+        scheduler_.close_session(session);
+        emit(encode_error("trial " + std::to_string(i) + ": " +
+                          slot.pending->error));
+        return;
+      }
+      slot.row = slot.pending->row;
+    }
+    emit(encode_row(i, slot.seed, slot.cached, slot.row));
+  }
+  scheduler_.close_session(session);
+  if (cacheable && cache_ != nullptr && misses > 0) cache_->write_index();
+  emit(encode_done(hits, misses));
+}
+
+}  // namespace dyngossip

@@ -38,6 +38,16 @@ JsonValue scenario_result_to_json(const ScenarioResult& result, const RunInfo& i
                          : info.scale == ScenarioScale::kXLarge ? "xlarge"
                                                                 : "default"));
   run.set("elapsed_seconds", JsonValue::number(info.elapsed_seconds));
+  if (info.cache_attached) {
+    JsonValue cache = JsonValue::object();
+    cache.set("dir", JsonValue::str(info.cache_dir));
+    cache.set("hits", JsonValue::number(static_cast<double>(info.cache_hits)));
+    cache.set("misses",
+              JsonValue::number(static_cast<double>(info.cache_misses)));
+    cache.set("stores",
+              JsonValue::number(static_cast<double>(info.cache_stores)));
+    run.set("cache", std::move(cache));
+  }
   // Build provenance lives inside "run" so payload diffs (`jq 'del(.run)'`)
   // stay clean across toolchains while every emitted record still pins the
   // binary that produced it.
@@ -47,6 +57,8 @@ JsonValue scenario_result_to_json(const ScenarioResult& result, const RunInfo& i
   build.set("compiler", JsonValue::str(prov.compiler));
   build.set("build_type", JsonValue::str(prov.build_type));
   build.set("sanitize", JsonValue::str(prov.sanitize));
+  build.set("cache_schema",
+            JsonValue::number(static_cast<double>(kCacheSchemaVersion)));
   run.set("build", std::move(build));
   doc.set("run", std::move(run));
   return doc;

@@ -22,6 +22,14 @@ struct RunInfo {
   bool quick = false;
   ScenarioScale scale = ScenarioScale::kDefault;
   double elapsed_seconds = 0.0;
+  /// Result-cache counters for the --cache= axis (volatile: a warm and a
+  /// cold run differ here and nowhere else, which is why they live under
+  /// "run" and the byte-identity gate diffs `del(.run)`).
+  bool cache_attached = false;
+  std::string cache_dir;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_stores = 0;
 };
 
 /// Full run record: {"scenario", "tables": [...], "run": {...}}.

@@ -20,6 +20,7 @@
 namespace dyngossip {
 
 class ProbeSink;
+class ResultCache;
 class TimelineRecorder;
 
 /// One declared scenario parameter (documentation + CLI validation).
@@ -160,6 +161,14 @@ class ScenarioContext {
   [[nodiscard]] TimelineRecorder* timeline() const noexcept { return timeline_; }
   void set_timeline(TimelineRecorder* timeline) { timeline_ = timeline; }
 
+  /// Global --cache= axis: the content-addressed result cache consulted by
+  /// the memoized sweep scheduler (cache/memo_sweep.hpp), or null (the
+  /// default) for always-cold runs.  Attached observers force cold runs so
+  /// probe/timeline series stay complete; results are bit-identical either
+  /// way (the purity invariant the cache is built on).
+  [[nodiscard]] ResultCache* cache() const noexcept { return cache_; }
+  void set_cache(ResultCache* cache) { cache_ = cache; }
+
   /// Typed parameter access with defaults; exits with a message on a value
   /// that does not parse (mirrors CliArgs behaviour).
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
@@ -185,6 +194,7 @@ class ScenarioContext {
   double trial_timeout_ = 0.0;
   ProbeSink* probe_sink_ = nullptr;
   TimelineRecorder* timeline_ = nullptr;
+  ResultCache* cache_ = nullptr;
 };
 
 /// A registered experiment.

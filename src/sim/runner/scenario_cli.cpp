@@ -6,15 +6,19 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "adversary/churn.hpp"
 #include "adversary/registry.hpp"
 #include "algo/registry.hpp"
+#include "cache/cache_cli.hpp"
+#include "cache/result_cache.hpp"
 #include "common/cli.hpp"
 #include "common/provenance.hpp"
 #include "fault/fault_spec.hpp"
 #include "metrics/accounting.hpp"
+#include "serve/serve_cli.hpp"
 #include "sim/runner/demo_registry.hpp"
 #include "sim/runner/emit.hpp"
 #include "sim/runner/parallel_sweep.hpp"
@@ -64,12 +68,25 @@ constexpr const char* kUsage =
     "                    trial (see `probes`); never perturbs the run\n"
     "      --timeline=FILE  write a chrome://tracing / Perfetto trace of\n"
     "                    rounds, phases, shard jobs, and pool queue waits\n"
+    "      --cache=DIR   consult/fill the content-addressed result cache:\n"
+    "                    warm re-runs serve trials from disk and skip to\n"
+    "                    aggregation, byte-identical to a cold run\n"
     "      --<param>=v   scenario-specific parameter (see `list`)\n"
     "  demo <name> [flags]           run a narrated end-to-end demo\n"
     "      (see `dyngossip demo` for the catalogue)\n"
     "  trace <record|replay|info|gen> [flags]\n"
     "                                record, replay, inspect, or synthesize\n"
     "                                dynamic-network traces (.dgt / .jsonl)\n"
+    "  cache <info|verify|gc> --dir=PATH [--json] [--all]\n"
+    "                                inspect, validate, or prune the\n"
+    "                                content-addressed result cache\n"
+    "  serve --socket=PATH [flags]   long-running sweep service: accepts\n"
+    "                                line-JSON sweep requests on a unix\n"
+    "                                socket, schedules trials fairly across\n"
+    "                                clients, streams result rows, shares\n"
+    "                                the result cache\n"
+    "  request --socket=PATH [flags] submit one sweep to a running server\n"
+    "                                and print the streamed rows\n"
     "  speedup [--threads=N] [--trials=T] [--n=SIZE] [--min=X]\n"
     "                                time serial vs parallel sweep, verify\n"
     "                                bit-identity, print the ratio as JSON\n";
@@ -335,6 +352,8 @@ int cmd_version(const CliArgs& args) {
     doc.set("compiler", JsonValue::str(prov.compiler));
     doc.set("build_type", JsonValue::str(prov.build_type));
     doc.set("sanitize", JsonValue::str(prov.sanitize));
+    doc.set("cache_schema",
+            JsonValue::number(static_cast<double>(kCacheSchemaVersion)));
     std::cout << doc.dump(2) << "\n";
     return 0;
   }
@@ -457,9 +476,27 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
     }
   }
 
+  // The global --cache= axis: a content-addressed result cache directory
+  // (created if needed).  Opened up front so an unusable path dies as a
+  // flag error before any run starts.
+  std::unique_ptr<ResultCache> cache;
+  if (args.has("cache")) {
+    const std::string dir = args.get_string("cache", "");
+    if (dir.empty()) {
+      std::fprintf(stderr, "--cache requires a directory path\n");
+      return 2;
+    }
+    try {
+      cache = std::make_unique<ResultCache>(dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
   std::vector<std::string> allowed = {"threads", "trials",  "scale",
                                       "quick",   "csv",     "json",
-                                      "probe",   "timeline"};
+                                      "probe",   "timeline", "cache"};
   for (const ParamSpec& p : scenario->params) allowed.push_back(p.name);
   args.allow_only(allowed, "dyngossip run " + name +
                                " [--threads=N] [--trials=T] [--scale=S]"
@@ -514,6 +551,7 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
     ctx.set_timeline(&recorder);
     pool.set_timeline(&recorder);
   }
+  if (cache != nullptr) ctx.set_cache(cache.get());
   const auto start = std::chrono::steady_clock::now();
   ScenarioResult result;
   try {
@@ -537,6 +575,17 @@ int run_one_scenario(ScenarioRegistry& registry, const std::string& name,
   info.quick = scale == ScenarioScale::kQuick;
   info.scale = scale;
   info.elapsed_seconds = seconds_since(start);
+  if (cache != nullptr) {
+    const CacheStats stats = cache->stats();
+    info.cache_attached = true;
+    info.cache_dir = cache->dir();
+    info.cache_hits = stats.hits;
+    info.cache_misses = stats.misses;
+    info.cache_stores = stats.stores;
+    std::fprintf(stderr, "[dyngossip] cache: %zu hit(s), %zu miss(es), "
+                 "%zu store(s) -> %s\n",
+                 stats.hits, stats.misses, stats.stores, cache->dir().c_str());
+  }
 
   if (probe_on) {
     const std::string error = sink.write();
@@ -776,6 +825,12 @@ int dyngossip_main(ScenarioRegistry& registry, int argc, const char* const* argv
   }
   if (command == "trace") {
     return trace_main(argc, argv);
+  }
+  if (command == "cache") {
+    return cache_main(argc, argv);
+  }
+  if (command == "serve" || command == "request") {
+    return serve_main(argc, argv);
   }
   if (command == "speedup") {
     std::vector<const char*> rest = {program};

@@ -1,0 +1,128 @@
+// RunKey canonicalization: spec round-trip equivalence (a typed spec and
+// the same spec built through setters key identically), fault/no-fault
+// distinction, and schema-generation separation.
+#include "cache/run_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/registry.hpp"
+#include "algo/registry.hpp"
+#include "cache/memo_sweep.hpp"
+#include "common/provenance.hpp"
+#include "fault/fault_spec.hpp"
+
+namespace dyngossip {
+namespace {
+
+RunKey sample_key() {
+  return make_run_key("single_source", "churn:rate=0.5", "fault", 64, 8, 4,
+                      1'000, 42);
+}
+
+TEST(RunKeyCanonical, TextSpellsOutEveryAxisWithSchemaPrefix) {
+  const RunKey key = sample_key();
+  EXPECT_EQ(key.canonical_text(),
+            "dg" + std::to_string(kCacheSchemaVersion) +
+                "|algo=single_source|adv=churn:rate=0.5|fault=fault|n=64|k=8"
+                "|s=4|cap=1000|seed=42");
+}
+
+TEST(RunKeyCanonical, SchemaDefaultsToThisBinarysGeneration) {
+  EXPECT_EQ(RunKey().schema, kCacheSchemaVersion);
+  EXPECT_EQ(sample_key().schema, kCacheSchemaVersion);
+}
+
+TEST(RunKeyCanonical, ParsedAndSetterBuiltSpecsKeyIdentically) {
+  // A user typing `churn:sigma=3,rate=0.5` and a scenario building the same
+  // spec programmatically (different param order) must hit the same entry.
+  const AdversarySpec typed = AdversarySpec::parse("churn:sigma=3,rate=0.5");
+  AdversarySpec built;
+  built.family = "churn";
+  built.set("rate", "0.5").set("sigma", std::uint64_t{3});
+  EXPECT_EQ(typed.to_string(), built.to_string());
+
+  const RunKey a = make_run_key("single_source", typed.to_string(), "fault",
+                                64, 8, 4, 0, 7);
+  const RunKey b = make_run_key("single_source", built.to_string(), "fault",
+                                64, 8, 4, 0, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.canonical_text(), b.canonical_text());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(RunKeyCanonical, AlgoSpecRoundTripKeysIdentically) {
+  const AlgoSpec typed = AlgoSpec::parse("single_source");
+  const AlgoSpec reparsed = AlgoSpec::parse(typed.to_string());
+  EXPECT_EQ(typed.to_string(), reparsed.to_string());
+}
+
+TEST(RunKeyCanonical, FaultAndNoFaultKeysAreDistinct) {
+  const std::string inactive = FaultSpec{}.to_string();
+  const std::string active =
+      FaultSpec::parse("fault:drop=0.1,seed=5").to_string();
+  ASSERT_NE(inactive, active);
+  const RunKey plain = make_run_key("single_source", "churn:rate=0.5",
+                                    inactive, 64, 8, 4, 0, 7);
+  const RunKey faulty = make_run_key("single_source", "churn:rate=0.5",
+                                     active, 64, 8, 4, 0, 7);
+  EXPECT_FALSE(plain == faulty);
+  EXPECT_NE(plain.canonical_text(), faulty.canonical_text());
+  EXPECT_NE(plain.digest(), faulty.digest());
+}
+
+TEST(RunKeyCanonical, EveryAxisChangesTheDigest) {
+  const RunKey base = sample_key();
+  RunKey k = base;
+  k.algo = "multi_source";
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.adversary = "churn:rate=0.25";
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.n = 65;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.k = 9;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.sources = 5;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.cap = 1'001;
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.seed = 43;
+  EXPECT_NE(k.digest(), base.digest());
+}
+
+TEST(RunKeyCanonical, ForeignSchemaGenerationKeysDifferently) {
+  const RunKey current = sample_key();
+  RunKey foreign = current;
+  foreign.schema = kCacheSchemaVersion + 1;
+  EXPECT_FALSE(current == foreign);
+  EXPECT_NE(current.canonical_text(), foreign.canonical_text());
+  EXPECT_NE(current.digest(), foreign.digest());
+}
+
+TEST(RunKeyCanonical, Fnv1a64MatchesTheReferenceConstants) {
+  // Offset basis on empty input; the classic single-byte probe.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"),
+            (0xcbf29ce484222325ull ^ 'a') * 0x100000001b3ull);
+  EXPECT_NE(fnv1a64("dyngossip"), fnv1a64("dyngossiq"));
+}
+
+TEST(RunKeyCanonical, CacheableAdversaryFamilyExcludesFileBackedAndLb) {
+  EXPECT_TRUE(cacheable_adversary_family("churn"));
+  EXPECT_TRUE(cacheable_adversary_family("cutter"));
+  EXPECT_TRUE(cacheable_adversary_family("static"));
+  // File-backed families key on a file *name* whose content the RunKey
+  // cannot pin; lb adapts to run-side knowledge.
+  EXPECT_FALSE(cacheable_adversary_family("trace"));
+  EXPECT_FALSE(cacheable_adversary_family("scripted"));
+  EXPECT_FALSE(cacheable_adversary_family("smoothed"));
+  EXPECT_FALSE(cacheable_adversary_family("lb"));
+}
+
+}  // namespace
+}  // namespace dyngossip

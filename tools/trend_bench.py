@@ -25,6 +25,14 @@ fast the run was; this column says how fast the *protocol* was.
     dyngossip run table1 --quick --probe=round_series:out=new.jsonl --json=new.json
     python3 tools/trend_bench.py baseline.json new.json \
         --probe baseline.jsonl --probe new.jsonl
+
+Records produced with --cache=DIR carry hit/miss counters in their run
+metadata; whenever any record has them, the table gains a cache column
+showing the hit rate oldest -> newest and the warm-over-cold wall speedup:
+
+    dyngossip run table1 --quick --cache=.dgcache --json=cold.json
+    dyngossip run table1 --quick --cache=.dgcache --json=warm.json
+    python3 tools/trend_bench.py cold.json warm.json
 """
 
 from __future__ import annotations
@@ -109,6 +117,31 @@ def coverage_trend(old_path: str | None, new_path: str | None) -> str:
     return f"r90 {old_r:.1f} -> {new_r:.1f} ({delta:+.1f}%)"
 
 
+def cache_trend(old: dict, new: dict) -> str:
+    """The cache trend cell: hit rate oldest -> newest, plus warm speedup.
+
+    Runs launched with --cache=DIR record {hits, misses, stores} under the
+    volatile run metadata; a warm record paired against its cold baseline
+    shows the hit rate climbing and the wall-clock speedup the cache bought.
+    """
+    def rate(record: dict) -> str:
+        cache = record["run"].get("cache")
+        if not isinstance(cache, dict):
+            return "off"
+        hits = int(cache.get("hits", 0))
+        total = hits + int(cache.get("misses", 0))
+        if total == 0:
+            return "0/0"
+        return f"{hits}/{total} ({hits / total * 100.0:.0f}%)"
+
+    cell = f"hit {rate(old)} -> {rate(new)}"
+    old_s = float(old["run"].get("elapsed_seconds", 0.0))
+    new_s = float(new["run"].get("elapsed_seconds", 0.0))
+    if old_s > 0 and new_s > 0:
+        cell += f", speedup {old_s / new_s:.1f}x"
+    return cell
+
+
 def payload_delta(old: dict, new: dict) -> list[str]:
     """Human-readable description of payload differences (empty if none)."""
     deltas = []
@@ -159,9 +192,13 @@ def main() -> int:
         by_scenario.setdefault(record["scenario"], []).append(record)
 
     failures = []
+    show_cache = any(isinstance(r["run"].get("cache"), dict)
+                     for rs in by_scenario.values() for r in rs)
     header = f"{'scenario':<22} {'base s':>9} {'new s':>9} {'delta':>8}  payload"
     if args.probe:
         header += f"  {'coverage (rounds to 90%)'}"
+    if show_cache:
+        header += "  cache"
     print(header)
     print("-" * len(header))
     for scenario, records in sorted(by_scenario.items()):
@@ -179,6 +216,8 @@ def main() -> int:
                 f"{delta_pct:>+7.1f}%  {payload_txt}")
         if args.probe:
             line += f"  {coverage_trend(old['_probe'], new['_probe'])}"
+        if show_cache:
+            line += f"  {cache_trend(old, new)}"
         print(line)
         if delta_pct > args.max_regress:
             failures.append(f"{scenario}: wall time regressed "
