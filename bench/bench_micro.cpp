@@ -16,15 +16,20 @@
 //     n up to 10⁵ serial vs sharded across a worker pool (the sharded case
 //     only wins on multi-core hosts; on one core it measures fork/join
 //     overhead, which is the other number worth tracking).
+//   BM_SyncRoundTrial vs BM_AsyncEventLoopTrial — one full single-source
+//     trial through the synchronous round engine vs the continuous-time
+//     event loop at matched n, pricing the two engine planes side by side.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
 #include "adversary/churn.hpp"
 #include "adversary/lb_adversary.hpp"
+#include "adversary/registry.hpp"
 #include "algo/registry.hpp"
 #include "common/disjoint_set.hpp"
 #include "common/dynamic_bitset.hpp"
@@ -317,6 +322,53 @@ void BM_AlgoTrialRegistry(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AlgoTrialRegistry)->Arg(48)->Arg(96);
+
+/// Paired sync-vs-async trial cases at matched n: one complete
+/// single-source spread through the synchronous unicast round engine
+/// (neighbor_exchange — the push baseline) vs through the continuous-time
+/// event loop (async_push) on the same static schedule.  Both dispatch via
+/// run_algo, so the pair prices a full trial of each engine plane: round
+/// barriers + full neighborhood exchanges against heap pops + one contact
+/// per Poisson activation.  The absolute ratio is model-dependent (the
+/// engines do different amounts of protocol work per trial); what the pair
+/// guards is each side's trend against itself.
+void BM_SyncRoundTrial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(8);
+  std::uint64_t seed = 700;
+  for (auto _ : state) {
+    std::unique_ptr<Adversary> adversary =
+        build_adversary(AdversarySpec{"static", {}}, n, ++seed);
+    AlgoBuildContext ctx;
+    ctx.n = n;
+    ctx.k = k;
+    ctx.sources = 1;
+    ctx.seed = seed;
+    const RunResult r =
+        run_algo(AlgoSpec::parse("neighbor_exchange"), ctx, *adversary);
+    benchmark::DoNotOptimize(r.metrics.unicast.total());
+  }
+}
+BENCHMARK(BM_SyncRoundTrial)->Arg(64)->Arg(128);
+
+void BM_AsyncEventLoopTrial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(8);
+  std::uint64_t seed = 700;
+  for (auto _ : state) {
+    std::unique_ptr<Adversary> adversary =
+        build_adversary(AdversarySpec{"static", {}}, n, ++seed);
+    AlgoBuildContext ctx;
+    ctx.n = n;
+    ctx.k = k;
+    ctx.sources = 1;
+    ctx.seed = seed;
+    const RunResult r =
+        run_algo(AlgoSpec::parse("async_push"), ctx, *adversary);
+    benchmark::DoNotOptimize(r.metrics.unicast.total());
+  }
+}
+BENCHMARK(BM_AsyncEventLoopTrial)->Arg(64)->Arg(128);
 
 void BM_BroadcastEngineRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "async/async_engine.hpp"
 #include "core/multi_source.hpp"
 #include "core/neighbor_exchange.hpp"
 #include "core/single_source.hpp"
@@ -215,6 +216,43 @@ RunResult run_spanning_tree_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
                            ctx.telemetry);
 }
 
+/// Shared core of the asynchronous push / push-pull families: knowledge-
+/// shaped initial state (honors the context override like the other
+/// broadcast/push families), Poisson clocks at rate=, edge lifetime sigma=,
+/// and the continuous-time event loop of src/async/.  `cap` bounds the run
+/// at cap schedule rounds = cap·σ clock units.
+RunResult run_async_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
+                           Adversary& adversary, bool push_pull) {
+  const SpecReader r(spec, ctx);
+  AsyncEngineOptions opts;
+  opts.rate = r.get_double("rate", 1.0);
+  if (!(opts.rate > 0.0)) fail(spec.family + ": rate must be > 0");
+  opts.sigma = r.get_double("sigma", 1.0);
+  if (!(opts.sigma > 0.0)) fail(spec.family + ": sigma must be > 0");
+  opts.push_pull = push_pull;
+  opts.seed = r.seed();
+  opts.pool = ctx.engine_pool;
+  opts.faults = ctx.faults;
+  opts.run_timeout_seconds = ctx.trial_timeout_seconds;
+  opts.telemetry = ctx.telemetry;
+  const std::vector<KnowledgeSet> initial =
+      initial_of(spec, ctx, &ctx.k_realized);
+  AsyncEngine engine(adversary, initial,
+                     static_cast<std::size_t>(ctx.k_realized), opts);
+  return finish(engine.run(cap_of(ctx)));
+}
+
+RunResult run_async_push_family(const AlgoSpec& spec, AlgoBuildContext& ctx,
+                                Adversary& adversary) {
+  return run_async_family(spec, ctx, adversary, /*push_pull=*/false);
+}
+
+RunResult run_async_push_pull_family(const AlgoSpec& spec,
+                                     AlgoBuildContext& ctx,
+                                     Adversary& adversary) {
+  return run_async_family(spec, ctx, adversary, /*push_pull=*/true);
+}
+
 using Kind = AlgoKeySpec::Kind;
 
 const AlgoKeySpec kSourcesMultiKey{"sources", Kind::kInt, "(run sources)",
@@ -224,6 +262,12 @@ const AlgoKeySpec kSourcesSingleKey{
     "source count (default: the single-source task, all k tokens at node 0)"};
 const AlgoKeySpec kSeedKey{"seed", Kind::kInt, "(run seed)",
                            "algorithm randomness; omit to follow the run"};
+const AlgoKeySpec kRateKey{"rate", Kind::kDouble, "1",
+                           "Poisson clock rate per node (activations per "
+                           "clock unit)"};
+const AlgoKeySpec kSigmaKey{"sigma", Kind::kDouble, "1",
+                            "edge lifetime: clock units each schedule "
+                            "round's graph stays live"};
 
 }  // namespace
 
@@ -266,6 +310,7 @@ const char* algo_engine_name(AlgoEngine engine) {
   switch (engine) {
     case AlgoEngine::kUnicast: return "unicast";
     case AlgoEngine::kBroadcast: return "broadcast";
+    case AlgoEngine::kAsync: return "async";
   }
   return "?";
 }
@@ -461,6 +506,24 @@ void register_all_algorithms(AlgoRegistry& registry) {
        /*requires_static=*/true,
        {kSourcesSingleKey, {"root", Kind::kInt, "0", "BFS tree root node"}},
        run_spanning_tree_family});
+  registry.add(
+      {"async_push",
+       "asynchronous push: Poisson node clocks, one random token to one "
+       "random neighbor per activation",
+       "async_push:rate=1,sigma=1",
+       AlgoEngine::kAsync,
+       /*requires_static=*/false,
+       {kSourcesSingleKey, kSeedKey, kRateKey, kSigmaKey},
+       run_async_push_family});
+  registry.add(
+      {"async_push_pull",
+       "asynchronous push-pull: the contacted neighbor replies with one of "
+       "its own tokens in the same contact",
+       "async_push_pull:rate=1,sigma=1",
+       AlgoEngine::kAsync,
+       /*requires_static=*/false,
+       {kSourcesSingleKey, kSeedKey, kRateKey, kSigmaKey},
+       run_async_push_pull_family});
 }
 
 }  // namespace dyngossip

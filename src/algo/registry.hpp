@@ -126,10 +126,12 @@ struct AlgoBuildContext {
   std::uint64_t k_realized = 0;
 };
 
-/// Which round engine a family runs on (Definition 1.1's two communication
-/// modes).  Documentation for `dyngossip algorithms` and the matrix
-/// scenario; the factory itself embeds the choice.
-enum class AlgoEngine : std::uint8_t { kUnicast = 0, kBroadcast = 1 };
+/// Which engine a family runs on: Definition 1.1's two synchronous
+/// communication modes, plus the continuous-time event-queue engine
+/// (src/async/).  Documentation for `dyngossip algorithms` and the matrix
+/// scenario; the factory itself embeds the choice.  Cache identity depends
+/// on it too: RunKey folds the family's engine into the canonical key.
+enum class AlgoEngine : std::uint8_t { kUnicast = 0, kBroadcast = 1, kAsync = 2 };
 
 [[nodiscard]] const char* algo_engine_name(AlgoEngine engine);
 

@@ -1,0 +1,82 @@
+// Deterministic binary-heap event queue for the asynchronous engine.
+//
+// The queue orders timestamped activation events by (time, node, seq)
+// ascending — the async plane's tie-breaking contract.  Times are doubles
+// (per-node prefix sums of exponential gaps, each node summed in its own
+// fixed order, so the values themselves are bit-deterministic); exact ties
+// across nodes are broken by node id, and the monotone per-push sequence
+// number makes the order a strict total order even in pathological cases.
+// Pop order is therefore a pure function of the pushed set — never of heap
+// internals, hash seeds, or thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// One scheduled node activation.
+struct ActivationEvent {
+  double time = 0.0;       ///< absolute clock time of the activation
+  NodeId node = kNoNode;   ///< the node whose clock fires
+  std::uint64_t seq = 0;   ///< monotone push id (final tie-break)
+};
+
+/// Strict total order: earliest first, ties by node, then push sequence.
+[[nodiscard]] inline bool event_before(const ActivationEvent& a,
+                                       const ActivationEvent& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.node != b.node) return a.node < b.node;
+  return a.seq < b.seq;
+}
+
+/// Min-heap of activation events (std::push_heap/pop_heap over a reused
+/// vector; the engine's steady state keeps exactly one pending event per
+/// node, so the heap never grows past n).
+class EventQueue {
+ public:
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  void push(const ActivationEvent& e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), after_);
+  }
+
+  /// The earliest event (by the (time, node, seq) order).
+  [[nodiscard]] const ActivationEvent& top() const {
+    DG_DCHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Removes and returns the earliest event.
+  ActivationEvent pop() {
+    DG_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), after_);
+    const ActivationEvent e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  /// Heap comparator ("a sorts after b"): std's max-heap becomes our
+  /// min-heap by inverting event_before.
+  struct After {
+    [[nodiscard]] bool operator()(const ActivationEvent& a,
+                                  const ActivationEvent& b) const noexcept {
+      return event_before(b, a);
+    }
+  };
+
+  std::vector<ActivationEvent> heap_;
+  After after_;
+};
+
+}  // namespace dyngossip

@@ -1,0 +1,42 @@
+#include "async/poisson_clock.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dyngossip {
+
+std::uint64_t position_hash(std::uint64_t seed, std::uint64_t salt,
+                            std::uint64_t a, std::uint64_t b) noexcept {
+  // Fold each coordinate through a full SplitMix64 step (golden-ratio
+  // stride keeps adjacent positions decorrelated), then draw once more so
+  // the returned bits mix all four inputs.
+  std::uint64_t state = seed ^ salt;
+  state += 0x9e3779b97f4a7c15ull * (a + 1);
+  state ^= splitmix64(state);  // xor the mixed a-fold back in: (a, b) ≠ (b, a)
+  state += 0x9e3779b97f4a7c15ull * (b + 1);
+  return splitmix64(state);
+}
+
+double position_uniform01(std::uint64_t seed, std::uint64_t salt,
+                          std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<double>(position_hash(seed, salt, a, b) >> 11) *
+         0x1.0p-53;
+}
+
+namespace {
+/// Salt separating the clock-gap stream from the engine's choice streams.
+constexpr std::uint64_t kClockSalt = 0xc10c4a5a11ee7ull;
+}  // namespace
+
+double PoissonClock::gap(NodeId v, std::uint64_t index) const noexcept {
+  const double u =
+      position_uniform01(seed_, kClockSalt, static_cast<std::uint64_t>(v), index);
+  // Inverse CDF of Exp(rate).  u in [0, 1) makes 1 - u in (0, 1], so
+  // -log1p(-u) is finite and >= 0; the +tiny floor keeps gaps strictly
+  // positive (two activations of one node never share a timestamp).
+  const double g = -std::log1p(-u) / rate_;
+  return g > 0.0 ? g : 0x1.0p-60 / rate_;
+}
+
+}  // namespace dyngossip

@@ -1,0 +1,57 @@
+// Per-node Poisson clocks for the asynchronous engine plane.
+//
+// The asynchronous rumor-spreading model (Pourmiri–Mans, PAPERS.md) gives
+// every node an independent rate-λ Poisson clock: the node acts at the
+// arrival times of its own Poisson process, i.e. after i.i.d. Exp(λ)
+// inter-activation gaps.  PoissonClock samples those gaps by inverse CDF —
+// gap = -ln(1 - u) / λ — with u drawn from a *position-keyed* SplitMix64
+// hash of (trial seed, node, activation index), the same determinism
+// contract as fault/fault_plan.hpp: no decision ever consumes shared stream
+// state, so the gap sequence of node v is a pure function of (seed, v) and
+// is unperturbed by how many other nodes exist, what order events pop, or
+// how many threads the surrounding sweep uses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dyngossip {
+
+/// Position-keyed 64-bit hash: SplitMix64 over (seed ^ salt, a, b).  The
+/// shared primitive behind every stochastic decision of the async plane
+/// (clock gaps, neighbor picks, token picks) — pure, stateless, and
+/// therefore evaluation-order independent.
+[[nodiscard]] std::uint64_t position_hash(std::uint64_t seed, std::uint64_t salt,
+                                          std::uint64_t a,
+                                          std::uint64_t b = 0) noexcept;
+
+/// Uniform double in [0, 1) from 53 high bits of a position hash.
+[[nodiscard]] double position_uniform01(std::uint64_t seed, std::uint64_t salt,
+                                        std::uint64_t a,
+                                        std::uint64_t b = 0) noexcept;
+
+/// The exponential-gap sampler of one trial's clocks.  All nodes share the
+/// rate λ (the model's homogeneous case); per-node streams are separated by
+/// hashing the node id into the position key.
+class PoissonClock {
+ public:
+  /// `seed` is the trial's SplitMix64 stream seed; `rate` is λ > 0 in
+  /// activations per clock unit.
+  PoissonClock(std::uint64_t seed, double rate) noexcept
+      : seed_(seed), rate_(rate) {}
+
+  /// The gap between node v's activation `index` and its predecessor
+  /// (index 0 is the gap from time 0 to the first activation).  Strictly
+  /// positive; Exp(rate)-distributed over the index/node/seed space.
+  [[nodiscard]] double gap(NodeId v, std::uint64_t index) const noexcept;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  double rate_;
+};
+
+}  // namespace dyngossip

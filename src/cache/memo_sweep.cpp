@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "algo/registry.hpp"
 #include "sim/runner/parallel.hpp"
 #include "sim/runner/shard_schedule.hpp"
 
@@ -16,6 +17,14 @@ RunKey make_run_key(std::string algo, std::string adversary, std::string fault,
                     std::size_t n, std::uint32_t k, std::size_t sources,
                     Round cap, std::uint64_t seed) {
   RunKey key;
+  // The engine axis is derived from the registered family (the part of the
+  // algo spec before ':').  Unknown names — serve-side keys rebuilt from
+  // stored text, tests with synthetic specs — fall back to "unicast", the
+  // engine every pre-schema-2 entry implicitly had.
+  const std::size_t colon = algo.find(':');
+  const AlgoFamily* family = AlgoRegistry::global().find(
+      colon == std::string::npos ? algo : algo.substr(0, colon));
+  if (family != nullptr) key.engine = algo_engine_name(family->engine);
   key.algo = std::move(algo);
   key.adversary = std::move(adversary);
   key.fault = std::move(fault);

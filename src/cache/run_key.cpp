@@ -9,6 +9,7 @@ RunKey::RunKey() : schema(kCacheSchemaVersion) {}
 std::string RunKey::canonical_text() const {
   std::string text = "dg" + std::to_string(schema);
   text += "|algo=" + algo;
+  text += "|engine=" + engine;
   text += "|adv=" + adversary;
   text += "|fault=" + fault;
   text += "|n=" + std::to_string(n);

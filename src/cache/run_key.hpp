@@ -28,6 +28,12 @@ namespace dyngossip {
 /// seed handed to the adversary/fault/algorithm builders.
 struct RunKey {
   std::string algo;       ///< canonical algorithm spec
+  /// Engine the algo family runs on ("unicast" / "broadcast" / "async").
+  /// Part of the identity: the async families' clock keys (rate=, sigma=)
+  /// already ride in the canonical algo spec text, but the engine axis
+  /// itself must be explicit so a family rename/re-registration across
+  /// engines can never alias an old entry.
+  std::string engine = "unicast";
   std::string adversary;  ///< canonical adversary spec
   std::string fault;      ///< canonical fault spec ("fault" when inactive)
   std::size_t n = 0;
@@ -43,8 +49,8 @@ struct RunKey {
   RunKey();
 
   /// The canonical single-line rendering, e.g.
-  /// "dg1|algo=single_source|adv=churn:churn=3,edges=72|fault=fault|n=24|
-  ///  k=48|s=4|cap=46080|seed=9313".
+  /// "dg2|algo=single_source|engine=unicast|adv=churn:churn=3,edges=72|
+  ///  fault=fault|n=24|k=48|s=4|cap=46080|seed=9313".
   [[nodiscard]] std::string canonical_text() const;
 
   /// FNV-1a 64-bit digest of canonical_text() — the entry's content address.

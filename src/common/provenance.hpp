@@ -35,7 +35,7 @@ struct Provenance {
 /// read), and it rides in `dyngossip version` and scenario JSON
 /// `.run.build` so provenance identifies which cache generation produced a
 /// row.
-inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+inline constexpr std::uint32_t kCacheSchemaVersion = 2;
 
 /// One space-free token for trace metadata (`build=` values cannot contain
 /// spaces): "<git>+<compiler>+<build_type>[+<sanitize>]".

@@ -19,6 +19,7 @@ void register_all_scenarios(ScenarioRegistry& registry) {
   register_sigma_stable_churn(registry);
   register_algo_matrix(registry);
   register_fault_sweep(registry);
+  register_sync_vs_async(registry);
 }
 
 }  // namespace dyngossip

@@ -26,6 +26,7 @@ void register_trace_replay(ScenarioRegistry& registry);
 void register_sigma_stable_churn(ScenarioRegistry& registry);
 void register_algo_matrix(ScenarioRegistry& registry);
 void register_fault_sweep(ScenarioRegistry& registry);
+void register_sync_vs_async(ScenarioRegistry& registry);
 
 /// Installs every scenario above; a no-op when already installed.
 void register_all_scenarios(ScenarioRegistry& registry);

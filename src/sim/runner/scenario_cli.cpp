@@ -231,14 +231,17 @@ int cmd_algorithms(const CliArgs& args) {
     return 0;
   }
   std::printf("algorithm spec grammar: family[:key=value[,key=value...]]\n\n");
+  // Aligned engine column (unicast / broadcast / async) — same values the
+  // --json path emits as each family's "engine" field.
+  std::printf("%-17s %-9s %s\n", "family", "engine", "description");
   for (const AlgoFamily* f : registry.list()) {
-    std::printf("%-17s [%s] %s\n                  e.g. %s\n", f->name.c_str(),
-                algo_engine_name(f->engine), f->description.c_str(),
+    std::printf("%-17s %-9s %s\n%-27s e.g. %s\n", f->name.c_str(),
+                algo_engine_name(f->engine), f->description.c_str(), "",
                 f->example.c_str());
     if (f->requires_static) {
-      std::printf("                  NOTE: static schedules only (the protocol "
-                  "asserts an\n                  unchanging neighborhood) — "
-                  "pair with --adversary=static:\n");
+      std::printf("                            NOTE: static schedules only "
+                  "(the protocol asserts an\n                            "
+                  "unchanging neighborhood) — pair with --adversary=static:\n");
     }
     for (const AlgoKeySpec& k : f->keys) {
       std::printf("    %s=<%s>  (default %s)  %s\n", k.key.c_str(),

@@ -106,9 +106,13 @@ TEST(AlgoRegistry, DeclaresEnginesAndStaticRequirements) {
   EXPECT_EQ(registry.find("single_source")->engine, AlgoEngine::kUnicast);
   EXPECT_EQ(registry.find("flooding")->engine, AlgoEngine::kBroadcast);
   EXPECT_EQ(registry.find("random_flooding")->engine, AlgoEngine::kBroadcast);
+  EXPECT_EQ(registry.find("async_push")->engine, AlgoEngine::kAsync);
+  EXPECT_EQ(registry.find("async_push_pull")->engine, AlgoEngine::kAsync);
   EXPECT_TRUE(registry.find("spanning_tree")->requires_static);
   EXPECT_FALSE(registry.find("single_source")->requires_static);
+  EXPECT_FALSE(registry.find("async_push")->requires_static);
   EXPECT_STREQ(algo_engine_name(AlgoEngine::kBroadcast), "broadcast");
+  EXPECT_STREQ(algo_engine_name(AlgoEngine::kAsync), "async");
 }
 
 TEST(AlgoRegistry, ScheduleCompatibilityPolicy) {

@@ -1,0 +1,73 @@
+// ClockedAdversary: the sync↔async time mapping (round r owns the window
+// [(r-1)σ, rσ)) and one-round-at-a-time advancement of a registry schedule.
+#include "async/clocked_adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/registry.hpp"
+#include "common/knowledge_set.hpp"
+
+namespace dyngossip {
+namespace {
+
+std::unique_ptr<Adversary> make_static(std::size_t n) {
+  return build_adversary(AdversarySpec{"static", {}}, n, /*seed=*/5);
+}
+
+TEST(ClockedAdversary, RoundOfMapsWindowsHalfOpen) {
+  std::unique_ptr<Adversary> inner = make_static(8);
+  const ClockedAdversary clocked(*inner, /*sigma=*/2.0);
+  EXPECT_EQ(clocked.round_of(0.0), 1u);
+  EXPECT_EQ(clocked.round_of(1.999), 1u);
+  EXPECT_EQ(clocked.round_of(2.0), 2u);   // window boundary belongs to r+1
+  EXPECT_EQ(clocked.round_of(5.0), 3u);
+  EXPECT_DOUBLE_EQ(clocked.window_end(1), 2.0);
+  EXPECT_DOUBLE_EQ(clocked.window_end(3), 6.0);
+}
+
+TEST(ClockedAdversary, SigmaScalesTheMapping) {
+  std::unique_ptr<Adversary> inner = make_static(8);
+  const ClockedAdversary clocked(*inner, /*sigma=*/0.25);
+  EXPECT_EQ(clocked.round_of(0.0), 1u);
+  EXPECT_EQ(clocked.round_of(0.30), 2u);
+  EXPECT_EQ(clocked.round_of(1.0), 5u);
+  EXPECT_DOUBLE_EQ(clocked.window_end(4), 1.0);
+}
+
+TEST(ClockedAdversary, NextRoundConsumesTheScheduleOneRoundAtATime) {
+  const std::size_t n = 12;
+  std::unique_ptr<Adversary> inner = make_static(n);
+  ClockedAdversary clocked(*inner, /*sigma=*/1.0);
+  EXPECT_EQ(clocked.num_nodes(), n);
+  EXPECT_EQ(clocked.round(), 0u);
+  const std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(4));
+  for (Round r = 1; r <= 5; ++r) {
+    const Graph& g = clocked.next_round(knowledge);
+    EXPECT_EQ(clocked.round(), r);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_GT(g.num_edges(), 0u);
+  }
+}
+
+TEST(ClockedAdversary, DynamicScheduleSeesEveryRound) {
+  // A churn schedule is incremental: skipping rounds would desynchronize
+  // it.  The adapter must deliver round r exactly once, in order.
+  const std::size_t n = 16;
+  AdversarySpec spec{"churn", {}};
+  spec.set("edges", static_cast<std::uint64_t>(3 * n))
+      .set("churn", std::uint64_t{2});
+  std::unique_ptr<Adversary> inner = build_adversary(spec, n, /*seed=*/9);
+  ClockedAdversary clocked(*inner, /*sigma=*/1.0);
+  const std::vector<KnowledgeSet> knowledge(n, KnowledgeSet(4));
+  for (Round r = 1; r <= 8; ++r) {
+    const Graph& g = clocked.next_round(knowledge);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(clocked.round(), r);
+  }
+}
+
+}  // namespace
+}  // namespace dyngossip

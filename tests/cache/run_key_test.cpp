@@ -23,8 +23,26 @@ TEST(RunKeyCanonical, TextSpellsOutEveryAxisWithSchemaPrefix) {
   const RunKey key = sample_key();
   EXPECT_EQ(key.canonical_text(),
             "dg" + std::to_string(kCacheSchemaVersion) +
-                "|algo=single_source|adv=churn:rate=0.5|fault=fault|n=64|k=8"
-                "|s=4|cap=1000|seed=42");
+                "|algo=single_source|engine=unicast|adv=churn:rate=0.5"
+                "|fault=fault|n=64|k=8|s=4|cap=1000|seed=42");
+}
+
+TEST(RunKeyCanonical, EngineIsDerivedFromTheRegisteredFamily) {
+  EXPECT_EQ(sample_key().engine, "unicast");
+  EXPECT_EQ(make_run_key("flooding:sources=1", "static:edges=96", "fault", 32,
+                         4, 1, 0, 7)
+                .engine,
+            "broadcast");
+  EXPECT_EQ(make_run_key("async_push_pull:rate=1,sigma=1", "static:edges=96",
+                         "fault", 32, 4, 1, 0, 7)
+                .engine,
+            "async");
+  // Unknown family names (serve-side keys rebuilt from stored text) fall
+  // back to the engine every pre-schema-2 entry implicitly had.
+  EXPECT_EQ(make_run_key("no_such_family:x=1", "static:edges=96", "fault", 32,
+                         4, 1, 0, 7)
+                .engine,
+            "unicast");
 }
 
 TEST(RunKeyCanonical, SchemaDefaultsToThisBinarysGeneration) {
@@ -74,6 +92,9 @@ TEST(RunKeyCanonical, EveryAxisChangesTheDigest) {
   const RunKey base = sample_key();
   RunKey k = base;
   k.algo = "multi_source";
+  EXPECT_NE(k.digest(), base.digest());
+  k = base;
+  k.engine = "async";
   EXPECT_NE(k.digest(), base.digest());
   k = base;
   k.adversary = "churn:rate=0.25";

@@ -58,17 +58,17 @@ TEST(ScenarioRegistry, ListIsNameSorted) {
   EXPECT_EQ(scenarios[2]->name, "zeta");
 }
 
-TEST(ScenarioCatalogue, RegistersFifteenScenariosIdempotently) {
+TEST(ScenarioCatalogue, RegistersSixteenScenariosIdempotently) {
   ScenarioRegistry registry;
   register_all_scenarios(registry);
-  EXPECT_EQ(registry.size(), 15u);
+  EXPECT_EQ(registry.size(), 16u);
   register_all_scenarios(registry);  // second call must be a no-op, not a throw
-  EXPECT_EQ(registry.size(), 15u);
+  EXPECT_EQ(registry.size(), 16u);
   for (const char* name :
        {"single_source", "single_source_time", "multi_source", "oblivious_funnel",
         "table1", "lb_broadcast", "fig1_free_edges", "static_baseline",
         "upper_bounds", "leader_election", "ablations", "trace_replay",
-        "sigma_stable_churn", "algo_matrix", "fault_sweep"}) {
+        "sigma_stable_churn", "algo_matrix", "fault_sweep", "sync_vs_async"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }

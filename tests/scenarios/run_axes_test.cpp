@@ -274,8 +274,8 @@ TEST(AlgoAxis, AlgoMatrixCrossesFamiliesOnASharedSchedule) {
   const ScenarioResult result = scenario->run(ctx);
   ASSERT_EQ(result.tables.size(), 1u);
   const ScenarioTable& table = result.tables[0];
-  // 7 families x 3 schedules, minus spanning_tree's two non-static pairs.
-  EXPECT_EQ(table.rows.size(), 7u * 3u - 2u);
+  // 9 families x 3 schedules, minus spanning_tree's two non-static pairs.
+  EXPECT_EQ(table.rows.size(), 9u * 3u - 2u);
   for (const auto& row : table.rows) {
     EXPECT_EQ(row[4], "yes") << row[0] << " vs " << row[2]
                              << " did not complete";

@@ -142,6 +142,40 @@ def cache_trend(old: dict, new: dict) -> str:
     return cell
 
 
+def async_rows(record: dict) -> tuple[int, int]:
+    """(completed, total) over rows the tables attribute to the async engine.
+
+    Scenario tables that cross engines (algo_matrix, sync_vs_async) carry an
+    "engine" column; rows whose engine is "async" came from the event-queue
+    plane and their "done" column says whether the continuous-time run
+    completed.  Tables without both columns contribute nothing.
+    """
+    done = total = 0
+    for table in record.get("tables", []):
+        columns = table.get("columns", [])
+        if "engine" not in columns or "done" not in columns:
+            continue
+        engine_at = columns.index("engine")
+        done_at = columns.index("done")
+        for row in table.get("rows", []):
+            if len(row) <= max(engine_at, done_at):
+                continue
+            if row[engine_at] != "async":
+                continue
+            total += 1
+            done += 1 if row[done_at] == "yes" else 0
+    return done, total
+
+
+def async_trend(old: dict, new: dict) -> str:
+    """The async trend cell: completed/total async-engine rows old -> new."""
+    def cell(record: dict) -> str:
+        done, total = async_rows(record)
+        return f"{done}/{total}"
+
+    return f"done {cell(old)} -> {cell(new)}"
+
+
 def payload_delta(old: dict, new: dict) -> list[str]:
     """Human-readable description of payload differences (empty if none)."""
     deltas = []
@@ -194,11 +228,15 @@ def main() -> int:
     failures = []
     show_cache = any(isinstance(r["run"].get("cache"), dict)
                      for rs in by_scenario.values() for r in rs)
+    show_async = any(async_rows(r)[1] > 0
+                     for rs in by_scenario.values() for r in rs)
     header = f"{'scenario':<22} {'base s':>9} {'new s':>9} {'delta':>8}  payload"
     if args.probe:
         header += f"  {'coverage (rounds to 90%)'}"
     if show_cache:
         header += "  cache"
+    if show_async:
+        header += "  async"
     print(header)
     print("-" * len(header))
     for scenario, records in sorted(by_scenario.items()):
@@ -218,6 +256,8 @@ def main() -> int:
             line += f"  {coverage_trend(old['_probe'], new['_probe'])}"
         if show_cache:
             line += f"  {cache_trend(old, new)}"
+        if show_async:
+            line += f"  {async_trend(old, new)}"
         print(line)
         if delta_pct > args.max_regress:
             failures.append(f"{scenario}: wall time regressed "
